@@ -1,0 +1,378 @@
+package threadfuser
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index). Each benchmark runs its
+// experiment end to end — tracing, analysis, and (where the artifact needs
+// it) lockstep-oracle execution or timing simulation — at reduced scale,
+// and reports the headline quantities as custom metrics so `go test
+// -bench=. -benchmem` doubles as a results table. The rendered artifact is
+// logged once per benchmark; run with -v to see it.
+//
+// Ablation benchmarks at the bottom cover the design choices DESIGN.md
+// calls out: batching policy, warp width, scheduler policy, allocator
+// granularity, and lock-emulation cost.
+
+import (
+	"testing"
+
+	"threadfuser/internal/core"
+	"threadfuser/internal/gpusim"
+	"threadfuser/internal/report"
+	"threadfuser/internal/simt"
+	"threadfuser/internal/simtrace"
+	"threadfuser/internal/warp"
+	"threadfuser/internal/workloads"
+)
+
+var benchScale = report.Scale{Seed: 1}
+
+func BenchmarkFig1WarpWidthEfficiency(b *testing.B) {
+	var d *report.Fig1Data
+	var err error
+	for i := 0; i < b.N; i++ {
+		d, err = report.Fig1(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sum8, sum32 float64
+	for _, r := range d.Rows {
+		sum8 += r.Eff8
+		sum32 += r.Eff32
+	}
+	b.ReportMetric(sum8/float64(len(d.Rows)), "meanEff@8")
+	b.ReportMetric(sum32/float64(len(d.Rows)), "meanEff@32")
+	b.Log("\n" + d.Render())
+}
+
+func BenchmarkTable1Workloads(b *testing.B) {
+	var d *report.Table1Data
+	for i := 0; i < b.N; i++ {
+		d = report.Table1()
+	}
+	b.ReportMetric(float64(len(d.Rows)), "workloads")
+	b.Log("\n" + d.Render())
+}
+
+func BenchmarkFig5aEfficiencyCorrelation(b *testing.B) {
+	var d *report.Fig5Data
+	var err error
+	for i := 0; i < b.N; i++ {
+		d, err = report.Fig5a(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, l := range d.Levels {
+		b.ReportMetric(l.Pearson, "corr"+l.Level.String())
+	}
+	b.Log("\n" + d.Render())
+}
+
+func BenchmarkFig5bMemoryCorrelation(b *testing.B) {
+	var d *report.Fig5Data
+	var err error
+	for i := 0; i < b.N; i++ {
+		d, err = report.Fig5b(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, l := range d.Levels {
+		b.ReportMetric(l.MAE, "mae"+l.Level.String())
+	}
+	b.Log("\n" + d.Render())
+}
+
+func BenchmarkFig6ProjectedSpeedup(b *testing.B) {
+	var d *report.Fig6Data
+	var err error
+	for i := 0; i < b.N; i++ {
+		d, err = report.Fig6(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(d.SpeedupCorrelation, "speedupCorr")
+	b.ReportMetric(d.ExecTimeMAE, "execTimeMAE")
+	b.Log("\n" + d.Render())
+}
+
+func BenchmarkFig7PerFunctionAnalysis(b *testing.B) {
+	var d *report.Fig7Data
+	var err error
+	for i := 0; i < b.N; i++ {
+		d, err = report.Fig7(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(d.OriginalEff, "effBefore")
+	b.ReportMetric(d.FixedEff, "effAfter")
+	b.ReportMetric(d.GetpointShare, "getpointShare")
+	b.Log("\n" + d.Render())
+}
+
+func BenchmarkFig8SkippedInstructions(b *testing.B) {
+	var d *report.Fig8Data
+	var err error
+	for i := 0; i < b.N; i++ {
+		d, err = report.Fig8(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(d.GeoMean, "tracedGeomean")
+	b.Log("\n" + d.Render())
+}
+
+func BenchmarkFig9LockingEfficiency(b *testing.B) {
+	var d *report.Fig9Data
+	var err error
+	for i := 0; i < b.N; i++ {
+		d, err = report.Fig9(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var drop float64
+	for _, r := range d.Rows {
+		drop += r.EffFineGrain - r.EffEmulated
+	}
+	b.ReportMetric(drop/float64(len(d.Rows)), "meanEffDrop")
+	b.Log("\n" + d.Render())
+}
+
+func BenchmarkFig10MemoryDivergence(b *testing.B) {
+	var d *report.Fig10Data
+	var err error
+	for i := 0; i < b.N; i++ {
+		d, err = report.Fig10(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var heap float64
+	for _, r := range d.Rows {
+		heap += r.HeapTxPer
+	}
+	b.ReportMetric(heap/float64(len(d.Rows)), "meanHeapTxPerInstr")
+	b.Log("\n" + d.Render())
+}
+
+func BenchmarkTable2Comparison(b *testing.B) {
+	var d *report.Table2Data
+	var err error
+	for i := 0; i < b.N; i++ {
+		d, err = report.Table2(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(d.EffMAEO1, "effMAE")
+	b.ReportMetric(d.MemMAEO1, "memMAE")
+	b.ReportMetric(d.SpeedupCorr, "speedupCorr")
+	b.Log("\n" + d.Render())
+}
+
+// ----------------------------------------------------------------- ablations
+
+// benchAnalyze is the shared helper for the ablation benchmarks.
+func benchAnalyze(b *testing.B, name string, mutate func(*core.Options)) *core.Report {
+	b.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := w.Instantiate(workloads.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := inst.Trace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Defaults()
+	if mutate != nil {
+		mutate(&opts)
+	}
+	var rep *core.Report
+	for i := 0; i < b.N; i++ {
+		rep, err = core.Analyze(tr, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return rep
+}
+
+// BenchmarkAblationBatching compares warp-formation policies on a graph
+// workload (section III: "different batching algorithms can be explored").
+func BenchmarkAblationBatching(b *testing.B) {
+	for _, f := range []warp.Formation{warp.RoundRobin, warp.Strided, warp.GreedyEntry} {
+		f := f
+		b.Run(f.String(), func(b *testing.B) {
+			rep := benchAnalyze(b, "rodinia.bfs", func(o *core.Options) { o.Formation = f })
+			b.ReportMetric(rep.Efficiency, "efficiency")
+		})
+	}
+}
+
+// BenchmarkAblationWarpWidth sweeps the modelled SIMD width on the paper's
+// most width-sensitive workload.
+func BenchmarkAblationWarpWidth(b *testing.B) {
+	for _, ws := range []int{4, 8, 16, 32, 64} {
+		ws := ws
+		b.Run(map[bool]string{true: "w"}[true]+itoa(ws), func(b *testing.B) {
+			rep := benchAnalyze(b, "other.pigz", func(o *core.Options) { o.WarpSize = ws })
+			b.ReportMetric(rep.Efficiency, "efficiency")
+		})
+	}
+}
+
+// BenchmarkAblationLockEmulation measures the analysis-time and efficiency
+// cost of intra-warp lock serialization on the lock-heaviest microservice.
+func BenchmarkAblationLockEmulation(b *testing.B) {
+	for _, locks := range []bool{false, true} {
+		locks := locks
+		name := "fine-grain-assumed"
+		if locks {
+			name = "emulated"
+		}
+		b.Run(name, func(b *testing.B) {
+			rep := benchAnalyze(b, "usuite.mcrouter.memcached", func(o *core.Options) { o.EmulateLocks = locks })
+			b.ReportMetric(rep.Efficiency, "efficiency")
+			b.ReportMetric(float64(rep.LockSerializations), "serializations")
+		})
+	}
+}
+
+// BenchmarkAblationScheduler compares GTO and LRR warp scheduling in the
+// timing simulator.
+func BenchmarkAblationScheduler(b *testing.B) {
+	w, err := workloads.ByName("rodinia.sc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := w.Instantiate(workloads.Config{Seed: 1, Threads: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := inst.Trace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	kt, err := simtrace.Generate(inst.Prog, tr, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sched := range []gpusim.Scheduler{gpusim.GTO, gpusim.LRR} {
+		sched := sched
+		b.Run(sched.String(), func(b *testing.B) {
+			// Shrink the device so SMs hold several warps each; with one
+			// warp per SM the scheduling policy cannot matter.
+			cfg := gpusim.RTX3070()
+			cfg.NumSMs = 2
+			cfg.Scheduler = sched
+			var res *gpusim.Result
+			for i := 0; i < b.N; i++ {
+				res, err = gpusim.Run(kt, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Cycles), "cycles")
+			b.ReportMetric(res.IPC, "ipc")
+		})
+	}
+}
+
+// BenchmarkAblationMachine runs the same kernel on the GPU-class and
+// CPU-adjacent SIMT configurations (the section V-B design space).
+func BenchmarkAblationMachine(b *testing.B) {
+	w, err := workloads.ByName("usuite.textsearch.mid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := w.Instantiate(workloads.Config{Seed: 1, Threads: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := inst.Trace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	kt, err := simtrace.Generate(inst.Prog, tr, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []gpusim.Config{gpusim.RTX3070(), gpusim.SmallSIMT()} {
+		cfg := cfg
+		b.Run(cfg.Name, func(b *testing.B) {
+			var res *gpusim.Result
+			for i := 0; i < b.N; i++ {
+				res, err = gpusim.Run(kt, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAnalyzerThroughput measures raw analyzer speed in traced
+// instructions per second — the paper's 2-6x-native tracing overhead claim
+// is about the tracer; this is the analysis side.
+func BenchmarkAnalyzerThroughput(b *testing.B) {
+	w, err := workloads.ByName("parsec.vips")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := w.Instantiate(workloads.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := inst.Trace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(tr, core.Defaults()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(tr.TotalInstructions()))
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkAblationLockReconvergence compares critical-section
+// reconvergence policies — the investigation the paper defers to future
+// research ("different choices of reconvergence points may have varying
+// effects on the control flow efficiency").
+func BenchmarkAblationLockReconvergence(b *testing.B) {
+	for _, pol := range []simt.LockReconvergence{simt.ReconvergeAtRelease, simt.ReconvergeAtFunctionExit} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			rep := benchAnalyze(b, "usuite.mcrouter.memcached", func(o *core.Options) {
+				o.EmulateLocks = true
+				o.LockReconvergence = pol
+			})
+			b.ReportMetric(rep.Efficiency, "efficiency")
+		})
+	}
+}

@@ -1,0 +1,114 @@
+// Command tfdiff compares two MIMD traces through the ThreadFuser analyzer
+// — the measure/fix/re-measure loop of the paper's HDSearch-Midtier case
+// study (section V-A) as a tool. It prints the headline metric deltas and a
+// per-function comparison that shows exactly where an optimization moved
+// the needle.
+//
+// Usage:
+//
+//	tftrace -workload usuite.hdsearch.mid       -o before.tft
+//	tftrace -workload usuite.hdsearch.mid.fixed -o after.tft
+//	tfdiff -a before.tft -b after.tft
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"threadfuser/internal/core"
+	"threadfuser/internal/trace"
+)
+
+func main() {
+	var (
+		aPath    = flag.String("a", "", "baseline .tft trace (required)")
+		bPath    = flag.String("b", "", "comparison .tft trace (required)")
+		warpSize = flag.Int("warp", 32, "warp width to model")
+		locks    = flag.Bool("locks", false, "emulate intra-warp lock serialization")
+	)
+	flag.Parse()
+	if *aPath == "" || *bPath == "" {
+		fmt.Fprintln(os.Stderr, "tfdiff: both -a and -b are required")
+		os.Exit(2)
+	}
+	opts := core.Defaults()
+	opts.WarpSize = *warpSize
+	opts.EmulateLocks = *locks
+
+	a := analyzeFile(*aPath, opts)
+	b := analyzeFile(*bPath, opts)
+
+	fmt.Printf("baseline    %s (%d threads)\n", a.Program, a.Threads)
+	fmt.Printf("comparison  %s (%d threads)\n\n", b.Program, b.Threads)
+
+	row := func(name string, av, bv float64, unit string) {
+		delta := bv - av
+		sign := "+"
+		if delta < 0 {
+			sign = ""
+		}
+		fmt.Printf("%-22s %10.2f%s %10.2f%s   (%s%.2f%s)\n", name, av, unit, bv, unit, sign, delta, unit)
+	}
+	row("SIMT efficiency", a.Efficiency*100, b.Efficiency*100, "%")
+	row("heap tx/instr", a.HeapTxPerInstr, b.HeapTxPerInstr, "")
+	row("stack tx/instr", a.StackTxPerInstr, b.StackTxPerInstr, "")
+	row("traced", a.TracedPercent, b.TracedPercent, "%")
+	fmt.Printf("%-22s %10d  %10d\n", "thread instructions", a.TotalInstrs, b.TotalInstrs)
+	fmt.Printf("%-22s %10d  %10d\n", "lockstep issues", a.LockstepInstrs, b.LockstepInstrs)
+
+	// Per-function comparison, matched by name; functions present on only
+	// one side show a dash.
+	names := map[string]bool{}
+	for _, f := range a.PerFunction {
+		names[f.Name] = true
+	}
+	for _, f := range b.PerFunction {
+		names[f.Name] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		return shareOf(a, ordered[i])+shareOf(b, ordered[i]) > shareOf(a, ordered[j])+shareOf(b, ordered[j])
+	})
+
+	fmt.Printf("\n%-22s %22s %22s\n", "FUNCTION", "BASELINE (share@eff)", "COMPARISON (share@eff)")
+	for _, n := range ordered {
+		fmt.Printf("%-22s %22s %22s\n", n, cell(a, n), cell(b, n))
+	}
+}
+
+func analyzeFile(path string, opts core.Options) *core.Report {
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := core.Analyze(tr, opts)
+	if err != nil {
+		fatal(err)
+	}
+	return rep
+}
+
+func shareOf(r *core.Report, name string) float64 {
+	if f, ok := r.Function(name); ok {
+		return f.InstrShare
+	}
+	return 0
+}
+
+func cell(r *core.Report, name string) string {
+	f, ok := r.Function(name)
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%5.1f%% @ %5.1f%%", f.InstrShare*100, f.Efficiency*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tfdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command tfreport regenerates the paper's evaluation artifacts: every
+// figure and table has an experiment id, and -exp all runs the whole
+// evaluation. By default the experiments run at reduced thread counts so
+// the full set completes in seconds; -full uses the paper's Table-I counts.
+//
+// Usage:
+//
+//	tfreport -exp fig1
+//	tfreport -exp fig5a -seed 7
+//	tfreport -exp all
+//	tfreport -exp fig6 -threads 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"threadfuser/internal/report"
+)
+
+// experiments maps ids to runners, in the paper's presentation order.
+var experiments = []struct {
+	id   string
+	desc string
+	run  func(report.Scale) (fmt.Stringer, error)
+}{
+	{"fig1", "SIMT efficiency of the 36 workloads at warp 8/16/32", func(s report.Scale) (fmt.Stringer, error) {
+		return wrap(report.Fig1(s))
+	}},
+	{"table1", "the workload catalog", func(s report.Scale) (fmt.Stringer, error) {
+		return renderer{report.Table1().Render()}, nil
+	}},
+	{"fig5a", "SIMT-efficiency correlation vs the hardware oracle, O0-O3", func(s report.Scale) (fmt.Stringer, error) {
+		return wrap(report.Fig5a(s))
+	}},
+	{"fig5b", "heap-transaction correlation vs the hardware oracle, O0-O3", func(s report.Scale) (fmt.Stringer, error) {
+		return wrap(report.Fig5b(s))
+	}},
+	{"fig6", "projected speedups vs the multicore CPU baseline", func(s report.Scale) (fmt.Stringer, error) {
+		return wrap(report.Fig6(s))
+	}},
+	{"fig7", "HDSearch-Midtier per-function case study and fix", func(s report.Scale) (fmt.Stringer, error) {
+		return wrap(report.Fig7(s))
+	}},
+	{"fig8", "traced vs skipped instructions (microservices)", func(s report.Scale) (fmt.Stringer, error) {
+		return wrap(report.Fig8(s))
+	}},
+	{"fig9", "warp efficiency with intra-warp locking emulated", func(s report.Scale) (fmt.Stringer, error) {
+		return wrap(report.Fig9(s))
+	}},
+	{"fig10", "memory transactions per load/store, heap and stack", func(s report.Scale) (fmt.Stringer, error) {
+		return wrap(report.Fig10(s))
+	}},
+	{"table2", "accuracy summary vs XAPP", func(s report.Scale) (fmt.Stringer, error) {
+		return wrap(report.Table2(s))
+	}},
+	{"ext1", "extension: active-lane occupancy distributions", func(s report.Scale) (fmt.Stringer, error) {
+		return wrap(report.Ext1(s))
+	}},
+	{"ext2", "extension: SM-count scaling sweep", func(s report.Scale) (fmt.Stringer, error) {
+		return wrap(report.Ext2(s))
+	}},
+}
+
+// renderable is any experiment dataset with a Render method.
+type renderable interface{ Render() string }
+
+type renderer struct{ s string }
+
+func (r renderer) String() string { return r.s }
+
+func wrap[T renderable](d T, err error) (fmt.Stringer, error) {
+	if err != nil {
+		return nil, err
+	}
+	return renderer{d.Render()}, nil
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (fig1, table1, fig5a, fig5b, fig6, fig7, fig8, fig9, fig10, table2, ext1, ext2, all)")
+		threads = flag.Int("threads", 0, "override every workload's thread count")
+		full    = flag.Bool("full", false, "run at the paper's Table-I thread counts (slow)")
+		seed    = flag.Int64("seed", 1, "input-generation seed")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments {
+			fmt.Printf("  %-8s %s\n", e.id, e.desc)
+		}
+		fmt.Println("  all      every experiment above, in order")
+		if *exp == "" {
+			os.Exit(2)
+		}
+		return
+	}
+
+	scale := report.Scale{Threads: *threads, Full: *full, Seed: *seed}
+	ran := false
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.id {
+			continue
+		}
+		ran = true
+		out, err := e.run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tfreport: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "tfreport: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+}

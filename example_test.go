@@ -1,0 +1,65 @@
+package threadfuser_test
+
+import (
+	"fmt"
+	"log"
+
+	"threadfuser"
+)
+
+// The zero-effort estimate the paper offers developers: how would this
+// multi-threaded program behave on a 32-wide SIMT machine?
+func ExampleAnalyzeWorkload() {
+	w, err := threadfuser.Workload("paropoly.nbody")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := threadfuser.AnalyzeWorkload(w, threadfuser.Options{WarpSize: 32, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SIMT efficiency: %.0f%%\n", rep.Efficiency*100)
+	// Output: SIMT efficiency: 100%
+}
+
+// The figure-7 workflow: find the function that destroys SIMT efficiency.
+func ExampleReport_perFunction() {
+	w, err := threadfuser.Workload("usuite.hdsearch.mid")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := threadfuser.AnalyzeWorkload(w, threadfuser.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst := rep.PerFunction[0] // sorted by instruction share
+	fmt.Printf("hottest function: %s\n", worst.Name)
+	fmt.Printf("bottleneck: %v\n", worst.Efficiency < 0.10)
+	// Output:
+	// hottest function: getpoint
+	// bottleneck: true
+}
+
+// Excluding a library function from the analysis, as the paper's
+// configurable tracer allows.
+func ExampleExcludeFunctions() {
+	w, err := threadfuser.Workload("usuite.hdsearch.mid")
+	if err != nil {
+		log.Fatal(err)
+	}
+	o := threadfuser.Options{Seed: 1}
+	tr, err := threadfuser.Trace(w, o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	filtered, err := threadfuser.ExcludeFunctions(tr, "getpoint")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := threadfuser.Analyze(filtered, o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("efficiency without getpoint: %.0f%%\n", rep.Efficiency*100)
+	// Output: efficiency without getpoint: 100%
+}

@@ -1,0 +1,68 @@
+// Microservice triage: the figure-7 case study as a workflow. The paper
+// measured HDSearch-Midtier at 7% SIMT efficiency, used ThreadFuser's
+// per-function report to find that half the instructions came from FLANN's
+// getpoint method at 6% efficiency (a kd-tree walk with data-dependent trip
+// counts, listing 1), pinned the method's trip counts to the top-10
+// results, and recovered 90% efficiency at 93% search accuracy.
+//
+// This example reproduces the whole loop: measure, localize, fix, re-measure.
+//
+// Run with:
+//
+//	go run ./examples/microservicetriage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"threadfuser"
+)
+
+func main() {
+	opts := threadfuser.Options{WarpSize: 32, Seed: 1}
+
+	// Step 1: measure the service as-is.
+	svc, err := threadfuser.Workload("usuite.hdsearch.mid")
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, err := threadfuser.AnalyzeWorkload(svc, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HDSearch-Midtier, as written: %.1f%% SIMT efficiency — a hopeless GPU port?\n\n",
+		before.Efficiency*100)
+
+	// Step 2: localize. The per-function report excludes callees, so a
+	// library function hiding deep in the call stack cannot smear its
+	// divergence over its callers.
+	fmt.Printf("%-18s %12s %12s\n", "FUNCTION", "INSTR SHARE", "EFFICIENCY")
+	var culprit threadfuser.FuncReport
+	for _, f := range before.PerFunction {
+		fmt.Printf("%-18s %11.1f%% %11.1f%%\n", f.Name, f.InstrShare*100, f.Efficiency*100)
+		if f.InstrShare > culprit.InstrShare && f.Efficiency < 0.2 {
+			culprit = f
+		}
+	}
+	fmt.Printf("\nbottleneck: %q — %.0f%% of all instructions at %.1f%% efficiency.\n",
+		culprit.Name, culprit.InstrShare*100, culprit.Efficiency*100)
+	fmt.Println("In the paper this was FLANN's kd-tree bucket walk: every lane's")
+	fmt.Println("`for (j = 0; j < num_point; j++) push_back(point)` ran a different trip count.")
+
+	// Step 3: apply the SIMT-aware fix — pin the walk to the top-10
+	// results for every query (the paper kept 93% search accuracy).
+	fixed, err := threadfuser.Workload("usuite.hdsearch.mid.fixed")
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := threadfuser.AnalyzeWorkload(fixed, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 4: re-measure.
+	fmt.Printf("\nafter pinning %s trip counts: %.1f%% SIMT efficiency (%.1fx better)\n",
+		culprit.Name, after.Efficiency*100, after.Efficiency/before.Efficiency)
+	fmt.Println("(paper: 7% -> 90% while keeping 93% image-search accuracy)")
+}

@@ -1,0 +1,3 @@
+module threadfuser
+
+go 1.22

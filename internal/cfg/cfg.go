@@ -1,0 +1,185 @@
+// Package cfg builds per-function Dynamic Control Flow Graphs (DCFGs) from
+// ThreadFuser traces.
+//
+// As the paper describes (section III), building one DCFG over the whole
+// trace would let a function's return instruction point at many blocks and
+// force the IPDOM analysis toward overly conservative, distant reconvergence
+// points. ThreadFuser instead builds one DCFG per function and appends a
+// virtual exit block to each, compelling divergent threads to reconverge at
+// function end — mirroring how GPUs reconverge at the end of a called
+// function. Each thread's DCFG is derived from its dynamic block stream and
+// the per-thread graphs are merged into one unified graph per function.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"threadfuser/internal/trace"
+)
+
+// VirtualExit is the block id used for a function's synthetic exit node in
+// its DCFG: it equals the number of static blocks, so block ids 0..NBlocks-1
+// are real and NBlocks is the exit.
+//
+// Exit(nblocks) returns that id for clarity at call sites.
+func Exit(nblocks int) int32 { return int32(nblocks) }
+
+// DCFG is the merged dynamic control flow graph of one function. Node ids
+// are block ids; node Exit(NBlocks) is the virtual exit.
+type DCFG struct {
+	Func    uint32
+	NBlocks int // static block count (excludes the virtual exit)
+
+	succs [][]int32
+	preds [][]int32
+
+	entrySeen bool
+	entry     int32
+}
+
+// NumNodes returns the node count including the virtual exit.
+func (g *DCFG) NumNodes() int { return g.NBlocks + 1 }
+
+// ExitNode returns the virtual exit node id.
+func (g *DCFG) ExitNode() int32 { return Exit(g.NBlocks) }
+
+// Entry returns the observed entry block (the first block executed on any
+// invocation of the function). Functions are entered at block 0 by
+// construction, but the DCFG records what the trace shows.
+func (g *DCFG) Entry() int32 { return g.entry }
+
+// Succs returns the successor list of node b.
+func (g *DCFG) Succs(b int32) []int32 { return g.succs[b] }
+
+// Preds returns the predecessor list of node b.
+func (g *DCFG) Preds(b int32) []int32 { return g.preds[b] }
+
+// HasEdge reports whether the edge from→to was observed.
+func (g *DCFG) HasEdge(from, to int32) bool {
+	for _, s := range g.succs[from] {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// NumEdges returns the total observed edge count.
+func (g *DCFG) NumEdges() int {
+	n := 0
+	for _, s := range g.succs {
+		n += len(s)
+	}
+	return n
+}
+
+func newDCFG(fn uint32, nblocks int) *DCFG {
+	return &DCFG{
+		Func:    fn,
+		NBlocks: nblocks,
+		succs:   make([][]int32, nblocks+1),
+		preds:   make([][]int32, nblocks+1),
+	}
+}
+
+func (g *DCFG) addEdge(from, to int32) {
+	if g.HasEdge(from, to) {
+		return
+	}
+	g.succs[from] = append(g.succs[from], to)
+	g.preds[to] = append(g.preds[to], from)
+}
+
+func (g *DCFG) observeEntry(b int32) {
+	if !g.entrySeen {
+		g.entry, g.entrySeen = b, true
+	}
+}
+
+// sortEdges makes edge order deterministic regardless of trace thread order.
+func (g *DCFG) sortEdges() {
+	for _, s := range g.succs {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	for _, p := range g.preds {
+		sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
+	}
+}
+
+// Build constructs the merged per-function DCFGs for every function that
+// appears in the trace. The map is keyed by function id.
+func Build(t *trace.Trace) (map[uint32]*DCFG, error) {
+	graphs := make(map[uint32]*DCFG)
+	graphFor := func(fn uint32) *DCFG {
+		g := graphs[fn]
+		if g == nil {
+			g = newDCFG(fn, len(t.Funcs[fn].Blocks))
+			graphs[fn] = g
+		}
+		return g
+	}
+
+	// walk frame tracks the last executed block of one in-flight function
+	// invocation while scanning a thread's record stream.
+	type walkFrame struct {
+		fn   uint32
+		last int32 // -1 until the first block of the invocation executes
+	}
+
+	for _, th := range t.Threads {
+		var stack []walkFrame
+		for i := range th.Records {
+			r := &th.Records[i]
+			switch r.Kind {
+			case trace.KindCall:
+				stack = append(stack, walkFrame{fn: r.Callee, last: -1})
+			case trace.KindBBL:
+				if len(stack) == 0 {
+					return nil, fmt.Errorf("cfg: thread %d record %d: block outside any function", th.TID, i)
+				}
+				top := &stack[len(stack)-1]
+				if top.fn != r.Func {
+					return nil, fmt.Errorf("cfg: thread %d record %d: block of f%d inside invocation of f%d",
+						th.TID, i, r.Func, top.fn)
+				}
+				g := graphFor(r.Func)
+				b := int32(r.Block)
+				if top.last < 0 {
+					g.observeEntry(b)
+				} else {
+					g.addEdge(top.last, b)
+				}
+				top.last = b
+			case trace.KindRet:
+				if len(stack) == 0 {
+					return nil, fmt.Errorf("cfg: thread %d record %d: return below entry", th.TID, i)
+				}
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				g := graphFor(top.fn)
+				if top.last >= 0 {
+					g.addEdge(top.last, g.ExitNode())
+				}
+			case trace.KindSkip:
+				// Skipped regions carry no control-flow information.
+			}
+		}
+		if len(stack) != 0 {
+			return nil, fmt.Errorf("cfg: thread %d: %d unterminated function invocations", th.TID, len(stack))
+		}
+	}
+
+	for _, g := range graphs {
+		// Robustness: any observed block with no successors (possible only
+		// with truncated traces) flows to the virtual exit so the
+		// post-dominator analysis stays well-defined.
+		for b := int32(0); b < int32(g.NBlocks); b++ {
+			if (len(g.succs[b]) > 0 || len(g.preds[b]) > 0) && len(g.succs[b]) == 0 {
+				g.addEdge(b, g.ExitNode())
+			}
+		}
+		g.sortEdges()
+	}
+	return graphs, nil
+}

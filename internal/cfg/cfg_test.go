@@ -1,0 +1,217 @@
+package cfg
+
+import (
+	"testing"
+
+	"threadfuser/internal/ir"
+	"threadfuser/internal/trace"
+	"threadfuser/internal/vm"
+)
+
+// mkTrace assembles a minimal trace with one function of nblocks and the
+// given per-thread block sequences (call/ret wrapped automatically).
+func mkTrace(nblocks int, threads ...[]uint32) *trace.Trace {
+	fi := trace.FuncInfo{Name: "f"}
+	for i := 0; i < nblocks; i++ {
+		fi.Blocks = append(fi.Blocks, trace.BlockInfo{NInstr: 1})
+	}
+	t := &trace.Trace{Program: "t", Funcs: []trace.FuncInfo{fi}}
+	for tid, seq := range threads {
+		th := &trace.ThreadTrace{TID: tid}
+		th.Records = append(th.Records, trace.Record{Kind: trace.KindCall, Callee: 0})
+		for _, b := range seq {
+			th.Records = append(th.Records, trace.Record{Kind: trace.KindBBL, Func: 0, Block: b, N: 1})
+		}
+		th.Records = append(th.Records, trace.Record{Kind: trace.KindRet})
+		t.Threads = append(t.Threads, th)
+	}
+	return t
+}
+
+func TestBuildDiamond(t *testing.T) {
+	// Thread 0: 0->1->3, thread 1: 0->2->3.
+	tr := mkTrace(4, []uint32{0, 1, 3}, []uint32{0, 2, 3})
+	gs, err := Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gs[0]
+	if g == nil {
+		t.Fatal("missing graph for function 0")
+	}
+	exit := g.ExitNode()
+	wantEdges := [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, exit}}
+	for _, e := range wantEdges {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Errorf("missing edge %d->%d", e[0], e[1])
+		}
+	}
+	if g.NumEdges() != len(wantEdges) {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), len(wantEdges))
+	}
+	if g.Entry() != 0 {
+		t.Errorf("entry = %d, want 0", g.Entry())
+	}
+}
+
+func TestBuildMergesThreadsWithoutDuplicates(t *testing.T) {
+	tr := mkTrace(2, []uint32{0, 1}, []uint32{0, 1}, []uint32{0, 1})
+	gs, err := Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gs[0]
+	if g.NumEdges() != 2 { // 0->1, 1->exit
+		t.Errorf("edges = %d, want 2 (deduplicated)", g.NumEdges())
+	}
+}
+
+func TestBuildLoopEdge(t *testing.T) {
+	tr := mkTrace(2, []uint32{0, 0, 0, 1})
+	gs, err := Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gs[0]
+	if !g.HasEdge(0, 0) {
+		t.Error("missing self-loop edge")
+	}
+	if !g.HasEdge(1, g.ExitNode()) {
+		t.Error("missing exit edge")
+	}
+}
+
+func TestBuildPerFunctionGraphsAcrossCalls(t *testing.T) {
+	// caller (f0): block 0 calls f1, resumes in block 1.
+	t1 := &trace.Trace{
+		Program: "t",
+		Funcs: []trace.FuncInfo{
+			{Name: "caller", Blocks: []trace.BlockInfo{{NInstr: 1}, {NInstr: 1}}},
+			{Name: "leaf", Blocks: []trace.BlockInfo{{NInstr: 1}}},
+		},
+		Threads: []*trace.ThreadTrace{{TID: 0, Records: []trace.Record{
+			{Kind: trace.KindCall, Callee: 0},
+			{Kind: trace.KindBBL, Func: 0, Block: 0, N: 1},
+			{Kind: trace.KindCall, Callee: 1},
+			{Kind: trace.KindBBL, Func: 1, Block: 0, N: 1},
+			{Kind: trace.KindRet},
+			{Kind: trace.KindBBL, Func: 0, Block: 1, N: 1},
+			{Kind: trace.KindRet},
+		}}},
+	}
+	gs, err := Build(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller, leaf := gs[0], gs[1]
+	// The call is "inlined away": caller block 0 flows to block 1, and the
+	// leaf has its own single-block graph.
+	if !caller.HasEdge(0, 1) {
+		t.Error("caller missing call-continuation edge 0->1")
+	}
+	if caller.HasEdge(0, caller.ExitNode()) {
+		t.Error("caller block 0 wrongly flows to exit")
+	}
+	if !leaf.HasEdge(0, leaf.ExitNode()) {
+		t.Error("leaf missing exit edge")
+	}
+}
+
+func TestBuildRejectsMalformedStreams(t *testing.T) {
+	bad := &trace.Trace{
+		Program: "t",
+		Funcs:   []trace.FuncInfo{{Name: "f", Blocks: []trace.BlockInfo{{NInstr: 1}}}},
+		Threads: []*trace.ThreadTrace{{TID: 0, Records: []trace.Record{
+			{Kind: trace.KindBBL, Func: 0, Block: 0, N: 1}, // block before any call
+		}}},
+	}
+	if _, err := Build(bad); err == nil {
+		t.Error("block outside function accepted")
+	}
+
+	bad2 := &trace.Trace{
+		Program: "t",
+		Funcs:   []trace.FuncInfo{{Name: "f", Blocks: []trace.BlockInfo{{NInstr: 1}}}},
+		Threads: []*trace.ThreadTrace{{TID: 0, Records: []trace.Record{
+			{Kind: trace.KindCall, Callee: 0},
+			{Kind: trace.KindBBL, Func: 0, Block: 0, N: 1},
+		}}},
+	}
+	if _, err := Build(bad2); err == nil {
+		t.Error("unterminated invocation accepted")
+	}
+}
+
+func TestStaticMatchesDynamicWhenFullyCovered(t *testing.T) {
+	// Build a program whose every edge is exercised; the dynamic DCFG must
+	// equal the static CFG.
+	pb := ir.NewBuilder("cover")
+	f := pb.NewFunc("worker")
+	b0 := f.NewBlock("b0")
+	b1 := f.NewBlock("b1")
+	b2 := f.NewBlock("b2")
+	b3 := f.NewBlock("b3")
+	b0.Mov(ir.Rg(ir.R(0)), ir.Rg(ir.TID)).
+		And(ir.Rg(ir.R(0)), ir.Imm(1)).
+		Cmp(ir.Rg(ir.R(0)), ir.Imm(0)).
+		Jcc(ir.CondEQ, b1, b2)
+	b1.Nop(1).Jmp(b3)
+	b2.Nop(1).Jmp(b3)
+	b3.Ret()
+	prog := pb.MustBuild()
+
+	static := FromProgram(prog)[0]
+	p := vm.NewProcess(prog)
+	tr, err := vm.TraceAll(p, 4, vm.RunConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dyn[0]
+	if g.NumEdges() != static.NumEdges() {
+		t.Fatalf("dynamic edges %d != static %d", g.NumEdges(), static.NumEdges())
+	}
+	for b := int32(0); b <= int32(g.NBlocks); b++ {
+		for _, s := range static.Succs(b) {
+			if !g.HasEdge(b, s) {
+				t.Errorf("dynamic graph missing static edge %d->%d", b, s)
+			}
+		}
+	}
+}
+
+func TestStaticCFGTerminators(t *testing.T) {
+	pb := ir.NewBuilder("term")
+	callee := pb.NewFunc("callee")
+	callee.NewBlock("c").Ret()
+	f := pb.NewFunc("worker")
+	pb.SetEntry(f)
+	b0 := f.NewBlock("b0")
+	b1 := f.NewBlock("b1")
+	b2 := f.NewBlock("b2")
+	b3 := f.NewBlock("b3")
+	b0.Switch(ir.Rg(ir.TID), b1, b2)
+	b1.Call(callee, b3)
+	b2.Jmp(b3)
+	b3.Ret()
+	prog := pb.MustBuild()
+
+	g := FromFunction(prog.FuncByName("worker"))
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) {
+		t.Error("switch edges missing")
+	}
+	if !g.HasEdge(1, 3) {
+		t.Error("call continuation edge missing")
+	}
+	if !g.HasEdge(3, g.ExitNode()) {
+		t.Error("ret edge missing")
+	}
+	// The callee's graph is separate.
+	cg := FromFunction(prog.FuncByName("callee"))
+	if cg.NumNodes() != 2 || !cg.HasEdge(0, cg.ExitNode()) {
+		t.Error("callee graph malformed")
+	}
+}

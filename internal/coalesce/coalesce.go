@@ -1,0 +1,71 @@
+// Package coalesce implements the memory-coalescing model ThreadFuser uses
+// to estimate memory divergence (paper section III, figure 4).
+//
+// For each warp-level execution of an x86 instruction that initiates memory
+// accesses, the byte ranges touched by the active threads are mapped onto
+// aligned 32-byte sectors; the number of distinct sectors is the number of
+// memory transactions the instruction would require on SIMT hardware. A
+// fully coalesced 4-byte-per-lane access by a 32-thread warp therefore costs
+// 4 transactions (the paper's stated ideal), while scattered accesses cost
+// up to one transaction per active lane.
+package coalesce
+
+import "threadfuser/internal/vm"
+
+// TransactionSize is the sector granularity in bytes, matching the 32-byte
+// transactions NVIDIA hardware and the paper use.
+const TransactionSize = 32
+
+// Access is one lane's contribution to a warp memory instruction.
+type Access struct {
+	Addr uint64
+	Size uint8
+}
+
+// Count returns the number of TransactionSize-byte transactions needed to
+// service the given accesses. The slice may be in any order and may contain
+// duplicate or overlapping ranges.
+func Count(accs []Access) int {
+	if len(accs) == 0 {
+		return 0
+	}
+	// Warp sizes are small (≤64 lanes, ≤2 sectors per lane for unaligned
+	// 8-byte accesses), so a tiny linear-probe set beats a map allocation.
+	var sectors [136]uint64
+	n := 0
+	add := func(s uint64) {
+		for i := 0; i < n; i++ {
+			if sectors[i] == s {
+				return
+			}
+		}
+		if n < len(sectors) {
+			sectors[n] = s
+			n++
+		}
+	}
+	for _, a := range accs {
+		first := a.Addr / TransactionSize
+		last := (a.Addr + uint64(a.Size) - 1) / TransactionSize
+		for s := first; s <= last; s++ {
+			add(s)
+		}
+	}
+	return n
+}
+
+// Split partitions accesses by memory segment and returns the transaction
+// count for each, the breakdown figure 10 of the paper reports (stack
+// accesses come from each thread's private stack; heap and global accesses
+// share the process address space).
+func Split(accs []Access) (stackTx, heapTx int) {
+	var stack, heap []Access
+	for _, a := range accs {
+		if vm.SegmentOf(a.Addr) == vm.SegStack {
+			stack = append(stack, a)
+		} else {
+			heap = append(heap, a)
+		}
+	}
+	return Count(stack), Count(heap)
+}

@@ -1,0 +1,112 @@
+package coalesce
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"threadfuser/internal/vm"
+)
+
+// TestCoalescePaperExample reproduces figure 4: 32 lanes accessing 4-byte
+// elements 4 bytes apart coalesce into 4 transactions of 32 bytes; fully
+// scattered lanes need one transaction each.
+func TestCoalescePaperExample(t *testing.T) {
+	var coalesced []Access
+	base := uint64(0x1000)
+	for lane := 0; lane < 32; lane++ {
+		coalesced = append(coalesced, Access{Addr: base + uint64(4*lane), Size: 4})
+	}
+	if got := Count(coalesced); got != 4 {
+		t.Errorf("figure-4 coalesced case = %d transactions, want 4", got)
+	}
+
+	var scattered []Access
+	for lane := 0; lane < 32; lane++ {
+		scattered = append(scattered, Access{Addr: base + uint64(4096*lane), Size: 4})
+	}
+	if got := Count(scattered); got != 32 {
+		t.Errorf("scattered case = %d transactions, want 32", got)
+	}
+}
+
+func TestCountEdgeCases(t *testing.T) {
+	if got := Count(nil); got != 0 {
+		t.Errorf("Count(nil) = %d", got)
+	}
+	// Same address from every lane: a broadcast costs one transaction.
+	var same []Access
+	for i := 0; i < 32; i++ {
+		same = append(same, Access{Addr: 0x2000, Size: 8})
+	}
+	if got := Count(same); got != 1 {
+		t.Errorf("broadcast = %d transactions, want 1", got)
+	}
+	// An 8-byte access straddling a sector boundary costs two.
+	if got := Count([]Access{{Addr: TransactionSize - 4, Size: 8}}); got != 2 {
+		t.Errorf("straddling access = %d transactions, want 2", got)
+	}
+	// Aligned 8-byte access costs one.
+	if got := Count([]Access{{Addr: TransactionSize, Size: 8}}); got != 1 {
+		t.Errorf("aligned access = %d transactions, want 1", got)
+	}
+}
+
+func TestCountIgnoresOrderAndDuplicates(t *testing.T) {
+	a := []Access{{Addr: 0, Size: 8}, {Addr: 64, Size: 8}, {Addr: 32, Size: 8}}
+	b := []Access{{Addr: 64, Size: 8}, {Addr: 32, Size: 8}, {Addr: 0, Size: 8}, {Addr: 0, Size: 8}}
+	if Count(a) != 3 || Count(b) != 3 {
+		t.Errorf("Count not order/duplicate independent: %d vs %d", Count(a), Count(b))
+	}
+}
+
+func TestSplitBySegment(t *testing.T) {
+	accs := []Access{
+		{Addr: vm.StackTop(0) - 8, Size: 8}, // stack
+		{Addr: vm.HeapBase + 64, Size: 8},   // heap
+		{Addr: vm.GlobalBase + 8, Size: 8},  // global counts with heap
+	}
+	stack, heap := Split(accs)
+	if stack != 1 || heap != 2 {
+		t.Errorf("Split = (%d stack, %d heap), want (1, 2)", stack, heap)
+	}
+}
+
+// Properties: the transaction count is bounded below by the footprint bound
+// (total bytes / 32, rounded up, when accesses are disjoint) and above by
+// sectors-per-access summed; it is invariant under permutation; and it is
+// monotone under adding accesses.
+func TestCountProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(64)
+		accs := make([]Access, n)
+		for i := range accs {
+			accs[i] = Access{
+				Addr: uint64(r.Intn(1 << 16)),
+				Size: []uint8{1, 2, 4, 8}[r.Intn(4)],
+			}
+		}
+		c := Count(accs)
+		if c < 1 {
+			return false
+		}
+		// Upper bound: every access touches at most 2 sectors.
+		if c > 2*n {
+			return false
+		}
+		// Permutation invariance.
+		perm := make([]Access, n)
+		copy(perm, accs)
+		r.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if Count(perm) != c {
+			return false
+		}
+		// Monotonicity: adding an access never reduces the count.
+		extra := append(append([]Access{}, accs...), Access{Addr: uint64(r.Intn(1 << 20)), Size: 8})
+		return Count(extra) >= c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,239 @@
+// Package core implements the ThreadFuser analyzer, the paper's primary
+// contribution (section III, figure 3b): it parses a MIMD program trace,
+// builds per-function dynamic control flow graphs, runs immediate
+// post-dominator analysis, batches threads into warps, and replays the
+// traces under SIMT-stack semantics to project what lockstep execution would
+// do to the program — SIMT efficiency (equation 1), per-function efficiency,
+// memory divergence after 32-byte coalescing, synchronization serialization,
+// and the traced/skipped instruction split.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"threadfuser/internal/cfg"
+	"threadfuser/internal/ipdom"
+	"threadfuser/internal/simt"
+	"threadfuser/internal/trace"
+	"threadfuser/internal/warp"
+)
+
+// Options configure an analysis. The zero value is not valid; use Defaults.
+type Options struct {
+	// WarpSize is the modelled SIMD width. The paper's default is 32.
+	WarpSize int
+	// Formation selects the thread-batching algorithm.
+	Formation warp.Formation
+	// EmulateLocks serializes contended intra-warp critical sections
+	// (paper figure 9). The paper's headline efficiency numbers assume
+	// fine-grain locking with no intra-warp serialization, so the default
+	// leaves this off; the figure-9 experiment turns it on.
+	EmulateLocks bool
+	// LockReconvergence selects the serialized-section reconvergence
+	// policy (the study the paper defers to future work). Default: the
+	// paper's release-point policy.
+	LockReconvergence simt.LockReconvergence
+	// Listener, if set, observes lockstep block executions (used by the
+	// warp-trace generator).
+	Listener simt.Listener
+}
+
+// Defaults returns the paper's default configuration: warp size 32,
+// round-robin batching, fine-grain-locking assumption (no intra-warp lock
+// serialization).
+func Defaults() Options {
+	return Options{WarpSize: 32, Formation: warp.RoundRobin}
+}
+
+// BranchReport is one row of the per-branch divergence breakdown: the exact
+// basic blocks whose terminators split warps, ranked by idled lanes. It
+// extends the paper's per-function localization (figure 7) down to the
+// branch granularity a fix is actually applied at.
+type BranchReport struct {
+	Func        string
+	Block       uint32
+	Divergences uint64
+	// AvgPaths is the mean number of distinct successor groups per split.
+	AvgPaths float64
+	// LanesOff totals the lanes idled by this branch's splits.
+	LanesOff uint64
+}
+
+// FuncReport is one row of the per-function breakdown (paper figure 7).
+type FuncReport struct {
+	Name string
+	// Efficiency is the function's own SIMT efficiency, excluding callees.
+	Efficiency float64
+	// InstrShare is the function's fraction of all executed thread
+	// instructions (again excluding callees).
+	InstrShare float64
+	// ThreadInstrs / Lockstep are the raw equation-1 counts.
+	ThreadInstrs uint64
+	Lockstep     uint64
+	// Invocations counts warp-level entries into the function.
+	Invocations uint64
+	// HeapTxPerInstr is the function's own memory divergence (figure 10
+	// at function granularity).
+	HeapTxPerInstr float64
+}
+
+// Report is the analyzer's output for one trace at one configuration.
+type Report struct {
+	Program  string
+	WarpSize int
+	Threads  int
+	Warps    int
+
+	// Efficiency is the program SIMT efficiency: the mean of per-warp
+	// equation-1 efficiencies.
+	Efficiency float64
+	// WeightedEfficiency weights warps by instruction count.
+	WeightedEfficiency float64
+
+	// TotalInstrs is the traced dynamic instruction count over all threads;
+	// LockstepInstrs the warp instructions the SIMT machine would issue.
+	TotalInstrs    uint64
+	LockstepInstrs uint64
+
+	// Memory divergence: average 32-byte transactions per warp-level
+	// memory instruction, split by segment (paper figures 5b and 10).
+	HeapTxPerInstr  float64
+	StackTxPerInstr float64
+	HeapTx          uint64
+	StackTx         uint64
+	MemInstrs       uint64
+
+	// Synchronization.
+	LockSerializations uint64
+	SerializedLanes    uint64
+
+	// Traced/skipped split (paper figure 8).
+	SkippedIO     uint64
+	SkippedSpin   uint64
+	TracedPercent float64
+
+	// PerFunction is sorted by descending instruction share.
+	PerFunction []FuncReport
+
+	// PerWarpEfficiency lists each warp's equation-1 efficiency.
+	PerWarpEfficiency []float64
+
+	// LaneHistogram[k] counts warp instructions issued with exactly k
+	// active lanes (k ≤ WarpSize). The distribution separates "uniformly
+	// half-full warps" from "full warps plus serialized tails", which
+	// equation 1 alone cannot.
+	LaneHistogram []uint64
+
+	// Branches lists divergence sites sorted by idled lanes.
+	Branches []BranchReport
+}
+
+// Analyze runs the full analyzer pipeline on a trace.
+func Analyze(t *trace.Trace, opts Options) (*Report, error) {
+	if opts.WarpSize == 0 {
+		return nil, fmt.Errorf("core: WarpSize must be set (use core.Defaults)")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid trace: %w", err)
+	}
+	graphs, err := cfg.Build(t)
+	if err != nil {
+		return nil, fmt.Errorf("core: building DCFG: %w", err)
+	}
+	pdoms := ipdom.ComputeAll(graphs)
+	warps, err := warp.Form(t, opts.WarpSize, opts.Formation)
+	if err != nil {
+		return nil, fmt.Errorf("core: forming warps: %w", err)
+	}
+	res, err := simt.Replay(t, graphs, pdoms, warps, simt.Options{
+		WarpSize:          opts.WarpSize,
+		EmulateLocks:      opts.EmulateLocks,
+		LockReconvergence: opts.LockReconvergence,
+		Listener:          opts.Listener,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: replay: %w", err)
+	}
+	return buildReport(t, res, len(warps)), nil
+}
+
+func buildReport(t *trace.Trace, res *simt.Result, nwarps int) *Report {
+	total := res.Total()
+	r := &Report{
+		Program:            t.Program,
+		WarpSize:           res.WarpSize,
+		Threads:            len(t.Threads),
+		Warps:              nwarps,
+		Efficiency:         res.Efficiency(),
+		WeightedEfficiency: res.WeightedEfficiency(),
+		TotalInstrs:        total.ThreadInstrs,
+		LockstepInstrs:     total.Lockstep,
+		HeapTxPerInstr:     res.HeapTxPerMemInstr(),
+		StackTxPerInstr:    res.StackTxPerMemInstr(),
+		HeapTx:             total.HeapTx,
+		StackTx:            total.StackTx,
+		MemInstrs:          total.MemInstrs,
+		LockSerializations: total.LockSerializations,
+		SerializedLanes:    total.SerializedLanes,
+		SkippedIO:          res.SkippedIO,
+		SkippedSpin:        res.SkippedSpin,
+		TracedPercent:      res.TracedFraction() * 100,
+	}
+	for i := range res.Warps {
+		r.PerWarpEfficiency = append(r.PerWarpEfficiency, res.Warps[i].Efficiency(res.WarpSize))
+	}
+	r.LaneHistogram = append(r.LaneHistogram, total.LaneHistogram[:res.WarpSize+1]...)
+	for fn, fm := range res.Funcs {
+		fr := FuncReport{
+			Name:           t.FuncName(fn),
+			Efficiency:     fm.Efficiency(res.WarpSize),
+			ThreadInstrs:   fm.ThreadInstrs,
+			Lockstep:       fm.Lockstep,
+			Invocations:    fm.Invocations,
+			HeapTxPerInstr: fm.HeapTxPerMemInstr(),
+		}
+		if total.ThreadInstrs > 0 {
+			fr.InstrShare = float64(fm.ThreadInstrs) / float64(total.ThreadInstrs)
+		}
+		r.PerFunction = append(r.PerFunction, fr)
+	}
+	for key, bs := range res.Branches {
+		br := BranchReport{
+			Func:        t.FuncName(key.Func),
+			Block:       key.Block,
+			Divergences: bs.Divergences,
+			LanesOff:    bs.LanesOff,
+		}
+		if bs.Divergences > 0 {
+			br.AvgPaths = float64(bs.Paths) / float64(bs.Divergences)
+		}
+		r.Branches = append(r.Branches, br)
+	}
+	sort.Slice(r.Branches, func(i, j int) bool {
+		if r.Branches[i].LanesOff != r.Branches[j].LanesOff {
+			return r.Branches[i].LanesOff > r.Branches[j].LanesOff
+		}
+		if r.Branches[i].Func != r.Branches[j].Func {
+			return r.Branches[i].Func < r.Branches[j].Func
+		}
+		return r.Branches[i].Block < r.Branches[j].Block
+	})
+	sort.Slice(r.PerFunction, func(i, j int) bool {
+		if r.PerFunction[i].InstrShare != r.PerFunction[j].InstrShare {
+			return r.PerFunction[i].InstrShare > r.PerFunction[j].InstrShare
+		}
+		return r.PerFunction[i].Name < r.PerFunction[j].Name
+	})
+	return r
+}
+
+// Function returns the named function's report row, if present.
+func (r *Report) Function(name string) (FuncReport, bool) {
+	for _, f := range r.PerFunction {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FuncReport{}, false
+}

@@ -1,0 +1,495 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"threadfuser/internal/ir"
+	"threadfuser/internal/irgen"
+	"threadfuser/internal/trace"
+	"threadfuser/internal/vm"
+	"threadfuser/internal/warp"
+)
+
+// buildFig2 reproduces the paper's figure-2 example: a function whose
+// control splits at BBL1 into BBL2 (thread 0) and BBL3 (thread 1) and
+// reconverges at BBL4, the immediate post-dominator.
+func buildFig2(t *testing.T, padding int) *ir.Program {
+	t.Helper()
+	pb := ir.NewBuilder("fig2")
+	f := pb.NewFunc("worker")
+	bbl1 := f.NewBlock("BBL1")
+	bbl2 := f.NewBlock("BBL2")
+	bbl3 := f.NewBlock("BBL3")
+	bbl4 := f.NewBlock("BBL4")
+
+	bbl1.Nop(padding).Cmp(ir.Rg(ir.TID), ir.Imm(1)).Jcc(ir.CondEQ, bbl3, bbl2)
+	bbl2.Nop(padding + 1).Jmp(bbl4)
+	bbl3.Nop(padding + 1).Jmp(bbl4)
+	bbl4.Nop(padding + 1).Ret()
+	return pb.MustBuild()
+}
+
+func analyzeProgram(t *testing.T, prog *ir.Program, threads int, opts Options) *Report {
+	t.Helper()
+	p := vm.NewProcess(prog)
+	tr, err := vm.TraceAll(p, threads, vm.RunConfig{}, nil)
+	if err != nil {
+		t.Fatalf("tracing: %v", err)
+	}
+	rep, err := Analyze(tr, opts)
+	if err != nil {
+		t.Fatalf("analyzing: %v", err)
+	}
+	return rep
+}
+
+func TestSIMTStackPaperExample(t *testing.T) {
+	// With equal block sizes k: threads execute 3k instructions each (6k
+	// total), the warp issues 4k lockstep instructions (BBL2 and BBL3
+	// serialize), so equation 1 gives 6k / (4k*2) = 0.75.
+	prog := buildFig2(t, 2) // every block has 4 instructions
+	opts := Defaults()
+	opts.WarpSize = 2
+	rep := analyzeProgram(t, prog, 2, opts)
+
+	if rep.Threads != 2 || rep.Warps != 1 {
+		t.Fatalf("got %d threads in %d warps, want 2 in 1", rep.Threads, rep.Warps)
+	}
+	if rep.TotalInstrs != 24 {
+		t.Errorf("TotalInstrs = %d, want 24 (2 threads x 3 blocks x 4 instrs)", rep.TotalInstrs)
+	}
+	if rep.LockstepInstrs != 16 {
+		t.Errorf("LockstepInstrs = %d, want 16 (4 blocks x 4 instrs)", rep.LockstepInstrs)
+	}
+	if want := 0.75; math.Abs(rep.Efficiency-want) > 1e-9 {
+		t.Errorf("Efficiency = %v, want %v", rep.Efficiency, want)
+	}
+}
+
+func TestConvergentProgramIsFullyEfficient(t *testing.T) {
+	// All threads take the same path: efficiency must be exactly 1 for a
+	// full warp.
+	pb := ir.NewBuilder("conv")
+	f := pb.NewFunc("worker")
+	b0 := f.NewBlock("b0")
+	b1 := f.NewBlock("b1")
+	b0.Mov(ir.Rg(ir.R(0)), ir.Imm(7)).Add(ir.Rg(ir.R(0)), ir.Rg(ir.TID)).Jmp(b1)
+	b1.Nop(3).Ret()
+	prog := pb.MustBuild()
+
+	opts := Defaults()
+	opts.WarpSize = 8
+	rep := analyzeProgram(t, prog, 16, opts)
+	if rep.Warps != 2 {
+		t.Fatalf("Warps = %d, want 2", rep.Warps)
+	}
+	if math.Abs(rep.Efficiency-1.0) > 1e-12 {
+		t.Errorf("Efficiency = %v, want exactly 1", rep.Efficiency)
+	}
+}
+
+func TestPartialWarpEfficiency(t *testing.T) {
+	// 4 convergent threads in a warp of 8: equation 1 charges the idle
+	// lanes, giving exactly 0.5.
+	pb := ir.NewBuilder("partial")
+	f := pb.NewFunc("worker")
+	b := f.NewBlock("b")
+	b.Nop(9).Ret()
+	prog := pb.MustBuild()
+
+	opts := Defaults()
+	opts.WarpSize = 8
+	rep := analyzeProgram(t, prog, 4, opts)
+	if math.Abs(rep.Efficiency-0.5) > 1e-12 {
+		t.Errorf("Efficiency = %v, want 0.5", rep.Efficiency)
+	}
+}
+
+func TestLoopTripCountDivergence(t *testing.T) {
+	// Thread i iterates i+1 times. In a warp of 4, lockstep iterations =
+	// max trip count = 4, thread iterations = 1+2+3+4 = 10.
+	pb := ir.NewBuilder("loop")
+	f := pb.NewFunc("worker")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	// r0 = tid+1 (trip count), r1 = 0
+	head.Mov(ir.Rg(ir.R(0)), ir.Rg(ir.TID)).
+		Add(ir.Rg(ir.R(0)), ir.Imm(1)).
+		Mov(ir.Rg(ir.R(1)), ir.Imm(0)).
+		Jmp(body)
+	body.Add(ir.Rg(ir.R(1)), ir.Imm(1)).
+		Nop(5).
+		Cmp(ir.Rg(ir.R(1)), ir.Rg(ir.R(0))).
+		Jcc(ir.CondLT, body, exit)
+	exit.Nop(1).Ret()
+	prog := pb.MustBuild()
+
+	opts := Defaults()
+	opts.WarpSize = 4
+	rep := analyzeProgram(t, prog, 4, opts)
+
+	// head: 4 instrs lockstep, 16 thread. body (8 instrs): lockstep 4
+	// iterations = 32, thread = 10*8 = 80. exit: 2 lockstep, 8 thread.
+	if rep.LockstepInstrs != 4+32+2 {
+		t.Errorf("LockstepInstrs = %d, want 38", rep.LockstepInstrs)
+	}
+	if rep.TotalInstrs != 16+80+8 {
+		t.Errorf("TotalInstrs = %d, want 104", rep.TotalInstrs)
+	}
+	want := 104.0 / (38.0 * 4.0)
+	if math.Abs(rep.Efficiency-want) > 1e-9 {
+		t.Errorf("Efficiency = %v, want %v", rep.Efficiency, want)
+	}
+}
+
+func TestPerFunctionExcludesCallees(t *testing.T) {
+	// worker calls leaf; leaf diverges, worker does not. worker's own
+	// efficiency must be 1.0 and leaf's below 1.
+	pb := ir.NewBuilder("perfunc")
+	leaf := pb.NewFunc("leaf")
+	lb0 := leaf.NewBlock("l0")
+	lb1 := leaf.NewBlock("l1")
+	lb2 := leaf.NewBlock("l2")
+	lb3 := leaf.NewBlock("l3")
+	lb0.Rem(ir.Rg(ir.R(0)), ir.Imm(2)).Cmp(ir.Rg(ir.R(0)), ir.Imm(0)).Jcc(ir.CondEQ, lb1, lb2)
+	lb1.Nop(4).Jmp(lb3)
+	lb2.Nop(4).Jmp(lb3)
+	lb3.Ret()
+
+	worker := pb.NewFunc("worker")
+	wb0 := worker.NewBlock("w0")
+	wb1 := worker.NewBlock("w1")
+	wb0.Mov(ir.Rg(ir.R(0)), ir.Rg(ir.TID)).Nop(2).Call(leaf, wb1)
+	wb1.Nop(2).Ret()
+	pb.SetEntry(worker)
+	prog := pb.MustBuild()
+
+	opts := Defaults()
+	opts.WarpSize = 4
+	rep := analyzeProgram(t, prog, 4, opts)
+
+	w, ok := rep.Function("worker")
+	if !ok {
+		t.Fatal("worker missing from per-function report")
+	}
+	if math.Abs(w.Efficiency-1.0) > 1e-12 {
+		t.Errorf("worker efficiency = %v, want 1 (callee divergence must not leak)", w.Efficiency)
+	}
+	l, ok := rep.Function("leaf")
+	if !ok {
+		t.Fatal("leaf missing from per-function report")
+	}
+	if l.Efficiency >= 0.99 {
+		t.Errorf("leaf efficiency = %v, want < 1 (it diverges)", l.Efficiency)
+	}
+	// leaf: lb0 lockstep 3 instrs, lb1 5 (2 lanes), lb2 5 (2 lanes), lb3 1.
+	// thread instrs: 4*3 + 2*5 + 2*5 + 4*1 = 36; lockstep = 14.
+	if l.ThreadInstrs != 36 || l.Lockstep != 14 {
+		t.Errorf("leaf counts = %d/%d, want 36/14", l.ThreadInstrs, l.Lockstep)
+	}
+}
+
+func TestWarpSizeMonotonicity(t *testing.T) {
+	// Divergence-prone code: efficiency must not increase with warp size
+	// (paper figure 1's consistent trend).
+	pb := ir.NewBuilder("mono")
+	f := pb.NewFunc("worker")
+	b0 := f.NewBlock("b0")
+	odd := f.NewBlock("odd")
+	even := f.NewBlock("even")
+	quad := f.NewBlock("quad")
+	join := f.NewBlock("join")
+	b0.Mov(ir.Rg(ir.R(0)), ir.Rg(ir.TID)).
+		Rem(ir.Rg(ir.R(0)), ir.Imm(4)).
+		Cmp(ir.Rg(ir.R(0)), ir.Imm(0)).
+		Jcc(ir.CondEQ, quad, even)
+	even.Cmp(ir.Rg(ir.R(0)), ir.Imm(2)).Jcc(ir.CondEQ, quad, odd)
+	odd.Nop(6).Jmp(join)
+	quad.Nop(3).Jmp(join)
+	join.Nop(1).Ret()
+	prog := pb.MustBuild()
+
+	var prev float64 = 2
+	for _, ws := range []int{4, 8, 16, 32} {
+		opts := Defaults()
+		opts.WarpSize = ws
+		rep := analyzeProgram(t, prog, 32, opts)
+		if rep.Efficiency > prev+1e-9 {
+			t.Errorf("efficiency increased from %v to %v going to warp size %d", prev, rep.Efficiency, ws)
+		}
+		prev = rep.Efficiency
+	}
+}
+
+func TestBatchingAlgorithmsAffectEfficiency(t *testing.T) {
+	// Threads alternate between two paths by tid parity. Round-robin warps
+	// mix both paths (low efficiency); greedy-entry... still mixes because
+	// the first block is shared, so instead make the entry block itself
+	// differ via a switch in a wrapper that calls one of two workers.
+	pb := ir.NewBuilder("batch")
+	a := pb.NewFunc("pathA")
+	ab := a.NewBlock("a0")
+	ab.Nop(20).Ret()
+	b := pb.NewFunc("pathB")
+	bb := b.NewBlock("b0")
+	bb.Nop(20).Ret()
+	w := pb.NewFunc("worker")
+	w0 := w.NewBlock("w0")
+	wA := w.NewBlock("wA")
+	wB := w.NewBlock("wB")
+	wend := w.NewBlock("wend")
+	w0.Mov(ir.Rg(ir.R(0)), ir.Rg(ir.TID)).
+		Rem(ir.Rg(ir.R(0)), ir.Imm(2)).
+		Cmp(ir.Rg(ir.R(0)), ir.Imm(0)).
+		Jcc(ir.CondEQ, wA, wB)
+	wA.Call(a, wend)
+	wB.Call(b, wend)
+	wend.Ret()
+	pb.SetEntry(w)
+	prog := pb.MustBuild()
+
+	runWith := func(f warp.Formation) float64 {
+		opts := Defaults()
+		opts.WarpSize = 8
+		opts.Formation = f
+		return analyzeProgram(t, prog, 32, opts).Efficiency
+	}
+	rr := runWith(warp.RoundRobin)
+	st := runWith(warp.Strided)
+	// Round-robin warps mix both parities and serialize the two calls;
+	// strided batching (stride = 4 warps) happens to separate the parity
+	// classes perfectly, so each warp is fully convergent.
+	if rr > 0.75 {
+		t.Errorf("mixed-path round-robin warps should lose efficiency, got %v", rr)
+	}
+	if math.Abs(st-1.0) > 1e-12 {
+		t.Errorf("strided batching separates parities, want efficiency 1, got %v", st)
+	}
+}
+
+// TestAnalyzeFilteredTraces exercises the analyzer on traces produced by
+// the tracer's selective-function filters, including the degenerate case
+// where some threads become empty.
+func TestAnalyzeFilteredTraces(t *testing.T) {
+	pb := ir.NewBuilder("filtered")
+	lib := pb.NewFunc("lib")
+	lb := lib.NewBlock("l")
+	lb0 := lib.NewBlock("l0")
+	lb1 := lib.NewBlock("l1")
+	lend := lib.NewBlock("lend")
+	lb.Rem(ir.Rg(ir.R(0)), ir.Imm(2)).Cmp(ir.Rg(ir.R(0)), ir.Imm(0)).Jcc(ir.CondEQ, lb0, lb1)
+	lb0.Nop(8).Jmp(lend)
+	lb1.Nop(2).Jmp(lend)
+	lend.Ret()
+	w := pb.NewFunc("worker")
+	pb.SetEntry(w)
+	w0 := w.NewBlock("w0")
+	w1 := w.NewBlock("w1")
+	w0.Mov(ir.Rg(ir.R(0)), ir.Rg(ir.TID)).Nop(5).Call(lib, w1)
+	w1.Nop(5).Ret()
+	prog := pb.MustBuild()
+
+	p := vm.NewProcess(prog)
+	tr, err := vm.TraceAll(p, 8, vm.RunConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Defaults()
+	opts.WarpSize = 8 // full warp: partial warps dilute equation 1
+	full, err := Analyze(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Excluding the divergent library must raise efficiency to 1.
+	excl, err := trace.ExcludeFunctions(tr, "lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(excl, opts)
+	if err != nil {
+		t.Fatalf("analyzing filtered trace: %v", err)
+	}
+	if rep.Efficiency <= full.Efficiency {
+		t.Errorf("excluding the divergent lib did not raise efficiency: %v -> %v",
+			full.Efficiency, rep.Efficiency)
+	}
+	if math.Abs(rep.Efficiency-1) > 1e-12 {
+		t.Errorf("worker-only efficiency = %v, want 1", rep.Efficiency)
+	}
+	if _, ok := rep.Function("lib"); ok {
+		t.Error("excluded function still in the per-function report")
+	}
+
+	// Excluding the entry function leaves empty threads; the analyzer must
+	// cope (everything skipped, nothing executed).
+	empty, err := trace.ExcludeFunctions(tr, "worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Analyze(empty, opts)
+	if err != nil {
+		t.Fatalf("analyzing empty-thread trace: %v", err)
+	}
+	if rep2.TotalInstrs != 0 || rep2.LockstepInstrs != 0 {
+		t.Errorf("empty trace executed instructions: %+v", rep2)
+	}
+	if rep2.TracedPercent > 1 {
+		t.Errorf("traced percent = %v, want ~0", rep2.TracedPercent)
+	}
+}
+
+func TestLaneHistogram(t *testing.T) {
+	prog := buildFig2(t, 2) // 4-instruction blocks
+	opts := Defaults()
+	opts.WarpSize = 2
+	rep := analyzeProgram(t, prog, 2, opts)
+	if len(rep.LaneHistogram) != 3 {
+		t.Fatalf("histogram has %d buckets, want 3 (0..warpSize)", len(rep.LaneHistogram))
+	}
+	// BBL1 and BBL4 run with 2 lanes (8 instrs); BBL2 and BBL3 with 1 (8).
+	if rep.LaneHistogram[2] != 8 || rep.LaneHistogram[1] != 8 {
+		t.Errorf("histogram = %v, want [0 8 8]", rep.LaneHistogram)
+	}
+	var sum uint64
+	for _, v := range rep.LaneHistogram {
+		sum += v
+	}
+	if sum != rep.LockstepInstrs {
+		t.Errorf("histogram sums to %d, lockstep is %d", sum, rep.LockstepInstrs)
+	}
+}
+
+func TestBranchReportLocalizesDivergence(t *testing.T) {
+	// Figure-2 program: the only divergence site is BBL1 (block 0).
+	prog := buildFig2(t, 2)
+	opts := Defaults()
+	opts.WarpSize = 2
+	rep := analyzeProgram(t, prog, 2, opts)
+	if len(rep.Branches) != 1 {
+		t.Fatalf("branch report has %d rows, want 1: %+v", len(rep.Branches), rep.Branches)
+	}
+	br := rep.Branches[0]
+	if br.Func != "worker" || br.Block != 0 {
+		t.Errorf("divergence attributed to %s.b%d, want worker.b0", br.Func, br.Block)
+	}
+	if br.Divergences != 1 || br.LanesOff != 1 || br.AvgPaths != 2 {
+		t.Errorf("branch stats = %+v, want 1 split, 1 lane idled, 2 paths", br)
+	}
+
+	// A convergent program must have an empty branch report.
+	pb := ir.NewBuilder("conv")
+	f := pb.NewFunc("worker")
+	f.NewBlock("b").Nop(3).Ret()
+	rep2 := analyzeProgram(t, pb.MustBuild(), 4, Defaults())
+	if len(rep2.Branches) != 0 {
+		t.Errorf("convergent program reported divergences: %+v", rep2.Branches)
+	}
+}
+
+// TestFormationInvariants checks batching-independent invariants on the
+// fuzz corpus: total thread instructions equal the trace's dynamic count
+// regardless of how threads are batched, and lockstep issues never exceed
+// thread instructions (efficiency ≤ 1) nor drop below instructions of the
+// longest thread.
+func TestFormationInvariants(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		params := irgen.DefaultParams(seed)
+		prog := irgen.Random(params)
+		p := vm.NewProcess(prog)
+		shared := p.AllocGlobal(uint64(8 * params.SharedWords))
+		for i := 0; i < params.SharedWords; i++ {
+			p.WriteI64(shared+uint64(8*i), int64(i*31%97)-48)
+		}
+		privSize := uint64(8 * params.PrivateWords)
+		priv := p.AllocGlobal(privSize * 64)
+		tr, err := vm.TraceAll(p, 12, vm.RunConfig{}, func(tid int, th *vm.Thread) {
+			th.SetReg(ir.R(8), int64(priv+uint64(tid)*privSize))
+			th.SetReg(ir.R(9), int64(shared))
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := tr.TotalInstructions()
+		var longest uint64
+		for _, th := range tr.Threads {
+			if n := th.Instructions(); n > longest {
+				longest = n
+			}
+		}
+		for _, f := range []warp.Formation{warp.RoundRobin, warp.Strided, warp.GreedyEntry} {
+			opts := Defaults()
+			opts.WarpSize = 4
+			opts.Formation = f
+			rep, err := Analyze(tr, opts)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, f, err)
+			}
+			if rep.TotalInstrs != want {
+				t.Errorf("seed %d %v: thread instrs %d != trace total %d", seed, f, rep.TotalInstrs, want)
+			}
+			if rep.LockstepInstrs > rep.TotalInstrs {
+				t.Errorf("seed %d %v: lockstep %d exceeds thread instrs %d (efficiency > warp size?)",
+					seed, f, rep.LockstepInstrs, rep.TotalInstrs)
+			}
+			if rep.LockstepInstrs < longest {
+				t.Errorf("seed %d %v: lockstep %d below longest thread %d",
+					seed, f, rep.LockstepInstrs, longest)
+			}
+			var histSum uint64
+			for _, v := range rep.LaneHistogram {
+				histSum += v
+			}
+			if histSum != rep.LockstepInstrs {
+				t.Errorf("seed %d %v: histogram sum %d != lockstep %d", seed, f, histSum, rep.LockstepInstrs)
+			}
+		}
+	}
+}
+
+func TestPerFunctionMemoryDivergence(t *testing.T) {
+	// worker does coalesced stores; leaf does scattered (tid-strided)
+	// loads: the per-function heap tx/instr must separate them.
+	pb := ir.NewBuilder("memfuncs")
+	leaf := pb.NewFunc("leaf")
+	lb := leaf.NewBlock("l")
+	// scattered: addr = base + tid*4096
+	lb.Mov(ir.Rg(ir.R(2)), ir.Rg(ir.TID)).
+		Mul(ir.Rg(ir.R(2)), ir.Imm(4096)).
+		Add(ir.Rg(ir.R(2)), ir.Rg(ir.R(0))).
+		Mov(ir.Rg(ir.R(3)), ir.Mem(ir.R(2), 0, 8)).
+		Ret()
+	w := pb.NewFunc("worker")
+	pb.SetEntry(w)
+	wb0 := w.NewBlock("w0")
+	wb1 := w.NewBlock("w1")
+	// coalesced: addr = base + tid*8
+	wb0.Mov(ir.Rg(ir.R(4)), ir.MemIdx(ir.R(1), ir.TID, 8, 0, 8)).
+		Call(leaf, wb1)
+	wb1.Ret()
+	prog := pb.MustBuild()
+
+	p := vm.NewProcess(prog)
+	scattered := p.AllocGlobal(8 * 4096 * 40)
+	packed := p.AllocGlobal(8 * 64)
+	tr, err := vm.TraceAll(p, 32, vm.RunConfig{}, func(tid int, th *vm.Thread) {
+		th.SetReg(ir.R(0), int64(scattered))
+		th.SetReg(ir.R(1), int64(packed))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(tr, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, _ := rep.Function("worker")
+	lf, _ := rep.Function("leaf")
+	if wf.HeapTxPerInstr != 8 {
+		t.Errorf("worker heap tx/instr = %v, want 8 (coalesced 8-byte lanes)", wf.HeapTxPerInstr)
+	}
+	if lf.HeapTxPerInstr != 32 {
+		t.Errorf("leaf heap tx/instr = %v, want 32 (one per lane)", lf.HeapTxPerInstr)
+	}
+}

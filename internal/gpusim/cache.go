@@ -1,0 +1,71 @@
+package gpusim
+
+// CacheConfig sizes a set-associative cache with 32-byte lines (the
+// transaction granularity the whole pipeline uses).
+type CacheConfig struct {
+	Sets    int
+	Ways    int
+	Latency uint64 // hit latency in cycles
+}
+
+// Size returns the capacity in bytes.
+func (c CacheConfig) Size() int { return c.Sets * c.Ways * lineSize }
+
+const lineSize = 32
+
+// cache is an LRU set-associative tag array. Timing is handled by the
+// caller; the cache only answers hit/miss and tracks statistics.
+type cache struct {
+	cfg   CacheConfig
+	tags  []uint64
+	valid []bool
+	used  []uint64 // LRU timestamps
+	tick  uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+func newCache(cfg CacheConfig) *cache {
+	n := cfg.Sets * cfg.Ways
+	return &cache{
+		cfg:   cfg,
+		tags:  make([]uint64, n),
+		valid: make([]bool, n),
+		used:  make([]uint64, n),
+	}
+}
+
+// access looks up the line containing addr, filling it on miss, and reports
+// whether it hit.
+func (c *cache) access(addr uint64) bool {
+	c.tick++
+	line := addr / lineSize
+	set := int(line % uint64(c.cfg.Sets))
+	base := set * c.cfg.Ways
+	victim, oldest := base, ^uint64(0)
+	for i := base; i < base+c.cfg.Ways; i++ {
+		if c.valid[i] && c.tags[i] == line {
+			c.used[i] = c.tick
+			c.Hits++
+			return true
+		}
+		if c.used[i] < oldest {
+			victim, oldest = i, c.used[i]
+		}
+	}
+	c.Misses++
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.used[victim] = c.tick
+	return false
+}
+
+// HitRate returns hits/(hits+misses), or 0 when idle.
+func (c *cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}

@@ -1,0 +1,214 @@
+package gpusim
+
+import (
+	"testing"
+
+	"threadfuser/internal/cpusim"
+	"threadfuser/internal/simtrace"
+	"threadfuser/internal/trace"
+	"threadfuser/internal/workloads"
+)
+
+func simulate(t *testing.T, name string, cfg Config) (*Result, *trace.Trace) {
+	return simulateAt(t, name, cfg, workloads.Config{Seed: 1})
+}
+
+func simulateAt(t *testing.T, name string, cfg Config, wcfg workloads.Config) (*Result, *trace.Trace) {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := w.Instantiate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := inst.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt, err := simtrace.Generate(inst.Prog, tr, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(kt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, tr
+}
+
+func TestSimulatorRunsAllWorkloads(t *testing.T) {
+	cfg := RTX3070()
+	for _, w := range workloads.TableI() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			res, _ := simulate(t, w.Name, cfg)
+			if res.Cycles == 0 || res.WarpInstrs == 0 {
+				t.Fatalf("degenerate result: %+v", res)
+			}
+			if res.IPC <= 0 {
+				t.Errorf("IPC = %v, want > 0", res.IPC)
+			}
+			// The whole device cannot sustain more lane-instructions per
+			// cycle than lanes exist.
+			maxIPC := float64(cfg.NumSMs * cfg.IssueWidth * 32)
+			if res.IPC > maxIPC {
+				t.Errorf("IPC %v exceeds device peak %v", res.IPC, maxIPC)
+			}
+		})
+	}
+}
+
+func TestConvergentBeatsDivergentThroughput(t *testing.T) {
+	cfg := RTX3070()
+	conv, _ := simulate(t, "paropoly.nbody", cfg)
+	div, _ := simulate(t, "other.pigz", cfg)
+	convIPC := conv.IPC
+	divIPC := div.IPC
+	if convIPC < 2*divIPC {
+		t.Errorf("nbody IPC %.2f should be well above pigz IPC %.2f", convIPC, divIPC)
+	}
+}
+
+func TestSchedulersDiffer(t *testing.T) {
+	gto := RTX3070()
+	lrr := RTX3070()
+	lrr.Scheduler = LRR
+	a, _ := simulate(t, "rodinia.sc", gto)
+	b, _ := simulate(t, "rodinia.sc", lrr)
+	if a.Cycles == 0 || b.Cycles == 0 {
+		t.Fatal("zero cycles")
+	}
+	// Same work either way.
+	if a.WarpInstrs != b.WarpInstrs {
+		t.Errorf("schedulers executed different work: %d vs %d", a.WarpInstrs, b.WarpInstrs)
+	}
+}
+
+func TestMemoryBoundWorkloadStressesDRAM(t *testing.T) {
+	// At reduced scale both kernels' footprints are cache-resident, so the
+	// distinguishing quantity is the coalesced transaction count: the
+	// chunked kernel needs ~4x the transactions of the grid-stride one
+	// (32 vs 8 per warp instruction at 8-byte lanes).
+	cfg := RTX3070()
+	un, _ := simulate(t, "uncoalesced", cfg)
+	co, _ := simulate(t, "vectoradd", cfg)
+	if un.MemTx < 3*co.MemTx {
+		t.Errorf("uncoalesced issued %d transactions, want ~4x vectoradd's %d", un.MemTx, co.MemTx)
+	}
+	if un.WarpInstrs != co.WarpInstrs {
+		t.Errorf("both kernels execute the same warp instructions: %d vs %d", un.WarpInstrs, co.WarpInstrs)
+	}
+}
+
+// TestSpeedupShape pins the figure-6 shape at reduced scale: the convergent
+// compute kernel must project a healthy speedup over the multicore CPU,
+// and must beat pigz's projection by a wide margin.
+func TestSpeedupShape(t *testing.T) {
+	cfg := RTX3070()
+	cpu := cpusim.Xeon20()
+
+	speedup := func(name string) float64 {
+		// Speedups need enough threads to occupy the device (the paper
+		// runs 128..42K; two warps would leave 44 SMs idle).
+		g, tr := simulateAt(t, name, cfg, workloads.Config{Seed: 1, Threads: 512})
+		c, err := cpusim.Run(tr, cpu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(c.Cycles) / float64(g.Cycles)
+	}
+	nbody := speedup("paropoly.nbody")
+	pigz := speedup("other.pigz")
+	if nbody < 1 {
+		t.Errorf("nbody speedup %.2f, want > 1 (it maps perfectly to SIMT)", nbody)
+	}
+	if nbody < 3*pigz {
+		t.Errorf("nbody speedup %.2f should dwarf pigz's %.2f", nbody, pigz)
+	}
+}
+
+func TestCPUSimSanity(t *testing.T) {
+	_, tr := simulate(t, "vectoradd", RTX3070())
+	cfg := cpusim.Xeon20()
+	res, err := cpusim.Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Instrs == 0 {
+		t.Fatalf("degenerate CPU result: %+v", res)
+	}
+	// Fewer cores must not be faster.
+	cfg2 := cfg
+	cfg2.Cores = 2
+	res2, err := cpusim.Run(tr, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cycles < res.Cycles {
+		t.Errorf("2-core CPU (%d cycles) beat 20-core (%d cycles)", res2.Cycles, res.Cycles)
+	}
+}
+
+func TestScaleSweepAtHighOccupancy(t *testing.T) {
+	// SM scaling only helps while the kernel has enough warps to keep the
+	// extra SMs busy (at 8 warps, one latency-hiding SM already matches 8
+	// thin ones — and splitting across 8 L1s loses broadcast reuse). At
+	// 1024 threads (32 warps) a single issue-bound SM is the bottleneck
+	// and an 8-SM machine must be much faster.
+	w, err := workloads.ByName("paropoly.nbody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := w.Instantiate(workloads.Config{Seed: 1, Threads: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := inst.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt, err := simtrace.Generate(inst.Prog, tr, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := Sweep(kt, ScaleSweep(RTX3070(), 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 { // 1, 2, 4, 8 SMs
+		t.Fatalf("points = %d, want 4", len(points))
+	}
+	for _, pt := range points {
+		if pt.Result.Cycles == 0 || pt.Result.WarpInstrs != points[0].Result.WarpInstrs {
+			t.Fatalf("%s: degenerate or inconsistent result %+v", pt.Label, pt.Result)
+		}
+	}
+	first := points[0].Result.Cycles
+	last := points[len(points)-1].Result.Cycles
+	if float64(last) > 0.6*float64(first) {
+		t.Errorf("8 SMs (%d cycles) not meaningfully faster than 1 SM (%d) at 32-warp occupancy",
+			last, first)
+	}
+}
+
+func TestEmptyAndDegenerateKernels(t *testing.T) {
+	// An empty kernel completes in zero cycles without error.
+	res, err := Run(&simtrace.KernelTrace{Program: "empty", WarpSize: 32}, RTX3070())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 0 || res.WarpInstrs != 0 {
+		t.Errorf("empty kernel: %+v", res)
+	}
+	// Invalid configs are rejected.
+	if _, err := Run(&simtrace.KernelTrace{}, Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	cfg := RTX3070()
+	cfg.IssueWidth = 0
+	if _, err := Run(&simtrace.KernelTrace{}, cfg); err == nil {
+		t.Error("zero issue width accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"threadfuser/internal/simtrace"
+)
+
+// SweepPoint is one machine configuration plus its simulation result.
+type SweepPoint struct {
+	Label  string
+	Config Config
+	Result *Result
+}
+
+// Sweep runs the same kernel trace across a set of machine configurations —
+// the design-space exploration of the paper's section V-B ("architects can
+// … evaluate alternative SIMT accelerator designs"). Points are labelled by
+// each configuration's Name.
+func Sweep(kt *simtrace.KernelTrace, cfgs []Config) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		res, err := Run(kt, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("gpusim: sweep %s: %w", cfg.Name, err)
+		}
+		out = append(out, SweepPoint{Label: cfg.Name, Config: cfg, Result: res})
+	}
+	return out, nil
+}
+
+// ScaleSweep generates a family of configurations scaling the SM count of a
+// base machine (1, 2, 4, ... up to maxSMs) — the "how many cores does this
+// workload actually need" question for CPU-adjacent SIMT designs.
+func ScaleSweep(base Config, maxSMs int) []Config {
+	var cfgs []Config
+	for n := 1; n <= maxSMs; n *= 2 {
+		c := base
+		c.NumSMs = n
+		c.Name = fmt.Sprintf("%s-%dsm", base.Name, n)
+		cfgs = append(cfgs, c)
+	}
+	return cfgs
+}

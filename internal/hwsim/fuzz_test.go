@@ -1,0 +1,110 @@
+package hwsim
+
+import (
+	"math"
+	"testing"
+
+	"threadfuser/internal/core"
+	"threadfuser/internal/ir"
+	"threadfuser/internal/irgen"
+	"threadfuser/internal/vm"
+)
+
+// prepare allocates the shared/private regions a generated program expects
+// (r9 = shared read-only inputs, r8 = per-thread private scratch).
+func prepare(p *vm.Process, params irgen.Params, seed int64) func(int, *vm.Thread) {
+	shared := p.AllocGlobal(uint64(8 * params.SharedWords))
+	for i := 0; i < params.SharedWords; i++ {
+		// Deterministic pseudo-random input data.
+		v := (int64(i)*2654435761 + seed*40503) % 1009
+		p.WriteI64(shared+uint64(8*i), v-504)
+	}
+	privSize := uint64(8 * params.PrivateWords)
+	privBase := p.AllocGlobal(privSize * 4096) // room for many threads
+	return func(tid int, th *vm.Thread) {
+		th.SetReg(ir.R(8), int64(privBase+uint64(tid)*privSize))
+		th.SetReg(ir.R(9), int64(shared))
+	}
+}
+
+// TestFuzzAnalyzerMatchesOracle is the repository's strongest correctness
+// check: for hundreds of randomly generated, data-dependent, lock-free
+// programs, the trace-replay analyzer and the live lockstep oracle — two
+// independent SIMT-stack implementations — must measure *identical*
+// efficiency, lockstep counts, and coalesced transactions at every warp
+// size. Any divergence-handling bug in either engine breaks the agreement.
+func TestFuzzAnalyzerMatchesOracle(t *testing.T) {
+	seeds := 120
+	if testing.Short() {
+		seeds = 20
+	}
+	const threads = 16
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		params := irgen.DefaultParams(seed)
+		prog := irgen.Random(params)
+
+		for _, ws := range []int{4, 16} {
+			// Oracle path.
+			hp := vm.NewProcess(prog)
+			hwRes, err := Run(hp, threads, Options{WarpSize: ws}, prepare(hp, params, seed))
+			if err != nil {
+				t.Fatalf("seed %d warp %d: oracle: %v", seed, ws, err)
+			}
+			// Analyzer path.
+			tp := vm.NewProcess(prog)
+			tr, err := vm.TraceAll(tp, threads, vm.RunConfig{}, prepare(tp, params, seed))
+			if err != nil {
+				t.Fatalf("seed %d warp %d: trace: %v", seed, ws, err)
+			}
+			opts := core.Defaults()
+			opts.WarpSize = ws
+			rep, err := core.Analyze(tr, opts)
+			if err != nil {
+				t.Fatalf("seed %d warp %d: analyze: %v", seed, ws, err)
+			}
+
+			hwTotal := hwRes.Total()
+			if rep.LockstepInstrs != hwTotal.Lockstep {
+				t.Errorf("seed %d warp %d: lockstep %d != oracle %d",
+					seed, ws, rep.LockstepInstrs, hwTotal.Lockstep)
+			}
+			if rep.TotalInstrs != hwTotal.ThreadInstrs {
+				t.Errorf("seed %d warp %d: thread instrs %d != oracle %d",
+					seed, ws, rep.TotalInstrs, hwTotal.ThreadInstrs)
+			}
+			if math.Abs(rep.Efficiency-hwRes.Efficiency()) > 1e-12 {
+				t.Errorf("seed %d warp %d: efficiency %v != oracle %v",
+					seed, ws, rep.Efficiency, hwRes.Efficiency())
+			}
+			if rep.HeapTx != hwTotal.HeapTx || rep.StackTx != hwTotal.StackTx {
+				t.Errorf("seed %d warp %d: tx (%d,%d) != oracle (%d,%d)",
+					seed, ws, rep.HeapTx, rep.StackTx, hwTotal.HeapTx, hwTotal.StackTx)
+			}
+			if rep.MemInstrs != hwTotal.MemInstrs {
+				t.Errorf("seed %d warp %d: mem instrs %d != oracle %d",
+					seed, ws, rep.MemInstrs, hwTotal.MemInstrs)
+			}
+		}
+	}
+}
+
+// TestFuzzGeneratedProgramsAreValid checks the generator's own guarantees:
+// programs validate, terminate quickly, and produce well-formed traces.
+func TestFuzzGeneratedProgramsAreValid(t *testing.T) {
+	for seed := int64(1000); seed < 1050; seed++ {
+		params := irgen.DefaultParams(seed)
+		params.AllowSharedStores = true
+		prog := irgen.Random(params)
+		if err := ir.Validate(prog); err != nil {
+			t.Fatalf("seed %d: invalid program: %v", seed, err)
+		}
+		p := vm.NewProcess(prog)
+		tr, err := vm.TraceAll(p, 8, vm.RunConfig{MaxInstrs: 2_000_000}, prepare(p, params, seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid trace: %v", seed, err)
+		}
+	}
+}

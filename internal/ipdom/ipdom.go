@@ -1,0 +1,135 @@
+// Package ipdom computes immediate post-dominators over the per-function
+// dynamic control flow graphs built by internal/cfg.
+//
+// The immediate post-dominator of a basic block is the first block
+// guaranteed to execute on every path from the block to the function exit;
+// SIMT hardware (and GPGPU-Sim, which the paper follows) uses it as the
+// reconvergence point pushed with divergent SIMT-stack entries. The
+// implementation is the iterative dataflow algorithm of Cooper, Harvey and
+// Kennedy run on the reverse graph rooted at the function's virtual exit
+// node, which is the formulation GPU simulators use in practice.
+package ipdom
+
+import "threadfuser/internal/cfg"
+
+// PostDom holds the immediate post-dominator tree of one function's DCFG.
+type PostDom struct {
+	g     *cfg.DCFG
+	ipdom []int32 // immediate post-dominator per node; -1 for nodes that never reach exit
+}
+
+// Compute runs the analysis for one DCFG.
+func Compute(g *cfg.DCFG) *PostDom {
+	n := g.NumNodes()
+	exit := g.ExitNode()
+
+	// Reverse post-order of the reverse CFG (DFS from exit along preds).
+	rpo := make([]int32, 0, n)
+	seen := make([]bool, n)
+	var dfs func(v int32)
+	dfs = func(v int32) {
+		seen[v] = true
+		for _, p := range g.Preds(v) {
+			if !seen[p] {
+				dfs(p)
+			}
+		}
+		rpo = append(rpo, v) // postorder; reversed below
+	}
+	dfs(exit)
+	for i, j := 0, len(rpo)-1; i < j; i, j = i+1, j-1 {
+		rpo[i], rpo[j] = rpo[j], rpo[i]
+	}
+	rpoNum := make([]int32, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, v := range rpo {
+		rpoNum[v] = int32(i)
+	}
+
+	ipd := make([]int32, n)
+	for i := range ipd {
+		ipd[i] = -1
+	}
+	ipd[exit] = exit
+
+	intersect := func(a, b int32) int32 {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = ipd[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = ipd[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, v := range rpo {
+			if v == exit {
+				continue
+			}
+			// In the reverse graph the "predecessors" of v are its CFG
+			// successors; only those already processed participate.
+			var newIdom int32 = -1
+			for _, s := range g.Succs(v) {
+				if rpoNum[s] < 0 || ipd[s] < 0 {
+					continue
+				}
+				if newIdom < 0 {
+					newIdom = s
+				} else {
+					newIdom = intersect(newIdom, s)
+				}
+			}
+			if newIdom >= 0 && ipd[v] != newIdom {
+				ipd[v] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	return &PostDom{g: g, ipdom: ipd}
+}
+
+// IPDom returns the immediate post-dominator of block b. Blocks from which
+// the exit was never observed reachable fall back to the virtual exit,
+// keeping reconvergence conservative rather than undefined.
+func (p *PostDom) IPDom(b int32) int32 {
+	if int(b) >= len(p.ipdom) || p.ipdom[b] < 0 {
+		return p.g.ExitNode()
+	}
+	return p.ipdom[b]
+}
+
+// PostDominates reports whether a post-dominates b, by walking b's
+// post-dominator chain. Every node is post-dominated by itself and by the
+// virtual exit.
+func (p *PostDom) PostDominates(a, b int32) bool {
+	exit := p.g.ExitNode()
+	for {
+		if b == a {
+			return true
+		}
+		if b == exit {
+			return a == exit
+		}
+		nb := p.IPDom(b)
+		if nb == b {
+			return false
+		}
+		b = nb
+	}
+}
+
+// ComputeAll runs the analysis for every function in the DCFG map.
+func ComputeAll(graphs map[uint32]*cfg.DCFG) map[uint32]*PostDom {
+	out := make(map[uint32]*PostDom, len(graphs))
+	for fn, g := range graphs {
+		out[fn] = Compute(g)
+	}
+	return out
+}

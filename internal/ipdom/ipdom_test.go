@@ -1,0 +1,187 @@
+package ipdom
+
+import (
+	"math/rand"
+	"testing"
+
+	"threadfuser/internal/cfg"
+	"threadfuser/internal/ir"
+)
+
+// buildGraph constructs a DCFG via a throwaway IR function whose blocks
+// encode the requested successor lists, so the tests exercise the same
+// construction path as production code.
+func buildGraph(t *testing.T, succs [][]int) *cfg.DCFG {
+	t.Helper()
+	pb := ir.NewBuilder("g")
+	f := pb.NewFunc("f")
+	blocks := make([]*ir.BlockBuilder, len(succs))
+	for i := range succs {
+		blocks[i] = f.NewBlock("b")
+	}
+	for i, ss := range succs {
+		b := blocks[i]
+		switch len(ss) {
+		case 0:
+			b.Ret()
+		case 1:
+			b.Jmp(blocks[ss[0]])
+		case 2:
+			b.Cmp(ir.Rg(ir.R(0)), ir.Imm(0))
+			b.Jcc(ir.CondEQ, blocks[ss[0]], blocks[ss[1]])
+		default:
+			targets := make([]*ir.BlockBuilder, len(ss))
+			for j, s := range ss {
+				targets[j] = blocks[s]
+			}
+			b.Switch(ir.Rg(ir.R(0)), targets...)
+		}
+	}
+	prog := pb.MustBuild()
+	return cfg.FromFunction(prog.Funcs[0])
+}
+
+func TestDiamondIPDOM(t *testing.T) {
+	//      0
+	//     / \
+	//    1   2
+	//     \ /
+	//      3 -> exit
+	g := buildGraph(t, [][]int{{1, 2}, {3}, {3}, {}})
+	pd := Compute(g)
+	if got := pd.IPDom(0); got != 3 {
+		t.Errorf("ipdom(0) = %d, want 3", got)
+	}
+	if got := pd.IPDom(1); got != 3 {
+		t.Errorf("ipdom(1) = %d, want 3", got)
+	}
+	if got := pd.IPDom(3); got != g.ExitNode() {
+		t.Errorf("ipdom(3) = %d, want exit %d", got, g.ExitNode())
+	}
+}
+
+func TestNestedDiamonds(t *testing.T) {
+	//      0
+	//     / \
+	//    1   6
+	//   / \  |
+	//  2   3 |
+	//   \ /  |
+	//    4   |
+	//     \ /
+	//      5 -> exit
+	g := buildGraph(t, [][]int{{1, 6}, {2, 3}, {4}, {4}, {5}, {}, {5}})
+	pd := Compute(g)
+	if got := pd.IPDom(1); got != 4 {
+		t.Errorf("ipdom(1) = %d, want 4 (inner join)", got)
+	}
+	if got := pd.IPDom(0); got != 5 {
+		t.Errorf("ipdom(0) = %d, want 5 (outer join)", got)
+	}
+}
+
+func TestLoopIPDOM(t *testing.T) {
+	// 0 -> 1 (loop: 1->1 or 1->2), 2 -> exit.
+	g := buildGraph(t, [][]int{{1}, {1, 2}, {}})
+	pd := Compute(g)
+	if got := pd.IPDom(1); got != 2 {
+		t.Errorf("ipdom(loop header) = %d, want 2", got)
+	}
+	if !pd.PostDominates(2, 0) {
+		t.Error("loop exit must post-dominate the entry")
+	}
+}
+
+func TestDivergentReturnPathsReconvergeAtExit(t *testing.T) {
+	// 0 branches to 1 and 2, both of which return.
+	g := buildGraph(t, [][]int{{1, 2}, {}, {}})
+	pd := Compute(g)
+	if got := pd.IPDom(0); got != g.ExitNode() {
+		t.Errorf("ipdom(0) = %d, want virtual exit %d", got, g.ExitNode())
+	}
+}
+
+func TestPostDominatesReflexiveAndExit(t *testing.T) {
+	g := buildGraph(t, [][]int{{1, 2}, {3}, {3}, {}})
+	pd := Compute(g)
+	for b := int32(0); b <= 3; b++ {
+		if !pd.PostDominates(b, b) {
+			t.Errorf("PostDominates(%d,%d) = false", b, b)
+		}
+		if !pd.PostDominates(g.ExitNode(), b) {
+			t.Errorf("exit must post-dominate %d", b)
+		}
+	}
+	if pd.PostDominates(1, 2) {
+		t.Error("sibling branches must not post-dominate each other")
+	}
+}
+
+// TestIPDOMProperties checks the defining invariants on random CFGs:
+// the immediate post-dominator strictly post-dominates its block, and every
+// path simulated from a block hits its ipdom before exiting.
+func TestIPDOMProperties(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(10)
+		succs := make([][]int, n)
+		for i := 0; i < n; i++ {
+			switch r.Intn(4) {
+			case 0:
+				succs[i] = nil // return
+			case 1:
+				succs[i] = []int{r.Intn(n)}
+			default:
+				succs[i] = []int{r.Intn(n), r.Intn(n)}
+			}
+		}
+		succs[n-1] = nil // guarantee at least one return
+		g := buildGraph(t, succs)
+		pd := Compute(g)
+		exit := g.ExitNode()
+
+		for b := int32(0); b < int32(n); b++ {
+			ip := pd.IPDom(b)
+			if ip == b {
+				t.Fatalf("seed %d: ipdom(%d) = itself", seed, b)
+			}
+			if !pd.PostDominates(ip, b) {
+				t.Fatalf("seed %d: ipdom(%d)=%d does not post-dominate it", seed, b, ip)
+			}
+			// Random walks from b must pass through ip before exit.
+			for walk := 0; walk < 20; walk++ {
+				cur := b
+				hit := false
+				for step := 0; step < 200; step++ {
+					if cur == ip {
+						hit = true
+						break
+					}
+					ss := g.Succs(cur)
+					if len(ss) == 0 || cur == exit {
+						break
+					}
+					cur = ss[r.Intn(len(ss))]
+				}
+				// Walks that loop forever (no exit reached in 200 steps)
+				// are inconclusive; walks that reached exit must have hit.
+				if cur == exit && !hit && ip != exit {
+					t.Fatalf("seed %d: walk from %d reached exit bypassing ipdom %d", seed, b, ip)
+				}
+			}
+		}
+	}
+}
+
+func TestComputeAll(t *testing.T) {
+	g1 := buildGraph(t, [][]int{{1, 2}, {3}, {3}, {}})
+	g2 := buildGraph(t, [][]int{{}})
+	m := map[uint32]*cfg.DCFG{0: g1, 1: g2}
+	pds := ComputeAll(m)
+	if len(pds) != 2 {
+		t.Fatalf("ComputeAll returned %d entries", len(pds))
+	}
+	if pds[0].IPDom(0) != 3 {
+		t.Error("ComputeAll result differs from Compute")
+	}
+}

@@ -1,0 +1,278 @@
+package ir
+
+import "fmt"
+
+// Builder assembles a Program. It is not safe for concurrent use.
+//
+// Usage:
+//
+//	pb := ir.NewBuilder("vectoradd")
+//	f := pb.NewFunc("worker")
+//	head, body, done := f.NewBlock("head"), f.NewBlock("body"), f.NewBlock("done")
+//	head.Mov(ir.Rg(ir.R(0)), ir.Imm(0))
+//	head.Jmp(body)
+//	...
+//	prog, err := pb.Build()
+type Builder struct {
+	name  string
+	funcs []*FuncBuilder
+	entry FuncID
+	built bool
+}
+
+// NewBuilder starts a new program.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// NewFunc declares a function. The first function declared becomes the
+// program entry unless SetEntry overrides it.
+func (pb *Builder) NewFunc(name string) *FuncBuilder {
+	fb := &FuncBuilder{
+		pb:   pb,
+		id:   FuncID(len(pb.funcs)),
+		name: name,
+	}
+	pb.funcs = append(pb.funcs, fb)
+	return fb
+}
+
+// SetEntry designates the per-thread entry function.
+func (pb *Builder) SetEntry(f *FuncBuilder) { pb.entry = f.id }
+
+// Build validates and freezes the program.
+func (pb *Builder) Build() (*Program, error) {
+	if pb.built {
+		return nil, fmt.Errorf("ir: program %q already built", pb.name)
+	}
+	p := &Program{
+		Name:   pb.name,
+		Entry:  pb.entry,
+		byName: make(map[string]*Function, len(pb.funcs)),
+	}
+	for _, fb := range pb.funcs {
+		f := &Function{ID: fb.id, Name: fb.name, Blocks: fb.blocks}
+		p.Funcs = append(p.Funcs, f)
+		if _, dup := p.byName[f.Name]; dup {
+			return nil, fmt.Errorf("ir: duplicate function name %q", f.Name)
+		}
+		p.byName[f.Name] = f
+	}
+	if err := Validate(p); err != nil {
+		return nil, err
+	}
+	pb.built = true
+	return p, nil
+}
+
+// MustBuild is Build, panicking on error. Workload constructors use it since
+// their programs are static and validated by tests.
+func (pb *Builder) MustBuild() *Program {
+	p, err := pb.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FuncBuilder assembles one function's blocks.
+type FuncBuilder struct {
+	pb     *Builder
+	id     FuncID
+	name   string
+	blocks []*Block
+}
+
+// ID returns the function's id, usable in OpCall before Build.
+func (fb *FuncBuilder) ID() FuncID { return fb.id }
+
+// Name returns the function name.
+func (fb *FuncBuilder) Name() string { return fb.name }
+
+// NewBlock appends an empty block; the first block is the function entry.
+// The name is for diagnostics only.
+func (fb *FuncBuilder) NewBlock(name string) *BlockBuilder {
+	b := &Block{ID: BlockID(len(fb.blocks)), Name: name}
+	fb.blocks = append(fb.blocks, b)
+	return &BlockBuilder{fb: fb, b: b}
+}
+
+// BlockBuilder appends instructions to a block. Instruction methods return
+// the builder for chaining; terminator methods end the block.
+type BlockBuilder struct {
+	fb   *FuncBuilder
+	b    *Block
+	done bool
+}
+
+// ID returns the block id, usable as a branch target before Build.
+func (bb *BlockBuilder) ID() BlockID { return bb.b.ID }
+
+func (bb *BlockBuilder) emit(in Instr) *BlockBuilder {
+	if bb.done {
+		panic(fmt.Sprintf("ir: append to terminated block %s.%s", bb.fb.name, bb.b.Name))
+	}
+	bb.b.Instrs = append(bb.b.Instrs, in)
+	if in.Op.IsTerminator() {
+		bb.done = true
+	}
+	return bb
+}
+
+// Op2 emits a generic two-operand instruction.
+func (bb *BlockBuilder) Op2(op Opcode, dst, src Operand) *BlockBuilder {
+	return bb.emit(Instr{Op: op, Dst: dst, Src: src})
+}
+
+// Nop emits n no-ops (to pad blocks to realistic lengths).
+func (bb *BlockBuilder) Nop(n int) *BlockBuilder {
+	for i := 0; i < n; i++ {
+		bb.emit(Instr{Op: OpNop})
+	}
+	return bb
+}
+
+// Mov emits dst = src.
+func (bb *BlockBuilder) Mov(dst, src Operand) *BlockBuilder { return bb.Op2(OpMov, dst, src) }
+
+// Lea emits dst = &src (src must be a memory operand).
+func (bb *BlockBuilder) Lea(dst Reg, src Operand) *BlockBuilder {
+	return bb.Op2(OpLea, Rg(dst), src)
+}
+
+// Add emits dst += src.
+func (bb *BlockBuilder) Add(dst, src Operand) *BlockBuilder { return bb.Op2(OpAdd, dst, src) }
+
+// Sub emits dst -= src.
+func (bb *BlockBuilder) Sub(dst, src Operand) *BlockBuilder { return bb.Op2(OpSub, dst, src) }
+
+// Mul emits dst *= src.
+func (bb *BlockBuilder) Mul(dst, src Operand) *BlockBuilder { return bb.Op2(OpMul, dst, src) }
+
+// Div emits dst /= src.
+func (bb *BlockBuilder) Div(dst, src Operand) *BlockBuilder { return bb.Op2(OpDiv, dst, src) }
+
+// Rem emits dst %= src.
+func (bb *BlockBuilder) Rem(dst, src Operand) *BlockBuilder { return bb.Op2(OpRem, dst, src) }
+
+// And emits dst &= src.
+func (bb *BlockBuilder) And(dst, src Operand) *BlockBuilder { return bb.Op2(OpAnd, dst, src) }
+
+// Or emits dst |= src.
+func (bb *BlockBuilder) Or(dst, src Operand) *BlockBuilder { return bb.Op2(OpOr, dst, src) }
+
+// Xor emits dst ^= src.
+func (bb *BlockBuilder) Xor(dst, src Operand) *BlockBuilder { return bb.Op2(OpXor, dst, src) }
+
+// Shl emits dst <<= src.
+func (bb *BlockBuilder) Shl(dst, src Operand) *BlockBuilder { return bb.Op2(OpShl, dst, src) }
+
+// Shr emits dst >>= src (logical).
+func (bb *BlockBuilder) Shr(dst, src Operand) *BlockBuilder { return bb.Op2(OpShr, dst, src) }
+
+// Sar emits dst >>= src (arithmetic).
+func (bb *BlockBuilder) Sar(dst, src Operand) *BlockBuilder { return bb.Op2(OpSar, dst, src) }
+
+// Neg emits dst = -dst.
+func (bb *BlockBuilder) Neg(dst Operand) *BlockBuilder { return bb.emit(Instr{Op: OpNeg, Dst: dst}) }
+
+// Not emits dst = ^dst.
+func (bb *BlockBuilder) Not(dst Operand) *BlockBuilder { return bb.emit(Instr{Op: OpNot, Dst: dst}) }
+
+// Cmov emits a conditional move: dst = src when c holds over the flags.
+func (bb *BlockBuilder) Cmov(c Cond, dst, src Operand) *BlockBuilder {
+	return bb.emit(Instr{Op: OpCmov, Cond: c, Dst: dst, Src: src})
+}
+
+// Cmp emits a flag-setting compare of dst against src.
+func (bb *BlockBuilder) Cmp(dst, src Operand) *BlockBuilder { return bb.Op2(OpCmp, dst, src) }
+
+// Test emits a flag-setting and-test of dst against src.
+func (bb *BlockBuilder) Test(dst, src Operand) *BlockBuilder { return bb.Op2(OpTest, dst, src) }
+
+// FAdd emits dst += src over float64 bits.
+func (bb *BlockBuilder) FAdd(dst, src Operand) *BlockBuilder { return bb.Op2(OpFAdd, dst, src) }
+
+// FSub emits dst -= src over float64 bits.
+func (bb *BlockBuilder) FSub(dst, src Operand) *BlockBuilder { return bb.Op2(OpFSub, dst, src) }
+
+// FMul emits dst *= src over float64 bits.
+func (bb *BlockBuilder) FMul(dst, src Operand) *BlockBuilder { return bb.Op2(OpFMul, dst, src) }
+
+// FDiv emits dst /= src over float64 bits.
+func (bb *BlockBuilder) FDiv(dst, src Operand) *BlockBuilder { return bb.Op2(OpFDiv, dst, src) }
+
+// FSqrt emits dst = sqrt(dst).
+func (bb *BlockBuilder) FSqrt(dst Operand) *BlockBuilder {
+	return bb.emit(Instr{Op: OpFSqrt, Dst: dst})
+}
+
+// FAbs emits dst = |dst|.
+func (bb *BlockBuilder) FAbs(dst Operand) *BlockBuilder { return bb.emit(Instr{Op: OpFAbs, Dst: dst}) }
+
+// FCmp emits a flag-setting float compare.
+func (bb *BlockBuilder) FCmp(dst, src Operand) *BlockBuilder { return bb.Op2(OpFCmp, dst, src) }
+
+// CvtIF emits dst = float64(src).
+func (bb *BlockBuilder) CvtIF(dst, src Operand) *BlockBuilder { return bb.Op2(OpCvtIF, dst, src) }
+
+// CvtFI emits dst = int64(src).
+func (bb *BlockBuilder) CvtFI(dst, src Operand) *BlockBuilder { return bb.Op2(OpCvtFI, dst, src) }
+
+// Lock emits an acquire of the lock whose address is src's effective address
+// (register value, immediate, or memory-operand address).
+func (bb *BlockBuilder) Lock(src Operand) *BlockBuilder {
+	return bb.emit(Instr{Op: OpLock, Src: src})
+}
+
+// Unlock emits a release of the lock addressed by src.
+func (bb *BlockBuilder) Unlock(src Operand) *BlockBuilder {
+	return bb.emit(Instr{Op: OpUnlock, Src: src})
+}
+
+// IO emits an untraced I/O region of n instructions (paper figure 8).
+func (bb *BlockBuilder) IO(n int64) *BlockBuilder {
+	return bb.emit(Instr{Op: OpIO, Src: Imm(n)})
+}
+
+// Spin emits an untraced lock-spinning region of n instructions.
+func (bb *BlockBuilder) Spin(n int64) *BlockBuilder {
+	return bb.emit(Instr{Op: OpSpin, Src: Imm(n)})
+}
+
+// Jmp terminates the block with an unconditional branch.
+func (bb *BlockBuilder) Jmp(target *BlockBuilder) {
+	bb.emit(Instr{Op: OpJmp, Target: target.ID()})
+}
+
+// Jcc terminates the block with a conditional branch on the current flags.
+func (bb *BlockBuilder) Jcc(c Cond, taken, fall *BlockBuilder) {
+	bb.emit(Instr{Op: OpJcc, Cond: c, Target: taken.ID(), Fall: fall.ID()})
+}
+
+// Switch terminates the block with a jump-table dispatch on src. Values
+// outside [0, len(targets)) clamp to the last entry, which keeps synthetic
+// jump tables total without a separate default edge.
+func (bb *BlockBuilder) Switch(src Operand, targets ...*BlockBuilder) {
+	ids := make([]BlockID, len(targets))
+	for i, t := range targets {
+		ids[i] = t.ID()
+	}
+	bb.emit(Instr{Op: OpSwitch, Src: src, Targets: ids})
+}
+
+// Call terminates the block with a direct call; execution resumes at cont.
+func (bb *BlockBuilder) Call(callee *FuncBuilder, cont *BlockBuilder) {
+	bb.emit(Instr{Op: OpCall, Callee: callee.ID(), Fall: cont.ID()})
+}
+
+// CallReg terminates the block with an indirect call through src (a FuncID
+// value); execution resumes at cont.
+func (bb *BlockBuilder) CallReg(src Operand, cont *BlockBuilder) {
+	bb.emit(Instr{Op: OpCallR, Src: src, Fall: cont.ID()})
+}
+
+// Ret terminates the block with a return.
+func (bb *BlockBuilder) Ret() {
+	bb.emit(Instr{Op: OpRet})
+}

@@ -1,0 +1,29 @@
+package ir
+
+// Clone deep-copies a program so transformation passes (internal/opt) can
+// produce per-optimization-level variants without mutating the canonical
+// build shared across experiments.
+func Clone(p *Program) *Program {
+	out := &Program{
+		Name:   p.Name,
+		Entry:  p.Entry,
+		Funcs:  make([]*Function, len(p.Funcs)),
+		byName: make(map[string]*Function, len(p.Funcs)),
+	}
+	for i, f := range p.Funcs {
+		nf := &Function{ID: f.ID, Name: f.Name, Blocks: make([]*Block, len(f.Blocks))}
+		for j, b := range f.Blocks {
+			nb := &Block{ID: b.ID, Name: b.Name, Instrs: make([]Instr, len(b.Instrs))}
+			copy(nb.Instrs, b.Instrs)
+			for k := range nb.Instrs {
+				if t := nb.Instrs[k].Targets; t != nil {
+					nb.Instrs[k].Targets = append([]BlockID(nil), t...)
+				}
+			}
+			nf.Blocks[j] = nb
+		}
+		out.Funcs[i] = nf
+		out.byName[nf.Name] = nf
+	}
+	return out
+}

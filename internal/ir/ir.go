@@ -1,0 +1,409 @@
+// Package ir defines the x86-flavoured mini instruction set that stands in
+// for the CPU binaries ThreadFuser instruments with Intel PIN in the paper.
+//
+// The ISA is deliberately CISC-shaped: ALU instructions may carry a memory
+// operand (base + index*scale + disp), compare instructions set flags that
+// conditional jumps consume, and calls/returns manipulate an implicit call
+// stack. This preserves the two properties the paper's analysis depends on:
+//
+//   - dynamic control flow is expressed as a stream of basic blocks whose
+//     terminators (conditional jumps, switches, calls, returns) can diverge
+//     per thread, and
+//   - a single "x86 instruction" can initiate one or more memory accesses,
+//     which is what the memory-divergence metric (transactions per memory
+//     instruction) and the CISC->RISC cracking in the warp-trace generator
+//     both count.
+//
+// Programs are immutable once built (see Builder) and are executed by
+// internal/vm to produce dynamic traces, or in lockstep by internal/hwsim.
+package ir
+
+import "fmt"
+
+// Reg names one of the virtual general-purpose registers of a thread.
+// Register values are 64-bit; floating-point instructions reinterpret the
+// bits as IEEE-754 float64, matching how the tracer treats x86 GPR/XMM state
+// as opaque 64-bit quantities.
+type Reg uint8
+
+// NumRegs is the size of the architectural register file. SP is reserved as
+// the stack pointer and TID is initialized to the thread id by the VM.
+const NumRegs = 32
+
+// Reserved registers.
+const (
+	// SP is the stack pointer. The VM initializes it to the top of the
+	// thread's private stack segment; locals are addressed SP-relative.
+	SP Reg = NumRegs - 1
+	// TID is initialized to the zero-based thread id before the thread's
+	// entry function runs. Workloads use it to partition work.
+	TID Reg = NumRegs - 2
+)
+
+// R returns the i-th general purpose register. It panics if i addresses a
+// reserved register so that workload code cannot silently clobber SP/TID.
+func R(i int) Reg {
+	if i < 0 || Reg(i) >= TID {
+		panic(fmt.Sprintf("ir: R(%d) out of general-purpose range [0,%d)", i, int(TID)))
+	}
+	return Reg(i)
+}
+
+// FuncID identifies a function within a Program.
+type FuncID uint32
+
+// BlockID identifies a basic block within a Function.
+type BlockID uint32
+
+// Opcode enumerates the instruction set.
+type Opcode uint8
+
+const (
+	// OpNop does nothing; it exists so synthetic workloads can pad blocks
+	// to realistic instruction counts.
+	OpNop Opcode = iota
+
+	// Data movement and integer ALU. Dst/Src operand rules follow x86: at
+	// most one of the two operands may be a memory reference.
+	OpMov // dst = src
+	OpLea // dst = effective address of src (src must be a memory operand)
+	OpAdd // dst += src
+	OpSub // dst -= src
+	OpMul // dst *= src
+	OpDiv // dst /= src (signed; division by zero yields 0, flagged by VM stats)
+	OpRem // dst %= src
+	OpAnd // dst &= src
+	OpOr  // dst |= src
+	OpXor // dst ^= src
+	OpShl // dst <<= src (mod 64)
+	OpShr // dst >>= src (logical, mod 64)
+	OpSar // dst >>= src (arithmetic, mod 64)
+	OpNeg // dst = -dst
+	OpNot // dst = ^dst
+
+	// Flag-setting comparisons consumed by OpJcc.
+	OpCmp  // set flags from dst - src (signed and unsigned)
+	OpTest // set flags from dst & src
+
+	// OpCmov conditionally moves src into dst when Cond holds over the
+	// current flags (x86 cmovcc). Compilers use it for if-conversion,
+	// which is how the O2/O3 transforms in internal/opt flatten small
+	// branches (paper section IV: aggressive gcc optimization "minimizes
+	// code divergence" and makes the analyzer optimistic).
+	OpCmov
+
+	// Floating point over float64-interpreted registers.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFSqrt // dst = sqrt(dst)
+	OpFAbs  // dst = |dst|
+	OpFCmp  // set flags from dst - src, ordered float compare
+	OpCvtIF // dst = float64(int64 src)
+	OpCvtFI // dst = int64(float64 src), truncating
+
+	// Synchronization intrinsics. The operand's effective address is the
+	// lock address; the VM records acquire/release events the analyzer
+	// uses for intra-warp serialization (paper section III).
+	OpLock
+	OpUnlock
+
+	// OpIO models a system call or other I/O region: Src.Imm instructions
+	// are recorded as skipped (paper figure 8) and nothing else happens.
+	OpIO
+	// OpSpin models busy-wait lock spinning: Src.Imm instructions are
+	// recorded as skipped with the spin kind.
+	OpSpin
+
+	// Terminators. Every basic block ends with exactly one of these.
+	OpJmp    // unconditional branch to Target
+	OpJcc    // branch to Target if Cond holds over flags, else Fall
+	OpSwitch // indirect branch: Targets[clamp(src)] (jump table)
+	OpCall   // direct call to Callee; control resumes at Fall on return
+	OpCallR  // indirect call: callee FuncID in Src; resumes at Fall
+	OpRet    // return from the current function
+
+	numOpcodes
+)
+
+// Class buckets opcodes for timing models and trace generation.
+type Class uint8
+
+const (
+	ClassNop Class = iota
+	ClassALU
+	ClassFPU
+	ClassSFU  // sqrt/div style long-latency
+	ClassMem  // set when an instruction carries a memory operand
+	ClassCtrl // terminators
+	ClassSync // lock/unlock
+	ClassSkip // IO/Spin
+)
+
+// OpClass returns the base class of an opcode, ignoring memory operands;
+// Instr.Class refines it.
+func (o Opcode) OpClass() Class {
+	switch o {
+	case OpNop:
+		return ClassNop
+	case OpFAdd, OpFSub, OpFMul, OpFAbs, OpFCmp, OpCvtIF, OpCvtFI:
+		return ClassFPU
+	case OpFDiv, OpFSqrt, OpDiv, OpRem:
+		return ClassSFU
+	case OpJmp, OpJcc, OpSwitch, OpCall, OpCallR, OpRet:
+		return ClassCtrl
+	case OpLock, OpUnlock:
+		return ClassSync
+	case OpIO, OpSpin:
+		return ClassSkip
+	default:
+		return ClassALU
+	}
+}
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (o Opcode) IsTerminator() bool {
+	switch o {
+	case OpJmp, OpJcc, OpSwitch, OpCall, OpCallR, OpRet:
+		return true
+	}
+	return false
+}
+
+var opNames = [numOpcodes]string{
+	OpNop: "nop", OpMov: "mov", OpLea: "lea", OpAdd: "add", OpSub: "sub",
+	OpMul: "mul", OpDiv: "div", OpRem: "rem", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpShl: "shl", OpShr: "shr", OpSar: "sar", OpNeg: "neg",
+	OpNot: "not", OpCmp: "cmp", OpTest: "test",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpFSqrt: "fsqrt", OpFAbs: "fabs", OpFCmp: "fcmp",
+	OpCvtIF: "cvtif", OpCvtFI: "cvtfi",
+	OpCmov: "cmov",
+	OpLock: "lock", OpUnlock: "unlock", OpIO: "io", OpSpin: "spin",
+	OpJmp: "jmp", OpJcc: "jcc", OpSwitch: "switch", OpCall: "call",
+	OpCallR: "callr", OpRet: "ret",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Cond enumerates branch conditions over the flags set by OpCmp/OpTest/OpFCmp.
+type Cond uint8
+
+const (
+	CondEQ  Cond = iota // equal
+	CondNE              // not equal
+	CondLT              // signed less
+	CondLE              // signed less-or-equal
+	CondGT              // signed greater
+	CondGE              // signed greater-or-equal
+	CondULT             // unsigned less
+	CondUGE             // unsigned greater-or-equal
+)
+
+var condNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge", "ult", "uge"}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// OperandKind discriminates Operand.
+type OperandKind uint8
+
+const (
+	OpndNone OperandKind = iota
+	OpndReg
+	OpndImm
+	OpndMem
+)
+
+// MemRef is an x86-style effective address: Base + Index*Scale + Disp,
+// accessing Size bytes. Index is only used when HasIndex is set, so that
+// register 0 remains usable as an index.
+type MemRef struct {
+	Base     Reg
+	Index    Reg
+	HasIndex bool
+	Scale    uint8 // 1, 2, 4 or 8
+	Disp     int64
+	Size     uint8 // access width in bytes: 1, 2, 4 or 8
+}
+
+// Operand is a register, immediate, or memory reference.
+type Operand struct {
+	Kind OperandKind
+	Reg  Reg
+	Imm  int64
+	Mem  MemRef
+}
+
+// Rg makes a register operand.
+func Rg(r Reg) Operand { return Operand{Kind: OpndReg, Reg: r} }
+
+// Imm makes an immediate operand.
+func Imm(v int64) Operand { return Operand{Kind: OpndImm, Imm: v} }
+
+// Mem makes a memory operand Base+Disp with the given access size.
+func Mem(base Reg, disp int64, size uint8) Operand {
+	return Operand{Kind: OpndMem, Mem: MemRef{Base: base, Disp: disp, Size: size}}
+}
+
+// MemIdx makes a scaled-index memory operand Base + Index*Scale + Disp.
+func MemIdx(base, index Reg, scale uint8, disp int64, size uint8) Operand {
+	return Operand{Kind: OpndMem, Mem: MemRef{
+		Base: base, Index: index, HasIndex: true, Scale: scale, Disp: disp, Size: size,
+	}}
+}
+
+// IsMem reports whether the operand is a memory reference.
+func (o Operand) IsMem() bool { return o.Kind == OpndMem }
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case OpndNone:
+		return "_"
+	case OpndReg:
+		switch o.Reg {
+		case SP:
+			return "sp"
+		case TID:
+			return "tid"
+		}
+		return fmt.Sprintf("r%d", o.Reg)
+	case OpndImm:
+		return fmt.Sprintf("$%d", o.Imm)
+	case OpndMem:
+		m := o.Mem
+		if m.HasIndex {
+			return fmt.Sprintf("[r%d+r%d*%d%+d]:%d", m.Base, m.Index, m.Scale, m.Disp, m.Size)
+		}
+		return fmt.Sprintf("[r%d%+d]:%d", m.Base, m.Disp, m.Size)
+	}
+	return "?"
+}
+
+// Instr is a single instruction. Non-terminators use Dst/Src; terminators
+// use the control fields. A block's final instruction must be a terminator.
+type Instr struct {
+	Op  Opcode
+	Dst Operand
+	Src Operand
+
+	// Control fields (terminators only).
+	Cond    Cond
+	Target  BlockID   // OpJmp target, OpJcc taken target
+	Fall    BlockID   // OpJcc fall-through; OpCall/OpCallR continuation
+	Callee  FuncID    // OpCall
+	Targets []BlockID // OpSwitch jump table; Src selects, out-of-range clamps
+}
+
+// Class returns the timing class of the instruction, promoting any
+// instruction carrying a memory operand to ClassMem.
+func (in *Instr) Class() Class {
+	if in.Dst.IsMem() || (in.Src.IsMem() && in.Op != OpLea && in.Op != OpLock && in.Op != OpUnlock) {
+		return ClassMem
+	}
+	return in.Op.OpClass()
+}
+
+// MemOperand returns the instruction's memory operand, if any, and whether
+// the access loads, stores, or both (read-modify-write).
+func (in *Instr) MemOperand() (m MemRef, load, store bool) {
+	if in.Op == OpLea || in.Op == OpLock || in.Op == OpUnlock {
+		return MemRef{}, false, false // address-only uses
+	}
+	if in.Src.IsMem() {
+		return in.Src.Mem, true, false
+	}
+	if in.Dst.IsMem() {
+		switch in.Op {
+		case OpMov:
+			return in.Dst.Mem, false, true // plain store
+		case OpCmp, OpTest, OpFCmp:
+			return in.Dst.Mem, true, false // compare reads memory
+		default:
+			return in.Dst.Mem, true, true // read-modify-write
+		}
+	}
+	return MemRef{}, false, false
+}
+
+func (in *Instr) String() string {
+	switch in.Op {
+	case OpJmp:
+		return fmt.Sprintf("jmp b%d", in.Target)
+	case OpJcc:
+		return fmt.Sprintf("j%s b%d else b%d", in.Cond, in.Target, in.Fall)
+	case OpSwitch:
+		return fmt.Sprintf("switch %s %v", in.Src, in.Targets)
+	case OpCall:
+		return fmt.Sprintf("call f%d cont b%d", in.Callee, in.Fall)
+	case OpCallR:
+		return fmt.Sprintf("callr %s cont b%d", in.Src, in.Fall)
+	case OpRet:
+		return "ret"
+	case OpNeg, OpNot, OpFSqrt, OpFAbs:
+		return fmt.Sprintf("%s %s", in.Op, in.Dst)
+	case OpCmov:
+		return fmt.Sprintf("cmov%s %s, %s", in.Cond, in.Dst, in.Src)
+	case OpLock, OpUnlock, OpIO, OpSpin:
+		return fmt.Sprintf("%s %s", in.Op, in.Src)
+	}
+	return fmt.Sprintf("%s %s, %s", in.Op, in.Dst, in.Src)
+}
+
+// Block is a basic block: straight-line instructions ended by a terminator.
+type Block struct {
+	ID     BlockID
+	Name   string
+	Instrs []Instr
+}
+
+// Terminator returns the block's final instruction.
+func (b *Block) Terminator() *Instr { return &b.Instrs[len(b.Instrs)-1] }
+
+// NumInstrs returns the instruction count of the block.
+func (b *Block) NumInstrs() int { return len(b.Instrs) }
+
+// Function is a named collection of basic blocks; block 0 is the entry.
+type Function struct {
+	ID     FuncID
+	Name   string
+	Blocks []*Block
+}
+
+// Program is an immutable set of functions with a designated per-thread
+// entry function (the "worker" each traced thread runs, mirroring how the
+// paper traces one OpenMP iteration / pthread worker invocation per thread).
+type Program struct {
+	Name  string
+	Funcs []*Function
+	Entry FuncID
+
+	byName map[string]*Function
+}
+
+// Func returns the function with the given id.
+func (p *Program) Func(id FuncID) *Function { return p.Funcs[id] }
+
+// FuncByName returns the function with the given name, or nil.
+func (p *Program) FuncByName(name string) *Function { return p.byName[name] }
+
+// NumInstrsStatic returns the total static instruction count.
+func (p *Program) NumInstrsStatic() int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}

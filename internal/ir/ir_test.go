@@ -1,0 +1,247 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildMinimal(t *testing.T) *Program {
+	t.Helper()
+	pb := NewBuilder("min")
+	f := pb.NewFunc("main")
+	b := f.NewBlock("entry")
+	b.Nop(1).Ret()
+	return pb.MustBuild()
+}
+
+func TestBuilderMinimalProgram(t *testing.T) {
+	p := buildMinimal(t)
+	if len(p.Funcs) != 1 || p.Entry != 0 {
+		t.Fatalf("unexpected program shape: %d funcs, entry %d", len(p.Funcs), p.Entry)
+	}
+	if p.FuncByName("main") == nil {
+		t.Error("FuncByName failed")
+	}
+	if p.FuncByName("nope") != nil {
+		t.Error("FuncByName returned a ghost")
+	}
+	if got := p.NumInstrsStatic(); got != 2 {
+		t.Errorf("static instrs = %d, want 2", got)
+	}
+}
+
+func TestBuilderRejectsDoubleBuild(t *testing.T) {
+	pb := NewBuilder("x")
+	f := pb.NewFunc("f")
+	f.NewBlock("b").Ret()
+	if _, err := pb.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pb.Build(); err == nil {
+		t.Error("second Build succeeded")
+	}
+}
+
+func TestBuilderRejectsDuplicateFunctions(t *testing.T) {
+	pb := NewBuilder("x")
+	a := pb.NewFunc("f")
+	a.NewBlock("b").Ret()
+	b := pb.NewFunc("f")
+	b.NewBlock("b").Ret()
+	if _, err := pb.Build(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate function not rejected: %v", err)
+	}
+}
+
+func TestBuilderPanicsOnAppendAfterTerminator(t *testing.T) {
+	pb := NewBuilder("x")
+	f := pb.NewFunc("f")
+	b := f.NewBlock("b")
+	b.Ret()
+	defer func() {
+		if recover() == nil {
+			t.Error("append after terminator did not panic")
+		}
+	}()
+	b.Nop(1)
+}
+
+func TestValidateCatchesMissingTerminator(t *testing.T) {
+	p := buildMinimal(t)
+	p.Funcs[0].Blocks[0].Instrs = p.Funcs[0].Blocks[0].Instrs[:1] // drop ret
+	if err := Validate(p); err == nil || !strings.Contains(err.Error(), "terminator") {
+		t.Errorf("missing terminator not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesBadTargets(t *testing.T) {
+	cases := []func(f *FuncBuilder){
+		func(f *FuncBuilder) { // jmp out of range
+			b := f.NewBlock("b")
+			b.b.Instrs = append(b.b.Instrs, Instr{Op: OpJmp, Target: 99})
+		},
+		func(f *FuncBuilder) { // jcc out of range
+			b := f.NewBlock("b")
+			b.b.Instrs = append(b.b.Instrs, Instr{Op: OpJcc, Target: 0, Fall: 99})
+		},
+		func(f *FuncBuilder) { // call out of range
+			b := f.NewBlock("b")
+			b.b.Instrs = append(b.b.Instrs, Instr{Op: OpCall, Callee: 42, Fall: 0})
+		},
+		func(f *FuncBuilder) { // empty switch
+			b := f.NewBlock("b")
+			b.b.Instrs = append(b.b.Instrs, Instr{Op: OpSwitch, Src: Imm(0)})
+		},
+	}
+	for i, mk := range cases {
+		pb := NewBuilder("bad")
+		f := pb.NewFunc("f")
+		mk(f)
+		if _, err := pb.Build(); err == nil {
+			t.Errorf("case %d: invalid control flow accepted", i)
+		}
+	}
+}
+
+func TestValidateCatchesTwoMemoryOperands(t *testing.T) {
+	pb := NewBuilder("bad")
+	f := pb.NewFunc("f")
+	b := f.NewBlock("b")
+	b.b.Instrs = append(b.b.Instrs,
+		Instr{Op: OpMov, Dst: Mem(R(0), 0, 8), Src: Mem(R(1), 0, 8)},
+		Instr{Op: OpRet})
+	if _, err := pb.Build(); err == nil || !strings.Contains(err.Error(), "memory operands") {
+		t.Errorf("two memory operands accepted: %v", err)
+	}
+}
+
+func TestValidateCatchesBadSizes(t *testing.T) {
+	pb := NewBuilder("bad")
+	f := pb.NewFunc("f")
+	b := f.NewBlock("b")
+	b.b.Instrs = append(b.b.Instrs,
+		Instr{Op: OpMov, Dst: Rg(R(0)), Src: Operand{Kind: OpndMem, Mem: MemRef{Base: R(1), Size: 3}}},
+		Instr{Op: OpRet})
+	if _, err := pb.Build(); err == nil {
+		t.Error("3-byte access accepted")
+	}
+}
+
+func TestRPanicsOnReservedRegisters(t *testing.T) {
+	for _, i := range []int{-1, int(TID), int(SP), NumRegs} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("R(%d) did not panic", i)
+				}
+			}()
+			R(i)
+		}()
+	}
+	// Boundary: the highest general-purpose register is fine.
+	if r := R(int(TID) - 1); r != TID-1 {
+		t.Errorf("R(%d) = %d", int(TID)-1, r)
+	}
+}
+
+func TestMemOperandClassification(t *testing.T) {
+	cases := []struct {
+		in          Instr
+		load, store bool
+	}{
+		{Instr{Op: OpMov, Dst: Rg(R(0)), Src: Mem(R(1), 0, 8)}, true, false},
+		{Instr{Op: OpMov, Dst: Mem(R(1), 0, 8), Src: Rg(R(0))}, false, true},
+		{Instr{Op: OpAdd, Dst: Mem(R(1), 0, 8), Src: Rg(R(0))}, true, true},
+		{Instr{Op: OpCmp, Dst: Mem(R(1), 0, 8), Src: Imm(3)}, true, false},
+		{Instr{Op: OpLea, Dst: Rg(R(0)), Src: Mem(R(1), 0, 8)}, false, false},
+		{Instr{Op: OpLock, Src: Mem(R(1), 0, 8)}, false, false},
+		{Instr{Op: OpAdd, Dst: Rg(R(0)), Src: Rg(R(1))}, false, false},
+	}
+	for i, c := range cases {
+		_, l, s := c.in.MemOperand()
+		if l != c.load || s != c.store {
+			in := c.in
+			t.Errorf("case %d (%s): load/store = %v/%v, want %v/%v", i, in.String(), l, s, c.load, c.store)
+		}
+	}
+}
+
+func TestInstrClass(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want Class
+	}{
+		{Instr{Op: OpAdd, Dst: Rg(R(0)), Src: Imm(1)}, ClassALU},
+		{Instr{Op: OpAdd, Dst: Rg(R(0)), Src: Mem(R(1), 0, 8)}, ClassMem},
+		{Instr{Op: OpFAdd, Dst: Rg(R(0)), Src: Rg(R(1))}, ClassFPU},
+		{Instr{Op: OpFSqrt, Dst: Rg(R(0))}, ClassSFU},
+		{Instr{Op: OpDiv, Dst: Rg(R(0)), Src: Imm(2)}, ClassSFU},
+		{Instr{Op: OpJmp}, ClassCtrl},
+		{Instr{Op: OpLock, Src: Rg(R(0))}, ClassSync},
+		{Instr{Op: OpIO, Src: Imm(5)}, ClassSkip},
+		{Instr{Op: OpLea, Dst: Rg(R(0)), Src: Mem(R(1), 0, 8)}, ClassALU},
+	}
+	for i, c := range cases {
+		if got := c.in.Class(); got != c.want {
+			t.Errorf("case %d: class = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	pb := NewBuilder("orig")
+	f := pb.NewFunc("f")
+	b0 := f.NewBlock("b0")
+	b1 := f.NewBlock("b1")
+	b2 := f.NewBlock("b2")
+	b0.Mov(Rg(R(0)), Imm(1)).Switch(Rg(R(0)), b1, b2)
+	b1.Ret()
+	b2.Ret()
+	p := pb.MustBuild()
+
+	c := Clone(p)
+	c.Funcs[0].Blocks[0].Instrs[0].Src = Imm(99)
+	c.Funcs[0].Blocks[0].Terminator().Targets[0] = 2
+	if p.Funcs[0].Blocks[0].Instrs[0].Src.Imm != 1 {
+		t.Error("clone shares instruction storage")
+	}
+	if p.Funcs[0].Blocks[0].Terminator().Targets[0] != 1 {
+		t.Error("clone shares switch target storage")
+	}
+	if err := Validate(c); err != nil {
+		t.Errorf("clone invalid: %v", err)
+	}
+	if c.FuncByName("f") == nil {
+		t.Error("clone lost the name index")
+	}
+}
+
+func TestStringsAreStable(t *testing.T) {
+	// String methods are used in error paths; make sure the common ones
+	// don't regress into %!v noise.
+	str := func(in Instr) string { return in.String() }
+	checks := map[string]string{
+		str(Instr{Op: OpAdd, Dst: Rg(R(2)), Src: Imm(7)}):                        "add r2, $7",
+		str(Instr{Op: OpJcc, Cond: CondLT, Target: 3, Fall: 4}):                  "jlt b3 else b4",
+		str(Instr{Op: OpMov, Dst: Rg(SP), Src: Rg(TID)}):                         "mov sp, tid",
+		str(Instr{Op: OpMov, Dst: Rg(R(0)), Src: MemIdx(R(1), R(2), 8, -16, 4)}): "mov r0, [r1+r2*8-16]:4",
+		OpFSqrt.String(): "fsqrt",
+		CondUGE.String(): "uge",
+	}
+	for got, want := range checks {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestOpcodeTerminators(t *testing.T) {
+	terminators := map[Opcode]bool{
+		OpJmp: true, OpJcc: true, OpSwitch: true, OpCall: true, OpCallR: true, OpRet: true,
+	}
+	for op := OpNop; op < numOpcodes; op++ {
+		if got := op.IsTerminator(); got != terminators[op] {
+			t.Errorf("%s: IsTerminator = %v, want %v", op, got, terminators[op])
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package ir
+
+import "fmt"
+
+// Validate checks the structural invariants the VM and analyzers rely on:
+// every block is non-empty and ends with exactly one terminator, all branch
+// and call targets are in range, operand shapes are legal (at most one
+// memory operand per instruction, correct operand kinds per opcode), and the
+// entry function exists.
+func Validate(p *Program) error {
+	if len(p.Funcs) == 0 {
+		return fmt.Errorf("ir: program %q has no functions", p.Name)
+	}
+	if int(p.Entry) >= len(p.Funcs) {
+		return fmt.Errorf("ir: program %q entry f%d out of range", p.Name, p.Entry)
+	}
+	for _, f := range p.Funcs {
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("ir: %s.%s has no blocks", p.Name, f.Name)
+		}
+		for _, b := range f.Blocks {
+			if err := validateBlock(p, f, b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func validateBlock(p *Program, f *Function, b *Block) error {
+	loc := func(i int) string {
+		return fmt.Sprintf("%s.%s block %d (%s) instr %d", p.Name, f.Name, b.ID, b.Name, i)
+	}
+	if len(b.Instrs) == 0 {
+		return fmt.Errorf("%s: empty block", loc(0))
+	}
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		if in.Op.IsTerminator() != (i == len(b.Instrs)-1) {
+			if in.Op.IsTerminator() {
+				return fmt.Errorf("%s: terminator %s before end of block", loc(i), in.Op)
+			}
+			return fmt.Errorf("%s: block does not end with a terminator", loc(i))
+		}
+		if in.Dst.IsMem() && in.Src.IsMem() {
+			return fmt.Errorf("%s: two memory operands", loc(i))
+		}
+		for _, o := range [2]Operand{in.Dst, in.Src} {
+			if err := validateOperand(o); err != nil {
+				return fmt.Errorf("%s: %v", loc(i), err)
+			}
+		}
+		switch in.Op {
+		case OpJmp:
+			if int(in.Target) >= len(f.Blocks) {
+				return fmt.Errorf("%s: jmp target b%d out of range", loc(i), in.Target)
+			}
+		case OpJcc:
+			if int(in.Target) >= len(f.Blocks) || int(in.Fall) >= len(f.Blocks) {
+				return fmt.Errorf("%s: jcc targets b%d/b%d out of range", loc(i), in.Target, in.Fall)
+			}
+		case OpSwitch:
+			if len(in.Targets) == 0 {
+				return fmt.Errorf("%s: switch with no targets", loc(i))
+			}
+			for _, t := range in.Targets {
+				if int(t) >= len(f.Blocks) {
+					return fmt.Errorf("%s: switch target b%d out of range", loc(i), t)
+				}
+			}
+		case OpCall:
+			if int(in.Callee) >= len(p.Funcs) {
+				return fmt.Errorf("%s: callee f%d out of range", loc(i), in.Callee)
+			}
+			if int(in.Fall) >= len(f.Blocks) {
+				return fmt.Errorf("%s: call continuation b%d out of range", loc(i), in.Fall)
+			}
+		case OpCallR:
+			if in.Src.Kind == OpndNone {
+				return fmt.Errorf("%s: indirect call without callee operand", loc(i))
+			}
+			if int(in.Fall) >= len(f.Blocks) {
+				return fmt.Errorf("%s: call continuation b%d out of range", loc(i), in.Fall)
+			}
+		case OpLea:
+			if !in.Src.IsMem() {
+				return fmt.Errorf("%s: lea requires a memory source", loc(i))
+			}
+			if in.Dst.Kind != OpndReg {
+				return fmt.Errorf("%s: lea requires a register destination", loc(i))
+			}
+		case OpMov, OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor,
+			OpShl, OpShr, OpSar, OpFAdd, OpFSub, OpFMul, OpFDiv,
+			OpCvtIF, OpCvtFI, OpCmov:
+			if in.Dst.Kind == OpndImm || in.Dst.Kind == OpndNone {
+				return fmt.Errorf("%s: %s requires a writable destination", loc(i), in.Op)
+			}
+			if in.Src.Kind == OpndNone {
+				return fmt.Errorf("%s: %s requires a source", loc(i), in.Op)
+			}
+		case OpCmp, OpTest, OpFCmp:
+			if in.Dst.Kind == OpndNone || in.Src.Kind == OpndNone {
+				return fmt.Errorf("%s: %s requires two operands", loc(i), in.Op)
+			}
+		case OpNeg, OpNot, OpFSqrt, OpFAbs:
+			if in.Dst.Kind == OpndImm || in.Dst.Kind == OpndNone {
+				return fmt.Errorf("%s: %s requires a writable destination", loc(i), in.Op)
+			}
+		case OpLock, OpUnlock:
+			if in.Src.Kind == OpndNone {
+				return fmt.Errorf("%s: %s requires an address operand", loc(i), in.Op)
+			}
+		case OpIO, OpSpin:
+			if in.Src.Kind != OpndImm || in.Src.Imm < 0 {
+				return fmt.Errorf("%s: %s requires a non-negative immediate count", loc(i), in.Op)
+			}
+		}
+		if m, _, _ := in.MemOperand(); m.Size != 0 {
+			switch m.Size {
+			case 1, 2, 4, 8:
+			default:
+				return fmt.Errorf("%s: invalid memory access size %d", loc(i), m.Size)
+			}
+			if m.HasIndex {
+				switch m.Scale {
+				case 1, 2, 4, 8:
+				default:
+					return fmt.Errorf("%s: invalid scale %d", loc(i), m.Scale)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func validateOperand(o Operand) error {
+	switch o.Kind {
+	case OpndNone, OpndImm:
+		return nil
+	case OpndReg:
+		if o.Reg >= NumRegs {
+			return fmt.Errorf("register r%d out of range", o.Reg)
+		}
+	case OpndMem:
+		if o.Mem.Base >= NumRegs || (o.Mem.HasIndex && o.Mem.Index >= NumRegs) {
+			return fmt.Errorf("memory operand register out of range")
+		}
+		if o.Mem.Size == 0 {
+			return fmt.Errorf("memory operand with zero size")
+		}
+	default:
+		return fmt.Errorf("unknown operand kind %d", o.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,294 @@
+// Package irgen generates random, structurally valid, terminating mini-ISA
+// programs. The differential test suites use it to fuzz the two independent
+// SIMT engines against each other (the trace-replay analyzer must agree
+// exactly with the live lockstep oracle on lock-free programs) and to check
+// that the compiler transforms in internal/opt preserve semantics on
+// programs nobody hand-wrote.
+//
+// Generated programs are guaranteed to terminate: every loop is counter
+// bounded and the call graph is acyclic (functions may only call
+// lower-indexed functions). Control flow is data-dependent — branch
+// conditions read registers derived from the thread id and from loads of a
+// caller-provided shared input region — so different threads genuinely
+// diverge.
+//
+// Register discipline:
+//
+//	r0-r5  data registers (generated instructions)
+//	r6,r7  loop counters (one per nesting level; bodies never write them)
+//	r8     per-thread private region base (set by the test harness)
+//	r9     shared read-only region base (set by the test harness)
+package irgen
+
+import (
+	"math/rand"
+
+	"threadfuser/internal/ir"
+)
+
+// Params bound the generated program.
+type Params struct {
+	Seed int64
+	// Funcs is the number of functions (≥1); function 0 may call nothing,
+	// higher functions may call lower ones.
+	Funcs int
+	// MaxDepth bounds structural nesting (diamonds within loops etc.).
+	MaxDepth int
+	// MaxBodyLen bounds the number of structural items per body.
+	MaxBodyLen int
+	// SharedWords / PrivateWords are the sizes (in 8-byte words) of the
+	// regions the harness provides in r9 and r8.
+	SharedWords  int
+	PrivateWords int
+	// AllowSharedStores permits stores to the shared region. Differential
+	// tests against the lockstep oracle must leave this off: lockstep and
+	// sequential executions interleave shared writes differently (as real
+	// hardware would), so exact agreement is only defined without them.
+	AllowSharedStores bool
+}
+
+// DefaultParams returns sensible fuzzing bounds.
+func DefaultParams(seed int64) Params {
+	return Params{
+		Seed:         seed,
+		Funcs:        3,
+		MaxDepth:     3,
+		MaxBodyLen:   5,
+		SharedWords:  64,
+		PrivateWords: 32,
+	}
+}
+
+// Random generates a program from the parameters. Besides straight-line
+// code, diamonds, counted loops and direct calls, generated programs may
+// contain jump tables (switch), indirect calls through a function-id
+// computation, and bounded self-recursion — every control construct the
+// SIMT engines must handle.
+func Random(p Params) *ir.Program {
+	if p.Funcs < 1 {
+		p.Funcs = 1
+	}
+	if p.MaxDepth < 1 {
+		p.MaxDepth = 1
+	}
+	if p.MaxBodyLen < 1 {
+		p.MaxBodyLen = 1
+	}
+	if p.SharedWords < 1 {
+		p.SharedWords = 1
+	}
+	if p.PrivateWords < 1 {
+		p.PrivateWords = 1
+	}
+	g := &gen{r: rand.New(rand.NewSource(p.Seed)), p: p, pb: ir.NewBuilder("irgen")}
+	for i := 0; i < p.Funcs; i++ {
+		f := g.pb.NewFunc(funcName(i))
+		g.funcs = append(g.funcs, f)
+		var entry *ir.BlockBuilder
+		if g.r.Intn(3) == 0 {
+			// Bounded self-recursion: r5 counts down across the recursive
+			// calls (registers are thread-global, so the countdown spans
+			// the whole recursion). Divergent depths come from callers
+			// seeding r5 from thread-dependent data.
+			guard := f.NewBlock("rec_guard")
+			body := f.NewBlock("rec_body")
+			leaf := f.NewBlock("rec_leaf")
+			cont := f.NewBlock("rec_cont")
+			// Clamp the countdown at every entry: callers may have stored
+			// anything in r5, and And never increases a clamped value, so
+			// the depth of any recursion chain is at most 4.
+			guard.And(ir.Rg(ir.Reg(5)), ir.Imm(3)).
+				Cmp(ir.Rg(ir.Reg(5)), ir.Imm(0)).
+				Jcc(ir.CondLE, leaf, body)
+			body.Sub(ir.Rg(ir.Reg(5)), ir.Imm(1)).Call(f, cont)
+			leaf.Nop(2).Jmp(cont)
+			entry = cont
+		} else {
+			entry = f.NewBlock("entry")
+		}
+		tail := g.body(f, entry, i, p.MaxDepth)
+		tail.Ret()
+	}
+	// The highest-indexed function is the entry: it can reach everything.
+	g.pb.SetEntry(g.funcs[len(g.funcs)-1])
+	return g.pb.MustBuild()
+}
+
+func funcName(i int) string { return "fn" + string(rune('A'+i%26)) }
+
+type gen struct {
+	r     *rand.Rand
+	p     Params
+	pb    *ir.Builder
+	funcs []*ir.FuncBuilder
+}
+
+const (
+	privBase = ir.Reg(8)
+	shrdBase = ir.Reg(9)
+)
+
+// Data register r5 doubles as the recursion countdown; seeding it from the
+// thread id in straight-line code keeps recursion depths bounded (≤ a few)
+// and thread-divergent.
+
+func dataReg(r *rand.Rand) ir.Operand { return ir.Rg(ir.Reg(r.Intn(6))) }
+
+// body emits a structured body into cur and returns the block where control
+// continues. fnIdx limits callees; depth limits nesting.
+func (g *gen) body(f *ir.FuncBuilder, cur *ir.BlockBuilder, fnIdx, depth int) *ir.BlockBuilder {
+	items := 1 + g.r.Intn(g.p.MaxBodyLen)
+	for i := 0; i < items; i++ {
+		switch choice := g.r.Intn(12); {
+		case choice < 4 || depth == 0:
+			g.straightLine(cur)
+		case choice < 6:
+			cur = g.diamond(f, cur, fnIdx, depth-1)
+		case choice < 8:
+			cur = g.loop(f, cur, fnIdx, depth-1)
+		case choice < 9:
+			cur = g.jumpTable(f, cur, fnIdx, depth-1)
+		case choice < 10:
+			cur = g.indirectCall(f, cur, fnIdx)
+		default:
+			cur = g.call(f, cur, fnIdx)
+		}
+	}
+	return cur
+}
+
+// jumpTable emits a data-dependent switch over 2..4 small arms and returns
+// the join block.
+func (g *gen) jumpTable(f *ir.FuncBuilder, cur *ir.BlockBuilder, fnIdx, depth int) *ir.BlockBuilder {
+	arms := 2 + g.r.Intn(3)
+	join := f.NewBlock("swj")
+	sel := ir.Reg(g.r.Intn(6))
+	cur.Mov(ir.Rg(sel), ir.Rg(ir.TID)).
+		Add(ir.Rg(sel), dataReg(g.r)).
+		Rem(ir.Rg(sel), ir.Imm(int64(arms)))
+	targets := make([]*ir.BlockBuilder, arms)
+	for a := 0; a < arms; a++ {
+		targets[a] = f.NewBlock("arm")
+	}
+	cur.Switch(ir.Rg(sel), targets...)
+	for a := 0; a < arms; a++ {
+		g.body(f, targets[a], fnIdx, depth).Jmp(join)
+	}
+	join.Nop(1)
+	return join
+}
+
+// indirectCall emits a call through a computed function id (a jump-table
+// of functions), exercising per-lane callee divergence. The callee id is
+// derived from the thread id so lanes genuinely split.
+func (g *gen) indirectCall(f *ir.FuncBuilder, cur *ir.BlockBuilder, fnIdx int) *ir.BlockBuilder {
+	if fnIdx == 0 {
+		g.straightLine(cur)
+		return cur
+	}
+	sel := ir.Reg(g.r.Intn(6))
+	next := f.NewBlock("icont")
+	cur.Mov(ir.Rg(sel), ir.Rg(ir.TID)).
+		Rem(ir.Rg(sel), ir.Imm(int64(fnIdx))).
+		CallReg(ir.Rg(sel), next)
+	return next
+}
+
+// straightLine appends a few ALU and memory instructions to cur.
+func (g *gen) straightLine(b *ir.BlockBuilder) {
+	n := 1 + g.r.Intn(5)
+	for i := 0; i < n; i++ {
+		switch g.r.Intn(8) {
+		case 0:
+			b.Mov(dataReg(g.r), ir.Imm(int64(g.r.Intn(1000)-500)))
+		case 1:
+			b.Add(dataReg(g.r), dataReg(g.r))
+		case 2:
+			b.Mul(dataReg(g.r), ir.Imm(int64(g.r.Intn(7)+1)))
+		case 3:
+			b.Xor(dataReg(g.r), dataReg(g.r))
+		case 4:
+			b.Mov(dataReg(g.r), ir.Rg(ir.TID))
+		case 5: // shared load, data-dependent index
+			idx := ir.Reg(g.r.Intn(6))
+			b.Mov(ir.Rg(idx), ir.Rg(ir.TID)).
+				Rem(ir.Rg(idx), ir.Imm(int64(g.p.SharedWords))).
+				Mov(dataReg(g.r), ir.MemIdx(shrdBase, idx, 8, 0, 8))
+		case 6: // private store
+			off := int64(8 * g.r.Intn(g.p.PrivateWords))
+			b.Mov(ir.Mem(privBase, off, 8), dataReg(g.r))
+		case 7: // private load or RMW
+			off := int64(8 * g.r.Intn(g.p.PrivateWords))
+			if g.r.Intn(2) == 0 {
+				b.Mov(dataReg(g.r), ir.Mem(privBase, off, 8))
+			} else {
+				b.Add(ir.Mem(privBase, off, 8), dataReg(g.r))
+			}
+		}
+	}
+	if g.p.AllowSharedStores && g.r.Intn(4) == 0 {
+		idx := ir.Reg(g.r.Intn(6))
+		b.Mov(ir.Rg(idx), ir.Rg(ir.TID)).
+			Rem(ir.Rg(idx), ir.Imm(int64(g.p.SharedWords))).
+			Mov(ir.MemIdx(shrdBase, idx, 8, 0, 8), dataReg(g.r))
+	}
+}
+
+// diamond emits a two-sided branch (or hammock) on a data-dependent
+// condition and returns the join block.
+func (g *gen) diamond(f *ir.FuncBuilder, cur *ir.BlockBuilder, fnIdx, depth int) *ir.BlockBuilder {
+	taken := f.NewBlock("t")
+	fall := f.NewBlock("f")
+	join := f.NewBlock("j")
+	conds := []ir.Cond{ir.CondEQ, ir.CondNE, ir.CondLT, ir.CondGE, ir.CondGT, ir.CondLE}
+	c := conds[g.r.Intn(len(conds))]
+	src := dataReg(g.r)
+	cur.Cmp(src, ir.Imm(int64(g.r.Intn(9)-4))).Jcc(c, taken, fall)
+	g.body(f, taken, fnIdx, depth).Jmp(join)
+	if g.r.Intn(3) == 0 { // hammock: empty else side
+		fall.Jmp(join)
+	} else {
+		g.body(f, fall, fnIdx, depth).Jmp(join)
+	}
+	join.Nop(1)
+	return join
+}
+
+// loop emits a counter-bounded loop whose trip count may be thread
+// dependent (tid%k), and returns the exit block.
+func (g *gen) loop(f *ir.FuncBuilder, cur *ir.BlockBuilder, fnIdx, depth int) *ir.BlockBuilder {
+	counter := ir.Reg(6 + depth%2) // alternate counters across nesting
+	head := f.NewBlock("head")
+	exit := f.NewBlock("exit")
+	if g.r.Intn(2) == 0 {
+		// Thread-dependent trip count: 1 + tid % k.
+		cur.Mov(ir.Rg(counter), ir.Rg(ir.TID)).
+			Rem(ir.Rg(counter), ir.Imm(int64(1+g.r.Intn(4)))).
+			Add(ir.Rg(counter), ir.Imm(1)).
+			Neg(ir.Rg(counter))
+	} else {
+		cur.Mov(ir.Rg(counter), ir.Imm(int64(-(1 + g.r.Intn(4)))))
+	}
+	cur.Jmp(head)
+	// The counter counts up from -trips to 0 so bodies that clobber data
+	// registers cannot extend the loop.
+	tail := g.body(f, head, fnIdx, depth)
+	tail.Add(ir.Rg(counter), ir.Imm(1)).
+		Cmp(ir.Rg(counter), ir.Imm(0)).
+		Jcc(ir.CondLT, head, exit)
+	exit.Nop(1)
+	return exit
+}
+
+// call emits a call to a strictly lower-indexed function (keeping the call
+// graph acyclic), if one exists.
+func (g *gen) call(f *ir.FuncBuilder, cur *ir.BlockBuilder, fnIdx int) *ir.BlockBuilder {
+	if fnIdx == 0 {
+		g.straightLine(cur)
+		return cur
+	}
+	callee := g.funcs[g.r.Intn(fnIdx)]
+	next := f.NewBlock("cont")
+	cur.Call(callee, next)
+	return next
+}

@@ -1,0 +1,97 @@
+package opt
+
+import (
+	"testing"
+
+	"threadfuser/internal/ir"
+	"threadfuser/internal/irgen"
+	"threadfuser/internal/vm"
+)
+
+// TestFuzzTransformsPreserveSemantics runs randomly generated programs
+// (including ones with shared-memory stores) through every optimization
+// level and checks the final global/heap memory image and the final data
+// registers match the canonical build exactly.
+func TestFuzzTransformsPreserveSemantics(t *testing.T) {
+	seeds := 80
+	if testing.Short() {
+		seeds = 15
+	}
+	const threads = 8
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		params := irgen.DefaultParams(seed)
+		params.AllowSharedStores = true
+		prog := irgen.Random(params)
+
+		type outcome struct {
+			hash uint64
+			regs [threads][6]int64
+		}
+		run := func(p *ir.Program) outcome {
+			proc := vm.NewProcess(p)
+			shared := proc.AllocGlobal(uint64(8 * params.SharedWords))
+			for i := 0; i < params.SharedWords; i++ {
+				proc.WriteI64(shared+uint64(8*i), int64(i*37%101)-50)
+			}
+			privSize := uint64(8 * params.PrivateWords)
+			privBase := proc.AllocGlobal(privSize * threads)
+			var out outcome
+			for tid := 0; tid < threads; tid++ {
+				th := proc.NewThread(tid)
+				th.SetReg(ir.R(8), int64(privBase+uint64(tid)*privSize))
+				th.SetReg(ir.R(9), int64(shared))
+				if _, err := th.Run(vm.RunConfig{MaxInstrs: 2_000_000}); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for r := 0; r < 6; r++ {
+					out.regs[tid][r] = th.Reg(ir.R(r))
+				}
+			}
+			out.hash = proc.Mem.HashBelow(vm.StackBase)
+			return out
+		}
+
+		want := run(prog)
+		for _, lvl := range Levels {
+			got := run(Apply(prog, lvl))
+			if got.hash != want.hash {
+				t.Errorf("seed %d: %s changed global/heap state", seed, lvl)
+			}
+			if got.regs != want.regs {
+				t.Errorf("seed %d: %s changed final register state", seed, lvl)
+			}
+		}
+	}
+}
+
+// TestFuzzIfConversionRemovesDivergence spot-checks the transform's
+// *intent*: across the random corpus, O3 must convert at least some
+// diamonds (the generator produces plenty), and converted programs must
+// have strictly fewer conditional branches.
+func TestFuzzIfConversionRemovesDivergence(t *testing.T) {
+	converted := 0
+	for seed := int64(0); seed < 40; seed++ {
+		prog := irgen.Random(irgen.DefaultParams(seed))
+		clone := ir.Clone(prog)
+		n := IfConvertStores(clone, 12)
+		converted += n
+		if n > 0 && countJcc(clone) >= countJcc(prog) {
+			t.Errorf("seed %d: %d conversions but branch count did not drop", seed, n)
+		}
+	}
+	if converted == 0 {
+		t.Error("if-conversion never fired on 40 random programs")
+	}
+}
+
+func countJcc(p *ir.Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if b.Terminator().Op == ir.OpJcc {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,272 @@
+package opt
+
+import "threadfuser/internal/ir"
+
+// IfConvert flattens branch diamonds into straight-line cmov code, the
+// divergence-removing transform the paper blames for the analyzer's O3
+// optimism. A diamond
+//
+//	A: ... ; jcc c, T, F
+//	T: t1..tn ; jmp J
+//	F: f1..fm ; jmp J
+//
+// becomes
+//
+//	A: ... ; t1'..tn' ; f1'..fm' ; cmov(c) selects ; jmp J
+//
+// where both sides' instructions are renamed to write scratch registers and
+// cmovs merge the results by the branch condition. Conversion requires both
+// sides to be speculation-safe: register/load-only (no stores, calls, locks,
+// I/O), no flag writers (the selects need A's flags), and within the size
+// budget. Loads are speculated, as compilers do — the converted code issues
+// both sides' loads, which is visible in the memory metrics.
+//
+// It returns the number of diamonds converted.
+func IfConvert(p *ir.Program, budget int) int {
+	return ifConvert(p, budget, false)
+}
+
+// IfConvertStores is the -O3 aggressive variant: branch sides may contain
+// plain stores, which become conditional (cmov-to-memory) stores. The
+// untaken path still touches the address (reading and rewriting the old
+// value), the observable cost of select/masked-store if-conversion — extra
+// memory traffic on the CPU binary that the GPU build does not have, one of
+// the reasons the paper's O3 memory estimates drift.
+func IfConvertStores(p *ir.Program, budget int) int {
+	return ifConvert(p, budget, true)
+}
+
+func ifConvert(p *ir.Program, budget int, stores bool) int {
+	converted := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if convertDiamond(f, b, budget, stores) {
+				converted++
+			}
+		}
+	}
+	return converted
+}
+
+// scratchBase..NumRegs-3 are the temporaries the renamer may allocate; the
+// workload register conventions leave r16..r29 unused.
+const scratchBase = ir.Reg(16)
+
+func convertDiamond(f *ir.Function, b *ir.Block, budget int, stores bool) bool {
+	term := b.Terminator()
+	if term.Op != ir.OpJcc || term.Target == term.Fall ||
+		term.Target == b.ID || term.Fall == b.ID {
+		return false
+	}
+	t := f.Blocks[term.Target]
+	fb := f.Blocks[term.Fall]
+	tJoin, tOK := diamondSide(t, budget, stores)
+	fJoin, fOK := diamondSide(fb, budget, stores)
+
+	// One-sided hammock "if (c) { T }": the taken side rejoins at the
+	// fall-through block.
+	if tOK && tJoin == term.Fall {
+		return convertHammock(b, t, term.Cond, term.Fall, stores)
+	}
+	// Inverted hammock "if (!c) { F }".
+	if fOK && fJoin == term.Target {
+		return convertHammock(b, fb, negate(term.Cond), term.Target, stores)
+	}
+	if !tOK || !fOK || tJoin != fJoin {
+		return false
+	}
+	join := tJoin
+
+	nextScratch := scratchBase
+	alloc := func() (ir.Reg, bool) {
+		if nextScratch >= ir.TID {
+			return 0, false
+		}
+		r := nextScratch
+		nextScratch++
+		return r, true
+	}
+
+	// Rename both sides; collect (original, temp) pairs for the selects.
+	tInstrs, tSel, ok := renameSide(t, alloc, term.Cond, stores)
+	if !ok {
+		return false
+	}
+	fInstrs, fSel, ok := renameSide(fb, alloc, negate(term.Cond), stores)
+	if !ok {
+		return false
+	}
+
+	out := append([]ir.Instr{}, b.Instrs[:len(b.Instrs)-1]...)
+	out = append(out, tInstrs...)
+	out = append(out, fInstrs...)
+	for _, s := range tSel {
+		out = append(out, ir.Instr{Op: ir.OpCmov, Cond: term.Cond, Dst: ir.Rg(s.orig), Src: ir.Rg(s.temp)})
+	}
+	notC := negate(term.Cond)
+	for _, s := range fSel {
+		out = append(out, ir.Instr{Op: ir.OpCmov, Cond: notC, Dst: ir.Rg(s.orig), Src: ir.Rg(s.temp)})
+	}
+	out = append(out, ir.Instr{Op: ir.OpJmp, Target: join})
+	b.Instrs = out
+	return true
+}
+
+// convertHammock flattens a one-sided diamond: side executes speculatively
+// into temps and cmov(cond) commits it; control falls through to join.
+func convertHammock(b, side *ir.Block, cond ir.Cond, join ir.BlockID, stores bool) bool {
+	nextScratch := scratchBase
+	alloc := func() (ir.Reg, bool) {
+		if nextScratch >= ir.TID {
+			return 0, false
+		}
+		r := nextScratch
+		nextScratch++
+		return r, true
+	}
+	instrs, sels, ok := renameSide(side, alloc, cond, stores)
+	if !ok {
+		return false
+	}
+	out := append([]ir.Instr{}, b.Instrs[:len(b.Instrs)-1]...)
+	out = append(out, instrs...)
+	for _, s := range sels {
+		out = append(out, ir.Instr{Op: ir.OpCmov, Cond: cond, Dst: ir.Rg(s.orig), Src: ir.Rg(s.temp)})
+	}
+	out = append(out, ir.Instr{Op: ir.OpJmp, Target: join})
+	b.Instrs = out
+	return true
+}
+
+// diamondSide checks that a block is a convertible branch side — at most
+// budget speculation-safe instructions ending in an unconditional jump —
+// and returns its join target.
+func diamondSide(b *ir.Block, budget int, stores bool) (ir.BlockID, bool) {
+	if b.Terminator().Op != ir.OpJmp {
+		return 0, false
+	}
+	body := b.Instrs[: len(b.Instrs)-1 : len(b.Instrs)-1]
+	if len(body) > budget {
+		return 0, false
+	}
+	for i := range body {
+		in := &body[i]
+		switch in.Op {
+		case ir.OpCmp, ir.OpTest, ir.OpFCmp, ir.OpCmov,
+			ir.OpLock, ir.OpUnlock, ir.OpIO, ir.OpSpin:
+			return 0, false // flag writers/readers and side effects
+		}
+		if in.Dst.IsMem() {
+			// Plain stores are convertible only in aggressive mode;
+			// read-modify-write memory destinations never are.
+			if !stores || in.Op != ir.OpMov {
+				return 0, false
+			}
+		}
+		if in.Dst.Kind == ir.OpndReg && (in.Dst.Reg == ir.SP || in.Dst.Reg == ir.TID) {
+			return 0, false
+		}
+	}
+	return b.Terminator().Target, true
+}
+
+type sel struct{ orig, temp ir.Reg }
+
+// renameSide rewrites a side's instructions so every register it defines is
+// replaced by a fresh scratch register (reads of a renamed register within
+// the side follow the rename; reads of untouched registers see the original
+// values). It returns the rewritten instructions and the select list.
+func renameSide(b *ir.Block, alloc func() (ir.Reg, bool), storeCond ir.Cond, stores bool) ([]ir.Instr, []sel, bool) {
+	body := b.Instrs[:len(b.Instrs)-1]
+	rename := map[ir.Reg]ir.Reg{}
+	var sels []sel
+	out := make([]ir.Instr, 0, len(body)+2)
+
+	mapReg := func(r ir.Reg) ir.Reg {
+		if nr, ok := rename[r]; ok {
+			return nr
+		}
+		return r
+	}
+	mapOperandRead := func(o ir.Operand) ir.Operand {
+		switch o.Kind {
+		case ir.OpndReg:
+			o.Reg = mapReg(o.Reg)
+		case ir.OpndMem:
+			o.Mem.Base = mapReg(o.Mem.Base)
+			if o.Mem.HasIndex {
+				o.Mem.Index = mapReg(o.Mem.Index)
+			}
+		}
+		return o
+	}
+
+	for _, in := range body {
+		in.Src = mapOperandRead(in.Src)
+		if in.Dst.IsMem() {
+			// Aggressive mode: a plain store becomes a conditional store
+			// (cmov to memory) guarded by the side's condition. The
+			// address registers are reads and follow the renaming.
+			if !stores || in.Op != ir.OpMov {
+				return nil, nil, false
+			}
+			in.Op = ir.OpCmov
+			in.Cond = storeCond
+			in.Dst = mapOperandRead(in.Dst)
+			out = append(out, in)
+			continue
+		}
+		if in.Dst.Kind != ir.OpndReg {
+			// Only register destinations survive diamondSide, plus
+			// OpndNone for Nop.
+			if in.Dst.Kind != ir.OpndNone {
+				return nil, nil, false
+			}
+			out = append(out, in)
+			continue
+		}
+		orig := in.Dst.Reg
+		readsDst := in.Op != ir.OpMov && in.Op != ir.OpLea
+		cur := mapReg(orig)
+		temp, known := rename[orig]
+		if !known {
+			var ok bool
+			temp, ok = alloc()
+			if !ok {
+				return nil, nil, false
+			}
+			if readsDst {
+				// Seed the temp with the original value so RMW ops see it.
+				out = append(out, ir.Instr{Op: ir.OpMov, Dst: ir.Rg(temp), Src: ir.Rg(cur)})
+			}
+			rename[orig] = temp
+			sels = append(sels, sel{orig: orig, temp: temp})
+		}
+		in.Dst = ir.Rg(temp)
+		out = append(out, in)
+	}
+	return out, sels, true
+}
+
+// negate returns the complementary condition.
+func negate(c ir.Cond) ir.Cond {
+	switch c {
+	case ir.CondEQ:
+		return ir.CondNE
+	case ir.CondNE:
+		return ir.CondEQ
+	case ir.CondLT:
+		return ir.CondGE
+	case ir.CondGE:
+		return ir.CondLT
+	case ir.CondLE:
+		return ir.CondGT
+	case ir.CondGT:
+		return ir.CondLE
+	case ir.CondULT:
+		return ir.CondUGE
+	case ir.CondUGE:
+		return ir.CondULT
+	}
+	return c
+}

@@ -1,0 +1,82 @@
+// Package report computes and renders every table and figure of the
+// paper's evaluation: figure 1 (warp-width efficiency sweep), Table I (the
+// workload catalog), figures 5a/5b (correlation against the hardware
+// oracle across compiler optimization levels), figure 6 (projected
+// speedups), figure 7 (the HDSearch-Midtier per-function case study),
+// figure 8 (traced vs skipped instructions), figure 9 (intra-warp lock
+// emulation), figure 10 (memory divergence), and Table II (the accuracy
+// summary against XAPP).
+//
+// Each experiment returns a data structure with a Render method producing
+// the aligned-text artifact cmd/tfreport prints and the bench harness logs.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// table is a minimal aligned-column text renderer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(cols ...string) *table {
+	return &table{header: cols}
+}
+
+func (t *table) add(cells ...string) {
+	for len(cells) < len(t.header) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func pct(v float64) string  { return fmt.Sprintf("%5.1f%%", v*100) }
+func f2(v float64) string   { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string   { return fmt.Sprintf("%.3f", v) }
+func count(v uint64) string { return fmt.Sprintf("%d", v) }
+func sortKeys(m map[string]struct{}) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

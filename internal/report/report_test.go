@@ -1,0 +1,269 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+var testScale = Scale{Seed: 1}
+
+func TestFig1(t *testing.T) {
+	d, err := Fig1(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 36 {
+		t.Fatalf("figure 1 has %d rows, want 36", len(d.Rows))
+	}
+	for _, r := range d.Rows {
+		if r.Eff8 < r.Eff16-1e-9 || r.Eff16 < r.Eff32-1e-9 {
+			t.Errorf("%s: efficiency not non-increasing with warp size: %v %v %v",
+				r.Workload, r.Eff8, r.Eff16, r.Eff32)
+		}
+	}
+	out := d.Render()
+	if !strings.Contains(out, "other.pigz") || !strings.Contains(out, "eff@32") {
+		t.Error("render missing expected content")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	d := Table1()
+	if len(d.Rows) != 36 {
+		t.Fatalf("Table I has %d rows, want 36", len(d.Rows))
+	}
+	twins := 0
+	for _, r := range d.Rows {
+		if r.GPUTwin {
+			twins++
+		}
+		if r.SIMTThreads <= 0 {
+			t.Errorf("%s: non-positive thread count", r.Workload)
+		}
+	}
+	if twins != 11 {
+		t.Errorf("%d GPU twins, want 11", twins)
+	}
+}
+
+func TestFig5aCorrelationShape(t *testing.T) {
+	d, err := Fig5a(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) != 44 {
+		t.Fatalf("%d samples, want 44 (11 workloads x 4 levels)", len(d.Points))
+	}
+	byLevel := map[string]Fig5LevelStats{}
+	for _, l := range d.Levels {
+		byLevel[l.Level.String()] = l
+	}
+	// Paper: perfect 1.0 correlation at O0/O1; O1 the closest (3% MAE);
+	// O3 overestimates.
+	if byLevel["O0"].Pearson < 0.97 || byLevel["O1"].Pearson < 0.97 {
+		t.Errorf("O0/O1 correlation %.3f/%.3f, want ~1.0",
+			byLevel["O0"].Pearson, byLevel["O1"].Pearson)
+	}
+	if byLevel["O1"].MAE > 0.06 {
+		t.Errorf("O1 efficiency MAE %.3f, want small (paper: 3%%)", byLevel["O1"].MAE)
+	}
+	if byLevel["O3"].MAE < byLevel["O1"].MAE {
+		t.Errorf("O3 MAE %.3f below O1's %.3f; aggressive optimization should hurt",
+			byLevel["O3"].MAE, byLevel["O1"].MAE)
+	}
+	// Direction: O3 predictions overestimate on average.
+	var over, under int
+	for _, p := range d.Points {
+		if p.Level.String() != "O3" {
+			continue
+		}
+		if p.Predicted > p.Hardware+1e-9 {
+			over++
+		} else if p.Predicted < p.Hardware-1e-9 {
+			under++
+		}
+	}
+	if over <= under {
+		t.Errorf("O3 overestimates on %d workloads, underestimates on %d; want mostly over", over, under)
+	}
+}
+
+func TestFig5bMemoryCorrelation(t *testing.T) {
+	d, err := Fig5b(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLevel := map[string]Fig5LevelStats{}
+	for _, l := range d.Levels {
+		byLevel[l.Level.String()] = l
+	}
+	// Paper: 0.99/0.98/0.98/0.96 correlations; O0 inflates transactions.
+	for _, lvl := range []string{"O0", "O1", "O2", "O3"} {
+		if byLevel[lvl].Pearson < 0.90 {
+			t.Errorf("%s memory correlation %.3f, want > 0.90", lvl, byLevel[lvl].Pearson)
+		}
+	}
+	if byLevel["O0"].MAE <= byLevel["O1"].MAE {
+		t.Errorf("O0 memory MAE %.3f not above O1's %.3f (reload inflation missing)",
+			byLevel["O0"].MAE, byLevel["O1"].MAE)
+	}
+}
+
+func TestFig6SpeedupProjection(t *testing.T) {
+	d, err := Fig6(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 36 {
+		t.Fatalf("%d rows, want 36", len(d.Rows))
+	}
+	// Paper: 0.97 speedup correlation between the ThreadFuser and native
+	// trace paths. At reduced scale we accept anything strongly positive.
+	if d.SpeedupCorrelation < 0.8 {
+		t.Errorf("speedup correlation %.3f, want > 0.8 (paper: 0.97)", d.SpeedupCorrelation)
+	}
+	for _, r := range d.Rows {
+		if r.TFSpeedup <= 0 {
+			t.Errorf("%s: non-positive speedup", r.Workload)
+		}
+	}
+}
+
+func TestFig7CaseStudy(t *testing.T) {
+	d, err := Fig7(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OriginalEff > 0.15 {
+		t.Errorf("original efficiency %.3f, want single digits (paper: 7%%)", d.OriginalEff)
+	}
+	if d.FixedEff < 0.8 {
+		t.Errorf("fixed efficiency %.3f, want ~0.9 (paper: 90%%)", d.FixedEff)
+	}
+	if d.GetpointShare < 0.3 {
+		t.Errorf("getpoint share %.3f, want dominant (paper: ~half)", d.GetpointShare)
+	}
+	if d.GetpointEff > 0.15 {
+		t.Errorf("getpoint efficiency %.3f, want ~6%%", d.GetpointEff)
+	}
+}
+
+func TestFig8TracedFraction(t *testing.T) {
+	d, err := Fig8(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 13 {
+		t.Fatalf("%d microservices, want 13", len(d.Rows))
+	}
+	if d.GeoMean < 0.80 || d.GeoMean > 0.98 {
+		t.Errorf("traced geomean %.3f, want ~0.90 (paper)", d.GeoMean)
+	}
+	for _, r := range d.Rows {
+		if r.TracedPct <= 50 || r.TracedPct > 100 {
+			t.Errorf("%s: traced %.1f%% out of plausible range", r.Workload, r.TracedPct)
+		}
+	}
+}
+
+func TestFig9LockEmulation(t *testing.T) {
+	d, err := Fig9(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDrop := false
+	for _, r := range d.Rows {
+		if r.EffEmulated > r.EffFineGrain+1e-9 {
+			t.Errorf("%s: lock emulation increased efficiency %.3f -> %.3f",
+				r.Workload, r.EffFineGrain, r.EffEmulated)
+		}
+		if r.EffFineGrain-r.EffEmulated > 0.001 {
+			sawDrop = true
+		}
+		// Paper: the decline is "not as substantial" thanks to fine-grain
+		// locking — emulation must not collapse efficiency to zero.
+		if r.EffFineGrain > 0.3 && r.EffEmulated < r.EffFineGrain/3 {
+			t.Errorf("%s: emulation collapsed efficiency %.3f -> %.3f; fine-grain locking should bound the damage",
+				r.Workload, r.EffFineGrain, r.EffEmulated)
+		}
+	}
+	if !sawDrop {
+		t.Error("no workload showed any lock-serialization cost")
+	}
+}
+
+func TestFig10MemoryDivergence(t *testing.T) {
+	d, err := Fig10(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range d.Rows {
+		if r.HeapTxPer < 1 {
+			t.Errorf("%s: heap tx/instr %.2f below 1", r.Workload, r.HeapTxPer)
+		}
+		if r.HeapTxPer > 33 || r.StackTxPer > 33 {
+			t.Errorf("%s: tx/instr beyond one per lane: heap %.2f stack %.2f",
+				r.Workload, r.HeapTxPer, r.StackTxPer)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	d, err := Table2(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := d.Render()
+	for _, want := range []string{"XAPP", "speedup projection corr", "dynamic CFG"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II render missing %q", want)
+		}
+	}
+	if d.SpeedupCorr == 0 {
+		t.Error("speedup correlation not populated")
+	}
+}
+
+func TestExt1OccupancyShapes(t *testing.T) {
+	d, err := Ext1(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Ext1Row{}
+	for _, r := range d.Rows {
+		byName[r.Workload] = r
+	}
+	nb := byName["paropoly.nbody"]
+	if nb.FullPct < 95 {
+		t.Errorf("nbody full-warp fraction %.1f%%, want ~100%%", nb.FullPct)
+	}
+	hd := byName["usuite.hdsearch.mid"]
+	if hd.SinglePct < 20 {
+		t.Errorf("hdsearch.mid single-lane fraction %.1f%%, want a heavy serialized tail", hd.SinglePct)
+	}
+	if hd.MedianLanes >= nb.MedianLanes {
+		t.Errorf("median lanes: hdsearch %d not below nbody %d", hd.MedianLanes, nb.MedianLanes)
+	}
+}
+
+func TestExt2Scaling(t *testing.T) {
+	d, err := Ext2(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.SMCounts) == 0 || len(d.Rows) == 0 {
+		t.Fatal("empty scaling study")
+	}
+	for _, r := range d.Rows {
+		first := r.Cycles[d.SMCounts[0]]
+		last := r.Cycles[d.SMCounts[len(d.SMCounts)-1]]
+		if first == 0 || last == 0 {
+			t.Fatalf("%s: zero cycles", r.Workload)
+		}
+		// Scaling may saturate but must never be dramatically negative.
+		if float64(last) > 1.25*float64(first) {
+			t.Errorf("%s: %d SMs (%d cycles) much slower than 1 SM (%d)",
+				r.Workload, d.SMCounts[len(d.SMCounts)-1], last, first)
+		}
+	}
+}

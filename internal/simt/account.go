@@ -1,0 +1,87 @@
+package simt
+
+import (
+	"sort"
+
+	"threadfuser/internal/coalesce"
+	"threadfuser/internal/trace"
+)
+
+// ChargeInstrs adds one lockstep execution of an n-instruction block with
+// the given number of active lanes to the warp and function metrics
+// (equation 1 numerator and denominator).
+func ChargeInstrs(wm *WarpMetrics, fm *FuncMetrics, n uint64, active int) {
+	wm.Lockstep += n
+	wm.ThreadInstrs += n * uint64(active)
+	if active >= 0 && active <= MaxWarpSize {
+		wm.LaneHistogram[active] += n
+	}
+	if fm != nil {
+		fm.Lockstep += n
+		fm.ThreadInstrs += n * uint64(active)
+	}
+}
+
+// ChargeMemory coalesces one lockstep block execution's memory accesses.
+// recs holds the active lanes' records for the same static block; accesses
+// are merged per instruction index, loads and stores coalesce separately
+// into 32-byte transactions, and counts are split by stack/heap segment.
+// Both the trace-replay engine and the lockstep hardware oracle charge
+// memory through this function, so their transaction metrics are directly
+// comparable. fm, when non-nil, receives the per-function attribution.
+func ChargeMemory(wm *WarpMetrics, fm *FuncMetrics, recs []*trace.Record) {
+	var idxs [8]uint16
+	idxList := idxs[:0]
+	for _, r := range recs {
+		for _, m := range r.Mem {
+			found := false
+			for _, x := range idxList {
+				if x == m.Instr {
+					found = true
+					break
+				}
+			}
+			if !found {
+				idxList = append(idxList, m.Instr)
+			}
+		}
+	}
+	if len(idxList) == 0 {
+		return
+	}
+	sort.Slice(idxList, func(i, j int) bool { return idxList[i] < idxList[j] })
+
+	var loads, stores []coalesce.Access
+	for _, idx := range idxList {
+		loads, stores = loads[:0], stores[:0]
+		for _, r := range recs {
+			for _, m := range r.Mem {
+				if m.Instr != idx {
+					continue
+				}
+				a := coalesce.Access{Addr: m.Addr, Size: m.Size}
+				if m.Store {
+					stores = append(stores, a)
+				} else {
+					loads = append(loads, a)
+				}
+			}
+		}
+		ls, lh := coalesce.Split(loads)
+		ss, sh := coalesce.Split(stores)
+		wm.MemInstrs++
+		if ls+ss > 0 {
+			wm.StackMemInstrs++
+			wm.StackTx += uint64(ls + ss)
+		}
+		if lh+sh > 0 {
+			wm.HeapMemInstrs++
+			wm.HeapTx += uint64(lh + sh)
+		}
+		if fm != nil {
+			fm.MemInstrs++
+			fm.HeapTx += uint64(lh + sh)
+			fm.StackTx += uint64(ls + ss)
+		}
+	}
+}

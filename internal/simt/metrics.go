@@ -1,0 +1,190 @@
+package simt
+
+// FuncMetrics accumulates per-function SIMT statistics. A block's
+// instructions are attributed to the function that owns the block, so a
+// function's numbers exclude its callees — the property the paper relies on
+// for the per-function bottleneck reports (figure 7).
+type FuncMetrics struct {
+	// Lockstep counts warp instructions issued for the function's blocks.
+	Lockstep uint64
+	// ThreadInstrs counts instructions summed over the active threads.
+	ThreadInstrs uint64
+	// Invocations counts warp-level entries into the function.
+	Invocations uint64
+	// MemInstrs / HeapTx / StackTx attribute the memory-divergence metrics
+	// (figure 10) to the function's own instructions.
+	MemInstrs uint64
+	HeapTx    uint64
+	StackTx   uint64
+}
+
+// HeapTxPerMemInstr returns the function's heap transactions per memory
+// instruction.
+func (f *FuncMetrics) HeapTxPerMemInstr() float64 {
+	if f.MemInstrs == 0 {
+		return 0
+	}
+	return float64(f.HeapTx) / float64(f.MemInstrs)
+}
+
+// Efficiency returns the function's SIMT efficiency given the warp size
+// (equation 1 of the paper, restricted to the function's own blocks).
+func (f *FuncMetrics) Efficiency(warpSize int) float64 {
+	if f.Lockstep == 0 {
+		return 0
+	}
+	return float64(f.ThreadInstrs) / (float64(f.Lockstep) * float64(warpSize))
+}
+
+// WarpMetrics accumulates statistics for one warp.
+type WarpMetrics struct {
+	// Lockstep is the number of warp instructions issued (each basic-block
+	// instruction counted once per lockstep execution, regardless of how
+	// many lanes are active).
+	Lockstep uint64
+	// ThreadInstrs is the number of instructions summed over active lanes.
+	ThreadInstrs uint64
+
+	// MemInstrs counts warp-level executions of x86 instructions that
+	// initiated at least one memory access on an active lane.
+	MemInstrs uint64
+	// StackMemInstrs / HeapMemInstrs count warp memory instructions that
+	// touched the respective segment (an instruction may count in both).
+	StackMemInstrs uint64
+	HeapMemInstrs  uint64
+	// StackTx / HeapTx count 32-byte transactions after coalescing.
+	StackTx uint64
+	HeapTx  uint64
+
+	// LockSerializations counts critical-section serialization events
+	// (occasions where ≥2 lanes contended for the same lock address).
+	LockSerializations uint64
+	// SerializedLanes counts the lanes that were forced to execute
+	// serially across all serialization events.
+	SerializedLanes uint64
+
+	// LaneHistogram[k] counts warp instructions issued with exactly k
+	// active lanes — the occupancy distribution behind the efficiency
+	// number. A bimodal histogram (full warps plus single-lane tails) and
+	// a uniformly half-full one have the same equation-1 efficiency but
+	// very different hardware remedies.
+	LaneHistogram [MaxWarpSize + 1]uint64
+}
+
+// Efficiency returns the warp's SIMT efficiency per equation 1.
+func (w *WarpMetrics) Efficiency(warpSize int) float64 {
+	if w.Lockstep == 0 {
+		return 0
+	}
+	return float64(w.ThreadInstrs) / (float64(w.Lockstep) * float64(warpSize))
+}
+
+// BranchKey identifies a divergence site: the basic block whose terminator
+// split the warp.
+type BranchKey struct {
+	Func  uint32
+	Block uint32
+}
+
+// BranchStats accumulates divergence behaviour at one branch site. The
+// per-function report (figure 7) localizes SIMT inefficiency to a function;
+// this localizes it to the exact branch, the granularity a developer needs
+// to apply a fix like the paper's getpoint trip-count pinning.
+type BranchStats struct {
+	// Divergences counts warp splits caused by this block's terminator.
+	Divergences uint64
+	// Paths sums the number of distinct targets per split (≥2).
+	Paths uint64
+	// LanesOff sums, over all splits, the lanes that left the largest
+	// group — an estimate of the lanes idled by each divergence.
+	LanesOff uint64
+}
+
+// Result is the outcome of replaying all warps of a trace.
+type Result struct {
+	WarpSize int
+	Warps    []WarpMetrics
+	Funcs    map[uint32]*FuncMetrics
+	// Branches maps divergence sites to their statistics.
+	Branches map[BranchKey]*BranchStats
+
+	// SkippedIO / SkippedSpin total the untraced instructions consumed
+	// during replay (paper figure 8).
+	SkippedIO   uint64
+	SkippedSpin uint64
+}
+
+// Total returns the aggregate of all warp metrics.
+func (r *Result) Total() WarpMetrics {
+	var t WarpMetrics
+	for i := range r.Warps {
+		w := &r.Warps[i]
+		t.Lockstep += w.Lockstep
+		t.ThreadInstrs += w.ThreadInstrs
+		t.MemInstrs += w.MemInstrs
+		t.StackMemInstrs += w.StackMemInstrs
+		t.HeapMemInstrs += w.HeapMemInstrs
+		t.StackTx += w.StackTx
+		t.HeapTx += w.HeapTx
+		t.LockSerializations += w.LockSerializations
+		t.SerializedLanes += w.SerializedLanes
+		for k, v := range w.LaneHistogram {
+			t.LaneHistogram[k] += v
+		}
+	}
+	return t
+}
+
+// Efficiency returns the program's SIMT efficiency: the average of the
+// per-warp efficiencies, as the paper specifies ("the overall SIMT
+// efficiency for the program is then computed by averaging these
+// efficiencies across all warps").
+func (r *Result) Efficiency() float64 {
+	if len(r.Warps) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range r.Warps {
+		sum += r.Warps[i].Efficiency(r.WarpSize)
+	}
+	return sum / float64(len(r.Warps))
+}
+
+// WeightedEfficiency returns the instruction-weighted program efficiency
+// (total thread instructions over total issue slots), which large warps with
+// long traces dominate. Reported alongside the per-warp average.
+func (r *Result) WeightedEfficiency() float64 {
+	t := r.Total()
+	return t.Efficiency(r.WarpSize)
+}
+
+// HeapTxPerMemInstr returns the average number of 32-byte heap transactions
+// per warp memory instruction touching the heap (paper figures 5b and 10).
+func (r *Result) HeapTxPerMemInstr() float64 {
+	t := r.Total()
+	if t.HeapMemInstrs == 0 {
+		return 0
+	}
+	return float64(t.HeapTx) / float64(t.HeapMemInstrs)
+}
+
+// StackTxPerMemInstr returns the average number of 32-byte stack
+// transactions per warp memory instruction touching the stack.
+func (r *Result) StackTxPerMemInstr() float64 {
+	t := r.Total()
+	if t.StackMemInstrs == 0 {
+		return 0
+	}
+	return float64(t.StackTx) / float64(t.StackMemInstrs)
+}
+
+// TracedFraction returns traced/(traced+skipped) dynamic instructions, the
+// quantity figure 8 of the paper reports per workload.
+func (r *Result) TracedFraction() float64 {
+	traced := r.Total().ThreadInstrs
+	all := traced + r.SkippedIO + r.SkippedSpin
+	if all == 0 {
+		return 1
+	}
+	return float64(traced) / float64(all)
+}

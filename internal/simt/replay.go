@@ -1,0 +1,527 @@
+package simt
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"threadfuser/internal/cfg"
+	"threadfuser/internal/ipdom"
+	"threadfuser/internal/trace"
+	"threadfuser/internal/warp"
+)
+
+// MaxWarpSize bounds the warp width (lane masks are 64-bit words).
+const MaxWarpSize = 64
+
+// Options configure a replay.
+type Options struct {
+	// WarpSize is the SIMD width being modelled (paper explores 8..32).
+	WarpSize int
+	// EmulateLocks enables intra-warp critical-section serialization
+	// (paper section III and figure 9). When disabled, lock operations
+	// are traced but do not perturb control flow, modelling the paper's
+	// fine-grain-locking assumption.
+	EmulateLocks bool
+	// LockReconvergence selects where serialized critical sections
+	// reconverge. The paper picks the matching release of one contender
+	// and explicitly defers studying alternatives ("different choices of
+	// reconvergence points may have varying effects on the control flow
+	// efficiency, but we defer this investigation to future research");
+	// this knob implements that study.
+	LockReconvergence LockReconvergence
+	// Listener, if non-nil, observes every lockstep block execution; the
+	// warp-trace generator uses it.
+	Listener Listener
+}
+
+// LockReconvergence enumerates critical-section reconvergence policies.
+type LockReconvergence uint8
+
+const (
+	// ReconvergeAtRelease reconverges just past the matching release in
+	// the first contender's trace — the paper's policy. Tight sections
+	// resume lockstep as soon as possible.
+	ReconvergeAtRelease LockReconvergence = iota
+	// ReconvergeAtFunctionExit reconverges at the virtual exit of the
+	// function containing the acquire — the conservative choice: the
+	// whole remainder of the function serializes, but mismatched
+	// lock/unlock paths can never strand a lane.
+	ReconvergeAtFunctionExit
+)
+
+func (l LockReconvergence) String() string {
+	if l == ReconvergeAtFunctionExit {
+		return "function-exit"
+	}
+	return "release"
+}
+
+// BlockExec describes one lockstep execution of a basic block, delivered to
+// a Listener.
+type BlockExec struct {
+	Warp        int
+	Func, Block uint32
+	Depth       int32
+	// Lanes lists the active lane indices; Threads the corresponding
+	// global thread ids; Records each active lane's trace record for this
+	// block (carrying its memory accesses). The three slices are parallel
+	// and only valid for the duration of the callback.
+	Lanes   []int
+	Threads []int
+	Records []*trace.Record
+	// NumLanes is the warp's configured width.
+	NumLanes int
+}
+
+// Listener observes block executions during replay.
+type Listener interface {
+	OnBlock(*BlockExec)
+}
+
+// Replay runs the SIMT-stack emulation over all warps and returns the
+// aggregated metrics.
+func Replay(t *trace.Trace, graphs map[uint32]*cfg.DCFG, pdoms map[uint32]*ipdom.PostDom, warps []warp.Warp, opts Options) (*Result, error) {
+	if opts.WarpSize <= 0 || opts.WarpSize > MaxWarpSize {
+		return nil, fmt.Errorf("simt: warp size %d out of range [1,%d]", opts.WarpSize, MaxWarpSize)
+	}
+	res := &Result{
+		WarpSize: opts.WarpSize,
+		Warps:    make([]WarpMetrics, len(warps)),
+		Funcs:    make(map[uint32]*FuncMetrics),
+		Branches: make(map[BranchKey]*BranchStats),
+	}
+	for wi, w := range warps {
+		if len(w) > opts.WarpSize {
+			return nil, fmt.Errorf("simt: warp %d has %d threads > warp size %d", wi, len(w), opts.WarpSize)
+		}
+		wr := &warpReplay{
+			warpIndex: wi,
+			res:       res,
+			wm:        &res.Warps[wi],
+			graphs:    graphs,
+			pdoms:     pdoms,
+			opts:      opts,
+			tids:      w,
+		}
+		for _, tid := range w {
+			if tid < 0 || tid >= len(t.Threads) {
+				return nil, fmt.Errorf("simt: warp %d references thread %d outside trace", wi, tid)
+			}
+			wr.cursors = append(wr.cursors, newCursor(t.Threads[tid]))
+		}
+		if err := wr.run(); err != nil {
+			return nil, fmt.Errorf("simt: warp %d: %w", wi, err)
+		}
+		for _, c := range wr.cursors {
+			res.SkippedIO += c.skipIO
+			res.SkippedSpin += c.skipSpin
+		}
+	}
+	return res, nil
+}
+
+// entry is one SIMT-stack entry.
+type entry struct {
+	mask    uint64
+	rpc     position // reconvergence position
+	hasRPC  bool
+	last    position // most recently executed position (for IPDOM lookup)
+	hasLast bool
+}
+
+// group is a set of lanes sharing the same next position.
+type group struct {
+	pos  position
+	mask uint64
+}
+
+type warpReplay struct {
+	warpIndex int
+	res       *Result
+	wm        *WarpMetrics
+	graphs    map[uint32]*cfg.DCFG
+	pdoms     map[uint32]*ipdom.PostDom
+	opts      Options
+	tids      []int
+	cursors   []*cursor
+	done      uint64
+	stack     []entry
+}
+
+func (wr *warpReplay) run() error {
+	all := uint64(0)
+	for i := range wr.cursors {
+		all |= 1 << uint(i)
+	}
+	wr.stack = append(wr.stack, entry{mask: all})
+
+	var maxSteps uint64 = 1024
+	for _, c := range wr.cursors {
+		maxSteps += uint64(len(c.recs)) * 8
+	}
+
+	for steps := uint64(0); len(wr.stack) > 0; steps++ {
+		if steps > maxSteps {
+			var desc string
+			for i := range wr.stack {
+				e := &wr.stack[i]
+				desc += fmt.Sprintf("\n  entry %d: mask=%x rpc=%v(hasRPC=%v) last=%v", i, e.mask, e.rpc, e.hasRPC, e.last)
+			}
+			top := &wr.stack[len(wr.stack)-1]
+			for _, g := range wr.group(top.mask &^ wr.done) {
+				desc += fmt.Sprintf("\n  top group: pos=%v mask=%x", g.pos, g.mask)
+			}
+			return fmt.Errorf("replay exceeded %d steps: SIMT stack livelock (stack depth %d)%s", maxSteps, len(wr.stack), desc)
+		}
+		e := &wr.stack[len(wr.stack)-1]
+		active := e.mask &^ wr.done
+		groups := wr.group(active)
+
+		if len(groups) == 0 {
+			wr.pop()
+			continue
+		}
+		if e.hasRPC && allAtOrPast(e, groups) {
+			wr.pop()
+			continue
+		}
+		if len(groups) == 1 {
+			if err := wr.execGroup(e, groups[0].pos, groups[0].mask); err != nil {
+				return err
+			}
+			continue
+		}
+		wr.diverge(e, groups)
+	}
+	for _, c := range wr.cursors {
+		c.drainTrailingSkips()
+	}
+	return nil
+}
+
+func (wr *warpReplay) pop() {
+	wr.stack = wr.stack[:len(wr.stack)-1]
+}
+
+// allAtOrPast reports whether every group has reached the entry's
+// reconvergence position. A group counts as "past" it only when the entry
+// has already executed at or inside the reconvergence frame and the group
+// has since returned below it — the escape hatch for the approximate
+// critical-section reconvergence points. Lanes that have merely not yet
+// descended to the reconvergence depth must keep executing, or serialized
+// entries would pop before doing any work and re-serialize forever.
+func allAtOrPast(e *entry, groups []group) bool {
+	escaped := e.hasLast && e.last.depth >= e.rpc.depth
+	for _, g := range groups {
+		if g.pos == e.rpc {
+			continue
+		}
+		if escaped && g.pos.depth < e.rpc.depth {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// group partitions the active lanes by their next position, dropping lanes
+// whose traces are exhausted (and recording them as done). Groups are sorted
+// by position key for determinism.
+func (wr *warpReplay) group(active uint64) []group {
+	var groups []group
+	for m := active; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros64(m)
+		pos := wr.cursors[lane].peek()
+		if pos.kind == posDone {
+			wr.cursors[lane].drainTrailingSkips()
+			wr.done |= 1 << uint(lane)
+			continue
+		}
+		found := false
+		for i := range groups {
+			if groups[i].pos == pos {
+				groups[i].mask |= 1 << uint(lane)
+				found = true
+				break
+			}
+		}
+		if !found {
+			groups = append(groups, group{pos: pos, mask: 1 << uint(lane)})
+		}
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].pos.key() < groups[j].pos.key() })
+	return groups
+}
+
+// diverge handles multiple distinct next positions within one entry: the
+// divergent branch's IPDOM becomes the reconvergence point and one stack
+// entry per distinct target is pushed (paper figure 2).
+func (wr *warpReplay) diverge(e *entry, groups []group) {
+	rpc := wr.reconvergencePoint(e, groups)
+	wr.recordDivergence(e, groups)
+	// Lanes already at the reconvergence point wait in the parent entry.
+	pushed := 0
+	for i := len(groups) - 1; i >= 0; i-- { // reverse so the lowest key ends on top
+		g := groups[i]
+		if g.pos == rpc {
+			continue
+		}
+		wr.stack = append(wr.stack, entry{mask: g.mask, rpc: rpc, hasRPC: true})
+		pushed++
+	}
+	// At least one group differs from rpc (groups have pairwise-distinct
+	// positions and at most one can equal it), so progress is guaranteed.
+	_ = pushed
+}
+
+// recordDivergence attributes a warp split to the block whose terminator
+// caused it (the entry's most recently executed block).
+func (wr *warpReplay) recordDivergence(e *entry, groups []group) {
+	if !e.hasLast || e.last.kind != posBlock {
+		return
+	}
+	key := BranchKey{Func: e.last.fn, Block: e.last.block}
+	bs := wr.res.Branches[key]
+	if bs == nil {
+		bs = &BranchStats{}
+		wr.res.Branches[key] = bs
+	}
+	bs.Divergences++
+	bs.Paths += uint64(len(groups))
+	var total, largest int
+	for _, g := range groups {
+		n := bits.OnesCount64(g.mask)
+		total += n
+		if n > largest {
+			largest = n
+		}
+	}
+	bs.LanesOff += uint64(total - largest)
+}
+
+// reconvergencePoint picks the RPC for a divergence. The normal case uses
+// the IPDOM of the block the entry just executed. If any group already sits
+// at the entry's own reconvergence position (loop-exit divergence), that
+// position is reused. Pathological mixes (differing depths after approximate
+// critical-section reconvergence) fall back to the virtual exit of the
+// shallowest group's function.
+func (wr *warpReplay) reconvergencePoint(e *entry, groups []group) position {
+	if e.hasRPC {
+		for _, g := range groups {
+			if g.pos == e.rpc {
+				return e.rpc
+			}
+		}
+	}
+	minDepth := groups[0].pos.depth
+	for _, g := range groups[1:] {
+		if g.pos.depth < minDepth {
+			minDepth = g.pos.depth
+		}
+	}
+	// Whenever every group sits at or below (deeper than) the frame of the
+	// block that just executed, its IPDOM is the reconvergence point. This
+	// covers ordinary branch divergence (groups at the same depth) and
+	// divergent indirect calls (every lane entered a different callee, one
+	// frame deeper): the lanes rejoin at the caller's join block after
+	// their callees return.
+	if e.hasLast && e.last.kind == posBlock && minDepth >= e.last.depth {
+		return wr.ipdomPos(e.last.fn, e.last.block, e.last.depth)
+	}
+	// Fallback for depth mixes left behind by approximate critical-section
+	// reconvergence: the virtual exit of the shallowest group's function.
+	min := groups[0]
+	for _, g := range groups[1:] {
+		if g.pos.depth < min.pos.depth {
+			min = g
+		}
+	}
+	return position{kind: posExit, fn: min.pos.fn, depth: min.pos.depth}
+}
+
+// ipdomPos maps a block's immediate post-dominator to a replay position.
+func (wr *warpReplay) ipdomPos(fn, block uint32, depth int32) position {
+	g := wr.graphs[fn]
+	pd := wr.pdoms[fn]
+	if g == nil || pd == nil {
+		return position{kind: posExit, fn: fn, depth: depth}
+	}
+	ip := pd.IPDom(int32(block))
+	if ip == g.ExitNode() {
+		return position{kind: posExit, fn: fn, depth: depth}
+	}
+	return position{kind: posBlock, fn: fn, block: uint32(ip), depth: depth}
+}
+
+// execGroup executes one lockstep step (a basic block or a function exit)
+// for the given lanes.
+func (wr *warpReplay) execGroup(e *entry, pos position, mask uint64) error {
+	switch pos.kind {
+	case posExit:
+		for m := mask; m != 0; m &= m - 1 {
+			wr.cursors[bits.TrailingZeros64(m)].consumeExit()
+		}
+		e.last, e.hasLast = pos, true
+		return nil
+	case posBlock:
+		if wr.opts.EmulateLocks && wr.maybeSerialize(e, pos, mask) {
+			return nil
+		}
+		return wr.execBlock(e, pos, mask)
+	}
+	return fmt.Errorf("execGroup on %v", pos)
+}
+
+// execBlock performs the lockstep execution of one basic block: advances
+// every active lane's cursor, charges equation-1 instruction counts, and
+// coalesces the block's memory accesses instruction by instruction.
+func (wr *warpReplay) execBlock(e *entry, pos position, mask uint64) error {
+	lanes := make([]int, 0, bits.OnesCount64(mask))
+	recs := make([]*trace.Record, 0, cap(lanes))
+	for m := mask; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros64(m)
+		r := wr.cursors[lane].consumeBlock()
+		if r.Func != pos.fn || r.Block != pos.block {
+			return fmt.Errorf("lane %d consumed f%d.b%d, expected %v", lane, r.Func, r.Block, pos)
+		}
+		lanes = append(lanes, lane)
+		recs = append(recs, r)
+	}
+	fm := wr.res.Funcs[pos.fn]
+	if fm == nil {
+		fm = &FuncMetrics{}
+		wr.res.Funcs[pos.fn] = fm
+	}
+	ChargeInstrs(wr.wm, fm, recs[0].N, len(lanes))
+	if g := wr.graphs[pos.fn]; g != nil && int32(pos.block) == g.Entry() {
+		fm.Invocations++
+	}
+
+	ChargeMemory(wr.wm, fm, recs)
+
+	if wr.opts.Listener != nil {
+		threads := make([]int, len(lanes))
+		for i, l := range lanes {
+			threads[i] = wr.tids[l]
+		}
+		wr.opts.Listener.OnBlock(&BlockExec{
+			Warp:     wr.warpIndex,
+			Func:     pos.fn,
+			Block:    pos.block,
+			Depth:    pos.depth,
+			Lanes:    lanes,
+			Threads:  threads,
+			Records:  recs,
+			NumLanes: wr.opts.WarpSize,
+		})
+	}
+	e.last, e.hasLast = pos, true
+	return nil
+}
+
+// maybeSerialize inspects the block about to execute for contended lock
+// acquisitions and, when at least two active lanes acquire the same address,
+// rebuilds the schedule per the paper: same-lock lanes execute their
+// critical sections serially while different-lock lanes proceed in parallel,
+// all reconverging at the position following the matching release in the
+// first contending lane's trace. Returns true if the stack was changed.
+func (wr *warpReplay) maybeSerialize(e *entry, pos position, mask uint64) bool {
+	if bits.OnesCount64(mask) < 2 {
+		return false
+	}
+	// First acquire address per lane, if any.
+	type laneAcq struct {
+		lane int
+		addr uint64
+	}
+	var acqs []laneAcq
+	noAcq := uint64(0)
+	for m := mask; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros64(m)
+		r := wr.cursors[lane].peekBlockRecord()
+		addr, ok := firstAcquire(r)
+		if !ok {
+			noAcq |= 1 << uint(lane)
+			continue
+		}
+		acqs = append(acqs, laneAcq{lane: lane, addr: addr})
+	}
+	if len(acqs) < 2 {
+		return false
+	}
+	// Group lanes by lock address. Lanes acquiring different locks execute
+	// in parallel (the paper's fine-grain-locking behaviour); lanes
+	// contending for the same address serialize. The schedule is built in
+	// rounds: round i holds the i-th contender of every distinct lock (all
+	// distinct addresses, so a round never re-serializes), and round 0
+	// additionally carries the lanes that acquire nothing.
+	order := make([]uint64, 0, len(acqs))
+	locks := make(map[uint64][]int, len(acqs))
+	for _, a := range acqs {
+		if _, seen := locks[a.addr]; !seen {
+			order = append(order, a.addr)
+		}
+		locks[a.addr] = append(locks[a.addr], a.lane)
+	}
+	rounds := 0
+	contended := false
+	var firstSerial laneAcq
+	for _, addr := range order {
+		lanes := locks[addr]
+		if len(lanes) > rounds {
+			rounds = len(lanes)
+		}
+		if len(lanes) >= 2 && !contended {
+			contended = true
+			firstSerial = laneAcq{lane: lanes[0], addr: addr}
+		}
+	}
+	if !contended {
+		return false
+	}
+
+	var rpc position
+	if wr.opts.LockReconvergence == ReconvergeAtRelease {
+		var ok bool
+		rpc, ok = wr.cursors[firstSerial.lane].releasePosition(firstSerial.addr)
+		if !ok {
+			rpc = position{kind: posExit, fn: pos.fn, depth: pos.depth}
+		}
+	} else {
+		rpc = position{kind: posExit, fn: pos.fn, depth: pos.depth}
+	}
+
+	roundMasks := make([]uint64, rounds)
+	for _, addr := range order {
+		for i, lane := range locks[addr] {
+			roundMasks[i] |= 1 << uint(lane)
+			if i > 0 {
+				wr.wm.SerializedLanes++
+			}
+		}
+	}
+	roundMasks[0] |= noAcq
+	wr.wm.LockSerializations++
+
+	// Parent waits at the reconvergence point; push later rounds first so
+	// round 0 ends on top of the stack and executes first.
+	for i := rounds - 1; i >= 0; i-- {
+		wr.stack = append(wr.stack, entry{mask: roundMasks[i], rpc: rpc, hasRPC: true})
+	}
+	return true
+}
+
+// firstAcquire returns the address of the first lock-acquire operation in a
+// block record.
+func firstAcquire(r *trace.Record) (uint64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	for _, l := range r.Locks {
+		if !l.Release {
+			return l.Addr, true
+		}
+	}
+	return 0, false
+}

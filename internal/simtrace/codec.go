@@ -1,0 +1,179 @@
+package simtrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"threadfuser/internal/ir"
+)
+
+// Text format (".wtr", warp trace), one record per line, in the spirit of
+// Accel-Sim's kernel traces:
+//
+//	TFWT 1 <program> <warpsize> <numwarps>
+//	warp <index> <numinstrs>
+//	<pc> <class> <op> <dst> <src1> <src2> <mask> [<L|S> <space> <size> <addr>...]
+//
+// Registers print as decimal (255 = none); pc, mask and addresses as hex.
+
+// WriteText serializes a kernel trace.
+func WriteText(w io.Writer, kt *KernelTrace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "TFWT 1 %s %d %d\n", kt.Program, kt.WarpSize, len(kt.Warps)); err != nil {
+		return err
+	}
+	for _, ws := range kt.Warps {
+		fmt.Fprintf(bw, "warp %d %d\n", ws.Warp, len(ws.Instrs))
+		for i := range ws.Instrs {
+			in := &ws.Instrs[i]
+			fmt.Fprintf(bw, "%x %d %d %d %d %d %x", in.PC, in.Class, in.Op, in.Dst, in.Srcs[0], in.Srcs[1], in.Mask)
+			if in.Class == ir.ClassMem {
+				ls := "S"
+				if in.Load {
+					ls = "L"
+				}
+				fmt.Fprintf(bw, " %s %d %d", ls, in.Space, in.Size)
+				for _, a := range in.Addrs {
+					fmt.Fprintf(bw, " %x", a)
+				}
+			}
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile serializes the kernel trace to the named file.
+func WriteFile(path string, kt *KernelTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteText(f, kt); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadText parses a kernel trace in the .wtr format.
+func ReadText(r io.Reader) (*KernelTrace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("simtrace: empty warp trace")
+	}
+	head := strings.Fields(sc.Text())
+	if len(head) != 5 || head[0] != "TFWT" || head[1] != "1" {
+		return nil, fmt.Errorf("simtrace: bad header %q", sc.Text())
+	}
+	warpSize, err := strconv.Atoi(head[3])
+	if err != nil {
+		return nil, fmt.Errorf("simtrace: bad warp size: %v", err)
+	}
+	nwarps, err := strconv.Atoi(head[4])
+	if err != nil {
+		return nil, fmt.Errorf("simtrace: bad warp count: %v", err)
+	}
+	kt := &KernelTrace{Program: head[2], WarpSize: warpSize}
+
+	for w := 0; w < nwarps; w++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("simtrace: truncated at warp %d", w)
+		}
+		wh := strings.Fields(sc.Text())
+		if len(wh) != 3 || wh[0] != "warp" {
+			return nil, fmt.Errorf("simtrace: bad warp header %q", sc.Text())
+		}
+		idx, err1 := strconv.Atoi(wh[1])
+		n, err2 := strconv.Atoi(wh[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("simtrace: bad warp header %q", sc.Text())
+		}
+		ws := &WarpStream{Warp: idx, Instrs: make([]WInstr, 0, n)}
+		for i := 0; i < n; i++ {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("simtrace: truncated in warp %d", idx)
+			}
+			in, err := parseInstr(sc.Text())
+			if err != nil {
+				return nil, fmt.Errorf("simtrace: warp %d instr %d: %v", idx, i, err)
+			}
+			ws.Instrs = append(ws.Instrs, in)
+		}
+		kt.Warps = append(kt.Warps, ws)
+	}
+	return kt, sc.Err()
+}
+
+// ReadFile parses the named .wtr file.
+func ReadFile(path string) (*KernelTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadText(f)
+}
+
+func parseInstr(line string) (WInstr, error) {
+	fs := strings.Fields(line)
+	if len(fs) < 7 {
+		return WInstr{}, fmt.Errorf("short record %q", line)
+	}
+	var in WInstr
+	var err error
+	if in.PC, err = strconv.ParseUint(fs[0], 16, 64); err != nil {
+		return in, err
+	}
+	cls, err := strconv.Atoi(fs[1])
+	if err != nil {
+		return in, err
+	}
+	in.Class = ir.Class(cls)
+	op, err := strconv.Atoi(fs[2])
+	if err != nil {
+		return in, err
+	}
+	in.Op = ir.Opcode(op)
+	regs := [3]uint8{}
+	for i := 0; i < 3; i++ {
+		v, err := strconv.ParseUint(fs[3+i], 10, 8)
+		if err != nil {
+			return in, err
+		}
+		regs[i] = uint8(v)
+	}
+	in.Dst, in.Srcs[0], in.Srcs[1] = regs[0], regs[1], regs[2]
+	if in.Mask, err = strconv.ParseUint(fs[6], 16, 64); err != nil {
+		return in, err
+	}
+	if in.Class == ir.ClassMem {
+		if len(fs) < 10 {
+			return in, fmt.Errorf("memory record missing fields %q", line)
+		}
+		in.Load = fs[7] == "L"
+		sp, err := strconv.Atoi(fs[8])
+		if err != nil {
+			return in, err
+		}
+		in.Space = Space(sp)
+		sz, err := strconv.ParseUint(fs[9], 10, 8)
+		if err != nil {
+			return in, err
+		}
+		in.Size = uint8(sz)
+		for _, a := range fs[10:] {
+			v, err := strconv.ParseUint(a, 16, 64)
+			if err != nil {
+				return in, err
+			}
+			in.Addrs = append(in.Addrs, v)
+		}
+	}
+	return in, nil
+}

@@ -1,0 +1,23 @@
+package simtrace
+
+import (
+	"threadfuser/internal/core"
+	"threadfuser/internal/hwsim"
+	"threadfuser/internal/simt"
+	"threadfuser/internal/trace"
+	"threadfuser/internal/vm"
+)
+
+// analyzeWithListener drives the analyzer pipeline with the collector
+// attached, using the paper's default configuration at the given warp size.
+func analyzeWithListener(tr *trace.Trace, warpSize int, l simt.Listener) (*core.Report, error) {
+	opts := core.Defaults()
+	opts.WarpSize = warpSize
+	opts.Listener = l
+	return core.Analyze(tr, opts)
+}
+
+// hwRun drives the lockstep oracle with the collector attached.
+func hwRun(p *vm.Process, threads, warpSize int, l simt.Listener, args func(int, *vm.Thread)) (*simt.Result, error) {
+	return hwsim.Run(p, threads, hwsim.Options{WarpSize: warpSize, Listener: l}, args)
+}

@@ -1,0 +1,241 @@
+package simtrace
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"threadfuser/internal/ir"
+	"threadfuser/internal/vm"
+	"threadfuser/internal/workloads"
+)
+
+func kernelFor(t *testing.T, name string, warpSize int) *KernelTrace {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := w.Instantiate(workloads.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := inst.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt, err := Generate(inst.Prog, tr, warpSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kt
+}
+
+func TestGenerateProducesStreams(t *testing.T) {
+	kt := kernelFor(t, "vectoradd", 32)
+	if len(kt.Warps) != 2 {
+		t.Fatalf("warps = %d, want 2 (64 threads / 32)", len(kt.Warps))
+	}
+	if kt.TotalInstrs() == 0 {
+		t.Fatal("empty kernel trace")
+	}
+	// vectoradd is fully convergent: every micro-op has all 32 lanes.
+	for _, ws := range kt.Warps {
+		for i := range ws.Instrs {
+			if ws.Instrs[i].ActiveLanes() != 32 {
+				t.Fatalf("warp %d instr %d has %d active lanes, want 32",
+					ws.Warp, i, ws.Instrs[i].ActiveLanes())
+			}
+		}
+	}
+}
+
+// TestCrackingRMW checks the paper's CISC->RISC example: an ALU op with a
+// memory operand becomes load + op (and + store for read-modify-write).
+func TestCrackingRMW(t *testing.T) {
+	pb := ir.NewBuilder("crack")
+	f := pb.NewFunc("worker")
+	b := f.NewBlock("b")
+	// add [r0], r1  ->  LD tmp; ADD tmp, r1; ST tmp
+	b.Add(ir.Mem(ir.R(0), 0, 8), ir.Rg(ir.R(1))).Ret()
+	prog := pb.MustBuild()
+
+	p := vm.NewProcess(prog)
+	base := p.AllocGlobal(8)
+	tr, err := vm.TraceAll(p, 1, vm.RunConfig{}, func(tid int, th *vm.Thread) {
+		th.SetReg(ir.R(0), int64(base))
+		th.SetReg(ir.R(1), 5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt, err := Generate(prog, tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := kt.Warps[0].Instrs
+	// Expect: LD(mem,load) ADD(alu) ST(mem,store) RET(ctrl).
+	if len(ops) != 4 {
+		t.Fatalf("got %d micro-ops, want 4: %+v", len(ops), ops)
+	}
+	if ops[0].Class != ir.ClassMem || !ops[0].Load {
+		t.Errorf("op0 = %+v, want load", ops[0])
+	}
+	if ops[1].Class != ir.ClassALU || ops[1].Op != ir.OpAdd {
+		t.Errorf("op1 = %+v, want add", ops[1])
+	}
+	if ops[2].Class != ir.ClassMem || ops[2].Load {
+		t.Errorf("op2 = %+v, want store", ops[2])
+	}
+	if ops[3].Class != ir.ClassCtrl {
+		t.Errorf("op3 = %+v, want control", ops[3])
+	}
+	// Dependences: the ALU op must read the load temp, the store must
+	// read the ALU result.
+	if ops[1].Srcs[0] != TmpLoad && ops[1].Srcs[1] != TmpLoad {
+		t.Errorf("add does not consume the load temp: %+v", ops[1])
+	}
+	if ops[1].Dst != TmpStore {
+		t.Errorf("add dst = %d, want store temp %d", ops[1].Dst, TmpStore)
+	}
+	if ops[2].Srcs[0] != TmpStore {
+		t.Errorf("store does not consume the ALU result: %+v", ops[2])
+	}
+	if ops[0].Space != SpaceGlobal {
+		t.Errorf("global-segment access classified as %v", ops[0].Space)
+	}
+}
+
+// TestStackBecomesLocalSpace checks the paper's space mapping: stack
+// accesses are emitted as local-memory operations.
+func TestStackBecomesLocalSpace(t *testing.T) {
+	pb := ir.NewBuilder("local")
+	f := pb.NewFunc("worker")
+	b := f.NewBlock("b")
+	b.Mov(ir.Mem(ir.SP, -8, 8), ir.Imm(7)).
+		Mov(ir.Rg(ir.R(0)), ir.Mem(ir.SP, -8, 8)).
+		Ret()
+	prog := pb.MustBuild()
+	tr, err := vm.TraceAll(vm.NewProcess(prog), 4, vm.RunConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt, err := Generate(prog, tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, in := range kt.Warps[0].Instrs {
+		if in.Class == ir.ClassMem {
+			if in.Space != SpaceLocal {
+				t.Errorf("stack access classified as %v", in.Space)
+			}
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("found %d memory micro-ops, want 2", found)
+	}
+}
+
+// TestHardwarePathMatchesAnalyzerPath cross-checks the two trace
+// generators: for a lock-free convergent workload, the oracle-collected
+// ("nvbit") trace and the analyzer-replay trace must have identical warp
+// instruction counts.
+func TestHardwarePathMatchesAnalyzerPath(t *testing.T) {
+	w, err := workloads.ByName("vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := w.Instantiate(workloads.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := inst.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzed, err := Generate(inst.Prog, tr, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, args, err := inst.NewProcess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := FromHardware(p, inst.Threads(), 32, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analyzed.TotalInstrs() != native.TotalInstrs() {
+		t.Errorf("analyzer trace %d micro-ops, hardware trace %d",
+			analyzed.TotalInstrs(), native.TotalInstrs())
+	}
+	if analyzed.TotalLaneInstrs() != native.TotalLaneInstrs() {
+		t.Errorf("analyzer lane instrs %d, hardware %d",
+			analyzed.TotalLaneInstrs(), native.TotalLaneInstrs())
+	}
+}
+
+// TestDivergentMaskssShrink checks masks reflect divergence: hdsearch.mid
+// must contain micro-ops with few active lanes.
+func TestDivergentMasksShrink(t *testing.T) {
+	kt := kernelFor(t, "usuite.hdsearch.mid", 32)
+	single := 0
+	for _, ws := range kt.Warps {
+		for i := range ws.Instrs {
+			if ws.Instrs[i].ActiveLanes() == 1 {
+				single++
+			}
+		}
+	}
+	if single == 0 {
+		t.Error("no single-lane micro-ops in a heavily divergent workload")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	kt := kernelFor(t, "rodinia.bfs", 16)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, kt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(kt, got) {
+		t.Fatal("warp-trace text round trip mismatch")
+	}
+}
+
+func TestCodecFileRoundTrip(t *testing.T) {
+	kt := kernelFor(t, "vectoradd", 32)
+	path := filepath.Join(t.TempDir(), "k.wtr")
+	if err := WriteFile(path, kt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalInstrs() != kt.TotalInstrs() || got.WarpSize != kt.WarpSize {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	for i, in := range []string{
+		"",
+		"BOGUS 1 p 32 1\n",
+		"TFWT 2 p 32 1\n",
+		"TFWT 1 p 32 1\nwarp 0 1\n", // truncated instr
+		"TFWT 1 p 32 1\nwarp 0 1\nzz 0 0 0 0 0 0\n", // bad pc
+	} {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: garbage parsed", i)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package stats provides the statistical measures the paper's correlation
+// study reports (section IV): mean absolute error, the Pearson correlation
+// coefficient, error standard deviation, and the geometric mean figure 8
+// summarizes with.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// MAE returns the mean absolute error between predictions and references,
+// as a fraction of the reference magnitude (the paper quotes "3% MAE" for
+// SIMT efficiency, which is absolute on a 0..1 metric, and "17% MAE" for
+// transaction counts, which is relative). Use MAEAbs for the absolute form.
+func MAE(pred, ref []float64) (float64, error) {
+	if err := sameLen(pred, ref); err != nil {
+		return 0, err
+	}
+	sum, n := 0.0, 0
+	for i := range pred {
+		if ref[i] == 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-ref[i]) / math.Abs(ref[i])
+		n++
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return sum / float64(n), nil
+}
+
+// MAEAbs returns the mean absolute error without normalization.
+func MAEAbs(pred, ref []float64) (float64, error) {
+	if err := sameLen(pred, ref); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for i := range pred {
+		sum += math.Abs(pred[i] - ref[i])
+	}
+	return sum / float64(len(pred)), nil
+}
+
+// Pearson returns the Pearson correlation coefficient of x and y. A perfect
+// linear relationship yields ±1. It returns 0 for degenerate inputs (fewer
+// than two points or zero variance).
+func Pearson(x, y []float64) (float64, error) {
+	if err := sameLen(x, y); err != nil {
+		return 0, err
+	}
+	n := float64(len(x))
+	if n < 2 {
+		return 0, nil
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range x {
+		sum += v
+	}
+	return sum / float64(len(x))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		s += (v - m) * (v - m)
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// GeoMean returns the geometric mean of positive values; zeros and
+// negatives are skipped (matching how benchmark geomeans are reported).
+func GeoMean(x []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range x {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// WithinOneStdDev returns the fraction of errors within one standard
+// deviation of the mean error, the consistency measure the paper reports
+// ("30 out of these 44 samples, or approximately 83%").
+func WithinOneStdDev(errs []float64) float64 {
+	if len(errs) == 0 {
+		return 0
+	}
+	m, sd := Mean(errs), StdDev(errs)
+	n := 0
+	for _, e := range errs {
+		if math.Abs(e-m) <= sd {
+			n++
+		}
+	}
+	return float64(n) / float64(len(errs))
+}
+
+func sameLen(a, b []float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("stats: length mismatch %d vs %d", len(a), len(b))
+	}
+	return nil
+}

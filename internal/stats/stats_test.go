@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil || !almost(r, 1) {
+		t.Errorf("Pearson = %v, %v; want 1", r, err)
+	}
+	for i := range y {
+		y[i] = -y[i]
+	}
+	r, _ = Pearson(x, y)
+	if !almost(r, -1) {
+		t.Errorf("Pearson anti = %v, want -1", r)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if r, _ := Pearson([]float64{1, 1, 1}, []float64{2, 3, 4}); r != 0 {
+		t.Errorf("zero-variance Pearson = %v, want 0", r)
+	}
+	if r, _ := Pearson([]float64{1}, []float64{2}); r != 0 {
+		t.Errorf("single-point Pearson = %v, want 0", r)
+	}
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch not reported")
+	}
+}
+
+func TestMAE(t *testing.T) {
+	m, err := MAE([]float64{1.1, 0.9}, []float64{1, 1})
+	if err != nil || !almost(m, 0.1) {
+		t.Errorf("MAE = %v, %v; want 0.1", m, err)
+	}
+	m, _ = MAEAbs([]float64{0.5, 0.7}, []float64{0.4, 0.9})
+	if !almost(m, 0.15) {
+		t.Errorf("MAEAbs = %v, want 0.15", m)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); !almost(g, 4) {
+		t.Errorf("GeoMean(2,8) = %v, want 4", g)
+	}
+	if g := GeoMean([]float64{0, 4, 0, 4}); !almost(g, 4) {
+		t.Errorf("GeoMean skips zeros: got %v, want 4", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", g)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if sd := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almost(sd, 2) {
+		t.Errorf("StdDev = %v, want 2", sd)
+	}
+}
+
+// Property: Pearson is invariant under positive affine transforms and
+// bounded by [-1, 1].
+func TestPearsonProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 3 + rr.Intn(40)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rr.NormFloat64()
+			y[i] = rr.NormFloat64()
+		}
+		p1, _ := Pearson(x, y)
+		if p1 < -1-1e-9 || p1 > 1+1e-9 {
+			return false
+		}
+		a, b := 1+rr.Float64()*5, rr.NormFloat64()*10
+		x2 := make([]float64, n)
+		for i := range x {
+			x2[i] = a*x[i] + b
+		}
+		p2, _ := Pearson(x2, y)
+		return math.Abs(p1-p2) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: r}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MAEAbs is symmetric and zero iff inputs are equal.
+func TestMAEProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i], b[i] = rr.NormFloat64(), rr.NormFloat64()
+		}
+		ab, _ := MAEAbs(a, b)
+		ba, _ := MAEAbs(b, a)
+		aa, _ := MAEAbs(a, a)
+		return almost(ab, ba) && aa == 0 && ab >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithinOneStdDev(t *testing.T) {
+	// Normal-ish data: roughly 2/3 within one sigma.
+	r := rand.New(rand.NewSource(5))
+	errs := make([]float64, 2000)
+	for i := range errs {
+		errs[i] = r.NormFloat64()
+	}
+	frac := WithinOneStdDev(errs)
+	if frac < 0.6 || frac > 0.76 {
+		t.Errorf("WithinOneStdDev of normal data = %v, want ~0.68", frac)
+	}
+}

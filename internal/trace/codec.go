@@ -1,0 +1,299 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// File format (".tft", ThreadFuser trace):
+//
+//	magic "TFTR" | version uvarint | program string | entry uvarint
+//	nfuncs uvarint { name string, nblocks uvarint { ninstr uvarint } }
+//	nthreads uvarint { tid uvarint, nrecords uvarint { record } }
+//
+// record:
+//
+//	kind byte, then per kind:
+//	  BBL : func uvarint, block uvarint, n uvarint,
+//	        nmem uvarint { instr uvarint, addr uvarint, size byte, store byte },
+//	        nlocks uvarint { instr uvarint, addr uvarint, release byte }
+//	  CALL: callee uvarint
+//	  RET : -
+//	  SKIP: skipkind byte, n uvarint
+//
+// Strings are uvarint length + bytes. All integers are unsigned varints;
+// addresses are stored raw (they are large but compress well as deltas are
+// not needed for the reduced-scale workloads this reproduction runs).
+
+const (
+	magic   = "TFTR"
+	version = 1
+)
+
+// Encode writes the trace to w in the .tft binary format.
+func Encode(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	e := &encoder{w: bw}
+	e.bytes([]byte(magic))
+	e.uvarint(version)
+	e.str(t.Program)
+	e.uvarint(uint64(t.Entry))
+	e.uvarint(uint64(len(t.Funcs)))
+	for _, f := range t.Funcs {
+		e.str(f.Name)
+		e.uvarint(uint64(len(f.Blocks)))
+		for _, b := range f.Blocks {
+			e.uvarint(uint64(b.NInstr))
+		}
+	}
+	e.uvarint(uint64(len(t.Threads)))
+	for _, th := range t.Threads {
+		e.uvarint(uint64(th.TID))
+		e.uvarint(uint64(len(th.Records)))
+		for i := range th.Records {
+			e.record(&th.Records[i])
+		}
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return bw.Flush()
+}
+
+// WriteFile encodes the trace to the named file.
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Encode(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+type encoder struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (e *encoder) bytes(b []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(b)
+	}
+}
+
+func (e *encoder) byte(b byte) {
+	if e.err == nil {
+		e.err = e.w.WriteByte(b)
+	}
+}
+
+func (e *encoder) uvarint(v uint64) {
+	n := binary.PutUvarint(e.buf[:], v)
+	e.bytes(e.buf[:n])
+}
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.bytes([]byte(s))
+}
+
+func (e *encoder) record(r *Record) {
+	e.byte(byte(r.Kind))
+	switch r.Kind {
+	case KindBBL:
+		e.uvarint(uint64(r.Func))
+		e.uvarint(uint64(r.Block))
+		e.uvarint(r.N)
+		e.uvarint(uint64(len(r.Mem)))
+		for _, m := range r.Mem {
+			e.uvarint(uint64(m.Instr))
+			e.uvarint(m.Addr)
+			e.byte(m.Size)
+			e.bool(m.Store)
+		}
+		e.uvarint(uint64(len(r.Locks)))
+		for _, l := range r.Locks {
+			e.uvarint(uint64(l.Instr))
+			e.uvarint(l.Addr)
+			e.bool(l.Release)
+		}
+	case KindCall:
+		e.uvarint(uint64(r.Callee))
+	case KindRet:
+	case KindSkip:
+		e.byte(byte(r.SkipKind))
+		e.uvarint(r.N)
+	default:
+		if e.err == nil {
+			e.err = fmt.Errorf("trace: encode: unknown record kind %d", r.Kind)
+		}
+	}
+}
+
+func (e *encoder) bool(b bool) {
+	if b {
+		e.byte(1)
+	} else {
+		e.byte(0)
+	}
+}
+
+// Decode reads a trace in the .tft binary format.
+func Decode(r io.Reader) (*Trace, error) {
+	d := &decoder{r: bufio.NewReaderSize(r, 1<<16)}
+	var m [4]byte
+	if _, err := io.ReadFull(d.r, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if string(m[:]) != magic {
+		return nil, fmt.Errorf("trace: decode: bad magic %q", m[:])
+	}
+	v := d.uvarint()
+	if v != version && v != version2 {
+		return nil, fmt.Errorf("trace: decode: unsupported version %d", v)
+	}
+	t := &Trace{Program: d.str()}
+	t.Entry = uint32(d.uvarint())
+	nf := d.uvarint()
+	if d.err == nil && nf > 1<<20 {
+		return nil, fmt.Errorf("trace: decode: implausible function count %d", nf)
+	}
+	t.Funcs = make([]FuncInfo, 0, nf)
+	for i := uint64(0); i < nf && d.err == nil; i++ {
+		fi := FuncInfo{Name: d.str()}
+		nb := d.uvarint()
+		fi.Blocks = make([]BlockInfo, 0, nb)
+		for j := uint64(0); j < nb && d.err == nil; j++ {
+			fi.Blocks = append(fi.Blocks, BlockInfo{NInstr: uint32(d.uvarint())})
+		}
+		t.Funcs = append(t.Funcs, fi)
+	}
+	nt := d.uvarint()
+	for i := uint64(0); i < nt && d.err == nil; i++ {
+		th := &ThreadTrace{TID: int(d.uvarint())}
+		nr := d.uvarint()
+		th.Records = make([]Record, 0, nr)
+		var prevAddr uint64
+		for j := uint64(0); j < nr && d.err == nil; j++ {
+			if v == version2 {
+				var r Record
+				r, prevAddr = d.record2(prevAddr)
+				th.Records = append(th.Records, r)
+			} else {
+				th.Records = append(th.Records, d.record())
+			}
+		}
+		t.Threads = append(t.Threads, th)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", d.err)
+	}
+	return t, nil
+}
+
+// ReadFile decodes the named .tft file.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+type decoder struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.err = err
+	}
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	b, err := d.r.ReadByte()
+	if err != nil {
+		d.err = err
+	}
+	return b
+}
+
+func (d *decoder) bool() bool { return d.byte() != 0 }
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		d.err = fmt.Errorf("implausible string length %d", n)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = err
+		return ""
+	}
+	return string(b)
+}
+
+func (d *decoder) record() Record {
+	r := Record{Kind: Kind(d.byte())}
+	switch r.Kind {
+	case KindBBL:
+		r.Func = uint32(d.uvarint())
+		r.Block = uint32(d.uvarint())
+		r.N = d.uvarint()
+		nm := d.uvarint()
+		if nm > 0 && d.err == nil {
+			r.Mem = make([]MemAccess, nm)
+			for i := range r.Mem {
+				r.Mem[i] = MemAccess{
+					Instr: uint16(d.uvarint()),
+					Addr:  d.uvarint(),
+					Size:  d.byte(),
+					Store: d.bool(),
+				}
+			}
+		}
+		nl := d.uvarint()
+		if nl > 0 && d.err == nil {
+			r.Locks = make([]LockOp, nl)
+			for i := range r.Locks {
+				r.Locks[i] = LockOp{
+					Instr:   uint16(d.uvarint()),
+					Addr:    d.uvarint(),
+					Release: d.bool(),
+				}
+			}
+		}
+	case KindCall:
+		r.Callee = uint32(d.uvarint())
+	case KindRet:
+	case KindSkip:
+		r.SkipKind = SkipKind(d.byte())
+		r.N = d.uvarint()
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("unknown record kind %d", r.Kind)
+		}
+	}
+	return r
+}

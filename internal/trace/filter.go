@@ -1,0 +1,161 @@
+package trace
+
+import "fmt"
+
+// ExcludeFunctions implements the tracer's selective-tracing capability
+// (paper section III: "the tool is configurable, allowing programmers to
+// selectively choose specific functions for tracing or exclusion"). It
+// returns a new trace in which every invocation of the named functions —
+// including everything they call — is removed from the instruction stream
+// and accounted as skipped I/O instructions, exactly how the paper's tracer
+// treats untraced regions. The surrounding control flow stays well-formed:
+// the caller's blocks flow directly across the removed call, so DCFG
+// construction and replay work unchanged.
+//
+// Excluding a function that can appear at the top of a thread's stream (the
+// entry function) empties that thread's trace, which Analyze tolerates (the
+// thread contributes nothing).
+func ExcludeFunctions(t *Trace, names ...string) (*Trace, error) {
+	excluded := make(map[uint32]bool, len(names))
+	for _, name := range names {
+		found := false
+		for id, fi := range t.Funcs {
+			if fi.Name == name {
+				excluded[uint32(id)] = true
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("trace: exclude: no function named %q", name)
+		}
+	}
+
+	out := &Trace{
+		Program: t.Program,
+		Entry:   t.Entry,
+		Funcs:   t.Funcs,
+	}
+	for _, th := range t.Threads {
+		nt := &ThreadTrace{TID: th.TID}
+		depth := 0 // >0 while inside an excluded subtree
+		var dropped uint64
+		flush := func() {
+			if dropped > 0 {
+				nt.Records = append(nt.Records, Record{Kind: KindSkip, SkipKind: SkipIO, N: dropped})
+				dropped = 0
+			}
+		}
+		for i := range th.Records {
+			r := &th.Records[i]
+			switch r.Kind {
+			case KindCall:
+				if depth > 0 || excluded[r.Callee] {
+					depth++
+					continue
+				}
+				flush()
+				nt.Records = append(nt.Records, *r)
+			case KindRet:
+				if depth > 0 {
+					depth--
+					if depth == 0 {
+						flush()
+					}
+					continue
+				}
+				nt.Records = append(nt.Records, *r)
+			case KindBBL:
+				if depth > 0 {
+					dropped += r.N
+					continue
+				}
+				nt.Records = append(nt.Records, *r)
+			case KindSkip:
+				if depth > 0 {
+					dropped += r.N
+					continue
+				}
+				nt.Records = append(nt.Records, *r)
+			}
+		}
+		flush()
+		out.Threads = append(out.Threads, nt)
+	}
+	return out, nil
+}
+
+// OnlyFunctions keeps the named functions (and their callees) and excludes
+// everything else's own instructions: blocks belonging to un-listed
+// functions are dropped (accounted as skipped) unless executed inside a
+// kept function's invocation. This is the "focused analysis … of particular
+// regions" mode of the paper's tracer.
+func OnlyFunctions(t *Trace, names ...string) (*Trace, error) {
+	keep := make(map[uint32]bool, len(names))
+	for _, name := range names {
+		found := false
+		for id, fi := range t.Funcs {
+			if fi.Name == name {
+				keep[uint32(id)] = true
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("trace: only: no function named %q", name)
+		}
+	}
+
+	out := &Trace{Program: t.Program, Entry: t.Entry, Funcs: t.Funcs}
+	for _, th := range t.Threads {
+		nt := &ThreadTrace{TID: th.TID}
+		// keptDepth > 0 while inside an invocation of a kept function;
+		// callStack tracks whether each open frame was emitted.
+		var emitted []bool
+		keptDepth := 0
+		var dropped uint64
+		flush := func() {
+			if dropped > 0 {
+				nt.Records = append(nt.Records, Record{Kind: KindSkip, SkipKind: SkipIO, N: dropped})
+				dropped = 0
+			}
+		}
+		for i := range th.Records {
+			r := &th.Records[i]
+			switch r.Kind {
+			case KindCall:
+				emit := keptDepth > 0 || keep[r.Callee]
+				if keep[r.Callee] || keptDepth > 0 {
+					keptDepth++
+				}
+				emitted = append(emitted, emit)
+				if emit {
+					flush()
+					nt.Records = append(nt.Records, *r)
+				}
+			case KindRet:
+				if len(emitted) == 0 {
+					continue
+				}
+				emit := emitted[len(emitted)-1]
+				emitted = emitted[:len(emitted)-1]
+				if keptDepth > 0 {
+					keptDepth--
+					if keptDepth == 0 {
+						flush()
+					}
+				}
+				if emit {
+					nt.Records = append(nt.Records, *r)
+				}
+			case KindBBL, KindSkip:
+				if keptDepth > 0 {
+					nt.Records = append(nt.Records, *r)
+				} else {
+					dropped += r.N
+				}
+			}
+		}
+		flush()
+		out.Threads = append(out.Threads, nt)
+	}
+	return out, nil
+}

@@ -1,0 +1,293 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomTrace builds a structurally valid random trace: balanced call/ret
+// nesting, block ids within the symbol table, in-range access indices.
+func randomTrace(r *rand.Rand) *Trace {
+	t := &Trace{Program: "rnd", Entry: 0}
+	nf := 1 + r.Intn(4)
+	for f := 0; f < nf; f++ {
+		fi := FuncInfo{Name: "f" + string(rune('a'+f))}
+		nb := 1 + r.Intn(5)
+		for b := 0; b < nb; b++ {
+			fi.Blocks = append(fi.Blocks, BlockInfo{NInstr: uint32(1 + r.Intn(12))})
+		}
+		t.Funcs = append(t.Funcs, fi)
+	}
+	nthreads := 1 + r.Intn(4)
+	for tid := 0; tid < nthreads; tid++ {
+		th := &ThreadTrace{TID: tid}
+		depth := 0
+		push := func(fn int) {
+			th.Records = append(th.Records, Record{Kind: KindCall, Callee: uint32(fn)})
+			depth++
+		}
+		push(0)
+		steps := r.Intn(30)
+		curFn := []int{0}
+		for s := 0; s < steps; s++ {
+			fn := curFn[len(curFn)-1]
+			blocks := t.Funcs[fn].Blocks
+			bi := r.Intn(len(blocks))
+			rec := Record{
+				Kind:  KindBBL,
+				Func:  uint32(fn),
+				Block: uint32(bi),
+				N:     uint64(blocks[bi].NInstr),
+			}
+			for m := 0; m < r.Intn(3); m++ {
+				rec.Mem = append(rec.Mem, MemAccess{
+					Instr: uint16(r.Intn(int(blocks[bi].NInstr))),
+					Addr:  r.Uint64() >> 8,
+					Size:  []uint8{1, 2, 4, 8}[r.Intn(4)],
+					Store: r.Intn(2) == 0,
+				})
+			}
+			if r.Intn(8) == 0 {
+				rec.Locks = append(rec.Locks, LockOp{
+					Instr:   uint16(r.Intn(int(blocks[bi].NInstr))),
+					Addr:    r.Uint64() >> 16,
+					Release: r.Intn(2) == 0,
+				})
+			}
+			th.Records = append(th.Records, rec)
+			switch {
+			case r.Intn(6) == 0 && depth < 4:
+				push(r.Intn(len(t.Funcs)))
+				curFn = append(curFn, int(th.Records[len(th.Records)-1].Callee))
+			case r.Intn(6) == 0 && depth > 1:
+				th.Records = append(th.Records, Record{Kind: KindRet})
+				depth--
+				curFn = curFn[:len(curFn)-1]
+			case r.Intn(10) == 0:
+				th.Records = append(th.Records, Record{Kind: KindSkip, SkipKind: SkipKind(r.Intn(2)), N: uint64(r.Intn(500))})
+			}
+		}
+		for depth > 0 {
+			// Close each open invocation with a block so Validate's CFG
+			// consumers see well-formed streams, then return.
+			fn := curFn[len(curFn)-1]
+			th.Records = append(th.Records, Record{
+				Kind: KindBBL, Func: uint32(fn), Block: 0,
+				N: uint64(t.Funcs[fn].Blocks[0].NInstr),
+			})
+			th.Records = append(th.Records, Record{Kind: KindRet})
+			depth--
+			curFn = curFn[:len(curFn)-1]
+		}
+		t.Threads = append(t.Threads, th)
+	}
+	return t
+}
+
+// TestCodecRoundTrip is the property test: Decode(Encode(t)) == t for
+// arbitrary valid traces.
+func TestCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTrace(rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(tr, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecFileRoundTrip(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(42)))
+	path := filepath.Join(t.TempDir(), "x.tft")
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Error("file round trip mismatch")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("NOPE"),
+		[]byte("TFTR"),             // truncated after magic
+		[]byte("TFTR\x63"),         // wrong version
+		[]byte("TFTR\x01\xff\xff"), // implausible string length
+	}
+	for i, c := range cases {
+		if _, err := Decode(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage decoded successfully", i)
+		}
+	}
+}
+
+func TestValidateAcceptsRandomTraces(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		tr := randomTrace(rand.New(rand.NewSource(seed)))
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	base := func() *Trace {
+		return &Trace{
+			Program: "p",
+			Funcs:   []FuncInfo{{Name: "f", Blocks: []BlockInfo{{NInstr: 4}}}},
+			Threads: []*ThreadTrace{{TID: 0, Records: []Record{
+				{Kind: KindCall, Callee: 0},
+				{Kind: KindBBL, Func: 0, Block: 0, N: 4},
+				{Kind: KindRet},
+			}}},
+		}
+	}
+	corrupt := []struct {
+		name   string
+		mutate func(*Trace)
+		want   string
+	}{
+		{"func out of range", func(tr *Trace) { tr.Threads[0].Records[1].Func = 9 }, "out of range"},
+		{"block out of range", func(tr *Trace) { tr.Threads[0].Records[1].Block = 9 }, "out of range"},
+		{"instr count mismatch", func(tr *Trace) { tr.Threads[0].Records[1].N = 3 }, "static table"},
+		{"mem index out of block", func(tr *Trace) {
+			tr.Threads[0].Records[1].Mem = []MemAccess{{Instr: 8, Addr: 1, Size: 8}}
+		}, "instr 8"},
+		{"lock index out of block", func(tr *Trace) {
+			tr.Threads[0].Records[1].Locks = []LockOp{{Instr: 9, Addr: 1}}
+		}, "instr 9"},
+		{"unbalanced ret", func(tr *Trace) {
+			tr.Threads[0].Records = append(tr.Threads[0].Records, Record{Kind: KindRet})
+		}, "below entry"},
+		{"unterminated call", func(tr *Trace) {
+			tr.Threads[0].Records = tr.Threads[0].Records[:2]
+		}, "unbalanced"},
+		{"bad callee", func(tr *Trace) { tr.Threads[0].Records[0].Callee = 7 }, "callee"},
+	}
+	for _, c := range corrupt {
+		tr := base()
+		c.mutate(tr)
+		err := tr.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("baseline invalid: %v", err)
+	}
+}
+
+func TestCountingHelpers(t *testing.T) {
+	tr := &Trace{
+		Program: "p",
+		Funcs:   []FuncInfo{{Name: "f", Blocks: []BlockInfo{{NInstr: 4}}}},
+		Threads: []*ThreadTrace{
+			{TID: 0, Records: []Record{
+				{Kind: KindCall},
+				{Kind: KindBBL, N: 4},
+				{Kind: KindSkip, SkipKind: SkipIO, N: 10},
+				{Kind: KindSkip, SkipKind: SkipSpin, N: 3},
+				{Kind: KindRet},
+			}},
+			{TID: 1, Records: []Record{
+				{Kind: KindCall},
+				{Kind: KindBBL, N: 4},
+				{Kind: KindBBL, N: 4},
+				{Kind: KindRet},
+			}},
+		},
+	}
+	if got := tr.TotalInstructions(); got != 12 {
+		t.Errorf("TotalInstructions = %d, want 12", got)
+	}
+	io, spin := tr.TotalSkipped()
+	if io != 10 || spin != 3 {
+		t.Errorf("TotalSkipped = %d/%d, want 10/3", io, spin)
+	}
+	if tr.FuncName(0) != "f" || tr.FuncName(9) != "f9" {
+		t.Errorf("FuncName lookup wrong: %q %q", tr.FuncName(0), tr.FuncName(9))
+	}
+}
+
+// TestCompactCodecRoundTrip: the v2 delta-encoded format round-trips
+// exactly and Decode auto-detects the version.
+func TestCompactCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTrace(rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		if err := EncodeCompact(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Logf("decode v2: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(tr, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompactCodecShrinksRealTraces: the v2 format must beat v1 on a trace
+// with realistic (spatially local) addresses.
+func TestCompactCodecShrinksRealTraces(t *testing.T) {
+	tr := &Trace{
+		Program: "walk",
+		Funcs:   []FuncInfo{{Name: "f", Blocks: []BlockInfo{{NInstr: 4}}}},
+	}
+	th := &ThreadTrace{TID: 0}
+	th.Records = append(th.Records, Record{Kind: KindCall, Callee: 0})
+	base := uint64(0x40_0000_0000)
+	for i := 0; i < 500; i++ {
+		th.Records = append(th.Records, Record{
+			Kind: KindBBL, Func: 0, Block: 0, N: 4,
+			Mem: []MemAccess{{Instr: 1, Addr: base + uint64(8*i), Size: 8}},
+		})
+	}
+	th.Records = append(th.Records, Record{Kind: KindRet})
+	tr.Threads = []*ThreadTrace{th}
+
+	var v1, v2 bytes.Buffer
+	if err := Encode(&v1, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeCompact(&v2, tr); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() >= v1.Len()*3/4 {
+		t.Errorf("v2 size %d not well below v1 size %d for an array walk", v2.Len(), v1.Len())
+	}
+	got, err := Decode(&v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Error("compact round trip mismatch")
+	}
+}

@@ -1,0 +1,351 @@
+package workloads
+
+import (
+	"threadfuser/internal/ir"
+	"threadfuser/internal/vm"
+)
+
+// DeathStarBench microservices (Table I): Post, Text, URLShort, UniqueID,
+// UserTag, User. One request per thread; all receive/respond through
+// skipped I/O regions and allocate responses through the arena allocator.
+
+var wlDSBUniqueID = register(&Workload{
+	Name:           "dsb.uniqueid",
+	Suite:          SuiteDSB,
+	Desc:           "unique-id generation: pure hashing, the most convergent microservice",
+	DefaultThreads: 64,
+	PaperThreads:   2048,
+	Microservice:   true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		pb := ir.NewBuilder("dsb.uniqueid")
+		s := addStdlib(pb)
+		w := pb.NewFunc("ProcessRequest")
+		pb.SetEntry(w)
+		recv := w.NewBlock("recv")
+		hashed := w.NewBlock("hashed")
+		send := w.NewBlock("send")
+		recv.IO(ioRecv).
+			Mov(rg(10), idx8(0, int(ir.TID), 8, 0)).
+			Mov(rg(11), im(48)).
+			Call(s.Hash, hashed)
+		// Compose the 64-bit id: machine bits | timestamp bits | counter.
+		hashed.Shl(rg(10), im(16)).
+			Or(rg(10), tid()).
+			Mov(idx8(1, int(ir.TID), 8, 0), rg(10)).
+			Jmp(send)
+		send.IO(ioSend).Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			in := p.AllocGlobal(uint64(8 * cfg.Threads))
+			out := p.AllocGlobal(uint64(8 * cfg.Threads))
+			for i := 0; i < cfg.Threads; i++ {
+				p.WriteI64(in+uint64(8*i), r.Int63())
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(in))
+				th.SetReg(ir.R(1), int64(out))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlDSBURLShort = register(&Workload{
+	Name:           "dsb.urlshort",
+	Suite:          SuiteDSB,
+	Desc:           "URL shortener: hash plus fixed 7-digit base-62 encoding",
+	DefaultThreads: 64,
+	PaperThreads:   2048,
+	Microservice:   true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		pb := ir.NewBuilder("dsb.urlshort")
+		s := addStdlib(pb)
+		w := pb.NewFunc("ProcessRequest")
+		pb.SetEntry(w)
+		recv := w.NewBlock("recv")
+		hashed := w.NewBlock("hashed")
+		recv.IO(ioRecv).
+			Mov(rg(10), idx8(0, int(ir.TID), 8, 0)).
+			Mov(rg(11), im(16)).
+			Call(s.Hash, hashed)
+		// Emit 7 base-62 digits into a stack buffer.
+		hashed.Mov(rg(2), rg(10))
+		l := loopN(w, hashed, "digits", 3, 0, im(7))
+		l.Body.Mov(rg(4), rg(2)).
+			Rem(rg(4), im(62)).
+			Mov(rg(5), idx8(1, 4, 8, 0)). // alphabet lookup
+			Mov(ir.MemIdx(ir.SP, ir.R(3), 1, -64, 1), rg(5)).
+			Div(rg(2), im(62))
+		l.Next(l.Body)
+		alloc := w.NewBlock("alloc")
+		send := w.NewBlock("send")
+		l.Exit.Mov(rg(10), im(64)).Call(s.Malloc, alloc)
+		alloc.Mov(mem8(10, 0), rg(2)).Jmp(send)
+		send.IO(ioSend).Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			urls := p.AllocGlobal(uint64(8 * cfg.Threads))
+			alphabet := p.AllocGlobal(8 * 62)
+			for i := 0; i < cfg.Threads; i++ {
+				p.WriteI64(urls+uint64(8*i), r.Int63())
+			}
+			for i := 0; i < 62; i++ {
+				p.WriteI64(alphabet+uint64(8*i), int64('0'+i))
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(urls))
+				th.SetReg(ir.R(1), int64(alphabet))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlDSBText = register(&Workload{
+	Name:           "dsb.text",
+	Suite:          SuiteDSB,
+	Desc:           "text service: per-character tokenization with data-dependent word/space branches",
+	DefaultThreads: 64,
+	PaperThreads:   2048,
+	Microservice:   true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		chars := cfg.scale(64)
+		pb := ir.NewBuilder("dsb.text")
+		s := addStdlib(pb)
+		w := pb.NewFunc("ProcessRequest")
+		pb.SetEntry(w)
+		recv := w.NewBlock("recv")
+		recv.IO(ioRecv).
+			Mov(rg(2), tid()).
+			Mul(rg(2), im(int64(chars))).
+			Add(rg(2), rg(0)). // &my text
+			Mov(rg(9), im(0))  // word count
+		l := loopN(w, recv, "chars", 3, 0, im(int64(chars)))
+		word := w.NewBlock("word")
+		space := w.NewBlock("space")
+		join := w.NewBlock("join")
+		l.Body.Mov(rg(4), idx1(2, 3, 0)).
+			Cmp(rg(4), im(' ')).
+			Jcc(ir.CondEQ, space, word)
+		word.Mul(rg(9), im(31)).
+			Add(rg(9), rg(4)).
+			Jmp(join)
+		space.Add(rg(9), im(1)).
+			And(rg(9), im(0xffff)).
+			Jmp(join)
+		l.Next(join)
+		alloc := w.NewBlock("alloc")
+		send := w.NewBlock("send")
+		l.Exit.Mov(rg(10), im(64)).Call(s.Malloc, alloc)
+		alloc.Mov(mem8(10, 0), rg(9)).Jmp(send)
+		send.IO(ioSend).Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			text := p.AllocGlobal(uint64(chars * cfg.Threads))
+			buf := make([]byte, chars*cfg.Threads)
+			for i := range buf {
+				if r.Intn(6) == 0 {
+					buf[i] = ' '
+				} else {
+					buf[i] = byte('a' + r.Intn(26))
+				}
+			}
+			fillBytes(p, text, buf)
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(text))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlDSBPost = register(&Workload{
+	Name:           "dsb.post",
+	Suite:          SuiteDSB,
+	Desc:           "compose-post: tokenization plus rare mention-hashing side paths and response assembly",
+	DefaultThreads: 64,
+	PaperThreads:   2048,
+	Microservice:   true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		words := cfg.scale(40)
+		pb := ir.NewBuilder("dsb.post")
+		s := addStdlib(pb)
+		w := pb.NewFunc("ProcessRequest")
+		pb.SetEntry(w)
+		recv := w.NewBlock("recv")
+		recv.IO(ioRecv).
+			Mov(rg(2), tid()).
+			Mul(rg(2), im(int64(8*words))).
+			Add(rg(2), rg(0)).
+			Mov(rg(9), im(0))
+		l := loopN(w, recv, "words", 3, 0, im(int64(words)))
+		mention := w.NewBlock("mention")
+		hashedM := w.NewBlock("hashed_mention")
+		plain := w.NewBlock("plain")
+		join := w.NewBlock("join")
+		l.Body.Mov(rg(4), idx8(2, 3, 8, 0)).
+			Mov(rg(5), rg(4)).
+			And(rg(5), im(31)).
+			Cmp(rg(5), im(0)). // ~1/32 of words are @mentions
+			Jcc(ir.CondEQ, mention, plain)
+		mention.Mov(rg(10), rg(4)).
+			Mov(rg(11), im(6)).
+			Call(s.Hash, hashedM)
+		hashedM.Add(rg(9), rg(10)).Jmp(join)
+		plain.Add(rg(9), rg(4)).Jmp(join)
+		l.Next(join)
+		alloc := w.NewBlock("alloc")
+		copied := w.NewBlock("copied")
+		send := w.NewBlock("send")
+		l.Exit.Mov(rg(10), im(int64(8*words))).Call(s.Malloc, alloc)
+		alloc.Mov(rg(11), im(int64(8*words))).
+			Mov(rg(12), rg(2)).
+			Call(s.Memcpy, copied)
+		copied.Mov(mem8(10, 0), rg(9)).Jmp(send)
+		send.IO(ioSend).Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			text := p.AllocGlobal(uint64(8 * words * cfg.Threads))
+			for i := 0; i < words*cfg.Threads; i++ {
+				p.WriteI64(text+uint64(8*i), r.Int63())
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(text))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlDSBUserTag = register(&Workload{
+	Name:           "dsb.usertag",
+	Suite:          SuiteDSB,
+	Desc:           "user-tag store: fine-grain bucket locks around short chain walks and counter updates",
+	DefaultThreads: 64,
+	PaperThreads:   2048,
+	Microservice:   true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		const nbuckets = 128
+		pb := ir.NewBuilder("dsb.usertag")
+		s := addStdlib(pb)
+		w := pb.NewFunc("ProcessRequest")
+		pb.SetEntry(w)
+		recv := w.NewBlock("recv")
+		hashed := w.NewBlock("hashed")
+		recv.IO(ioRecv).
+			Mov(rg(10), idx8(0, int(ir.TID), 8, 0)).
+			Mov(rg(11), im(10)).
+			Call(s.Hash, hashed)
+		hashed.Mov(rg(5), rg(10)).
+			And(rg(5), im(nbuckets-1)).
+			Mov(rg(6), rg(5)).
+			Shl(rg(6), im(3)).
+			Add(rg(6), rg(1)).
+			Lock(ir.Mem(ir.R(6), 0, 8)).
+			Mov(rg(7), idx8(2, 5, 8, 0)) // chain length
+		walk := loopN(w, hashed, "chain", 8, 0, rg(7))
+		walk.Body.Mov(rg(9), idx8(3, 5, 8, 0)).
+			Add(rg(9), im(1))
+		walk.Next(walk.Body)
+		walk.Exit.Mov(idx8(3, 5, 8, 0), rg(9)).
+			Unlock(ir.Mem(ir.R(6), 0, 8)).
+			IO(ioSend).
+			Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			users := p.AllocGlobal(uint64(8 * cfg.Threads))
+			locks := p.AllocGlobal(8 * nbuckets)
+			chains := p.AllocGlobal(8 * nbuckets)
+			counters := p.AllocGlobal(8 * nbuckets)
+			for i := 0; i < cfg.Threads; i++ {
+				p.WriteI64(users+uint64(8*i), r.Int63())
+			}
+			for b := 0; b < nbuckets; b++ {
+				p.WriteI64(chains+uint64(8*b), int64(1+r.Intn(3)))
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(users))
+				th.SetReg(ir.R(1), int64(locks))
+				th.SetReg(ir.R(2), int64(chains))
+				th.SetReg(ir.R(3), int64(counters))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlDSBUser = register(&Workload{
+	Name:           "dsb.user",
+	Suite:          SuiteDSB,
+	Desc:           "user service login: fixed-round credential hashing with a rare miss path",
+	DefaultThreads: 64,
+	PaperThreads:   2048,
+	Microservice:   true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		pb := ir.NewBuilder("dsb.user")
+		s := addStdlib(pb)
+		w := pb.NewFunc("ProcessRequest")
+		pb.SetEntry(w)
+		recv := w.NewBlock("recv")
+		hashed := w.NewBlock("hashed")
+		recv.IO(ioRecv).
+			Mov(rg(10), idx8(0, int(ir.TID), 8, 0)).
+			Mov(rg(11), im(24)).
+			Call(s.Hash, hashed)
+		found := w.NewBlock("found")
+		missing := w.NewBlock("missing")
+		send := w.NewBlock("send")
+		hashed.Mov(rg(5), rg(10)).
+			And(rg(5), im(63)).
+			Mov(rg(6), idx8(1, 5, 8, 0)). // credential slot
+			Test(rg(6), im(7)).           // ~1/8 requests miss
+			Jcc(ir.CondEQ, missing, found)
+		found.Mov(rg(9), im(1)).Nop(6).Jmp(send)
+		missing.Mov(rg(9), im(0)).Nop(2).Jmp(send)
+		send.Mov(idx8(2, int(ir.TID), 8, 0), rg(9)).
+			IO(ioSend).
+			Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			creds := p.AllocGlobal(uint64(8 * cfg.Threads))
+			table := p.AllocGlobal(8 * 64)
+			out := p.AllocGlobal(uint64(8 * cfg.Threads))
+			for i := 0; i < cfg.Threads; i++ {
+				p.WriteI64(creds+uint64(8*i), r.Int63())
+			}
+			for i := 0; i < 64; i++ {
+				p.WriteI64(table+uint64(8*i), r.Int63())
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(creds))
+				th.SetReg(ir.R(1), int64(table))
+				th.SetReg(ir.R(2), int64(out))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})

@@ -1,0 +1,141 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"threadfuser/internal/ir"
+	"threadfuser/internal/vm"
+)
+
+// Register conventions for workload programs:
+//
+//	r0-r9   workload locals
+//	r10     stdlib argument/return (malloc size in, pointer out)
+//	r11-r13 stdlib scratch (clobbered by stdlib calls)
+//	r14-r15 free temporaries for leaf helpers
+//
+// The builders below keep every workload terse while staying plain IR.
+
+// regOf maps a DSL register number to ir.Reg, admitting the reserved TID
+// register (workloads index shared arrays by thread id constantly).
+func regOf(i int) ir.Reg {
+	if i < 0 || i >= ir.NumRegs {
+		panic("workloads: register number out of range")
+	}
+	return ir.Reg(i)
+}
+
+// Shorthand operand constructors.
+func rg(i int) ir.Operand   { return ir.Rg(regOf(i)) }
+func im(v int64) ir.Operand { return ir.Imm(v) }
+func tid() ir.Operand       { return ir.Rg(ir.TID) }
+func mem8(b int, d int64) ir.Operand {
+	return ir.Mem(regOf(b), d, 8)
+}
+func idx8(b, i int, scale uint8, d int64) ir.Operand {
+	return ir.MemIdx(regOf(b), regOf(i), scale, d, 8)
+}
+func mem4(b int, d int64) ir.Operand {
+	return ir.Mem(regOf(b), d, 4)
+}
+func idx4(b, i int, scale uint8, d int64) ir.Operand {
+	return ir.MemIdx(regOf(b), regOf(i), scale, d, 4)
+}
+func idx1(b, i int, d int64) ir.Operand {
+	return ir.MemIdx(regOf(b), regOf(i), 1, d, 1)
+}
+
+// sp returns an SP-relative stack slot (thread-private locals), the access
+// pattern that produces the paper's per-thread-stack memory divergence.
+func sp(d int64) ir.Operand { return ir.Mem(ir.SP, d, 8) }
+
+// counted wires a counted loop: pre jumps into Body with counter=start; the
+// caller fills Body (and any sub-blocks) and finally calls Next on the block
+// that ends an iteration, which appends counter++ / compare / back-edge.
+type counted struct {
+	Body    *ir.BlockBuilder
+	Exit    *ir.BlockBuilder
+	counter ir.Reg
+	limit   ir.Operand
+}
+
+// loopN starts a counted while-loop for counter in [start, limit): pre tests
+// the bound before the first iteration, so zero-trip loops (empty buckets,
+// zero-length copies) fall straight through to Exit.
+func loopN(f *ir.FuncBuilder, pre *ir.BlockBuilder, name string, counter int, start int64, limit ir.Operand) *counted {
+	body := f.NewBlock(name + "_body")
+	exit := f.NewBlock(name + "_exit")
+	pre.Mov(rg(counter), im(start)).
+		Cmp(rg(counter), limit).
+		Jcc(ir.CondLT, body, exit)
+	return &counted{Body: body, Exit: exit, counter: regOf(counter), limit: limit}
+}
+
+// Next closes one loop iteration at tail: counter++, branch back while
+// counter < limit.
+func (l *counted) Next(tail *ir.BlockBuilder) *ir.BlockBuilder {
+	tail.Add(ir.Rg(l.counter), im(1)).
+		Cmp(ir.Rg(l.counter), l.limit).
+		Jcc(ir.CondLT, l.Body, l.Exit)
+	return l.Exit
+}
+
+// rng returns the deterministic generator for a workload configuration.
+func (c Config) rng() *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed + 0x7f4a7c15))
+}
+
+// fillI64 writes vals as consecutive 8-byte slots at base.
+func fillI64(p *vm.Process, base uint64, vals []int64) {
+	for i, v := range vals {
+		p.WriteI64(base+uint64(8*i), v)
+	}
+}
+
+// fillF64 writes vals as consecutive float64 slots at base.
+func fillF64(p *vm.Process, base uint64, vals []float64) {
+	for i, v := range vals {
+		p.WriteF64(base+uint64(8*i), v)
+	}
+}
+
+// fillBytes writes raw bytes at base.
+func fillBytes(p *vm.Process, base uint64, vals []byte) {
+	for i, v := range vals {
+		p.Mem.Write(base+uint64(i), 1, uint64(v))
+	}
+}
+
+// csr is a compressed-sparse-row graph for the BFS/CC/PageRank workloads.
+type csr struct {
+	n       int
+	offsets []int64 // n+1 entries
+	edges   []int64
+}
+
+// randGraph builds a random graph with n nodes and roughly degree edges per
+// node, with a heavy-tailed degree distribution (some nodes have up to 4x
+// the mean degree) so neighbour loops diverge like real graph workloads.
+func randGraph(r *rand.Rand, n, degree int) csr {
+	g := csr{n: n, offsets: make([]int64, n+1)}
+	for v := 0; v < n; v++ {
+		d := 1 + r.Intn(degree*2)
+		if r.Intn(8) == 0 { // heavy tail
+			d += degree * 2
+		}
+		for e := 0; e < d; e++ {
+			g.edges = append(g.edges, int64(r.Intn(n)))
+		}
+		g.offsets[v+1] = int64(len(g.edges))
+	}
+	return g
+}
+
+// store writes the CSR arrays into the process and returns their bases.
+func (g csr) store(p *vm.Process) (offsets, edges uint64) {
+	offsets = p.AllocGlobal(uint64(8 * len(g.offsets)))
+	edges = p.AllocGlobal(uint64(8 * max(1, len(g.edges))))
+	fillI64(p, offsets, g.offsets)
+	fillI64(p, edges, g.edges)
+	return offsets, edges
+}

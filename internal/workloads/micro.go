@@ -1,0 +1,86 @@
+package workloads
+
+import (
+	"threadfuser/internal/ir"
+	"threadfuser/internal/vm"
+)
+
+// The two micro benchmarks of Table I: "simple vector multiply-add kernels
+// with different memory accessing patterns" (section IV). Both are fully
+// convergent; they differ only in indexing, which is exactly what separates
+// their memory-divergence numbers.
+
+// buildVectorKernel builds c[idx] = a[idx]*b[idx] + c[idx] over iters
+// elements per thread. When gridStride is true, thread t touches elements
+// t, t+N, t+2N, ... (lane-adjacent, coalesced); otherwise each thread owns a
+// contiguous chunk (lane addresses 8*iters bytes apart, uncoalesced).
+func buildVectorKernel(name string, gridStride bool) func(cfg Config) (*ir.Program, SetupFn, error) {
+	return func(cfg Config) (*ir.Program, SetupFn, error) {
+		iters := cfg.scale(32)
+		n := cfg.Threads * iters
+
+		pb := ir.NewBuilder(name)
+		w := pb.NewFunc("worker")
+		pre := w.NewBlock("pre")
+		// Args: r0=a, r1=b, r2=c. r3 = loop counter, r4 = idx, r5 = value.
+		l := loopN(w, pre, "vec", 3, 0, im(int64(iters)))
+		if gridStride {
+			// idx = tid + k*threads
+			l.Body.Mov(rg(4), rg(3)).
+				Mul(rg(4), im(int64(cfg.Threads))).
+				Add(rg(4), tid())
+		} else {
+			// idx = tid*iters + k
+			l.Body.Mov(rg(4), tid()).
+				Mul(rg(4), im(int64(iters))).
+				Add(rg(4), rg(3))
+		}
+		l.Body.Mov(rg(5), idx8(0, 4, 8, 0)). // a[idx]
+							FMul(rg(5), idx8(1, 4, 8, 0)). // * b[idx]
+							FAdd(rg(5), idx8(2, 4, 8, 0)). // + c[idx]
+							Mov(idx8(2, 4, 8, 0), rg(5))   // c[idx] = ...
+		l.Next(l.Body)
+		l.Exit.Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			a := p.AllocGlobal(uint64(8 * n))
+			b := p.AllocGlobal(uint64(8 * n))
+			c := p.AllocGlobal(uint64(8 * n))
+			for i := 0; i < n; i++ {
+				p.WriteF64(a+uint64(8*i), r.Float64())
+				p.WriteF64(b+uint64(8*i), r.Float64())
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(a))
+				th.SetReg(ir.R(1), int64(b))
+				th.SetReg(ir.R(2), int64(c))
+			}, nil
+		}
+		return prog, setup, nil
+	}
+}
+
+var wlVectorAdd = register(&Workload{
+	Name:           "vectoradd",
+	Suite:          SuiteMicro,
+	Desc:           "vector multiply-add, grid-stride (coalesced) access",
+	DefaultThreads: 64,
+	PaperThreads:   1024,
+	HasGPUImpl:     true,
+	Build:          buildVectorKernel("vectoradd", true),
+})
+
+var wlUncoalesced = register(&Workload{
+	Name:           "uncoalesced",
+	Suite:          SuiteMicro,
+	Desc:           "vector multiply-add, per-thread-chunk (uncoalesced) access",
+	DefaultThreads: 64,
+	PaperThreads:   1024,
+	HasGPUImpl:     true,
+	Build:          buildVectorKernel("uncoalesced", false),
+})

@@ -1,0 +1,237 @@
+package workloads
+
+import (
+	"threadfuser/internal/ir"
+	"threadfuser/internal/vm"
+)
+
+// The "Others" group of Table I: pigz (parallel gzip), rotate and MD5 from
+// the Starbench suite. pigz anchors the low-efficiency end of figure 1 (its
+// control flow is intrinsically data-dependent), MD5 the high end.
+
+var wlPigz = register(&Workload{
+	Name:           "other.pigz",
+	Suite:          SuiteOther,
+	Desc:           "pigz deflate kernel: data-dependent match extension and literal/match emission",
+	DefaultThreads: 64,
+	PaperThreads:   128,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		positions := cfg.scale(40)
+		const window = 32
+		pb := ir.NewBuilder("other.pigz")
+		w := pb.NewFunc("worker")
+		pb.SetEntry(w)
+		// Args: r3=data base, r1=hashTable, r2=out. Each thread deflates
+		// its own chunk, as pigz does; chunk entropy varies per thread, so
+		// match lengths (and therefore every loop trip count) are
+		// intrinsically data-dependent — the property that caps pigz at
+		// ~10%% SIMT efficiency in figure 1.
+		pre := w.NewBlock("pre")
+		pre.Mov(rg(0), tid()).
+			Mul(rg(0), im(int64(positions+2*window+8))).
+			Add(rg(0), rg(3)). // r0 = &chunk
+			Mov(rg(9), im(0))  // emitted symbols
+		outer := loopN(w, pre, "positions", 4, 0, im(int64(positions)))
+		// Hash the 3-byte window to find a match candidate offset.
+		outer.Body.Mov(rg(5), idx1(0, 4, 0)).
+			Shl(rg(5), im(5)).
+			Xor(rg(5), idx1(0, 4, 1)).
+			Shl(rg(5), im(5)).
+			Xor(rg(5), idx1(0, 4, 2)).
+			And(rg(5), im(63)).
+			Mov(rg(6), idx8(1, 5, 8, 0)) // candidate distance (1..window)
+		// Match extension: while data[pos+len] == data[pos-dist+len] and
+		// len < window.
+		matchHead := w.NewBlock("match_head")
+		matchTest := w.NewBlock("match_test")
+		matchExt := w.NewBlock("match_ext")
+		classify := w.NewBlock("classify")
+		outer.Body.Mov(rg(7), im(0)).Jmp(matchHead)
+		matchHead.Cmp(rg(7), im(window)).Jcc(ir.CondGE, classify, matchTest)
+		matchTest.Mov(rg(8), rg(4)).
+			Add(rg(8), rg(7)).
+			Mov(rg(13), idx1(0, 8, 0)). // data[pos+len]
+			Sub(rg(8), rg(6)).
+			Mov(rg(14), idx1(0, 8, 0)). // data[pos-dist+len]
+			Cmp(rg(13), rg(14)).
+			Jcc(ir.CondEQ, matchExt, classify)
+		matchExt.Add(rg(7), im(1)).Jmp(matchHead)
+		// Emit: literal or a match token stream proportional to the match
+		// length (deflate emits length/distance codes bit by bit).
+		lit := w.NewBlock("lit")
+		match := w.NewBlock("match")
+		emitted := w.NewBlock("emitted")
+		classify.Cmp(rg(7), im(3)).Jcc(ir.CondLT, lit, match)
+		lit.Mov(rg(13), idx1(0, 4, 0)).
+			Mul(rg(13), im(31)).
+			Add(rg(9), im(1)).
+			Mov(idx8(2, int(ir.TID), 8, 0), rg(13)).
+			Jmp(emitted)
+		match.Mov(rg(8), rg(7)).Shr(rg(8), im(1))
+		bits := loopN(w, match, "embits", 15, 0, rg(8))
+		bits.Body.Mov(rg(13), rg(6)).
+			Shl(rg(13), im(4)).
+			Xor(rg(13), rg(7)).
+			Mov(idx8(2, int(ir.TID), 8, 0), rg(13)).
+			Add(rg(9), im(1))
+		bits.Next(bits.Body)
+		bits.Exit.Jmp(emitted)
+		outer.Next(emitted)
+		outer.Exit.Ret()
+
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			chunk := positions + 2*window + 8
+			data := p.AllocGlobal(uint64(chunk * cfg.Threads))
+			table := p.AllocGlobal(8 * 64)
+			out := p.AllocGlobal(uint64(8 * cfg.Threads))
+			buf := make([]byte, chunk*cfg.Threads)
+			for t := 0; t < cfg.Threads; t++ {
+				// Per-chunk entropy varies: text-like chunks repeat often
+				// (long matches), binary-like chunks rarely do.
+				runProb := 30 + r.Intn(65)
+				for i := 0; i < chunk; i++ {
+					idx := t*chunk + i
+					if i > 0 && r.Intn(100) < runProb {
+						buf[idx] = buf[idx-1]
+					} else {
+						buf[idx] = byte('a' + r.Intn(6))
+					}
+				}
+			}
+			fillBytes(p, data, buf)
+			for i := 0; i < 64; i++ {
+				p.WriteI64(table+uint64(8*i), int64(1+r.Intn(window)))
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(3), int64(data)+int64(window)) // history window precedes the chunk
+				th.SetReg(ir.R(1), int64(table))
+				th.SetReg(ir.R(2), int64(out))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlRotate = register(&Workload{
+	Name:           "other.rotate",
+	Suite:          SuiteOther,
+	Desc:           "image rotation: convergent per-row loops with transposed (strided) stores",
+	DefaultThreads: 64,
+	PaperThreads:   1024,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		width := cfg.scale(24)
+		pb := ir.NewBuilder("other.rotate")
+		w := pb.NewFunc("worker")
+		pb.SetEntry(w)
+		// Args: r0=src, r1=dst, r2=height (rows = threads).
+		pre := w.NewBlock("pre")
+		pre.Mov(rg(3), tid()).
+			Mul(rg(3), im(int64(width))) // my row base
+		l := loopN(w, pre, "cols", 4, 0, im(int64(width)))
+		l.Body.Mov(rg(5), rg(3)).
+			Add(rg(5), rg(4)).
+			Mov(rg(6), idx8(0, 5, 8, 0)). // src[row*W + x]
+			Mov(rg(7), rg(4)).
+			Mul(rg(7), rg(2)).
+			Add(rg(7), tid()).
+			Mov(idx8(1, 7, 8, 0), rg(6)) // dst[x*H + row]
+		l.Next(l.Body)
+		l.Exit.Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			n := width * cfg.Threads
+			src := p.AllocGlobal(uint64(8 * n))
+			dst := p.AllocGlobal(uint64(8 * n))
+			for i := 0; i < n; i++ {
+				p.WriteI64(src+uint64(8*i), r.Int63())
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(src))
+				th.SetReg(ir.R(1), int64(dst))
+				th.SetReg(ir.R(2), int64(cfg.Threads))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlMD5 = register(&Workload{
+	Name:           "other.md5",
+	Suite:          SuiteOther,
+	Desc:           "MD5 digests: 64 rounds of pure ALU mixing with a per-round jump table taken uniformly",
+	DefaultThreads: 64,
+	PaperThreads:   512,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		pb := ir.NewBuilder("other.md5")
+		w := pb.NewFunc("worker")
+		pb.SetEntry(w)
+		// Args: r0=messages (16 words each), r1=sines table, r2=out.
+		pre := w.NewBlock("pre")
+		pre.Mov(rg(3), tid()).
+			Shl(rg(3), im(7)).
+			Add(rg(3), rg(0)).          // &message
+			Mov(rg(5), im(0x67452301)). // a
+			Mov(rg(6), im(-0x10325477)) // b
+		l := loopN(w, pre, "rounds", 4, 0, im(64))
+		// The round function is selected by round/16. Every lane is at the
+		// same round, so the jump table never diverges — MD5 stays at the
+		// top of figure 1.
+		f0 := w.NewBlock("f0")
+		f1 := w.NewBlock("f1")
+		f2 := w.NewBlock("f2")
+		f3 := w.NewBlock("f3")
+		mix := w.NewBlock("mix")
+		l.Body.Mov(rg(7), rg(4)).
+			Shr(rg(7), im(4)).
+			Switch(rg(7), f0, f1, f2, f3)
+		f0.Mov(rg(8), rg(5)).And(rg(8), rg(6)).Jmp(mix)
+		f1.Mov(rg(8), rg(5)).Or(rg(8), rg(6)).Jmp(mix)
+		f2.Mov(rg(8), rg(5)).Xor(rg(8), rg(6)).Jmp(mix)
+		f3.Mov(rg(8), rg(6)).Not(rg(8)).Or(rg(8), rg(5)).Jmp(mix)
+		mix.Mov(rg(9), rg(4)).
+			And(rg(9), im(15)).
+			Mov(rg(13), idx8(3, 9, 8, 0)). // message word
+			Add(rg(8), rg(13)).
+			Add(rg(8), idx8(1, 4, 8, 0)). // sine constant
+			Mov(rg(9), rg(8)).
+			Shl(rg(8), im(7)).
+			Shr(rg(9), im(57)). // rotate-left by 7, as MD5's <<<s
+			Or(rg(8), rg(9)).
+			Xor(rg(8), rg(5)).
+			Mov(rg(5), rg(6)).
+			Mov(rg(6), rg(8))
+		l.Next(mix)
+		l.Exit.Mov(idx8(2, int(ir.TID), 8, 0), rg(6)).Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			msgs := p.AllocGlobal(uint64(128 * cfg.Threads))
+			sines := p.AllocGlobal(8 * 64)
+			out := p.AllocGlobal(uint64(8 * cfg.Threads))
+			for i := 0; i < 16*cfg.Threads; i++ {
+				p.WriteI64(msgs+uint64(8*i), r.Int63())
+			}
+			for i := 0; i < 64; i++ {
+				p.WriteI64(sines+uint64(8*i), r.Int63())
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(msgs))
+				th.SetReg(ir.R(1), int64(sines))
+				th.SetReg(ir.R(2), int64(out))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})

@@ -1,0 +1,270 @@
+package workloads
+
+import (
+	"threadfuser/internal/ir"
+	"threadfuser/internal/vm"
+)
+
+// Paropoly workloads (Table I): BFS, Connected Components, PageRank, N-body.
+// The paper reimplemented three graph applications "with complex control
+// flow graph" using pthreads, plus the N-body kernel that anchors the
+// high-efficiency end of figure 1.
+
+var wlParoBFS = register(&Workload{
+	Name:           "paropoly.bfs",
+	Suite:          SuiteParopoly,
+	Desc:           "level-synchronous BFS with per-node colour checks and nested neighbour filters",
+	DefaultThreads: 64,
+	PaperThreads:   4096,
+	HasGPUImpl:     true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		degree := cfg.scale(6)
+		pb := ir.NewBuilder("paropoly.bfs")
+		w := pb.NewFunc("worker")
+		// Args: r0=offsets, r1=edges, r2=level, r3=curLevel (imm in reg).
+		pre := w.NewBlock("pre")
+		mine := w.NewBlock("mine")
+		skip := w.NewBlock("skip")
+		pre.Mov(rg(4), idx8(2, int(ir.TID), 8, 0)).
+			Cmp(rg(4), rg(3)).
+			Jcc(ir.CondEQ, mine, skip)
+		skip.Ret()
+		mine.Mov(rg(5), idx8(0, int(ir.TID), 8, 0)).
+			Mov(rg(6), idx8(0, int(ir.TID), 8, 8))
+		head := w.NewBlock("head")
+		examine := w.NewBlock("examine")
+		relax := w.NewBlock("relax")
+		advance := w.NewBlock("advance")
+		done := w.NewBlock("done")
+		mine.Jmp(head)
+		head.Cmp(rg(5), rg(6)).Jcc(ir.CondGE, done, examine)
+		examine.Mov(rg(7), idx8(1, 5, 8, 0)). // v
+							Mov(rg(8), idx8(2, 7, 8, 0)). // level[v]
+							Cmp(rg(8), im(-1)).
+							Jcc(ir.CondEQ, relax, advance)
+		relax.Mov(rg(8), rg(3)).
+			Add(rg(8), im(1)).
+			Mov(idx8(2, 7, 8, 0), rg(8)).
+			Jmp(advance)
+		advance.Add(rg(5), im(1)).Jmp(head)
+		done.Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			g := randGraph(r, cfg.Threads, degree)
+			offsets, edges := g.store(p)
+			level := p.AllocGlobal(uint64(8 * cfg.Threads))
+			const cur = 2
+			for i := 0; i < cfg.Threads; i++ {
+				lv := int64(-1)
+				switch r.Intn(4) {
+				case 0:
+					lv = cur // on the current level: this thread expands
+				case 1:
+					lv = int64(r.Intn(int(cur))) // already visited
+				}
+				p.WriteI64(level+uint64(8*i), lv)
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(offsets))
+				th.SetReg(ir.R(1), int64(edges))
+				th.SetReg(ir.R(2), int64(level))
+				th.SetReg(ir.R(3), cur)
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlParoCC = register(&Workload{
+	Name:           "paropoly.cc",
+	Suite:          SuiteParopoly,
+	Desc:           "connected components hooking step: neighbour scans with conditional min-label updates",
+	DefaultThreads: 64,
+	PaperThreads:   4096,
+	HasGPUImpl:     true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		degree := cfg.scale(6)
+		pb := ir.NewBuilder("paropoly.cc")
+		w := pb.NewFunc("worker")
+		// Args: r0=offsets, r1=edges, r2=comp.
+		pre := w.NewBlock("pre")
+		pre.Mov(rg(3), idx8(2, int(ir.TID), 8, 0)). // my comp
+								Mov(rg(4), idx8(0, int(ir.TID), 8, 0)).
+								Mov(rg(5), idx8(0, int(ir.TID), 8, 8))
+		head := w.NewBlock("head")
+		look := w.NewBlock("look")
+		hook := w.NewBlock("hook")
+		advance := w.NewBlock("advance")
+		done := w.NewBlock("done")
+		pre.Jmp(head)
+		head.Cmp(rg(4), rg(5)).Jcc(ir.CondGE, done, look)
+		look.Mov(rg(6), idx8(1, 4, 8, 0)). // v
+							Mov(rg(7), idx8(2, 6, 8, 0)). // comp[v]
+							Cmp(rg(7), rg(3)).
+							Jcc(ir.CondLT, hook, advance)
+		hook.Mov(rg(3), rg(7)).
+			Mov(idx8(2, int(ir.TID), 8, 0), rg(3)).
+			Jmp(advance)
+		advance.Add(rg(4), im(1)).Jmp(head)
+		done.Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			g := randGraph(r, cfg.Threads, degree)
+			offsets, edges := g.store(p)
+			comp := p.AllocGlobal(uint64(8 * cfg.Threads))
+			for i := 0; i < cfg.Threads; i++ {
+				p.WriteI64(comp+uint64(8*i), int64(i))
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(offsets))
+				th.SetReg(ir.R(1), int64(edges))
+				th.SetReg(ir.R(2), int64(comp))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlParoPageRank = register(&Workload{
+	Name:           "paropoly.pagerank",
+	Suite:          SuiteParopoly,
+	Desc:           "pagerank iteration: degree-divergent neighbour sums with convergent rank update",
+	DefaultThreads: 64,
+	PaperThreads:   4096,
+	HasGPUImpl:     true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		degree := cfg.scale(6)
+		pb := ir.NewBuilder("paropoly.pagerank")
+		w := pb.NewFunc("worker")
+		// Args: r0=offsets, r1=edges, r2=rank, r3=outdeg, r4=next rank.
+		pre := w.NewBlock("pre")
+		pre.Mov(rg(5), idx8(0, int(ir.TID), 8, 0)).
+			Mov(rg(6), idx8(0, int(ir.TID), 8, 8)).
+			Mov(rg(9), im(0)) // sum
+		head := w.NewBlock("head")
+		body := w.NewBlock("body")
+		tail := w.NewBlock("tail")
+		pre.Jmp(head)
+		head.Cmp(rg(5), rg(6)).Jcc(ir.CondGE, tail, body)
+		body.Mov(rg(7), idx8(1, 5, 8, 0)). // v
+							Mov(rg(8), idx8(2, 7, 8, 0)).  // rank[v]
+							FDiv(rg(8), idx8(3, 7, 8, 0)). // / outdeg[v]
+							FAdd(rg(9), rg(8)).
+							Add(rg(5), im(1)).
+							Jmp(head)
+		// rank' = base + damping*sum; damping in r13, base in r14 (set by
+		// the per-thread argument initializer).
+		tail.FMul(rg(9), rg(13)).
+			FAdd(rg(9), rg(14)).
+			Mov(idx8(4, int(ir.TID), 8, 0), rg(9)).
+			Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			g := randGraph(r, cfg.Threads, degree)
+			offsets, edges := g.store(p)
+			n := cfg.Threads
+			rank := p.AllocGlobal(uint64(8 * n))
+			outdeg := p.AllocGlobal(uint64(8 * n))
+			next := p.AllocGlobal(uint64(8 * n))
+			for i := 0; i < n; i++ {
+				p.WriteF64(rank+uint64(8*i), 1/float64(n))
+				p.WriteF64(outdeg+uint64(8*i), float64(g.offsets[i+1]-g.offsets[i]))
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(offsets))
+				th.SetReg(ir.R(1), int64(edges))
+				th.SetReg(ir.R(2), int64(rank))
+				th.SetReg(ir.R(3), int64(outdeg))
+				th.SetReg(ir.R(4), int64(next))
+				th.SetRegF(ir.R(13), 0.85)
+				th.SetRegF(ir.R(14), 0.15/float64(n))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlParoNbody = register(&Workload{
+	Name:           "paropoly.nbody",
+	Suite:          SuiteParopoly,
+	Desc:           "N-body force kernel: convergent O(n) inner loop with broadcast position loads",
+	DefaultThreads: 64,
+	PaperThreads:   4096,
+	HasGPUImpl:     true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		bodies := cfg.scale(48)
+		pb := ir.NewBuilder("paropoly.nbody")
+		w := pb.NewFunc("worker")
+		// Args: r0=px, r1=py, r2=mass, r3=ax out, r4=ay out.
+		pre := w.NewBlock("pre")
+		pre.Mov(rg(10), tid()).
+			Rem(rg(10), im(int64(bodies))). // my body index
+			Mov(rg(5), idx8(0, 10, 8, 0)).  // my x
+			Mov(rg(6), idx8(1, 10, 8, 0)).  // my y
+			Mov(rg(8), im(0)).              // ax
+			Mov(rg(9), im(0))               // ay
+		l := loopN(w, pre, "bodies", 7, 0, im(int64(bodies)))
+		// dx = px[j]-x; dy = py[j]-y; inv = m[j]/ (sqrt(d2)*d2 + eps)
+		l.Body.Mov(rg(13), idx8(0, 7, 8, 0)).
+			FSub(rg(13), rg(5)).
+			Mov(rg(14), idx8(1, 7, 8, 0)).
+			FSub(rg(14), rg(6)).
+			Mov(rg(15), rg(13)).
+			FMul(rg(15), rg(13)).
+			Mov(rg(12), rg(14)).
+			FMul(rg(12), rg(14)).
+			FAdd(rg(15), rg(12)). // d2
+			FAdd(rg(15), rg(11)). // + eps (r11 holds softening)
+			Mov(rg(12), rg(15)).
+			FSqrt(rg(12)).
+			FMul(rg(12), rg(15)).          // d3
+			Mov(rg(15), idx8(2, 7, 8, 0)). // m[j]
+			FDiv(rg(15), rg(12)).          // inv = m/d3
+			FMul(rg(13), rg(15)).
+			FMul(rg(14), rg(15)).
+			FAdd(rg(8), rg(13)).
+			FAdd(rg(9), rg(14))
+		l.Next(l.Body)
+		l.Exit.Mov(idx8(3, int(ir.TID), 8, 0), rg(8)).
+			Mov(idx8(4, int(ir.TID), 8, 0), rg(9)).
+			Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			px := p.AllocGlobal(uint64(8 * bodies))
+			py := p.AllocGlobal(uint64(8 * bodies))
+			mass := p.AllocGlobal(uint64(8 * bodies))
+			ax := p.AllocGlobal(uint64(8 * cfg.Threads))
+			ay := p.AllocGlobal(uint64(8 * cfg.Threads))
+			for i := 0; i < bodies; i++ {
+				p.WriteF64(px+uint64(8*i), r.NormFloat64())
+				p.WriteF64(py+uint64(8*i), r.NormFloat64())
+				p.WriteF64(mass+uint64(8*i), r.Float64()+0.1)
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(px))
+				th.SetReg(ir.R(1), int64(py))
+				th.SetReg(ir.R(2), int64(mass))
+				th.SetReg(ir.R(3), int64(ax))
+				th.SetReg(ir.R(4), int64(ay))
+				th.SetRegF(ir.R(11), 1e-6)
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})

@@ -1,0 +1,571 @@
+package workloads
+
+import (
+	"threadfuser/internal/ir"
+	"threadfuser/internal/vm"
+)
+
+// PARSEC 3.0 workloads (Table I): blackscholes, streamcluster, bodytrack,
+// facesim, fluidanimate, freqmine, swaptions, vips, x264. Each thread models
+// one unit of the data partition the pthread/OpenMP version hands a worker.
+
+var wlBlackscholes = register(&Workload{
+	Name:           "parsec.blackscholes",
+	Suite:          SuiteParsec,
+	Desc:           "Black-Scholes pricing: heavy FP pipeline with the CNDF sign branch",
+	DefaultThreads: 64,
+	PaperThreads:   1024,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		options := cfg.scale(8)
+		pb := ir.NewBuilder("parsec.blackscholes")
+
+		// CNDF(x): branch on sign, then a fixed polynomial (both paths run
+		// the polynomial; only the prologue differs, like the real code).
+		cndf := pb.NewFunc("CNDF")
+		c0 := cndf.NewBlock("sign")
+		neg := cndf.NewBlock("neg")
+		pos := cndf.NewBlock("pos")
+		poly := cndf.NewBlock("poly")
+		c0.Mov(rg(12), im(0)).
+			CvtIF(rg(12), rg(12)).
+			FCmp(rg(11), rg(12)).
+			Jcc(ir.CondLT, neg, pos)
+		neg.FAbs(rg(11)).Mov(rg(13), im(1)).Jmp(poly)
+		pos.Mov(rg(13), im(0)).Nop(1).Jmp(poly)
+		poly.Mov(rg(12), rg(11)).
+			FMul(rg(12), rg(11)).
+			FMul(rg(12), rg(14)).
+			FAdd(rg(12), rg(11)).
+			FSqrt(rg(12)).
+			FMul(rg(12), rg(14)).
+			FAdd(rg(12), rg(14)).
+			Ret()
+
+		w := pb.NewFunc("worker")
+		pb.SetEntry(w)
+		// Args: r0=spot, r1=strike, r2=rate, r3=vol, r4=out.
+		pre := w.NewBlock("pre")
+		l := loopN(w, pre, "options", 5, 0, im(int64(options)))
+		// d1 = (log-ish mix of spot/strike) — modelled with mul/div/sqrt.
+		body2 := w.NewBlock("after_cndf")
+		l.Body.Mov(rg(6), tid()).
+			Mul(rg(6), im(int64(options))).
+			Add(rg(6), rg(5)).              // option index
+			Mov(rg(11), idx8(0, 6, 8, 0)).  // spot
+			FDiv(rg(11), idx8(1, 6, 8, 0)). // / strike
+			Mov(rg(14), idx8(3, 6, 8, 0)).  // vol
+			FMul(rg(11), rg(14)).
+			FAdd(rg(11), idx8(2, 6, 8, 0)). // + rate
+			Call(cndf, body2)
+		body2.Mov(rg(15), rg(12)).
+			FMul(rg(15), idx8(0, 6, 8, 0)).
+			Mov(idx8(4, 6, 8, 0), rg(15))
+		l.Next(body2)
+		l.Exit.Ret()
+
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			n := cfg.Threads * options
+			spot := p.AllocGlobal(uint64(8 * n))
+			strike := p.AllocGlobal(uint64(8 * n))
+			rate := p.AllocGlobal(uint64(8 * n))
+			vol := p.AllocGlobal(uint64(8 * n))
+			out := p.AllocGlobal(uint64(8 * n))
+			for i := 0; i < n; i++ {
+				p.WriteF64(spot+uint64(8*i), 20+80*r.Float64())
+				p.WriteF64(strike+uint64(8*i), 20+80*r.Float64())
+				p.WriteF64(rate+uint64(8*i), r.Float64()-0.5) // signs split CNDF
+				p.WriteF64(vol+uint64(8*i), 0.1+0.4*r.Float64())
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(spot))
+				th.SetReg(ir.R(1), int64(strike))
+				th.SetReg(ir.R(2), int64(rate))
+				th.SetReg(ir.R(3), int64(vol))
+				th.SetReg(ir.R(4), int64(out))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlParsecSC = register(&Workload{
+	Name:           "parsec.streamcluster",
+	Suite:          SuiteParsec,
+	Desc:           "streamcluster kernel: per-point distances to candidate centers, conditional reassignment",
+	DefaultThreads: 64,
+	PaperThreads:   8192,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		// Same kernel family as rodinia.sc at a different operating point
+		// (more centers, higher dimensionality), as in PARSEC's native input.
+		return buildClusterKernel("parsec.streamcluster", cfg, cfg.scale(12), 16)
+	},
+})
+
+var wlBodytrack = register(&Workload{
+	Name:           "parsec.bodytrack",
+	Suite:          SuiteParsec,
+	Desc:           "bodytrack particle weights: per-part projection with data-dependent visibility paths",
+	DefaultThreads: 64,
+	PaperThreads:   1024,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		parts := cfg.scale(8)
+		pb := ir.NewBuilder("parsec.bodytrack")
+		w := pb.NewFunc("worker")
+		pb.SetEntry(w)
+		// Args: r0=particles, r1=visibility, r2=out.
+		pre := w.NewBlock("pre")
+		pre.Mov(rg(9), im(0))
+		l := loopN(w, pre, "parts", 3, 0, im(int64(parts)))
+		visible := w.NewBlock("visible")
+		occluded := w.NewBlock("occluded")
+		join := w.NewBlock("join")
+		l.Body.Mov(rg(4), tid()).
+			Mul(rg(4), im(int64(parts))).
+			Add(rg(4), rg(3)).
+			Mov(rg(5), idx8(0, 4, 8, 0)). // particle-part state
+			Mov(rg(6), idx8(1, 4, 8, 0)). // visibility flag
+			Cmp(rg(6), im(0)).
+			Jcc(ir.CondEQ, occluded, visible)
+		// Visible parts run the full edge-error kernel.
+		visible.Mov(rg(7), rg(5)).
+			FMul(rg(7), rg(5)).
+			FAdd(rg(7), rg(5)).
+			FSqrt(rg(7)).
+			FMul(rg(7), rg(7)).
+			FAdd(rg(9), rg(7)).
+			Nop(6).
+			Jmp(join)
+		occluded.Nop(1).Jmp(join)
+		l.Next(join)
+		l.Exit.Mov(idx8(2, int(ir.TID), 8, 0), rg(9)).Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			n := cfg.Threads * parts
+			particles := p.AllocGlobal(uint64(8 * n))
+			vis := p.AllocGlobal(uint64(8 * n))
+			out := p.AllocGlobal(uint64(8 * cfg.Threads))
+			for i := 0; i < n; i++ {
+				p.WriteF64(particles+uint64(8*i), r.NormFloat64())
+				v := int64(0)
+				if r.Intn(100) < 60 {
+					v = 1
+				}
+				p.WriteI64(vis+uint64(8*i), v)
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(particles))
+				th.SetReg(ir.R(1), int64(vis))
+				th.SetReg(ir.R(2), int64(out))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlFacesim = register(&Workload{
+	Name:           "parsec.facesim",
+	Suite:          SuiteParsec,
+	Desc:           "facesim node update: fixed 3x3 stiffness products with a rare boundary-node path",
+	DefaultThreads: 64,
+	PaperThreads:   1024,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		pb := ir.NewBuilder("parsec.facesim")
+		w := pb.NewFunc("worker")
+		pb.SetEntry(w)
+		// Args: r0=nodes (9 f64 each), r1=boundary flags, r2=out.
+		pre := w.NewBlock("pre")
+		pre.Mov(rg(3), tid()).
+			Mul(rg(3), im(72)).
+			Add(rg(3), rg(0)).
+			Mov(rg(9), im(0))
+		rl := loopN(w, pre, "rows", 4, 0, im(3))
+		cl := loopN(w, rl.Body, "cols", 5, 0, im(3))
+		cl.Body.Mov(rg(6), rg(4)).
+			Mul(rg(6), im(3)).
+			Add(rg(6), rg(5)).
+			Mov(rg(7), idx8(3, 6, 8, 0)).
+			FMul(rg(7), rg(7)).
+			FAdd(rg(9), rg(7))
+		cl.Next(cl.Body)
+		rl.Next(cl.Exit)
+		boundary := w.NewBlock("boundary")
+		interior := w.NewBlock("interior")
+		done := w.NewBlock("done")
+		rl.Exit.Mov(rg(8), idx8(1, int(ir.TID), 8, 0)).
+			Cmp(rg(8), im(0)).
+			Jcc(ir.CondNE, boundary, interior)
+		boundary.FMul(rg(9), rg(9)).Nop(4).Jmp(done)
+		interior.FSqrt(rg(9)).Jmp(done)
+		done.Mov(idx8(2, int(ir.TID), 8, 0), rg(9)).Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			nodes := p.AllocGlobal(uint64(72 * cfg.Threads))
+			bnd := p.AllocGlobal(uint64(8 * cfg.Threads))
+			out := p.AllocGlobal(uint64(8 * cfg.Threads))
+			for i := 0; i < 9*cfg.Threads; i++ {
+				p.WriteF64(nodes+uint64(8*i), r.NormFloat64())
+			}
+			for i := 0; i < cfg.Threads; i++ {
+				if r.Intn(10) == 0 {
+					p.WriteI64(bnd+uint64(8*i), 1)
+				}
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(nodes))
+				th.SetReg(ir.R(1), int64(bnd))
+				th.SetReg(ir.R(2), int64(out))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlFluidanimate = register(&Workload{
+	Name:           "parsec.fluidanimate",
+	Suite:          SuiteParsec,
+	Desc:           "fluidanimate cell update: variable particles-per-cell loops with fine-grain cell locks",
+	DefaultThreads: 64,
+	PaperThreads:   4096,
+	Microservice:   false,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		pb := ir.NewBuilder("parsec.fluidanimate")
+		w := pb.NewFunc("worker")
+		pb.SetEntry(w)
+		// Args: r0=cellCounts, r1=particles, r2=cellLocks, r3=out.
+		pre := w.NewBlock("pre")
+		pre.Mov(rg(4), idx8(0, int(ir.TID), 8, 0)). // my particle count
+								Mov(rg(9), im(0))
+		pl := loopN(w, pre, "particles", 5, 0, rg(4))
+		nl := loopN(w, pl.Body, "neighbors", 6, 0, im(3))
+		nl.Body.Mov(rg(7), tid()).
+			Add(rg(7), rg(6)).
+			Rem(rg(7), im(int64(cfg.Threads))). // neighbour cell id
+			Mov(rg(8), idx8(1, 7, 8, 0)).       // neighbour particle state
+			FMul(rg(8), rg(8)).
+			FAdd(rg(9), rg(8))
+		nl.Next(nl.Body)
+		pl.Next(nl.Exit)
+		lockB := w.NewBlock("lock")
+		pl.Exit.Mov(rg(7), tid()).
+			Shl(rg(7), im(3)).
+			Add(rg(7), rg(2)).
+			Jmp(lockB)
+		lockB.Lock(ir.Mem(ir.R(7), 0, 8)).
+			Mov(rg(8), idx8(3, int(ir.TID), 8, 0)).
+			FAdd(rg(8), rg(9)).
+			Mov(idx8(3, int(ir.TID), 8, 0), rg(8)).
+			Unlock(ir.Mem(ir.R(7), 0, 8)).
+			Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			counts := p.AllocGlobal(uint64(8 * cfg.Threads))
+			particles := p.AllocGlobal(uint64(8 * cfg.Threads))
+			locks := p.AllocGlobal(uint64(8 * cfg.Threads))
+			out := p.AllocGlobal(uint64(8 * cfg.Threads))
+			for i := 0; i < cfg.Threads; i++ {
+				p.WriteI64(counts+uint64(8*i), int64(r.Intn(7)))
+				p.WriteF64(particles+uint64(8*i), r.NormFloat64())
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(counts))
+				th.SetReg(ir.R(1), int64(particles))
+				th.SetReg(ir.R(2), int64(locks))
+				th.SetReg(ir.R(3), int64(out))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlFreqmine = register(&Workload{
+	Name:           "parsec.freqmine",
+	Suite:          SuiteParsec,
+	Desc:           "freqmine FP-tree descent: pointer chasing to data-dependent depths",
+	DefaultThreads: 64,
+	PaperThreads:   2048,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		pb := ir.NewBuilder("parsec.freqmine")
+		w := pb.NewFunc("worker")
+		pb.SetEntry(w)
+		// Args: r0=root, r1=items, r2=out. Node: {item, left, right}.
+		pre := w.NewBlock("pre")
+		pre.Mov(rg(3), rg(0)).
+			Mov(rg(4), idx8(1, int(ir.TID), 8, 0)). // my item
+			Mov(rg(9), im(0))
+		head := w.NewBlock("head")
+		body := w.NewBlock("body")
+		left := w.NewBlock("left")
+		right := w.NewBlock("right")
+		done := w.NewBlock("done")
+		pre.Jmp(head)
+		head.Cmp(rg(3), im(0)).Jcc(ir.CondEQ, done, body)
+		body.Mov(rg(5), mem8(3, 0)). // node.item
+						Cmp(rg(4), rg(5)).
+						Jcc(ir.CondLT, left, right)
+		// Each direction carries the full node bookkeeping (support count
+		// update, conditional-pattern mixing), so lane splits are costly.
+		left.Add(rg(9), im(1)).
+			Mov(rg(6), rg(5)).
+			Mul(rg(6), im(31)).
+			Xor(rg(6), rg(4)).
+			Add(rg(9), rg(6)).
+			Shr(rg(6), im(3)).
+			Xor(rg(9), rg(6)).
+			Mov(rg(3), mem8(3, 8)).
+			Jmp(head)
+		right.Add(rg(9), im(2)).
+			Mov(rg(6), rg(5)).
+			Mul(rg(6), im(37)).
+			Add(rg(6), rg(4)).
+			Xor(rg(9), rg(6)).
+			Shl(rg(6), im(2)).
+			Add(rg(9), rg(6)).
+			Mov(rg(3), mem8(3, 16)).
+			Jmp(head)
+		done.Mov(idx8(2, int(ir.TID), 8, 0), rg(9)).Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			// Random binary tree on the heap; descent depths vary wildly.
+			var build func(depth int) uint64
+			build = func(depth int) uint64 {
+				if depth == 0 || r.Intn(4) == 0 {
+					return 0
+				}
+				n := p.AllocHeap(24)
+				p.WriteI64(n, int64(r.Intn(1<<16)))
+				p.WriteI64(n+8, int64(build(depth-1)))
+				p.WriteI64(n+16, int64(build(depth-1)))
+				return n
+			}
+			root := build(20)
+			items := p.AllocGlobal(uint64(8 * cfg.Threads))
+			out := p.AllocGlobal(uint64(8 * cfg.Threads))
+			for i := 0; i < cfg.Threads; i++ {
+				p.WriteI64(items+uint64(8*i), int64(r.Intn(1<<16)))
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(root))
+				th.SetReg(ir.R(1), int64(items))
+				th.SetReg(ir.R(2), int64(out))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlSwaptions = register(&Workload{
+	Name:           "parsec.swaptions",
+	Suite:          SuiteParsec,
+	Desc:           "swaptions HJM Monte Carlo: fixed time-step loops with hash-driven RNG",
+	DefaultThreads: 64,
+	PaperThreads:   512,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		steps := cfg.scale(16)
+		pb := ir.NewBuilder("parsec.swaptions")
+		s := addStdlib(pb)
+		w := pb.NewFunc("worker")
+		pb.SetEntry(w)
+		// Args: r0=seeds, r1=out.
+		pre := w.NewBlock("pre")
+		pre.Mov(rg(2), idx8(0, int(ir.TID), 8, 0)).
+			Mov(rg(9), im(0)).
+			CvtIF(rg(9), rg(9))
+		l := loopN(w, pre, "steps", 3, 0, im(int64(steps)))
+		stepped := w.NewBlock("stepped")
+		l.Body.Mov(rg(10), rg(2)).
+			Add(rg(10), rg(3)).
+			Mov(rg(11), im(4)).
+			Call(s.Hash, stepped)
+		stepped.Mov(rg(4), rg(10)).
+			And(rg(4), im(0xffff)).
+			CvtIF(rg(4), rg(4)).
+			FMul(rg(4), rg(14)). // * dt-ish scale
+			FAdd(rg(9), rg(4)).
+			FSqrt(rg(9))
+		l.Next(stepped)
+		l.Exit.Mov(idx8(1, int(ir.TID), 8, 0), rg(9)).Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			seeds := p.AllocGlobal(uint64(8 * cfg.Threads))
+			out := p.AllocGlobal(uint64(8 * cfg.Threads))
+			for i := 0; i < cfg.Threads; i++ {
+				p.WriteI64(seeds+uint64(8*i), r.Int63())
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(seeds))
+				th.SetReg(ir.R(1), int64(out))
+				th.SetRegF(ir.R(14), 1.0/65536)
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlVips = register(&Workload{
+	Name:           "parsec.vips",
+	Suite:          SuiteParsec,
+	Desc:           "vips convolution: fixed 3x3 kernel over a strided image with a rare clamp path",
+	DefaultThreads: 64,
+	PaperThreads:   512,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		width := cfg.scale(16)
+		pb := ir.NewBuilder("parsec.vips")
+		w := pb.NewFunc("worker")
+		pb.SetEntry(w)
+		// Args: r0=src image, r1=dst, r2=kernel, r3=row stride (elements).
+		pre := w.NewBlock("pre")
+		pre.Mov(rg(4), tid()).
+			Mul(rg(4), rg(3)) // my row base index
+		xl := loopN(w, pre, "cols", 5, 0, im(int64(width)))
+		xl.Body.Mov(rg(9), im(0))
+		kl := loopN(w, xl.Body, "kernel", 6, 0, im(9))
+		kl.Body.Mov(rg(7), rg(4)).
+			Add(rg(7), rg(5)).
+			Add(rg(7), rg(6)).
+			Mov(rg(8), idx8(0, 7, 8, 0)).
+			FMul(rg(8), idx8(2, 6, 8, 0)).
+			FAdd(rg(9), rg(8))
+		kl.Next(kl.Body)
+		clamp := w.NewBlock("clamp")
+		keep := w.NewBlock("keep")
+		stored := w.NewBlock("stored")
+		kl.Exit.FCmp(rg(9), rg(14)). // > clamp threshold?
+						Jcc(ir.CondGT, clamp, keep)
+		clamp.Mov(rg(9), rg(14)).Jmp(stored)
+		keep.Nop(1).Jmp(stored)
+		stored.Mov(rg(7), rg(4)).
+			Add(rg(7), rg(5)).
+			Mov(idx8(1, 7, 8, 0), rg(9))
+		xl.Next(stored)
+		xl.Exit.Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			stride := width + 16
+			n := (cfg.Threads + 2) * stride
+			src := p.AllocGlobal(uint64(8 * n))
+			dst := p.AllocGlobal(uint64(8 * n))
+			kern := p.AllocGlobal(8 * 9)
+			for i := 0; i < n; i++ {
+				p.WriteF64(src+uint64(8*i), r.Float64())
+			}
+			for i := 0; i < 9; i++ {
+				p.WriteF64(kern+uint64(8*i), r.Float64()/9)
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(src))
+				th.SetReg(ir.R(1), int64(dst))
+				th.SetReg(ir.R(2), int64(kern))
+				th.SetReg(ir.R(3), int64(stride))
+				th.SetRegF(ir.R(14), 0.30)
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlX264 = register(&Workload{
+	Name:           "parsec.x264",
+	Suite:          SuiteParsec,
+	Desc:           "x264 motion search: SAD candidate loops with data-dependent early termination",
+	DefaultThreads: 64,
+	PaperThreads:   4096,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		cands := cfg.scale(8)
+		pb := ir.NewBuilder("parsec.x264")
+		w := pb.NewFunc("worker")
+		pb.SetEntry(w)
+		// Args: r0=blocks, r1=refs, r2=thresholds, r3=out.
+		pre := w.NewBlock("pre")
+		pre.Mov(rg(4), tid()).
+			Shl(rg(4), im(3)).                      // my block base (8 pixels)
+			Mov(rg(9), ir.Imm(int64(1)<<40)).       // best SAD
+			Mov(rg(8), idx8(2, int(ir.TID), 8, 0)). // early-exit threshold
+			Mov(rg(5), im(0))                       // candidate index
+		head := w.NewBlock("head")
+		sad := w.NewBlock("sad")
+		check := w.NewBlock("check")
+		better := w.NewBlock("better")
+		cont := w.NewBlock("cont")
+		done := w.NewBlock("done")
+		pre.Jmp(head)
+		head.Cmp(rg(5), im(int64(cands))).Jcc(ir.CondGE, done, sad)
+		sad.Mov(rg(6), im(0))
+		pxl := loopN(w, sad, "pixels", 7, 0, im(8))
+		pxl.Body.Mov(rg(13), rg(4)).
+			Add(rg(13), rg(7)).
+			Mov(rg(14), idx8(0, 13, 8, 0)).
+			Mov(rg(15), rg(5)).
+			Shl(rg(15), im(3)).
+			Add(rg(15), rg(7)).
+			Sub(rg(14), idx8(1, 15, 8, 0)).
+			Mov(rg(12), rg(14)).
+			Sar(rg(12), im(63)).
+			Xor(rg(14), rg(12)).
+			Sub(rg(14), rg(12)). // |diff|
+			Add(rg(6), rg(14))
+		pxl.Next(pxl.Body)
+		pxl.Exit.Cmp(rg(6), rg(9)).Jcc(ir.CondLT, better, cont)
+		better.Mov(rg(9), rg(6)).Jmp(check)
+		// Early termination: good-enough match stops the search at a
+		// per-macroblock (data-dependent) candidate count.
+		check.Cmp(rg(9), rg(8)).Jcc(ir.CondLT, done, cont)
+		cont.Add(rg(5), im(1)).Jmp(head)
+		done.Mov(idx8(3, int(ir.TID), 8, 0), rg(9)).Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			blocks := p.AllocGlobal(uint64(64 * cfg.Threads))
+			refs := p.AllocGlobal(uint64(64 * cands))
+			thresh := p.AllocGlobal(uint64(8 * cfg.Threads))
+			out := p.AllocGlobal(uint64(8 * cfg.Threads))
+			for i := 0; i < 8*cfg.Threads; i++ {
+				p.WriteI64(blocks+uint64(8*i), int64(r.Intn(256)))
+			}
+			for i := 0; i < 8*cands; i++ {
+				p.WriteI64(refs+uint64(8*i), int64(r.Intn(256)))
+			}
+			for i := 0; i < cfg.Threads; i++ {
+				p.WriteI64(thresh+uint64(8*i), int64(250+r.Intn(400)))
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(blocks))
+				th.SetReg(ir.R(1), int64(refs))
+				th.SetReg(ir.R(2), int64(thresh))
+				th.SetReg(ir.R(3), int64(out))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})

@@ -1,0 +1,360 @@
+package workloads
+
+import (
+	"threadfuser/internal/ir"
+	"threadfuser/internal/vm"
+)
+
+// Rodinia 3.1 workloads (Table I): BFS, Nearest Neighbors, Stream Cluster,
+// b+tree, Particle Filter. These have OpenMP implementations identical to
+// their CUDA twins, so they anchor the section-IV correlation study. Each
+// thread models one OpenMP loop iteration, matching the paper's equal-work
+// trace partitioning.
+
+var wlRodiniaBFS = register(&Workload{
+	Name:           "rodinia.bfs",
+	Suite:          SuiteRodinia,
+	Desc:           "frontier-based BFS step: early-exit on non-frontier nodes plus degree-divergent neighbour loops",
+	DefaultThreads: 64,
+	PaperThreads:   4096,
+	HasGPUImpl:     true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		degree := cfg.scale(8)
+		pb := ir.NewBuilder("rodinia.bfs")
+		w := pb.NewFunc("worker")
+		// Args: r0=offsets, r1=edges, r2=frontier mask, r3=visited, r4=cost.
+		check := w.NewBlock("check")
+		skip := w.NewBlock("skip")
+		expand := w.NewBlock("expand")
+		// Non-frontier threads return immediately (the paper's BFS
+		// divergence source: most threads idle while frontier threads
+		// expand).
+		check.Mov(rg(5), idx8(2, int(ir.TID), 8, 0)).
+			Cmp(rg(5), im(0)).
+			Jcc(ir.CondEQ, skip, expand)
+		skip.Ret()
+
+		// Frontier thread: iterate neighbours [offsets[tid], offsets[tid+1]).
+		expand.Mov(rg(6), idx8(0, int(ir.TID), 8, 0)). // start
+								Mov(rg(7), idx8(0, int(ir.TID), 8, 8)) // end
+		visit := w.NewBlock("visit")
+		touch := w.NewBlock("touch")
+		update := w.NewBlock("update")
+		next := w.NewBlock("next")
+		done := w.NewBlock("done")
+		expand.Jmp(visit)
+		// visit: if start >= end -> done; else examine edge.
+		visit.Cmp(rg(6), rg(7)).Jcc(ir.CondGE, done, touch)
+		touch.Mov(rg(8), idx8(1, 6, 8, 0)). // v = edges[start]
+							Mov(rg(9), idx8(3, 8, 8, 0)). // visited[v]
+							Cmp(rg(9), im(0)).
+							Jcc(ir.CondNE, next, update)
+		update.Mov(rg(5), idx8(4, int(ir.TID), 8, 0)). // my cost
+								Add(rg(5), im(1)).
+								Mov(idx8(4, 8, 8, 0), rg(5)). // cost[v] = cost+1
+								Mov(idx8(3, 8, 8, 0), im(1)). // visited[v] = 1
+								Jmp(next)
+		next.Add(rg(6), im(1)).Jmp(visit)
+		done.Ret()
+
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			g := randGraph(r, cfg.Threads, degree)
+			offsets, edges := g.store(p)
+			frontier := p.AllocGlobal(uint64(8 * cfg.Threads))
+			visited := p.AllocGlobal(uint64(8 * cfg.Threads))
+			cost := p.AllocGlobal(uint64(8 * cfg.Threads))
+			for i := 0; i < cfg.Threads; i++ {
+				inFrontier := int64(0)
+				if r.Intn(100) < 30 { // mid-BFS frontier occupancy
+					inFrontier = 1
+				}
+				p.WriteI64(frontier+uint64(8*i), inFrontier)
+				if r.Intn(100) < 40 {
+					p.WriteI64(visited+uint64(8*i), 1)
+				}
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(offsets))
+				th.SetReg(ir.R(1), int64(edges))
+				th.SetReg(ir.R(2), int64(frontier))
+				th.SetReg(ir.R(3), int64(visited))
+				th.SetReg(ir.R(4), int64(cost))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlRodiniaNN = register(&Workload{
+	Name:           "rodinia.nn",
+	Suite:          SuiteRodinia,
+	Desc:           "nearest neighbors: one distance evaluation per record, fully convergent",
+	DefaultThreads: 64,
+	PaperThreads:   42 * 1024,
+	HasGPUImpl:     true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		pb := ir.NewBuilder("rodinia.nn")
+		w := pb.NewFunc("worker")
+		pre := w.NewBlock("pre")
+		// Args: r0=records (lat,lng pairs), r1=out, r2..r3 target packed in
+		// registers by setup. Distance over 4 coordinate pairs.
+		pre.Mov(rg(4), tid()).
+			Mul(rg(4), im(64)). // record stride: 8 f64 fields
+			Add(rg(4), rg(0)).
+			Mov(rg(9), im(0)) // acc bits = +0.0
+		l := loopN(w, pre, "dims", 5, 0, im(4))
+		l.Body.Mov(rg(6), idx8(4, 5, 8, 0)). // rec[k] (lat)
+							FSub(rg(6), rg(2)).
+							FMul(rg(6), rg(6)).
+							Mov(rg(7), idx8(4, 5, 8, 32)). // rec[k+4] (lng)
+							FSub(rg(7), rg(3)).
+							FMul(rg(7), rg(7)).
+							FAdd(rg(6), rg(7)).
+							FAdd(rg(9), rg(6))
+		l.Next(l.Body)
+		l.Exit.FSqrt(rg(9)).
+			Mov(idx8(1, int(ir.TID), 8, 0), rg(9)).
+			Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			records := p.AllocGlobal(uint64(64 * cfg.Threads))
+			out := p.AllocGlobal(uint64(8 * cfg.Threads))
+			for i := 0; i < 8*cfg.Threads; i++ {
+				p.WriteF64(records+uint64(8*i), r.Float64()*180-90)
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(records))
+				th.SetReg(ir.R(1), int64(out))
+				th.SetRegF(ir.R(2), 42.3601)
+				th.SetRegF(ir.R(3), -71.0589)
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlRodiniaSC = register(&Workload{
+	Name:           "rodinia.sc",
+	Suite:          SuiteRodinia,
+	Desc:           "stream cluster: per-point distance to k medians with conditional reassignment",
+	DefaultThreads: 64,
+	PaperThreads:   16 * 1024,
+	HasGPUImpl:     true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		return buildClusterKernel("rodinia.sc", cfg, cfg.scale(8), 8)
+	},
+})
+
+// buildClusterKernel is the shared streamcluster kernel: every thread owns
+// one point and scans k candidate centers of the given dimensionality,
+// conditionally updating its best assignment. rodinia.sc and
+// parsec.streamcluster instantiate it at different operating points.
+func buildClusterKernel(name string, cfg Config, k, dims int) (*ir.Program, SetupFn, error) {
+	pb := ir.NewBuilder(name)
+	w := pb.NewFunc("worker")
+	pb.SetEntry(w)
+	pre := w.NewBlock("pre")
+	// Args: r0=points, r1=centers, r2=assign, r3=best (f64 out).
+	pre.Mov(rg(4), tid()).
+		Mul(rg(4), im(int64(8*dims))).
+		Add(rg(4), rg(0)).               // r4 = &point
+		Mov(rg(9), im(0)).               // best center
+		Mov(rg(8), ir.Imm(int64(1)<<62)) // best dist (huge f64 bit pattern)
+	centers := loopN(w, pre, "centers", 5, 0, im(int64(k)))
+	centers.Body.Mov(rg(6), rg(5)).
+		Mul(rg(6), im(int64(8*dims))).
+		Add(rg(6), rg(1)). // r6 = &center
+		Mov(rg(7), im(0))  // dist acc
+	dl := loopN(w, centers.Body, "dims", 14, 0, im(int64(dims)))
+	dl.Body.Mov(rg(15), idx8(4, 14, 8, 0)).
+		FSub(rg(15), idx8(6, 14, 8, 0)).
+		FMul(rg(15), rg(15)).
+		FAdd(rg(7), rg(15))
+	dl.Next(dl.Body)
+	better := w.NewBlock("better")
+	worse := w.NewBlock("worse")
+	dl.Exit.FCmp(rg(7), rg(8)).Jcc(ir.CondLT, better, worse)
+	better.Mov(rg(8), rg(7)).Mov(rg(9), rg(5)).Jmp(worse)
+	tail := centers.Next(worse)
+	tail.Mov(idx8(2, int(ir.TID), 8, 0), rg(9)).
+		Mov(idx8(3, int(ir.TID), 8, 0), rg(8)).
+		Ret()
+	prog, err := pb.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	setup := func(p *vm.Process) (ArgFn, error) {
+		r := cfg.rng()
+		points := p.AllocGlobal(uint64(8 * dims * cfg.Threads))
+		cents := p.AllocGlobal(uint64(8 * dims * k))
+		assign := p.AllocGlobal(uint64(8 * cfg.Threads))
+		best := p.AllocGlobal(uint64(8 * cfg.Threads))
+		for i := 0; i < dims*cfg.Threads; i++ {
+			p.WriteF64(points+uint64(8*i), r.Float64())
+		}
+		for i := 0; i < dims*k; i++ {
+			p.WriteF64(cents+uint64(8*i), r.Float64())
+		}
+		return func(tid int, th *vm.Thread) {
+			th.SetReg(ir.R(0), int64(points))
+			th.SetReg(ir.R(1), int64(cents))
+			th.SetReg(ir.R(2), int64(assign))
+			th.SetReg(ir.R(3), int64(best))
+		}, nil
+	}
+	return prog, setup, nil
+}
+
+var wlRodiniaBTree = register(&Workload{
+	Name:           "rodinia.btree",
+	Suite:          SuiteRodinia,
+	Desc:           "b+tree point queries: per-level key scans with data-dependent trip counts",
+	DefaultThreads: 64,
+	PaperThreads:   4096,
+	HasGPUImpl:     true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		const fanout = 8
+		levels := cfg.scale(4)
+		pb := ir.NewBuilder("rodinia.btree")
+		w := pb.NewFunc("worker")
+		// Node layout: fanout keys (8B each) then fanout child pointers.
+		// Args: r0=root, r1=queries, r2=out.
+		pre := w.NewBlock("pre")
+		pre.Mov(rg(3), idx8(1, int(ir.TID), 8, 0)). // key = queries[tid]
+								Mov(rg(4), rg(0)) // node = root
+		lv := loopN(w, pre, "level", 5, 0, im(int64(levels)))
+		// Scan keys within the node until key < node.key[i].
+		scan := w.NewBlock("scan")
+		scanNext := w.NewBlock("scan_next")
+		advance := w.NewBlock("advance")
+		descend := w.NewBlock("descend")
+		ltail := w.NewBlock("ltail")
+		lv.Body.Mov(rg(6), im(0)).Jmp(scan)
+		scan.Cmp(rg(6), im(fanout-1)).Jcc(ir.CondGE, descend, scanNext)
+		scanNext.Mov(rg(7), idx8(4, 6, 8, 0)). // node.key[i]
+							Cmp(rg(3), rg(7)).
+							Jcc(ir.CondLT, descend, advance)
+		advance.Add(rg(6), im(1)).Jmp(scan)
+		// child = node.child[i]
+		descend.Mov(rg(4), idx8(4, 6, 8, 8*fanout)).Jmp(ltail)
+		out := lv.Next(ltail)
+		out.Mov(rg(8), mem8(4, 0)). // leaf payload
+						Mov(idx8(2, int(ir.TID), 8, 0), rg(8)).
+						Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			// Build a full tree of `levels` levels on the heap so pointer
+			// chasing hits scattered allocator addresses.
+			nodeSize := uint64(8 * (fanout * 2))
+			var build func(level int) uint64
+			build = func(level int) uint64 {
+				n := p.AllocHeap(nodeSize)
+				for i := 0; i < fanout; i++ {
+					p.WriteI64(n+uint64(8*i), int64(r.Intn(1000)*(i+1)))
+				}
+				if level > 0 {
+					for i := 0; i < fanout; i++ {
+						// Share subtrees to keep the tree small; sharing
+						// also creates the cross-thread access overlap a
+						// cached b+tree shows.
+						if i%2 == 0 || level == 1 {
+							p.WriteI64(n+uint64(8*(fanout+i)), int64(build(level-1)))
+						} else {
+							p.WriteI64(n+uint64(8*(fanout+i)), p.ReadI64(n+uint64(8*(fanout+i-1))))
+						}
+					}
+				}
+				return n
+			}
+			root := build(levels)
+			queries := p.AllocGlobal(uint64(8 * cfg.Threads))
+			outArr := p.AllocGlobal(uint64(8 * cfg.Threads))
+			for i := 0; i < cfg.Threads; i++ {
+				p.WriteI64(queries+uint64(8*i), int64(r.Intn(8000)))
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(root))
+				th.SetReg(ir.R(1), int64(queries))
+				th.SetReg(ir.R(2), int64(outArr))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlRodiniaPF = register(&Workload{
+	Name:           "rodinia.pf",
+	Suite:          SuiteRodinia,
+	Desc:           "particle filter: convergent likelihood kernel plus divergent CDF resampling walk",
+	DefaultThreads: 64,
+	PaperThreads:   4096,
+	HasGPUImpl:     true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		obs := cfg.scale(12)
+		pb := ir.NewBuilder("rodinia.pf")
+		w := pb.NewFunc("worker")
+		// Args: r0=obsArr, r1=cdf, r2=u, r3=out. n particles = threads.
+		pre := w.NewBlock("pre")
+		pre.Mov(rg(9), im(0)) // likelihood acc
+		l := loopN(w, pre, "obs", 4, 0, im(int64(obs)))
+		l.Body.Mov(rg(5), idx8(0, 4, 8, 0)).
+			FMul(rg(5), rg(5)).
+			FAdd(rg(9), rg(5))
+		l.Next(l.Body)
+		// Resampling: walk the CDF until cdf[j] >= u[tid].
+		l.Exit.Mov(rg(6), idx8(2, int(ir.TID), 8, 0)). // u
+								Mov(rg(7), im(0)) // j
+		walk := w.NewBlock("walk")
+		step := w.NewBlock("step")
+		found := w.NewBlock("found")
+		l.Exit.Jmp(walk)
+		walk.Mov(rg(8), idx8(1, 7, 8, 0)). // cdf[j]
+							FCmp(rg(8), rg(6)).
+							Jcc(ir.CondGE, found, step)
+		step.Add(rg(7), im(1)).Jmp(walk)
+		found.Mov(idx8(3, int(ir.TID), 8, 0), rg(7)).Ret()
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			n := cfg.Threads
+			obsArr := p.AllocGlobal(uint64(8 * obs))
+			cdf := p.AllocGlobal(uint64(8 * (n + 1)))
+			u := p.AllocGlobal(uint64(8 * n))
+			out := p.AllocGlobal(uint64(8 * n))
+			for i := 0; i < obs; i++ {
+				p.WriteF64(obsArr+uint64(8*i), r.NormFloat64())
+			}
+			// Uniform CDF over n particles; u[i] stratified like the real
+			// systematic resampler, so walk lengths differ per thread.
+			for i := 0; i <= n; i++ {
+				p.WriteF64(cdf+uint64(8*i), float64(i)/float64(n))
+			}
+			for i := 0; i < n; i++ {
+				p.WriteF64(u+uint64(8*i), r.Float64())
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(obsArr))
+				th.SetReg(ir.R(1), int64(cdf))
+				th.SetReg(ir.R(2), int64(u))
+				th.SetReg(ir.R(3), int64(out))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})

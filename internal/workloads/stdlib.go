@@ -1,0 +1,92 @@
+package workloads
+
+import (
+	"threadfuser/internal/ir"
+	"threadfuser/internal/vm"
+)
+
+// stdlib builds the small synthetic C-library the workloads call into. The
+// paper's microservices "leverage a spectrum of libraries, including C++
+// stdlib, Intel MKL, gRPC, and FLANN"; the pieces that matter to SIMT
+// analysis are the ones that allocate (lock serialization) and the ones that
+// copy or hash (memory traffic), so those are modelled as real traced
+// functions rather than intrinsics.
+type stdlib struct {
+	// Malloc is the arena allocator: 8 independent bump pointers, each
+	// behind its own lock, chosen by tid%8 — the paper's assumed
+	// "high-throughput concurrent memory manager". Argument: r10 = size.
+	// Returns r10 = pointer. Clobbers r11-r13.
+	Malloc *ir.FuncBuilder
+	// GlibcMalloc is the single-mutex allocator glibc uses; every call
+	// contends on one global lock, the serialization the paper found in
+	// HDSearch-Midtier. Same calling convention as Malloc.
+	GlibcMalloc *ir.FuncBuilder
+	// Memcpy copies r11 bytes (8 at a time; r11 must be a multiple of 8)
+	// from [r12] to [r10]. Clobbers r11-r14.
+	Memcpy *ir.FuncBuilder
+	// Hash computes a FNV-style hash of r10 over r11 rounds into r10.
+	// Register-only: models hashing library code. Clobbers r12.
+	Hash *ir.FuncBuilder
+}
+
+// addStdlib registers the stdlib functions with a program builder.
+func addStdlib(pb *ir.Builder) *stdlib {
+	s := &stdlib{}
+
+	// malloc: arena = tid % NumArenas; lock arena; bump; unlock.
+	s.Malloc = pb.NewFunc("malloc")
+	mb := s.Malloc.NewBlock("malloc")
+	mb.Mov(rg(11), tid()).
+		Rem(rg(11), im(vm.NumArenas)).
+		Mul(rg(11), im(vm.ArenaStateStride)).
+		Add(rg(11), im(int64(vm.ArenaStateBase))). // r11 = &arena state
+		Lock(ir.Mem(ir.R(11), 8, 8)).
+		Spin(4). // brief contended-lock spinning, recorded as skipped
+		Add(rg(10), im(15)).
+		And(rg(10), im(^int64(15))).         // align size
+		Mov(rg(12), ir.Mem(ir.R(11), 0, 8)). // old bump
+		Mov(rg(13), rg(12)).
+		Add(rg(13), rg(10)).
+		Mov(ir.Mem(ir.R(11), 0, 8), rg(13)). // store new bump
+		Unlock(ir.Mem(ir.R(11), 8, 8)).
+		Mov(rg(10), rg(12)). // return old bump
+		Ret()
+
+	// glibc malloc: one shared lock and bump pointer.
+	s.GlibcMalloc = pb.NewFunc("glibc_malloc")
+	gb := s.GlibcMalloc.NewBlock("glibc_malloc")
+	gb.Mov(rg(11), im(int64(vm.GlibcNextAddr))).
+		Lock(im(int64(vm.GlibcLockAddr))).
+		Spin(12). // the shared mutex spins longer under contention
+		Add(rg(10), im(15)).
+		And(rg(10), im(^int64(15))).
+		Mov(rg(12), ir.Mem(ir.R(11), 0, 8)).
+		Mov(rg(13), rg(12)).
+		Add(rg(13), rg(10)).
+		Mov(ir.Mem(ir.R(11), 0, 8), rg(13)).
+		Unlock(im(int64(vm.GlibcLockAddr))).
+		Mov(rg(10), rg(12)).
+		Ret()
+
+	// memcpy(dst=r10, src=r12, n=r11): 8-byte chunks.
+	s.Memcpy = pb.NewFunc("memcpy")
+	pre := s.Memcpy.NewBlock("memcpy_pre")
+	pre.Shr(rg(11), im(3)) // words
+	l := loopN(s.Memcpy, pre, "memcpy", 14, 0, rg(11))
+	l.Body.Mov(rg(13), idx8(12, 14, 8, 0)).
+		Mov(idx8(10, 14, 8, 0), rg(13))
+	l.Next(l.Body)
+	l.Exit.Ret()
+
+	// hash(v=r10, rounds=r11) -> r10: FNV-ish mixing, pure ALU.
+	s.Hash = pb.NewFunc("hash")
+	hpre := s.Hash.NewBlock("hash_pre")
+	hl := loopN(s.Hash, hpre, "hash", 12, 0, rg(11))
+	hl.Body.Mul(rg(10), im(0x100000001b3)).
+		Xor(rg(10), im(-0x61C8864680B583EB)). // 0x9E3779B97F4A7C15 as int64
+		Shr(rg(10), im(1))
+	hl.Next(hl.Body)
+	hl.Exit.Ret()
+
+	return s
+}

@@ -1,0 +1,530 @@
+package workloads
+
+import (
+	"threadfuser/internal/ir"
+	"threadfuser/internal/vm"
+)
+
+// uSuite microservices (Table I): McRouter (Memcached, Mid, Leaf),
+// TextSearch (Mid, Leaf), HDSearch (Mid, Leaf). Each thread services one
+// request, which is exactly how the paper batches request-level parallelism
+// into warps. All of them perform I/O (receive/respond, recorded as skipped
+// instructions, figure 8) and allocate responses through the allocator
+// stdlib (figure 9's lock story). HDSearch-Midtier is the figure-7 case
+// study: its FLANN getpoint method single-handedly destroys SIMT efficiency
+// until its trip counts are pinned.
+
+// ioRecv/ioSend are the skipped-instruction sizes of the request receive and
+// response send paths (RPC deserialize/serialize, socket syscalls).
+const (
+	ioRecv = 30
+	ioSend = 15
+)
+
+var wlMemcached = register(&Workload{
+	Name:           "usuite.mcrouter.memcached",
+	Suite:          SuiteUSuite,
+	Desc:           "memcached GET: key hash, fine-grain bucket lock, chain walk, value copy",
+	DefaultThreads: 64,
+	PaperThreads:   2048,
+	Microservice:   true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		const nbuckets = 64
+		pb := ir.NewBuilder("usuite.mcrouter.memcached")
+		s := addStdlib(pb)
+		w := pb.NewFunc("ProcessRequest")
+		pb.SetEntry(w)
+		// Args: r0=keys, r1=bucketLocks, r2=chainLens, r3=valueLens, r4=values.
+		pre := w.NewBlock("recv")
+		hashed := w.NewBlock("hashed")
+		pre.IO(ioRecv).
+			Mov(rg(10), idx8(0, int(ir.TID), 8, 0)). // key
+			Mov(rg(11), im(8)).
+			Call(s.Hash, hashed)
+		// bucket = h % nbuckets; lock its fine-grain mutex.
+		hashed.Mov(rg(5), rg(10)).
+			And(rg(5), im(nbuckets-1)).
+			Mov(rg(6), rg(5)).
+			Shl(rg(6), im(3)).
+			Add(rg(6), rg(1)). // &bucketLocks[bucket]
+			Lock(ir.Mem(ir.R(6), 0, 8)).
+			Mov(rg(7), idx8(2, 5, 8, 0)) // chain length (1..4, request-dep)
+		walk := loopN(w, hashed, "chain", 8, 0, rg(7))
+		walk.Body.Mov(rg(9), idx8(4, 5, 8, 0)).
+			Cmp(rg(9), rg(10))
+		walk.Next(walk.Body)
+		resp := w.NewBlock("resp")
+		walk.Exit.Unlock(ir.Mem(ir.R(6), 0, 8)).
+			Mov(rg(9), idx8(3, int(ir.TID), 8, 0)). // value length
+			Mov(rg(10), rg(9)).
+			Call(s.Malloc, resp)
+		// Copy the value into the response buffer.
+		sent := w.NewBlock("send")
+		resp.Mov(rg(11), rg(9)).
+			Mov(rg(12), rg(4)).
+			Call(s.Memcpy, sent)
+		sent.IO(ioSend).Ret()
+
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			keys := p.AllocGlobal(uint64(8 * cfg.Threads))
+			locks := p.AllocGlobal(8 * nbuckets)
+			chain := p.AllocGlobal(8 * nbuckets)
+			vlens := p.AllocGlobal(uint64(8 * cfg.Threads))
+			values := p.AllocHeap(4096)
+			for i := 0; i < cfg.Threads; i++ {
+				p.WriteI64(keys+uint64(8*i), r.Int63())
+				p.WriteI64(vlens+uint64(8*i), int64(64+8*r.Intn(17))) // 64..192B values
+			}
+			for b := 0; b < nbuckets; b++ {
+				p.WriteI64(chain+uint64(8*b), int64(1+r.Intn(4)))
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(keys))
+				th.SetReg(ir.R(1), int64(locks))
+				th.SetReg(ir.R(2), int64(chain))
+				th.SetReg(ir.R(3), int64(vlens))
+				th.SetReg(ir.R(4), int64(values))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlMcrouterMid = register(&Workload{
+	Name:           "usuite.mcrouter.mid",
+	Suite:          SuiteUSuite,
+	Desc:           "mcrouter midtier: route selection switch over backends plus shared pre/post processing",
+	DefaultThreads: 64,
+	PaperThreads:   2048,
+	Microservice:   true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		pb := ir.NewBuilder("usuite.mcrouter.mid")
+		s := addStdlib(pb)
+		w := pb.NewFunc("ProcessRequest")
+		pb.SetEntry(w)
+		// Args: r0=keys.
+		pre := w.NewBlock("recv")
+		hashed := w.NewBlock("hashed")
+		pre.IO(ioRecv).
+			Mov(rg(10), idx8(0, int(ir.TID), 8, 0)).
+			Mov(rg(11), im(16)).
+			Call(s.Hash, hashed)
+		// Pick one of four backends: a jump table on the key hash. Routes
+		// are short relative to the shared code, so the divergence is
+		// bounded (the paper's midtiers average ~78% efficiency).
+		routes := make([]*ir.BlockBuilder, 4)
+		join := w.NewBlock("join")
+		for i := range routes {
+			routes[i] = w.NewBlock("route")
+			routes[i].Mov(rg(5), rg(10)).
+				Xor(rg(5), im(int64(0x1111*(i+1)))).
+				Mul(rg(5), im(int64(2*i+3))).
+				Add(rg(5), im(int64(i))).
+				Jmp(join)
+		}
+		hashed.Mov(rg(6), rg(10)).
+			And(rg(6), im(3)).
+			Switch(rg(6), routes...)
+		done := w.NewBlock("send")
+		join.Mov(rg(10), im(64)).Call(s.Malloc, done)
+		done.Nop(12).IO(ioSend).Ret()
+
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			keys := p.AllocGlobal(uint64(8 * cfg.Threads))
+			for i := 0; i < cfg.Threads; i++ {
+				p.WriteI64(keys+uint64(8*i), r.Int63())
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(keys))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlMcrouterLeaf = register(&Workload{
+	Name:           "usuite.mcrouter.leaf",
+	Suite:          SuiteUSuite,
+	Desc:           "mcrouter leaf: direct slab lookup with fixed-size value copy",
+	DefaultThreads: 64,
+	PaperThreads:   2048,
+	Microservice:   true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		pb := ir.NewBuilder("usuite.mcrouter.leaf")
+		s := addStdlib(pb)
+		w := pb.NewFunc("ProcessRequest")
+		pb.SetEntry(w)
+		pre := w.NewBlock("recv")
+		hashed := w.NewBlock("hashed")
+		pre.IO(ioRecv).
+			Mov(rg(10), idx8(0, int(ir.TID), 8, 0)).
+			Mov(rg(11), im(8)).
+			Call(s.Hash, hashed)
+		alloc := w.NewBlock("alloc")
+		hashed.And(rg(10), im(63)).
+			Mov(rg(4), idx8(1, 10, 8, 0)). // slab[h]
+			Mov(rg(10), im(128)).
+			Call(s.Malloc, alloc)
+		sent := w.NewBlock("send")
+		alloc.Mov(rg(11), im(128)).
+			Mov(rg(12), rg(1)).
+			Call(s.Memcpy, sent)
+		sent.IO(ioSend).Ret()
+
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			keys := p.AllocGlobal(uint64(8 * cfg.Threads))
+			slab := p.AllocHeap(8 * 64)
+			for i := 0; i < cfg.Threads; i++ {
+				p.WriteI64(keys+uint64(8*i), r.Int63())
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(keys))
+				th.SetReg(ir.R(1), int64(slab))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlTextSearchLeaf = register(&Workload{
+	Name:           "usuite.textsearch.leaf",
+	Suite:          SuiteUSuite,
+	Desc:           "text search leaf: fixed-shape posting scans, the paper's high-efficiency microservice",
+	DefaultThreads: 64,
+	PaperThreads:   2048,
+	Microservice:   true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		docs := cfg.scale(16)
+		pb := ir.NewBuilder("usuite.textsearch.leaf")
+		s := addStdlib(pb)
+		w := pb.NewFunc("ProcessRequest")
+		pb.SetEntry(w)
+		// Args: r0=terms, r1=index (docs x 8 words).
+		pre := w.NewBlock("recv")
+		pre.IO(ioRecv).
+			Mov(rg(2), idx8(0, int(ir.TID), 8, 0)). // query term
+			Mov(rg(9), im(0))                       // match count
+		dl := loopN(w, pre, "docs", 3, 0, im(int64(docs)))
+		dl.Body.Mov(rg(4), rg(3)).
+			Shl(rg(4), im(6)).
+			Add(rg(4), rg(1)) // &doc words
+		wl := loopN(w, dl.Body, "words", 5, 0, im(8))
+		hit := w.NewBlock("hit")
+		miss := w.NewBlock("miss")
+		wl.Body.Mov(rg(6), idx8(4, 5, 8, 0)).
+			Cmp(rg(6), rg(2)).
+			Jcc(ir.CondEQ, hit, miss)
+		hit.Add(rg(9), im(1)).Jmp(miss)
+		wl.Next(miss)
+		dl.Next(wl.Exit)
+		alloc := w.NewBlock("alloc")
+		dl.Exit.Mov(rg(10), im(64)).Call(s.Malloc, alloc)
+		alloc.Mov(mem8(10, 0), rg(9)).IO(ioSend).Ret()
+
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			terms := p.AllocGlobal(uint64(8 * cfg.Threads))
+			index := p.AllocHeap(uint64(64 * docs))
+			for i := 0; i < cfg.Threads; i++ {
+				p.WriteI64(terms+uint64(8*i), int64(r.Intn(32)))
+			}
+			for i := 0; i < 8*docs; i++ {
+				p.WriteI64(index+uint64(8*i), int64(r.Intn(32)))
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(terms))
+				th.SetReg(ir.R(1), int64(index))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlTextSearchMid = register(&Workload{
+	Name:           "usuite.textsearch.mid",
+	Suite:          SuiteUSuite,
+	Desc:           "text search midtier: fixed-fanout leaf result merge with small rank updates",
+	DefaultThreads: 64,
+	PaperThreads:   2048,
+	Microservice:   true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		const fanout = 4
+		perLeaf := cfg.scale(8)
+		pb := ir.NewBuilder("usuite.textsearch.mid")
+		s := addStdlib(pb)
+		w := pb.NewFunc("ProcessRequest")
+		pb.SetEntry(w)
+		// Args: r0=leafResults (threads x fanout x perLeaf scores).
+		pre := w.NewBlock("recv")
+		pre.IO(ioRecv).
+			Mov(rg(2), tid()).
+			Mul(rg(2), im(int64(8*fanout*perLeaf))).
+			Add(rg(2), rg(0)).
+			Mov(rg(9), im(0)) // best score
+		ll := loopN(w, pre, "leaves", 3, 0, im(fanout))
+		el := loopN(w, ll.Body, "entries", 4, 0, im(int64(perLeaf)))
+		better := w.NewBlock("better")
+		worse := w.NewBlock("worse")
+		el.Body.Mov(rg(5), rg(3)).
+			Mul(rg(5), im(int64(perLeaf))).
+			Add(rg(5), rg(4)).
+			Mov(rg(6), idx8(2, 5, 8, 0)).
+			Cmp(rg(6), rg(9)).
+			Jcc(ir.CondGT, better, worse)
+		better.Mov(rg(9), rg(6)).Jmp(worse)
+		el.Next(worse)
+		ll.Next(el.Exit)
+		alloc := w.NewBlock("alloc")
+		ll.Exit.Mov(rg(10), im(64)).Call(s.Malloc, alloc)
+		alloc.Mov(mem8(10, 0), rg(9)).IO(ioSend).Ret()
+
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			n := cfg.Threads * fanout * perLeaf
+			results := p.AllocGlobal(uint64(8 * n))
+			for i := 0; i < n; i++ {
+				p.WriteI64(results+uint64(8*i), int64(r.Intn(1000)))
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(results))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+var wlHDSearchLeaf = register(&Workload{
+	Name:           "usuite.hdsearch.leaf",
+	Suite:          SuiteUSuite,
+	Desc:           "HDSearch leaf: fixed-dimension distance kernels with a short top-k insertion",
+	DefaultThreads: 64,
+	PaperThreads:   2048,
+	Microservice:   true,
+	Build: func(cfg Config) (*ir.Program, SetupFn, error) {
+		dims := cfg.scale(16)
+		cands := 8
+		pb := ir.NewBuilder("usuite.hdsearch.leaf")
+		s := addStdlib(pb)
+		w := pb.NewFunc("ProcessRequest")
+		pb.SetEntry(w)
+		// Args: r0=query vectors, r1=candidate vectors.
+		pre := w.NewBlock("recv")
+		pre.IO(ioRecv).
+			Mov(rg(2), tid()).
+			Mul(rg(2), im(int64(8*dims))).
+			Add(rg(2), rg(0)).               // &query
+			Mov(rg(9), ir.Imm(int64(1)<<62)) // best
+		cl := loopN(w, pre, "cands", 3, 0, im(int64(cands)))
+		cl.Body.Mov(rg(4), rg(3)).
+			Mul(rg(4), im(int64(8*dims))).
+			Add(rg(4), rg(1)).
+			Mov(rg(8), im(0))
+		dl := loopN(w, cl.Body, "dims", 5, 0, im(int64(dims)))
+		dl.Body.Mov(rg(6), idx8(2, 5, 8, 0)).
+			FSub(rg(6), idx8(4, 5, 8, 0)).
+			FMul(rg(6), rg(6)).
+			FAdd(rg(8), rg(6))
+		dl.Next(dl.Body)
+		better := w.NewBlock("better")
+		worse := w.NewBlock("worse")
+		dl.Exit.FCmp(rg(8), rg(9)).Jcc(ir.CondLT, better, worse)
+		better.Mov(rg(9), rg(8)).Jmp(worse)
+		cl.Next(worse)
+		alloc := w.NewBlock("alloc")
+		cl.Exit.Mov(rg(10), im(64)).Call(s.Malloc, alloc)
+		alloc.Mov(mem8(10, 0), rg(9)).IO(ioSend).Ret()
+
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			queries := p.AllocGlobal(uint64(8 * dims * cfg.Threads))
+			candArr := p.AllocHeap(uint64(8 * dims * cands))
+			for i := 0; i < dims*cfg.Threads; i++ {
+				p.WriteF64(queries+uint64(8*i), r.Float64())
+			}
+			for i := 0; i < dims*cands; i++ {
+				p.WriteF64(candArr+uint64(8*i), r.Float64())
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(queries))
+				th.SetReg(ir.R(1), int64(candArr))
+			}, nil
+		}
+		return prog, setup, nil
+	},
+})
+
+// buildHDSearchMid builds the figure-7 case study. When fixed is true, the
+// getpoint trip count is pinned to the top-10 results for every query (the
+// paper's SIMT-aware fix, which lifted efficiency from single digits to
+// ~90% while keeping 93% search accuracy).
+func buildHDSearchMid(name string, fixed bool) func(cfg Config) (*ir.Program, SetupFn, error) {
+	return func(cfg Config) (*ir.Program, SetupFn, error) {
+		const (
+			tables   = 2
+			xorMasks = 4
+			nbuckets = 256
+		)
+		pb := ir.NewBuilder(name)
+		s := addStdlib(pb)
+
+		// vector: capacity growth via the glibc allocator — the paper found
+		// ProcessRequest and vector "faced limitations associated with the
+		// serialization from dynamic memory allocation in the C++ glibc".
+		// r7 = &vec header {ptr, len, cap} on the thread stack; grows by 64
+		// slots per call.
+		vecGrow := pb.NewFunc("vector")
+		vg0 := vecGrow.NewBlock("grow")
+		vg1 := vecGrow.NewBlock("copyback")
+		vgDone := vecGrow.NewBlock("done")
+		vg0.Mov(rg(10), mem8(7, 16)). // cap
+						Add(rg(10), im(64)).
+						Mov(mem8(7, 16), rg(10)).
+						Shl(rg(10), im(3)).
+						Call(s.GlibcMalloc, vg1)
+		vg1.Mov(rg(12), mem8(7, 0)). // old ptr
+						Mov(rg(11), mem8(7, 8)).
+						Shl(rg(11), im(3)).
+						Mov(mem8(7, 0), rg(10)). // install new ptr
+						Call(s.Memcpy, vgDone)
+		vgDone.Ret()
+
+		// getpoint: the FLANN kd/LSH bucket walk of listing 1. Trip counts
+		// of the innermost push_back loop come from bucketSizes, which the
+		// fixed variant pins to the top-10 results for every query.
+		// Args: r1=key, r2=xorMaskTable, r3=bucketSizes, r7=&vec.
+		getpoint := pb.NewFunc("getpoint")
+		gp0 := getpoint.NewBlock("pre")
+		tl := loopN(getpoint, gp0, "tables", 4, 0, im(tables))
+		xl := loopN(getpoint, tl.Body, "xors", 5, 0, im(xorMasks))
+		xl.Body.Mov(rg(6), idx8(2, 5, 8, 0)).
+			Xor(rg(6), rg(1)). // sub_key = key ^ (*xor_mask)
+			Add(rg(6), rg(4)).
+			And(rg(6), im(nbuckets-1)).
+			Mov(rg(8), idx8(3, 6, 8, 0)) // num_point for this bucket
+		// for j < num_point: point_id_vec->push_back(point)
+		pl := loopN(getpoint, xl.Body, "points", 9, 0, rg(8))
+		needGrow := getpoint.NewBlock("needgrow")
+		store := getpoint.NewBlock("store")
+		pl.Body.Mov(rg(13), mem8(7, 8)). // len
+							Cmp(rg(13), mem8(7, 16)). // >= cap?
+							Jcc(ir.CondGE, needGrow, store)
+		needGrow.Call(vecGrow, store)
+		store.Mov(rg(13), mem8(7, 8)).
+			Mov(rg(12), mem8(7, 0)).
+			Mov(idx8(12, 13, 8, 0), rg(6)). // vec[len] = point id
+			Add(rg(13), im(1)).
+			Mov(mem8(7, 8), rg(13))
+		pl.Next(store)
+		xl.Next(pl.Exit)
+		tl.Next(xl.Exit)
+		tl.Exit.Ret()
+
+		// ProcessRequest: receive, construct the vector, allocate the
+		// response through glibc malloc, run getpoint, respond.
+		w := pb.NewFunc("ProcessRequest")
+		pb.SetEntry(w)
+		recv := w.NewBlock("recv")
+		allocd := w.NewBlock("allocd")
+		after := w.NewBlock("after")
+		send := w.NewBlock("send")
+		recv.IO(ioRecv).
+			Lea(ir.R(7), sp(-32)). // vec header on the stack
+			Mov(mem8(7, 0), im(0)).
+			Mov(mem8(7, 8), im(0)).
+			Mov(mem8(7, 16), im(0)).
+			Mov(rg(10), im(128)).
+			Call(s.GlibcMalloc, allocd)
+		allocd.Mov(rg(1), idx8(0, int(ir.TID), 8, 0)). // key = keys[tid]
+								Call(getpoint, after)
+		after.Mov(rg(13), mem8(7, 8)). // result count
+						Mov(rg(12), rg(13)).
+						Jmp(send)
+		send.IO(ioSend).Ret()
+
+		prog, err := pb.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		setup := func(p *vm.Process) (ArgFn, error) {
+			r := cfg.rng()
+			keys := p.AllocGlobal(uint64(8 * cfg.Threads))
+			xorTable := p.AllocGlobal(8 * xorMasks)
+			buckets := p.AllocGlobal(8 * nbuckets)
+			for i := 0; i < cfg.Threads; i++ {
+				p.WriteI64(keys+uint64(8*i), r.Int63())
+			}
+			for i := 0; i < xorMasks; i++ {
+				p.WriteI64(xorTable+uint64(8*i), r.Int63())
+			}
+			for i := 0; i < nbuckets; i++ {
+				var n int64
+				if fixed {
+					// The paper's fix: return the first top-10 results for
+					// all queries, making every lane's walk identical.
+					n = 10
+				} else if r.Intn(10) == 0 {
+					n = int64(40 + r.Intn(160)) // hot LSH bucket
+				} else {
+					n = int64(r.Intn(3)) // typical sparse bucket
+				}
+				p.WriteI64(buckets+uint64(8*i), n)
+			}
+			return func(tid int, th *vm.Thread) {
+				th.SetReg(ir.R(0), int64(keys))
+				th.SetReg(ir.R(2), int64(xorTable))
+				th.SetReg(ir.R(3), int64(buckets))
+			}, nil
+		}
+		return prog, setup, nil
+	}
+}
+
+var wlHDSearchMid = register(&Workload{
+	Name:           "usuite.hdsearch.mid",
+	Suite:          SuiteUSuite,
+	Desc:           "HDSearch midtier: FLANN getpoint bucket walks with data-dependent trip counts (figure 7)",
+	DefaultThreads: 64,
+	PaperThreads:   2048,
+	Microservice:   true,
+	Build:          buildHDSearchMid("usuite.hdsearch.mid", false),
+})
+
+// wlHDSearchMidFixed is the paper's SIMT-aware rewrite of HDSearch-Midtier
+// (section V-A): not part of Table I (PaperThreads = 0), used by the
+// figure-7 experiment and the microservice-triage example.
+var wlHDSearchMidFixed = register(&Workload{
+	Name:           "usuite.hdsearch.mid.fixed",
+	Suite:          SuiteUSuite,
+	Desc:           "HDSearch midtier with getpoint trip counts pinned to top-10 (the figure-7 fix)",
+	DefaultThreads: 64,
+	PaperThreads:   0,
+	Microservice:   false,
+	Build:          buildHDSearchMid("usuite.hdsearch.mid.fixed", true),
+})

@@ -1,0 +1,181 @@
+// Package threadfuser is a SIMT analysis framework for MIMD programs: a Go
+// reproduction of "ThreadFuser: A SIMT Analysis Framework for MIMD
+// Programs" (MICRO 2024).
+//
+// ThreadFuser predicts how a multi-threaded CPU program would behave on
+// SIMT hardware (a GPU, or a CPU-adjacent SIMT design) without porting it:
+// it collects dynamic per-thread traces, reconstructs per-function dynamic
+// control-flow graphs, computes immediate post-dominators, batches threads
+// into warps, and replays the traces under SIMT-stack semantics. The result
+// is the program's projected SIMT efficiency, a per-function breakdown that
+// pinpoints divergence bottlenecks, a 32-byte-transaction memory-divergence
+// profile, and — through the warp-trace generator and the bundled SIMT
+// timing simulator — cycle-level speedup projections against a multicore
+// CPU baseline.
+//
+// The facade in this package covers the common paths:
+//
+//	w, _ := threadfuser.Workload("other.pigz")
+//	res, _ := threadfuser.AnalyzeWorkload(w, threadfuser.Options{WarpSize: 32})
+//	fmt.Printf("SIMT efficiency: %.1f%%\n", res.Efficiency*100)
+//
+// Deeper control lives in the internal packages: internal/core (the
+// analyzer), internal/vm (the tracer), internal/hwsim (the lockstep
+// hardware oracle), internal/simtrace + internal/gpusim (warp traces and
+// timing simulation), and internal/workloads (the 36 Table-I workloads).
+package threadfuser
+
+import (
+	"fmt"
+
+	"threadfuser/internal/core"
+	"threadfuser/internal/cpusim"
+	"threadfuser/internal/gpusim"
+	"threadfuser/internal/simtrace"
+	"threadfuser/internal/trace"
+	"threadfuser/internal/warp"
+	"threadfuser/internal/workloads"
+)
+
+// Options configure an analysis.
+type Options struct {
+	// WarpSize is the modelled SIMD width (default 32, the paper's).
+	WarpSize int
+	// Threads overrides the workload's default thread count.
+	Threads int
+	// Seed drives deterministic input generation.
+	Seed int64
+	// EmulateLocks serializes contended intra-warp critical sections
+	// (figure 9); by default fine-grain locking is assumed.
+	EmulateLocks bool
+	// Strided / GreedyBatching select alternative warp formations.
+	Strided        bool
+	GreedyBatching bool
+}
+
+func (o Options) coreOptions() core.Options {
+	opts := core.Defaults()
+	if o.WarpSize != 0 {
+		opts.WarpSize = o.WarpSize
+	}
+	opts.EmulateLocks = o.EmulateLocks
+	if o.Strided {
+		opts.Formation = warp.Strided
+	}
+	if o.GreedyBatching {
+		opts.Formation = warp.GreedyEntry
+	}
+	return opts
+}
+
+// Report is the analyzer's projection for one program (see
+// internal/core.Report for the full field documentation).
+type Report = core.Report
+
+// FuncReport is one row of the per-function breakdown.
+type FuncReport = core.FuncReport
+
+// ExcludeFunctions returns a copy of the trace with every invocation of the
+// named functions (and their callees) removed and accounted as skipped —
+// the tracer's selective-exclusion capability from the paper's section III.
+func ExcludeFunctions(tr *trace.Trace, names ...string) (*trace.Trace, error) {
+	return trace.ExcludeFunctions(tr, names...)
+}
+
+// OnlyFunctions returns a copy of the trace restricted to the named
+// functions and their callees.
+func OnlyFunctions(tr *trace.Trace, names ...string) (*trace.Trace, error) {
+	return trace.OnlyFunctions(tr, names...)
+}
+
+// Workload looks up one of the bundled Table-I workloads by name, e.g.
+// "other.pigz", "paropoly.nbody" or "usuite.hdsearch.mid". Workloads lists
+// them all.
+func Workload(name string) (*workloads.Workload, error) {
+	return workloads.ByName(name)
+}
+
+// Workloads returns the full bundled catalog in Table-I order.
+func Workloads() []*workloads.Workload {
+	return workloads.All()
+}
+
+// Trace runs the tracer over a workload and returns the MIMD trace, the
+// input the analyzer (and the .tft file format) consume.
+func Trace(w *workloads.Workload, o Options) (*trace.Trace, error) {
+	inst, err := w.Instantiate(workloads.Config{Seed: o.Seed, Threads: o.Threads})
+	if err != nil {
+		return nil, err
+	}
+	return inst.Trace()
+}
+
+// Analyze runs the ThreadFuser analyzer over a previously collected trace.
+func Analyze(tr *trace.Trace, o Options) (*Report, error) {
+	return core.Analyze(tr, o.coreOptions())
+}
+
+// AnalyzeWorkload traces and analyzes a bundled workload in one step.
+func AnalyzeWorkload(w *workloads.Workload, o Options) (*Report, error) {
+	tr, err := Trace(w, o)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(tr, o)
+}
+
+// Projection is a cycle-level speedup projection from the simulator path.
+type Projection struct {
+	// GPUCycles and CPUCycles are the simulated execution times on the
+	// RTX-3070-like SIMT machine and the multicore CPU baseline.
+	GPUCycles uint64
+	CPUCycles uint64
+	// Speedup is CPUCycles/GPUCycles.
+	Speedup float64
+	// GPUIPC is lane-instructions per cycle on the SIMT machine.
+	GPUIPC float64
+	// L1HitRate / L2HitRate come from the SIMT memory hierarchy.
+	L1HitRate float64
+	L2HitRate float64
+}
+
+// Project generates warp-based instruction traces for a workload, runs them
+// through the SIMT timing simulator, runs the same MIMD trace through the
+// CPU baseline, and returns the projected speedup (the figure-6 pipeline).
+func Project(w *workloads.Workload, o Options) (*Projection, error) {
+	inst, err := w.Instantiate(workloads.Config{Seed: o.Seed, Threads: o.Threads})
+	if err != nil {
+		return nil, err
+	}
+	tr, err := inst.Trace()
+	if err != nil {
+		return nil, err
+	}
+	warpSize := o.WarpSize
+	if warpSize == 0 {
+		warpSize = 32
+	}
+	kt, err := simtrace.Generate(inst.Prog, tr, warpSize)
+	if err != nil {
+		return nil, err
+	}
+	g, err := gpusim.Run(kt, gpusim.RTX3070())
+	if err != nil {
+		return nil, err
+	}
+	c, err := cpusim.Run(tr, cpusim.Xeon20())
+	if err != nil {
+		return nil, err
+	}
+	if g.Cycles == 0 {
+		return nil, fmt.Errorf("threadfuser: degenerate simulation (0 cycles)")
+	}
+	return &Projection{
+		GPUCycles: g.Cycles,
+		CPUCycles: c.Cycles,
+		Speedup:   float64(c.Cycles) / float64(g.Cycles),
+		GPUIPC:    g.IPC,
+		L1HitRate: g.L1HitRate,
+		L2HitRate: g.L2HitRate,
+	}, nil
+}

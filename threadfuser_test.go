@@ -1,0 +1,107 @@
+package threadfuser
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeAnalyzeWorkload(t *testing.T) {
+	w, err := Workload("paropoly.nbody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AnalyzeWorkload(w, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WarpSize != 32 {
+		t.Errorf("default warp size = %d, want 32", rep.WarpSize)
+	}
+	if rep.Efficiency < 0.9 {
+		t.Errorf("nbody efficiency %.3f, want near 1", rep.Efficiency)
+	}
+}
+
+func TestFacadeUnknownWorkload(t *testing.T) {
+	if _, err := Workload("no-such-workload"); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestFacadeCatalog(t *testing.T) {
+	all := Workloads()
+	if len(all) < 36 {
+		t.Fatalf("catalog has %d workloads, want >= 36", len(all))
+	}
+	seen := map[string]bool{}
+	for _, w := range all {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestFacadeTraceThenAnalyze(t *testing.T) {
+	w, err := Workload("vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Seed: 2, WarpSize: 16}
+	tr, err := Trace(w, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(tr, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := AnalyzeWorkload(w, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Efficiency != combined.Efficiency || rep.HeapTx != combined.HeapTx {
+		t.Error("two-step and one-step paths disagree")
+	}
+}
+
+func TestFacadeProject(t *testing.T) {
+	w, err := Workload("vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Project(w, Options{Seed: 1, Threads: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GPUCycles == 0 || p.CPUCycles == 0 {
+		t.Fatalf("degenerate projection %+v", p)
+	}
+	if math.Abs(p.Speedup-float64(p.CPUCycles)/float64(p.GPUCycles)) > 1e-9 {
+		t.Error("speedup inconsistent with cycle counts")
+	}
+}
+
+func TestFacadeBatchingOptions(t *testing.T) {
+	w, err := Workload("rodinia.sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := AnalyzeWorkload(w, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strided, err := AnalyzeWorkload(w, Options{Seed: 3, Strided: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := AnalyzeWorkload(w, Options{Seed: 3, GreedyBatching: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range []*Report{base, strided, greedy} {
+		if rep.Efficiency <= 0 || rep.Efficiency > 1 {
+			t.Errorf("efficiency %v out of range", rep.Efficiency)
+		}
+	}
+}
