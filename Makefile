@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build vet test test-race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages the parallel analyzer pipeline touches: the
+# per-warp replay workers, the session cache, the experiment cell pools, and
+# the sweep/pool plumbing they are built on.
+test-race:
+	$(GO) test -race ./internal/simt/... ./internal/core/... ./internal/report/... ./internal/pool/... ./internal/gpusim/...
+
+# Run the key analyzer benchmarks and record the perf trajectory in
+# BENCH_analyzer.json (ns/op, allocs/op, serial-vs-parallel speedup).
+bench:
+	scripts/bench.sh
+
+check: build vet test test-race

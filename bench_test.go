@@ -13,13 +13,17 @@ package threadfuser
 // granularity, and lock-emulation cost.
 
 import (
+	"sync"
 	"testing"
 
+	"threadfuser/internal/cfg"
 	"threadfuser/internal/core"
 	"threadfuser/internal/gpusim"
+	"threadfuser/internal/ipdom"
 	"threadfuser/internal/report"
 	"threadfuser/internal/simt"
 	"threadfuser/internal/simtrace"
+	"threadfuser/internal/trace"
 	"threadfuser/internal/warp"
 	"threadfuser/internal/workloads"
 )
@@ -358,6 +362,90 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// ------------------------------------------------------- replay benchmarks
+
+// replayBench caches one traced workload plus its prepared analysis
+// products, so the replay benchmarks measure the SIMT-stack replay alone —
+// not tracing, DCFG construction, or IPDOM analysis.
+var replayBench struct {
+	once   sync.Once
+	tr     *trace.Trace
+	graphs map[uint32]*cfg.DCFG
+	pdoms  map[uint32]*ipdom.PostDom
+	warps  []warp.Warp
+	err    error
+}
+
+func replayBenchSetup(b *testing.B) {
+	b.Helper()
+	replayBench.once.Do(func() {
+		w, err := workloads.ByName("parsec.vips")
+		if err != nil {
+			replayBench.err = err
+			return
+		}
+		inst, err := w.Instantiate(workloads.Config{Seed: 1, Threads: 64})
+		if err != nil {
+			replayBench.err = err
+			return
+		}
+		tr, err := inst.Trace()
+		if err != nil {
+			replayBench.err = err
+			return
+		}
+		graphs, err := cfg.Build(tr)
+		if err != nil {
+			replayBench.err = err
+			return
+		}
+		warps, err := warp.Form(tr, 32, warp.RoundRobin)
+		if err != nil {
+			replayBench.err = err
+			return
+		}
+		replayBench.tr = tr
+		replayBench.graphs = graphs
+		replayBench.pdoms = ipdom.ComputeAll(graphs)
+		replayBench.warps = warps
+	})
+	if replayBench.err != nil {
+		b.Fatal(replayBench.err)
+	}
+}
+
+func benchReplay(b *testing.B, parallelism int) {
+	replayBenchSetup(b)
+	opts := simt.Options{WarpSize: 32, Parallelism: parallelism}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simt.Replay(replayBench.tr, replayBench.graphs, replayBench.pdoms, replayBench.warps, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(replayBench.tr.TotalInstructions()))
+}
+
+// BenchmarkReplaySerial measures single-worker replay throughput — the
+// baseline BENCH_analyzer.json's speedup figure is computed against.
+func BenchmarkReplaySerial(b *testing.B) {
+	benchReplay(b, 1)
+}
+
+// BenchmarkReplayParallel fans warps out over one worker per core. Output is
+// bit-identical to the serial path; only wall-clock differs.
+func BenchmarkReplayParallel(b *testing.B) {
+	benchReplay(b, 0)
+}
+
+// BenchmarkReplayAllocs tracks the allocation diet on the replay inner loop:
+// reused cursors/stacks/group buffers and the slice-indexed accumulators
+// should keep allocs/op low and flat as the trace grows.
+func BenchmarkReplayAllocs(b *testing.B) {
+	b.ReportAllocs()
+	benchReplay(b, 1)
 }
 
 // BenchmarkAblationLockReconvergence compares critical-section

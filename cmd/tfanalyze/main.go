@@ -40,6 +40,7 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit the full report as JSON")
 		sweep     = flag.Bool("sweep", false, "print an efficiency sweep over warp sizes 4..64 and exit")
 		branches  = flag.Int("branches", 5, "divergent-branch rows to print (0 = none)")
+		parallel  = flag.Int("parallel", 0, "replay worker count (0 = all cores, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -72,6 +73,7 @@ func main() {
 	opts := core.Defaults()
 	opts.WarpSize = *warpSize
 	opts.EmulateLocks = *locks
+	opts.Parallelism = *parallel
 	switch *formation {
 	case "round-robin":
 		opts.Formation = warp.RoundRobin
@@ -84,11 +86,14 @@ func main() {
 	}
 
 	if *sweep {
+		// A session validates the trace and builds DCFG+IPDOM once for all
+		// five warp-width points.
+		sess := core.NewSession()
 		fmt.Printf("%-10s %s\n", "warp size", "SIMT efficiency")
 		for _, ws := range []int{4, 8, 16, 32, 64} {
 			o := opts
 			o.WarpSize = ws
-			rep, err := core.Analyze(tr, o)
+			rep, err := sess.Analyze(tr, o)
 			if err != nil {
 				fatal(err)
 			}

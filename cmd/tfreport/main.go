@@ -79,11 +79,12 @@ func wrap[T renderable](d T, err error) (fmt.Stringer, error) {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (fig1, table1, fig5a, fig5b, fig6, fig7, fig8, fig9, fig10, table2, ext1, ext2, all)")
-		threads = flag.Int("threads", 0, "override every workload's thread count")
-		full    = flag.Bool("full", false, "run at the paper's Table-I thread counts (slow)")
-		seed    = flag.Int64("seed", 1, "input-generation seed")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "", "experiment id (fig1, table1, fig5a, fig5b, fig6, fig7, fig8, fig9, fig10, table2, ext1, ext2, all)")
+		threads  = flag.Int("threads", 0, "override every workload's thread count")
+		full     = flag.Bool("full", false, "run at the paper's Table-I thread counts (slow)")
+		seed     = flag.Int64("seed", 1, "input-generation seed")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		parallel = flag.Int("parallel", 0, "worker count for experiment cells and replay (0 = all cores, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 
@@ -99,7 +100,7 @@ func main() {
 		return
 	}
 
-	scale := report.Scale{Threads: *threads, Full: *full, Seed: *seed}
+	scale := report.Scale{Threads: *threads, Full: *full, Seed: *seed, Parallel: *parallel}
 	ran := false
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.id {

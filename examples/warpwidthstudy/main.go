@@ -18,8 +18,10 @@ import (
 	"log"
 
 	"threadfuser"
+	"threadfuser/internal/core"
 	"threadfuser/internal/gpusim"
 	"threadfuser/internal/simtrace"
+	"threadfuser/internal/warp"
 	"threadfuser/internal/workloads"
 )
 
@@ -31,6 +33,11 @@ var studied = []string{
 }
 
 func main() {
+	// Parts 1 and 2 sweep configurations over an unchanged trace, so each
+	// workload is traced once and analyzed through a core.Session: the
+	// session caches the DCFG and post-dominator products (and each warp
+	// formation) across all the sweep points.
+
 	// Part 1: warp width vs efficiency (figure 1's architect reading:
 	// low-efficiency workloads are the warp-width-sensitive ones).
 	widths := []int{4, 8, 16, 32, 64}
@@ -44,9 +51,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		tr, err := threadfuser.Trace(w, threadfuser.Options{Seed: 1, Threads: 128})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sess := core.NewSession()
 		fmt.Printf("%-24s", name)
 		for _, ws := range widths {
-			rep, err := threadfuser.AnalyzeWorkload(w, threadfuser.Options{WarpSize: ws, Seed: 1, Threads: 128})
+			opts := core.Defaults()
+			opts.WarpSize = ws
+			rep, err := sess.Analyze(tr, opts)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -62,20 +76,23 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rr, err := threadfuser.AnalyzeWorkload(w, threadfuser.Options{Seed: 1, Threads: 128})
+		tr, err := threadfuser.Trace(w, threadfuser.Options{Seed: 1, Threads: 128})
 		if err != nil {
 			log.Fatal(err)
 		}
-		st, err := threadfuser.AnalyzeWorkload(w, threadfuser.Options{Seed: 1, Threads: 128, Strided: true})
-		if err != nil {
-			log.Fatal(err)
-		}
-		gr, err := threadfuser.AnalyzeWorkload(w, threadfuser.Options{Seed: 1, Threads: 128, GreedyBatching: true})
-		if err != nil {
-			log.Fatal(err)
+		sess := core.NewSession()
+		effs := make([]float64, 0, 3)
+		for _, f := range []warp.Formation{warp.RoundRobin, warp.Strided, warp.GreedyEntry} {
+			opts := core.Defaults()
+			opts.Formation = f
+			rep, err := sess.Analyze(tr, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			effs = append(effs, rep.Efficiency)
 		}
 		fmt.Printf("%-24s %11.1f%% %11.1f%% %11.1f%%\n",
-			name, rr.Efficiency*100, st.Efficiency*100, gr.Efficiency*100)
+			name, effs[0]*100, effs[1]*100, effs[2]*100)
 	}
 
 	// Part 3: the same warp traces on two machines — a GPU-class device

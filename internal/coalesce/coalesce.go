@@ -59,7 +59,21 @@ func Count(accs []Access) int {
 // accesses come from each thread's private stack; heap and global accesses
 // share the process address space).
 func Split(accs []Access) (stackTx, heapTx int) {
-	var stack, heap []Access
+	var s Scratch
+	return s.Split(accs)
+}
+
+// Scratch holds the segment-partition buffers Split needs, so replay inner
+// loops can coalesce one memory instruction after another without
+// re-allocating the sector buffers each time. The zero value is ready to use;
+// a Scratch must not be shared between goroutines.
+type Scratch struct {
+	stack, heap []Access
+}
+
+// Split is like the package-level Split but reuses the Scratch's buffers.
+func (s *Scratch) Split(accs []Access) (stackTx, heapTx int) {
+	stack, heap := s.stack[:0], s.heap[:0]
 	for _, a := range accs {
 		if vm.SegmentOf(a.Addr) == vm.SegStack {
 			stack = append(stack, a)
@@ -67,5 +81,6 @@ func Split(accs []Access) (stackTx, heapTx int) {
 			heap = append(heap, a)
 		}
 	}
+	s.stack, s.heap = stack, heap
 	return Count(stack), Count(heap)
 }

@@ -35,8 +35,13 @@ type Options struct {
 	// paper's release-point policy.
 	LockReconvergence simt.LockReconvergence
 	// Listener, if set, observes lockstep block executions (used by the
-	// warp-trace generator).
+	// warp-trace generator). A listener forces serial replay so callbacks
+	// arrive in warp order.
 	Listener simt.Listener
+	// Parallelism bounds the replay worker pool. 0 means one worker per
+	// core (runtime.GOMAXPROCS); 1 forces serial replay. Parallel and
+	// serial replay produce bit-identical Reports.
+	Parallelism int
 }
 
 // Defaults returns the paper's default configuration: warp size 32,
@@ -127,13 +132,23 @@ type Report struct {
 
 	// Branches lists divergence sites sorted by idled lanes.
 	Branches []BranchReport
+
+	// funcIndex maps function names to PerFunction rows for O(1) lookup.
+	// It is rebuilt lazily when absent (e.g. after JSON decoding).
+	funcIndex map[string]int
 }
 
-// Analyze runs the full analyzer pipeline on a trace.
-func Analyze(t *trace.Trace, opts Options) (*Report, error) {
-	if opts.WarpSize == 0 {
-		return nil, fmt.Errorf("core: WarpSize must be set (use core.Defaults)")
-	}
+// prep holds the trace-derived analysis products that depend only on the
+// trace itself (not on warp size, formation, or lock options): the
+// per-function dynamic CFGs and their post-dominator trees. Both are
+// read-only after construction and safe to share across goroutines.
+type prep struct {
+	graphs map[uint32]*cfg.DCFG
+	pdoms  map[uint32]*ipdom.PostDom
+}
+
+// prepare validates a trace and builds its DCFGs and IPDOM trees.
+func prepare(t *trace.Trace) (*prep, error) {
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid trace: %w", err)
 	}
@@ -141,21 +156,38 @@ func Analyze(t *trace.Trace, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building DCFG: %w", err)
 	}
-	pdoms := ipdom.ComputeAll(graphs)
-	warps, err := warp.Form(t, opts.WarpSize, opts.Formation)
-	if err != nil {
-		return nil, fmt.Errorf("core: forming warps: %w", err)
-	}
-	res, err := simt.Replay(t, graphs, pdoms, warps, simt.Options{
+	return &prep{graphs: graphs, pdoms: ipdom.ComputeAll(graphs)}, nil
+}
+
+// analyzeWith replays a prepared trace under one configuration.
+func analyzeWith(t *trace.Trace, p *prep, warps []warp.Warp, opts Options) (*Report, error) {
+	res, err := simt.Replay(t, p.graphs, p.pdoms, warps, simt.Options{
 		WarpSize:          opts.WarpSize,
 		EmulateLocks:      opts.EmulateLocks,
 		LockReconvergence: opts.LockReconvergence,
 		Listener:          opts.Listener,
+		Parallelism:       opts.Parallelism,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: replay: %w", err)
 	}
 	return buildReport(t, res, len(warps)), nil
+}
+
+// Analyze runs the full analyzer pipeline on a trace.
+func Analyze(t *trace.Trace, opts Options) (*Report, error) {
+	if opts.WarpSize == 0 {
+		return nil, fmt.Errorf("core: WarpSize must be set (use core.Defaults)")
+	}
+	p, err := prepare(t)
+	if err != nil {
+		return nil, err
+	}
+	warps, err := warp.Form(t, opts.WarpSize, opts.Formation)
+	if err != nil {
+		return nil, fmt.Errorf("core: forming warps: %w", err)
+	}
+	return analyzeWith(t, p, warps, opts)
 }
 
 func buildReport(t *trace.Trace, res *simt.Result, nwarps int) *Report {
@@ -180,10 +212,14 @@ func buildReport(t *trace.Trace, res *simt.Result, nwarps int) *Report {
 		SkippedSpin:        res.SkippedSpin,
 		TracedPercent:      res.TracedFraction() * 100,
 	}
+	r.PerWarpEfficiency = make([]float64, len(res.Warps))
 	for i := range res.Warps {
-		r.PerWarpEfficiency = append(r.PerWarpEfficiency, res.Warps[i].Efficiency(res.WarpSize))
+		r.PerWarpEfficiency[i] = res.Warps[i].Efficiency(res.WarpSize)
 	}
-	r.LaneHistogram = append(r.LaneHistogram, total.LaneHistogram[:res.WarpSize+1]...)
+	r.LaneHistogram = make([]uint64, res.WarpSize+1)
+	copy(r.LaneHistogram, total.LaneHistogram[:res.WarpSize+1])
+	r.PerFunction = make([]FuncReport, 0, len(res.Funcs))
+	r.Branches = make([]BranchReport, 0, len(res.Branches))
 	for fn, fm := range res.Funcs {
 		fr := FuncReport{
 			Name:           t.FuncName(fn),
@@ -225,15 +261,29 @@ func buildReport(t *trace.Trace, res *simt.Result, nwarps int) *Report {
 		}
 		return r.PerFunction[i].Name < r.PerFunction[j].Name
 	})
+	r.funcIndex = buildFuncIndex(r.PerFunction)
 	return r
 }
 
-// Function returns the named function's report row, if present.
-func (r *Report) Function(name string) (FuncReport, bool) {
-	for _, f := range r.PerFunction {
-		if f.Name == name {
-			return f, true
+func buildFuncIndex(rows []FuncReport) map[string]int {
+	idx := make(map[string]int, len(rows))
+	for i := range rows {
+		if _, dup := idx[rows[i].Name]; !dup {
+			idx[rows[i].Name] = i
 		}
+	}
+	return idx
+}
+
+// Function returns the named function's report row, if present, in O(1) via
+// a name index built when the report was constructed (and rebuilt on first
+// use for reports that arrived without one, e.g. decoded from JSON).
+func (r *Report) Function(name string) (FuncReport, bool) {
+	if r.funcIndex == nil {
+		r.funcIndex = buildFuncIndex(r.PerFunction)
+	}
+	if i, ok := r.funcIndex[name]; ok && i < len(r.PerFunction) {
+		return r.PerFunction[i], true
 	}
 	return FuncReport{}, false
 }

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"threadfuser/internal/trace"
+	"threadfuser/internal/warp"
+)
+
+// Session memoizes the trace-derived analysis products — validation,
+// cfg.Build, ipdom.ComputeAll, and warp formation — keyed by trace identity,
+// so sweeps that analyze one trace under many configurations (warp widths,
+// formations, lock policies: figure 1, the extension studies,
+// examples/warpwidthstudy) pay for the preparation exactly once. A Session
+// is safe for concurrent use: concurrent Analyze calls on the same trace
+// share one preparation, with duplicate work suppressed by sync.Once.
+//
+// Cache entries are keyed by *trace.Trace pointer identity. Mutating a trace
+// after analyzing it through a Session yields stale results; build a new
+// trace (or a new Session) instead.
+type Session struct {
+	mu    sync.Mutex
+	preps map[*trace.Trace]*prepEntry
+	warps map[warpKey]*warpsEntry
+}
+
+type prepEntry struct {
+	once sync.Once
+	p    *prep
+	err  error
+}
+
+type warpKey struct {
+	t         *trace.Trace
+	width     int
+	formation warp.Formation
+}
+
+type warpsEntry struct {
+	once  sync.Once
+	warps []warp.Warp
+	err   error
+}
+
+// NewSession returns an empty Session.
+func NewSession() *Session {
+	return &Session{
+		preps: make(map[*trace.Trace]*prepEntry),
+		warps: make(map[warpKey]*warpsEntry),
+	}
+}
+
+// Analyze is equivalent to the package-level Analyze but reuses the
+// session's cached DCFG/IPDOM products and warp formations for traces it
+// has seen before.
+func (s *Session) Analyze(t *trace.Trace, opts Options) (*Report, error) {
+	if opts.WarpSize == 0 {
+		return nil, fmt.Errorf("core: WarpSize must be set (use core.Defaults)")
+	}
+	p, err := s.prep(t)
+	if err != nil {
+		return nil, err
+	}
+	warps, err := s.form(t, opts.WarpSize, opts.Formation)
+	if err != nil {
+		return nil, err
+	}
+	return analyzeWith(t, p, warps, opts)
+}
+
+// prep returns the trace's cached preparation, computing it on first use.
+func (s *Session) prep(t *trace.Trace) (*prep, error) {
+	s.mu.Lock()
+	e := s.preps[t]
+	if e == nil {
+		e = &prepEntry{}
+		s.preps[t] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.p, e.err = prepare(t) })
+	return e.p, e.err
+}
+
+// form returns the trace's cached warp formation for one width and
+// formation algorithm. Formed warps are read-only during replay, so sharing
+// them between configurations is safe.
+func (s *Session) form(t *trace.Trace, width int, f warp.Formation) ([]warp.Warp, error) {
+	key := warpKey{t: t, width: width, formation: f}
+	s.mu.Lock()
+	e := s.warps[key]
+	if e == nil {
+		e = &warpsEntry{}
+		s.warps[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		e.warps, e.err = warp.Form(t, width, f)
+		if e.err != nil {
+			e.err = fmt.Errorf("core: forming warps: %w", e.err)
+		}
+	})
+	return e.warps, e.err
+}

@@ -3,6 +3,7 @@ package gpusim
 import (
 	"fmt"
 
+	"threadfuser/internal/pool"
 	"threadfuser/internal/simtrace"
 )
 
@@ -16,15 +17,25 @@ type SweepPoint struct {
 // Sweep runs the same kernel trace across a set of machine configurations —
 // the design-space exploration of the paper's section V-B ("architects can
 // … evaluate alternative SIMT accelerator designs"). Points are labelled by
-// each configuration's Name.
+// each configuration's Name. Configurations simulate concurrently (Run only
+// reads the shared kernel trace) into index-addressed slots, so the returned
+// points are in configuration order regardless of completion order.
 func Sweep(kt *simtrace.KernelTrace, cfgs []Config) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(cfgs))
-	for _, cfg := range cfgs {
-		res, err := Run(kt, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("gpusim: sweep %s: %w", cfg.Name, err)
-		}
-		out = append(out, SweepPoint{Label: cfg.Name, Config: cfg, Result: res})
+	out := make([]SweepPoint, len(cfgs))
+	g := pool.New(0)
+	for i, cfg := range cfgs {
+		i, cfg := i, cfg
+		g.Go(func() error {
+			res, err := Run(kt, cfg)
+			if err != nil {
+				return fmt.Errorf("gpusim: sweep %s: %w", cfg.Name, err)
+			}
+			out[i] = SweepPoint{Label: cfg.Name, Config: cfg, Result: res}
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -131,6 +131,7 @@ type warpExec struct {
 	threads   []*vm.Thread
 	done      uint64
 	stack     []hwEntry
+	mem       simt.MemCharger
 }
 
 func (w *warpExec) lanePos(lane int) (pos, bool) {
@@ -303,7 +304,7 @@ func (w *warpExec) execGroup(e *hwEntry, g hwGroup) error {
 	if g.pos.block == 0 {
 		fm.Invocations++
 	}
-	simt.ChargeMemory(w.wm, fm, recs)
+	w.mem.Charge(w.wm, fm, recs)
 
 	if w.opts.Listener != nil {
 		threads := make([]int, len(lanes))

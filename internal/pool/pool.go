@@ -1,0 +1,56 @@
+// Package pool provides a bounded, errgroup-style worker pool built only on
+// the standard library (sync.WaitGroup plus a channel semaphore). The
+// analyzer pipeline uses it to run independent workload×configuration cells
+// of an experiment concurrently while keeping the goroutine count bounded by
+// the machine's core count.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Group runs tasks concurrently, at most limit at a time, and retains the
+// first error. The zero value is not usable; call New.
+type Group struct {
+	sem     chan struct{}
+	wg      sync.WaitGroup
+	errOnce sync.Once
+	err     error
+}
+
+// New returns a Group that runs at most limit tasks concurrently. A limit
+// of 0 (or negative) uses runtime.GOMAXPROCS(0), the convention shared with
+// core.Options.Parallelism; a limit of 1 degenerates to serial execution in
+// submission order.
+func New(limit int) *Group {
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	return &Group{sem: make(chan struct{}, limit)}
+}
+
+// Go submits one task. It blocks while the group is at its concurrency
+// limit, so a producer loop is naturally throttled and never builds an
+// unbounded goroutine backlog. Tasks submitted after a failure still run;
+// callers that want early exit should check their own cancellation state.
+func (g *Group) Go(fn func() error) {
+	g.wg.Add(1)
+	g.sem <- struct{}{}
+	go func() {
+		defer func() {
+			<-g.sem
+			g.wg.Done()
+		}()
+		if err := fn(); err != nil {
+			g.errOnce.Do(func() { g.err = err })
+		}
+	}()
+}
+
+// Wait blocks until every submitted task has finished and returns the first
+// error any of them produced, if any.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	return g.err
+}

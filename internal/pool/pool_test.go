@@ -1,0 +1,70 @@
+package pool
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunsEverySubmittedTask(t *testing.T) {
+	g := New(4)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		g.Go(func() error {
+			n.Add(1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if n.Load() != 100 {
+		t.Fatalf("ran %d of 100 tasks", n.Load())
+	}
+}
+
+func TestConcurrencyBounded(t *testing.T) {
+	const limit = 3
+	g := New(limit)
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	for i := 0; i < 50; i++ {
+		g.Go(func() error {
+			c := cur.Add(1)
+			mu.Lock()
+			if c > peak.Load() {
+				peak.Store(c)
+			}
+			mu.Unlock()
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Fatalf("observed %d concurrent tasks, limit %d", p, limit)
+	}
+}
+
+func TestFirstErrorRetained(t *testing.T) {
+	g := New(1) // serial: submission order == execution order
+	boom := errors.New("boom")
+	g.Go(func() error { return nil })
+	g.Go(func() error { return boom })
+	g.Go(func() error { return errors.New("later") })
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want first error %v", err, boom)
+	}
+}
+
+func TestZeroLimitDefaultsToCores(t *testing.T) {
+	g := New(0)
+	done := false
+	g.Go(func() error { done = true; return nil })
+	if err := g.Wait(); err != nil || !done {
+		t.Fatalf("Wait = %v, done = %v", err, done)
+	}
+}

@@ -34,16 +34,24 @@ func Fig7(s Scale) (*Fig7Data, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, _, _, err := analyze(w, s, 32, false)
-	if err != nil {
-		return nil, err
-	}
 	fw, err := workloads.ByName("usuite.hdsearch.mid.fixed")
 	if err != nil {
 		return nil, err
 	}
-	frep, _, _, err := analyze(fw, s, 32, false)
-	if err != nil {
+	// The original and fixed variants are independent analyses.
+	var rep, frep *core.Report
+	g := s.pool()
+	g.Go(func() error {
+		var err error
+		rep, _, _, err = analyze(w, s, 32, false)
+		return err
+	})
+	g.Go(func() error {
+		var err error
+		frep, _, _, err = analyze(fw, s, 32, false)
+		return err
+	})
+	if err := g.Wait(); err != nil {
 		return nil, err
 	}
 	d := &Fig7Data{OriginalEff: rep.Efficiency, FixedEff: frep.Efficiency}
@@ -86,25 +94,36 @@ type Fig8Data struct {
 // Fig8 measures the percentage of instructions traced versus skipped (I/O
 // and lock spinning) for the microservice workloads.
 func Fig8(s Scale) (*Fig8Data, error) {
-	d := &Fig8Data{}
-	var fracs []float64
-	for _, w := range workloads.Microservices() {
-		rep, _, _, err := analyze(w, s, 32, false)
-		if err != nil {
-			return nil, err
-		}
-		total := float64(rep.TotalInstrs + rep.SkippedIO + rep.SkippedSpin)
-		row := Fig8Row{
-			Workload:  w.Name,
-			TracedPct: rep.TracedPercent,
-		}
-		if total > 0 {
-			row.IOPct = 100 * float64(rep.SkippedIO) / total
-			row.SpinPct = 100 * float64(rep.SkippedSpin) / total
-		}
-		fracs = append(fracs, rep.TracedPercent/100)
-		d.Rows = append(d.Rows, row)
+	ws := workloads.Microservices()
+	d := &Fig8Data{Rows: make([]Fig8Row, len(ws))}
+	fracs := make([]float64, len(ws))
+	g := s.pool()
+	for i, w := range ws {
+		i, w := i, w
+		g.Go(func() error {
+			rep, _, _, err := analyze(w, s, 32, false)
+			if err != nil {
+				return err
+			}
+			total := float64(rep.TotalInstrs + rep.SkippedIO + rep.SkippedSpin)
+			row := Fig8Row{
+				Workload:  w.Name,
+				TracedPct: rep.TracedPercent,
+			}
+			if total > 0 {
+				row.IOPct = 100 * float64(rep.SkippedIO) / total
+				row.SpinPct = 100 * float64(rep.SkippedSpin) / total
+			}
+			fracs[i] = rep.TracedPercent / 100
+			d.Rows[i] = row
+			return nil
+		})
 	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	// fracs is index-addressed, so the geometric mean sees the same
+	// workload order as the serial path.
 	d.GeoMean = stats.GeoMean(fracs)
 	return d, nil
 }
@@ -140,21 +159,42 @@ type Fig9Data struct {
 // Fig9 measures warp efficiency of the microservice workloads when
 // intra-warp locking is emulated (paper figure 9; warp size 32).
 func Fig9(s Scale) (*Fig9Data, error) {
-	d := &Fig9Data{}
-	for _, w := range workloads.Microservices() {
-		base, _, _, err := analyze(w, s, 32, false)
-		if err != nil {
-			return nil, err
-		}
-		emu, _, _, err := analyze(w, s, 32, true)
-		if err != nil {
-			return nil, err
-		}
-		d.Rows = append(d.Rows, Fig9Row{
-			Workload:     w.Name,
-			EffFineGrain: base.Efficiency,
-			EffEmulated:  emu.Efficiency,
+	ws := workloads.Microservices()
+	d := &Fig9Data{Rows: make([]Fig9Row, len(ws))}
+	g := s.pool()
+	for i, w := range ws {
+		i, w := i, w
+		g.Go(func() error {
+			// Trace once; a session shares the DCFG/IPDOM products and warp
+			// formation between the fine-grain and lock-emulated analyses,
+			// which differ only in replay options.
+			inst, err := w.Instantiate(s.config(w))
+			if err != nil {
+				return err
+			}
+			tr, err := inst.Trace()
+			if err != nil {
+				return err
+			}
+			sess := core.NewSession()
+			base, err := sess.Analyze(tr, s.options(32, false))
+			if err != nil {
+				return err
+			}
+			emu, err := sess.Analyze(tr, s.options(32, true))
+			if err != nil {
+				return err
+			}
+			d.Rows[i] = Fig9Row{
+				Workload:     w.Name,
+				EffFineGrain: base.Efficiency,
+				EffEmulated:  emu.Efficiency,
+			}
+			return nil
 		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return d, nil
 }
@@ -185,17 +225,26 @@ type Fig10Data struct {
 // Fig10 measures memory transactions per load/store instruction, split by
 // heap and stack segment, at warp size 32 (paper figure 10).
 func Fig10(s Scale) (*Fig10Data, error) {
-	d := &Fig10Data{}
-	for _, w := range workloads.Microservices() {
-		rep, _, _, err := analyze(w, s, 32, false)
-		if err != nil {
-			return nil, err
-		}
-		d.Rows = append(d.Rows, Fig10Row{
-			Workload:   w.Name,
-			HeapTxPer:  rep.HeapTxPerInstr,
-			StackTxPer: rep.StackTxPerInstr,
+	ws := workloads.Microservices()
+	d := &Fig10Data{Rows: make([]Fig10Row, len(ws))}
+	g := s.pool()
+	for i, w := range ws {
+		i, w := i, w
+		g.Go(func() error {
+			rep, _, _, err := analyze(w, s, 32, false)
+			if err != nil {
+				return err
+			}
+			d.Rows[i] = Fig10Row{
+				Workload:   w.Name,
+				HeapTxPer:  rep.HeapTxPerInstr,
+				StackTxPer: rep.StackTxPerInstr,
+			}
+			return nil
 		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return d, nil
 }
@@ -269,6 +318,3 @@ func (d *Table2Data) Render() string {
 	t.add("hardware support", "only GPUs", "any SIMT hardware", "any SIMT hardware")
 	return "Table II: XAPP vs ThreadFuser\n" + t.String()
 }
-
-// ensure core import is used by the analyze helper's signature.
-var _ = core.Defaults

@@ -8,6 +8,7 @@ import (
 	"threadfuser/internal/cpusim"
 	"threadfuser/internal/gpusim"
 	"threadfuser/internal/opt"
+	"threadfuser/internal/pool"
 	"threadfuser/internal/simtrace"
 	"threadfuser/internal/stats"
 	"threadfuser/internal/trace"
@@ -23,6 +24,13 @@ type Scale struct {
 	Full bool
 	// Seed drives input generation.
 	Seed int64
+	// Parallel bounds both the per-experiment cell pool (independent
+	// workload×configuration cells run concurrently) and each replay's
+	// worker count. 0 means one worker per core; 1 runs everything
+	// serially. Results are identical at any setting: cells write into
+	// index-addressed slots and cross-cell statistics are aggregated
+	// serially in the original order.
+	Parallel int
 }
 
 func (s Scale) config(w *workloads.Workload) workloads.Config {
@@ -31,6 +39,20 @@ func (s Scale) config(w *workloads.Workload) workloads.Config {
 		cfg.Threads = w.PaperThreads
 	}
 	return cfg
+}
+
+// options builds the analyzer options for one experiment cell.
+func (s Scale) options(warpSize int, locks bool) core.Options {
+	opts := core.Defaults()
+	opts.WarpSize = warpSize
+	opts.EmulateLocks = locks
+	opts.Parallelism = s.Parallel
+	return opts
+}
+
+// pool returns the bounded worker pool experiments fan their cells over.
+func (s Scale) pool() *pool.Group {
+	return pool.New(s.Parallel)
 }
 
 // analyze traces and analyzes one workload.
@@ -43,10 +65,7 @@ func analyze(w *workloads.Workload, s Scale, warpSize int, locks bool) (*core.Re
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	opts := core.Defaults()
-	opts.WarpSize = warpSize
-	opts.EmulateLocks = locks
-	rep, err := core.Analyze(tr, opts)
+	rep, err := core.Analyze(tr, s.options(warpSize, locks))
 	return rep, tr, inst, err
 }
 
@@ -67,36 +86,46 @@ type Fig1Data struct {
 }
 
 // Fig1 estimates SIMT efficiency for the 36 MIMD applications at warp
-// sizes 8, 16 and 32 (the paper's headline figure).
+// sizes 8, 16 and 32 (the paper's headline figure). Workload rows run
+// concurrently; within one row a core.Session traces the workload once and
+// shares the DCFG/IPDOM products across the three warp-width points.
 func Fig1(s Scale) (*Fig1Data, error) {
-	d := &Fig1Data{}
-	for _, w := range workloads.TableI() {
-		row := Fig1Row{Workload: w.Name, Suite: w.Suite}
-		inst, err := w.Instantiate(s.config(w))
-		if err != nil {
-			return nil, err
-		}
-		tr, err := inst.Trace()
-		if err != nil {
-			return nil, err
-		}
-		for _, ws := range []int{8, 16, 32} {
-			opts := core.Defaults()
-			opts.WarpSize = ws
-			rep, err := core.Analyze(tr, opts)
+	ws := workloads.TableI()
+	d := &Fig1Data{Rows: make([]Fig1Row, len(ws))}
+	g := s.pool()
+	for i, w := range ws {
+		i, w := i, w
+		g.Go(func() error {
+			row := Fig1Row{Workload: w.Name, Suite: w.Suite}
+			inst, err := w.Instantiate(s.config(w))
 			if err != nil {
-				return nil, err
+				return err
 			}
-			switch ws {
-			case 8:
-				row.Eff8 = rep.Efficiency
-			case 16:
-				row.Eff16 = rep.Efficiency
-			case 32:
-				row.Eff32 = rep.Efficiency
+			tr, err := inst.Trace()
+			if err != nil {
+				return err
 			}
-		}
-		d.Rows = append(d.Rows, row)
+			sess := core.NewSession()
+			for _, width := range []int{8, 16, 32} {
+				rep, err := sess.Analyze(tr, s.options(width, false))
+				if err != nil {
+					return err
+				}
+				switch width {
+				case 8:
+					row.Eff8 = rep.Efficiency
+				case 16:
+					row.Eff16 = rep.Efficiency
+				case 32:
+					row.Eff32 = rep.Efficiency
+				}
+			}
+			d.Rows[i] = row
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return d, nil
 }
@@ -220,46 +249,65 @@ func fig5(s Scale, metric string, pred func(*core.Report) float64, ref func(*hwM
 	perLevel := map[opt.Level][2][]float64{}
 	var allErrs []float64
 
-	for _, w := range workloads.Correlation() {
-		inst, err := w.Instantiate(s.config(w))
-		if err != nil {
-			return nil, err
-		}
-		// Hardware oracle: lockstep execution of the nvcc-like build.
-		hwInst := inst.WithProgram(opt.HardwareBuild(inst.Prog))
-		hwRes, err := hwInst.RunHardware(32, nil)
-		if err != nil {
-			return nil, fmt.Errorf("report: %s oracle: %w", w.Name, err)
-		}
-		hw := &hwMeasurement{
-			efficiency: hwRes.Efficiency(),
-			heapTx:     hwRes.Total().HeapTx,
-		}
-
-		for _, lvl := range opt.Levels {
-			tr, err := inst.WithProgram(opt.Apply(inst.Prog, lvl)).Trace()
+	// Each workload's cell (hardware oracle + one analysis per optimization
+	// level) is independent: run them concurrently into index-addressed
+	// slots, then aggregate serially in workload order so the statistics
+	// see samples in exactly the serial order.
+	ws := workloads.Correlation()
+	cells := make([][]Fig5Point, len(ws))
+	g := s.pool()
+	for i, w := range ws {
+		i, w := i, w
+		g.Go(func() error {
+			inst, err := w.Instantiate(s.config(w))
 			if err != nil {
-				return nil, err
+				return err
 			}
-			rep, err := core.Analyze(tr, core.Defaults())
+			// Hardware oracle: lockstep execution of the nvcc-like build.
+			hwInst := inst.WithProgram(opt.HardwareBuild(inst.Prog))
+			hwRes, err := hwInst.RunHardware(32, nil)
 			if err != nil {
-				return nil, err
+				return fmt.Errorf("report: %s oracle: %w", w.Name, err)
 			}
-			p := Fig5Point{
-				Workload:  w.Name,
-				Level:     lvl,
-				Predicted: pred(rep),
-				Hardware:  ref(hw),
+			hw := &hwMeasurement{
+				efficiency: hwRes.Efficiency(),
+				heapTx:     hwRes.Total().HeapTx,
 			}
+			pts := make([]Fig5Point, 0, len(opt.Levels))
+			for _, lvl := range opt.Levels {
+				tr, err := inst.WithProgram(opt.Apply(inst.Prog, lvl)).Trace()
+				if err != nil {
+					return err
+				}
+				rep, err := core.Analyze(tr, s.options(32, false))
+				if err != nil {
+					return err
+				}
+				pts = append(pts, Fig5Point{
+					Workload:  w.Name,
+					Level:     lvl,
+					Predicted: pred(rep),
+					Hardware:  ref(hw),
+				})
+			}
+			cells[i] = pts
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	for _, pts := range cells {
+		for _, p := range pts {
 			d.Points = append(d.Points, p)
-			pair := perLevel[lvl]
+			pair := perLevel[p.Level]
 			x, y := p.Predicted, p.Hardware
 			if logScale {
 				x, y = math.Log10(math.Max(x, 1)), math.Log10(math.Max(y, 1))
 			}
 			pair[0] = append(pair[0], x)
 			pair[1] = append(pair[1], y)
-			perLevel[lvl] = pair
+			perLevel[p.Level] = pair
 			if p.Hardware != 0 {
 				allErrs = append(allErrs, math.Abs(p.Predicted-p.Hardware)/p.Hardware)
 			}
@@ -347,62 +395,80 @@ type Fig6Data struct {
 // the -O3 optimization"), while the native path runs the GPU-toolchain
 // build — the toolchain gap is what separates the two series.
 func Fig6(s Scale) (*Fig6Data, error) {
-	d := &Fig6Data{}
 	gcfg := gpusim.RTX3070()
 	ccfg := cpusim.Xeon20()
 	var tfS, cuS, tfC, cuC []float64
 
-	for _, w := range workloads.TableI() {
-		inst, err := w.Instantiate(s.config(w))
-		if err != nil {
-			return nil, err
-		}
-		cpuInst := inst.WithProgram(opt.Apply(inst.Prog, opt.O3))
-		tr, err := cpuInst.Trace()
-		if err != nil {
-			return nil, err
-		}
-		kt, err := simtrace.Generate(cpuInst.Prog, tr, 32)
-		if err != nil {
-			return nil, err
-		}
-		g, err := gpusim.Run(kt, gcfg)
-		if err != nil {
-			return nil, fmt.Errorf("report: %s gpusim: %w", w.Name, err)
-		}
-		c, err := cpusim.Run(tr, ccfg)
-		if err != nil {
-			return nil, err
-		}
-		row := Fig6Row{
-			Workload:  w.Name,
-			GPUCycles: g.Cycles,
-			CPUCycles: c.Cycles,
-			TFSpeedup: float64(c.Cycles) / float64(g.Cycles),
-		}
+	// Workload cells are independent (trace, warp-trace generation, timing
+	// simulation): run them concurrently into index-addressed rows, then
+	// build the correlation series serially in workload order.
+	ws := workloads.TableI()
+	d := &Fig6Data{Rows: make([]Fig6Row, len(ws))}
+	natives := make([]uint64, len(ws)) // native-path GPU cycles, GPU twins only
+	g := s.pool()
+	for i, w := range ws {
+		i, w := i, w
+		g.Go(func() error {
+			inst, err := w.Instantiate(s.config(w))
+			if err != nil {
+				return err
+			}
+			cpuInst := inst.WithProgram(opt.Apply(inst.Prog, opt.O3))
+			tr, err := cpuInst.Trace()
+			if err != nil {
+				return err
+			}
+			kt, err := simtrace.Generate(cpuInst.Prog, tr, 32)
+			if err != nil {
+				return err
+			}
+			gr, err := gpusim.Run(kt, gcfg)
+			if err != nil {
+				return fmt.Errorf("report: %s gpusim: %w", w.Name, err)
+			}
+			c, err := cpusim.Run(tr, ccfg)
+			if err != nil {
+				return err
+			}
+			row := Fig6Row{
+				Workload:  w.Name,
+				GPUCycles: gr.Cycles,
+				CPUCycles: c.Cycles,
+				TFSpeedup: float64(c.Cycles) / float64(gr.Cycles),
+			}
+			if w.HasGPUImpl {
+				// Native path: lockstep-collected ("nvbit") trace of the
+				// nvcc-like hardware build.
+				hwInst := inst.WithProgram(opt.HardwareBuild(inst.Prog))
+				p2, args2, err := hwInst.NewProcess()
+				if err != nil {
+					return err
+				}
+				nkt, err := simtrace.FromHardware(p2, hwInst.Threads(), 32, args2)
+				if err != nil {
+					return err
+				}
+				ng, err := gpusim.Run(nkt, gcfg)
+				if err != nil {
+					return err
+				}
+				row.CUDASpeedup = float64(c.Cycles) / float64(ng.Cycles)
+				natives[i] = ng.Cycles
+			}
+			d.Rows[i] = row
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
 		if w.HasGPUImpl {
-			// Native path: lockstep-collected ("nvbit") trace of the
-			// nvcc-like hardware build.
-			hwInst := inst.WithProgram(opt.HardwareBuild(inst.Prog))
-			p2, args2, err := hwInst.NewProcess()
-			if err != nil {
-				return nil, err
-			}
-			nkt, err := simtrace.FromHardware(p2, hwInst.Threads(), 32, args2)
-			if err != nil {
-				return nil, err
-			}
-			ng, err := gpusim.Run(nkt, gcfg)
-			if err != nil {
-				return nil, err
-			}
-			row.CUDASpeedup = float64(c.Cycles) / float64(ng.Cycles)
-			tfS = append(tfS, row.TFSpeedup)
-			cuS = append(cuS, row.CUDASpeedup)
-			tfC = append(tfC, float64(g.Cycles))
-			cuC = append(cuC, float64(ng.Cycles))
+			tfS = append(tfS, d.Rows[i].TFSpeedup)
+			cuS = append(cuS, d.Rows[i].CUDASpeedup)
+			tfC = append(tfC, float64(d.Rows[i].GPUCycles))
+			cuC = append(cuC, float64(natives[i]))
 		}
-		d.Rows = append(d.Rows, row)
 	}
 	var err error
 	if d.SpeedupCorrelation, err = stats.Pearson(tfS, cuS); err != nil {

@@ -47,39 +47,56 @@ type Ext1Data struct {
 // compaction — would help.
 func Ext1(s Scale) (*Ext1Data, error) {
 	d := &Ext1Data{WarpSize: 32}
-	for _, name := range extWorkloads {
-		w, err := workloads.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		rep, _, _, err := analyze(w, s, 32, false)
-		if err != nil {
-			return nil, err
-		}
-		var total, full, single, cum uint64
-		for _, v := range rep.LaneHistogram {
-			total += v
-		}
-		if total == 0 {
-			continue
-		}
-		full = rep.LaneHistogram[len(rep.LaneHistogram)-1]
-		single = rep.LaneHistogram[1]
-		median := 0
-		for k, v := range rep.LaneHistogram {
-			cum += v
-			if cum >= total/2 {
-				median = k
-				break
+	// Cells run concurrently into index-addressed slots; rows with no warp
+	// instructions stay nil and are compacted afterwards, preserving the
+	// serial path's skip-empty behaviour and ordering.
+	rows := make([]*Ext1Row, len(extWorkloads))
+	g := s.pool()
+	for i, name := range extWorkloads {
+		i, name := i, name
+		g.Go(func() error {
+			w, err := workloads.ByName(name)
+			if err != nil {
+				return err
 			}
-		}
-		d.Rows = append(d.Rows, Ext1Row{
-			Workload:    name,
-			Efficiency:  rep.Efficiency,
-			FullPct:     100 * float64(full) / float64(total),
-			SinglePct:   100 * float64(single) / float64(total),
-			MedianLanes: median,
+			rep, _, _, err := analyze(w, s, 32, false)
+			if err != nil {
+				return err
+			}
+			var total, full, single, cum uint64
+			for _, v := range rep.LaneHistogram {
+				total += v
+			}
+			if total == 0 {
+				return nil
+			}
+			full = rep.LaneHistogram[len(rep.LaneHistogram)-1]
+			single = rep.LaneHistogram[1]
+			median := 0
+			for k, v := range rep.LaneHistogram {
+				cum += v
+				if cum >= total/2 {
+					median = k
+					break
+				}
+			}
+			rows[i] = &Ext1Row{
+				Workload:    name,
+				Efficiency:  rep.Efficiency,
+				FullPct:     100 * float64(full) / float64(total),
+				SinglePct:   100 * float64(single) / float64(total),
+				MedianLanes: median,
+			}
+			return nil
 		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		if r != nil {
+			d.Rows = append(d.Rows, *r)
+		}
 	}
 	return d, nil
 }
@@ -121,36 +138,45 @@ func Ext2(s Scale) (*Ext2Data, error) {
 	for _, c := range cfgs {
 		d.SMCounts = append(d.SMCounts, c.NumSMs)
 	}
-	for _, name := range extWorkloads {
-		w, err := workloads.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		cfg := s.config(w)
-		if cfg.Threads == 0 {
-			cfg.Threads = 256 // enough warps to make scaling meaningful
-		}
-		inst, err := w.Instantiate(cfg)
-		if err != nil {
-			return nil, err
-		}
-		tr, err := inst.Trace()
-		if err != nil {
-			return nil, err
-		}
-		kt, err := simtrace.Generate(inst.Prog, tr, 32)
-		if err != nil {
-			return nil, err
-		}
-		points, err := gpusim.Sweep(kt, cfgs)
-		if err != nil {
-			return nil, err
-		}
-		row := Ext2Row{Workload: name, Cycles: map[int]uint64{}}
-		for _, pt := range points {
-			row.Cycles[pt.Config.NumSMs] = pt.Result.Cycles
-		}
-		d.Rows = append(d.Rows, row)
+	d.Rows = make([]Ext2Row, len(extWorkloads))
+	g := s.pool()
+	for i, name := range extWorkloads {
+		i, name := i, name
+		g.Go(func() error {
+			w, err := workloads.ByName(name)
+			if err != nil {
+				return err
+			}
+			cfg := s.config(w)
+			if cfg.Threads == 0 {
+				cfg.Threads = 256 // enough warps to make scaling meaningful
+			}
+			inst, err := w.Instantiate(cfg)
+			if err != nil {
+				return err
+			}
+			tr, err := inst.Trace()
+			if err != nil {
+				return err
+			}
+			kt, err := simtrace.Generate(inst.Prog, tr, 32)
+			if err != nil {
+				return err
+			}
+			points, err := gpusim.Sweep(kt, cfgs)
+			if err != nil {
+				return err
+			}
+			row := Ext2Row{Workload: name, Cycles: map[int]uint64{}}
+			for _, pt := range points {
+				row.Cycles[pt.Config.NumSMs] = pt.Result.Cycles
+			}
+			d.Rows[i] = row
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return d, nil
 }

@@ -1,8 +1,6 @@
 package simt
 
 import (
-	"sort"
-
 	"threadfuser/internal/coalesce"
 	"threadfuser/internal/trace"
 )
@@ -22,16 +20,26 @@ func ChargeInstrs(wm *WarpMetrics, fm *FuncMetrics, n uint64, active int) {
 	}
 }
 
-// ChargeMemory coalesces one lockstep block execution's memory accesses.
-// recs holds the active lanes' records for the same static block; accesses
-// are merged per instruction index, loads and stores coalesce separately
-// into 32-byte transactions, and counts are split by stack/heap segment.
-// Both the trace-replay engine and the lockstep hardware oracle charge
-// memory through this function, so their transaction metrics are directly
-// comparable. fm, when non-nil, receives the per-function attribution.
-func ChargeMemory(wm *WarpMetrics, fm *FuncMetrics, recs []*trace.Record) {
-	var idxs [8]uint16
-	idxList := idxs[:0]
+// MemCharger coalesces lockstep block executions' memory accesses while
+// reusing its instruction-index and per-segment access buffers across
+// blocks, keeping the replay inner loop allocation-free. The zero value is
+// ready to use; a MemCharger must not be shared between goroutines — each
+// replay worker owns one.
+type MemCharger struct {
+	idx           []uint16
+	loads, stores []coalesce.Access
+	scratch       coalesce.Scratch
+}
+
+// Charge coalesces one lockstep block execution's memory accesses. recs
+// holds the active lanes' records for the same static block; accesses are
+// merged per instruction index, loads and stores coalesce separately into
+// 32-byte transactions, and counts are split by stack/heap segment. Both the
+// trace-replay engine and the lockstep hardware oracle charge memory through
+// this path, so their transaction metrics are directly comparable. fm, when
+// non-nil, receives the per-function attribution.
+func (mc *MemCharger) Charge(wm *WarpMetrics, fm *FuncMetrics, recs []*trace.Record) {
+	idxList := mc.idx[:0]
 	for _, r := range recs {
 		for _, m := range r.Mem {
 			found := false
@@ -46,14 +54,21 @@ func ChargeMemory(wm *WarpMetrics, fm *FuncMetrics, recs []*trace.Record) {
 			}
 		}
 	}
+	mc.idx = idxList
 	if len(idxList) == 0 {
 		return
 	}
-	sort.Slice(idxList, func(i, j int) bool { return idxList[i] < idxList[j] })
+	// Insertion sort: index lists are tiny (a handful of memory instructions
+	// per block) and this avoids sort.Slice's closure allocation on the
+	// hottest accounting path.
+	for i := 1; i < len(idxList); i++ {
+		for j := i; j > 0 && idxList[j] < idxList[j-1]; j-- {
+			idxList[j], idxList[j-1] = idxList[j-1], idxList[j]
+		}
+	}
 
-	var loads, stores []coalesce.Access
 	for _, idx := range idxList {
-		loads, stores = loads[:0], stores[:0]
+		loads, stores := mc.loads[:0], mc.stores[:0]
 		for _, r := range recs {
 			for _, m := range r.Mem {
 				if m.Instr != idx {
@@ -67,8 +82,9 @@ func ChargeMemory(wm *WarpMetrics, fm *FuncMetrics, recs []*trace.Record) {
 				}
 			}
 		}
-		ls, lh := coalesce.Split(loads)
-		ss, sh := coalesce.Split(stores)
+		mc.loads, mc.stores = loads, stores
+		ls, lh := mc.scratch.Split(loads)
+		ss, sh := mc.scratch.Split(stores)
 		wm.MemInstrs++
 		if ls+ss > 0 {
 			wm.StackMemInstrs++
@@ -84,4 +100,12 @@ func ChargeMemory(wm *WarpMetrics, fm *FuncMetrics, recs []*trace.Record) {
 			fm.StackTx += uint64(ls + ss)
 		}
 	}
+}
+
+// ChargeMemory coalesces one lockstep block execution's memory accesses with
+// a throwaway MemCharger. Hot paths should hold a MemCharger and call Charge
+// instead.
+func ChargeMemory(wm *WarpMetrics, fm *FuncMetrics, recs []*trace.Record) {
+	var mc MemCharger
+	mc.Charge(wm, fm, recs)
 }

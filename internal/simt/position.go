@@ -68,6 +68,18 @@ func newCursor(th *trace.ThreadTrace) *cursor {
 	return &cursor{recs: th.Records}
 }
 
+// reset points the cursor at a new thread's records, keeping the function
+// stack's backing array so replay workers reuse cursors across warps without
+// reallocating.
+func (c *cursor) reset(th *trace.ThreadTrace) {
+	c.recs = th.Records
+	c.idx = 0
+	c.depth = 0
+	c.funcs = c.funcs[:0]
+	c.skipIO = 0
+	c.skipSpin = 0
+}
+
 // peek returns the thread's next position without consuming anything.
 func (c *cursor) peek() position {
 	depth := c.depth

@@ -3,7 +3,8 @@ package simt
 import (
 	"fmt"
 	"math/bits"
-	"sort"
+	"runtime"
+	"sync"
 
 	"threadfuser/internal/cfg"
 	"threadfuser/internal/ipdom"
@@ -31,8 +32,33 @@ type Options struct {
 	// this knob implements that study.
 	LockReconvergence LockReconvergence
 	// Listener, if non-nil, observes every lockstep block execution; the
-	// warp-trace generator uses it.
+	// warp-trace generator uses it. A listener forces serial replay so
+	// callbacks arrive in warp order.
 	Listener Listener
+	// Parallelism bounds the replay worker pool: warps are independent
+	// units of work and fan out over this many workers. 0 means
+	// runtime.GOMAXPROCS(0); 1 forces the serial path. The parallel path
+	// produces bit-identical Results to the serial one: every metric is a
+	// per-warp or commutative uint64 sum, merged deterministically.
+	Parallelism int
+}
+
+// workers resolves the effective worker count for a warp count.
+func (o Options) workers(nwarps int) int {
+	if o.Listener != nil {
+		return 1
+	}
+	n := o.Parallelism
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > nwarps {
+		n = nwarps
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // LockReconvergence enumerates critical-section reconvergence policies.
@@ -79,11 +105,167 @@ type Listener interface {
 	OnBlock(*BlockExec)
 }
 
+// branchLayout maps every (func, block) pair of a trace's symbol table onto
+// a dense index, so branch-divergence accounting is a slice index instead of
+// a map lookup on the replay hot path.
+type branchLayout struct {
+	off   []int // per function id: offset into the flat block index space
+	total int
+}
+
+func newBranchLayout(t *trace.Trace) *branchLayout {
+	l := &branchLayout{off: make([]int, len(t.Funcs))}
+	for i, f := range t.Funcs {
+		l.off[i] = l.total
+		l.total += len(f.Blocks)
+	}
+	return l
+}
+
+// index returns the flat slot for (fn, block), or -1 when the pair is
+// outside the symbol table (possible only for traces that skip Validate).
+func (l *branchLayout) index(fn, block uint32) int {
+	if int(fn) >= len(l.off) {
+		return -1
+	}
+	base := l.off[fn]
+	end := l.total
+	if int(fn)+1 < len(l.off) {
+		end = l.off[fn+1]
+	}
+	if base+int(block) >= end {
+		return -1
+	}
+	return base + int(block)
+}
+
+// accumulator collects the shared (non-per-warp) metrics of one replay
+// worker: per-function totals, per-branch divergence stats, and skipped
+// instruction counters. Workers accumulate locally — plain slice-indexed
+// adds, no locks, no map lookups — and Replay merges the accumulators after
+// all warps finish. Every field is a commutative sum, so the merged totals
+// are identical no matter how warps were partitioned.
+type accumulator struct {
+	lay      *branchLayout
+	funcs    []FuncMetrics
+	touched  []bool
+	branches []BranchStats
+	// extra catches branch sites outside the symbol-table layout, which
+	// only unvalidated traces can produce.
+	extra            map[BranchKey]*BranchStats
+	skipIO, skipSpin uint64
+}
+
+func newAccumulator(t *trace.Trace, lay *branchLayout) *accumulator {
+	return &accumulator{
+		lay:      lay,
+		funcs:    make([]FuncMetrics, len(t.Funcs)),
+		touched:  make([]bool, len(t.Funcs)),
+		branches: make([]BranchStats, lay.total),
+	}
+}
+
+// funcMetrics returns the accumulator slot for a function id, growing the
+// table for ids beyond the symbol table (unvalidated traces).
+func (a *accumulator) funcMetrics(fn uint32) *FuncMetrics {
+	for int(fn) >= len(a.funcs) {
+		a.funcs = append(a.funcs, FuncMetrics{})
+		a.touched = append(a.touched, false)
+	}
+	a.touched[fn] = true
+	return &a.funcs[fn]
+}
+
+// branchStats returns the accumulator slot for a divergence site.
+func (a *accumulator) branchStats(fn, block uint32) *BranchStats {
+	if i := a.lay.index(fn, block); i >= 0 {
+		return &a.branches[i]
+	}
+	if a.extra == nil {
+		a.extra = map[BranchKey]*BranchStats{}
+	}
+	key := BranchKey{Func: fn, Block: block}
+	bs := a.extra[key]
+	if bs == nil {
+		bs = &BranchStats{}
+		a.extra[key] = bs
+	}
+	return bs
+}
+
+// mergeInto folds the accumulator into a Result. Only touched functions and
+// branches with at least one divergence materialize map entries, matching
+// the serial path's lazy map population exactly.
+func (a *accumulator) mergeInto(res *Result) {
+	res.SkippedIO += a.skipIO
+	res.SkippedSpin += a.skipSpin
+	for fn := range a.funcs {
+		if !a.touched[fn] {
+			continue
+		}
+		src := &a.funcs[fn]
+		fm := res.Funcs[uint32(fn)]
+		if fm == nil {
+			fm = &FuncMetrics{}
+			res.Funcs[uint32(fn)] = fm
+		}
+		fm.Lockstep += src.Lockstep
+		fm.ThreadInstrs += src.ThreadInstrs
+		fm.Invocations += src.Invocations
+		fm.MemInstrs += src.MemInstrs
+		fm.HeapTx += src.HeapTx
+		fm.StackTx += src.StackTx
+	}
+	fn := 0
+	for i := range a.branches {
+		src := &a.branches[i]
+		if src.Divergences == 0 {
+			continue
+		}
+		for fn+1 < len(a.lay.off) && a.lay.off[fn+1] <= i {
+			fn++
+		}
+		key := BranchKey{Func: uint32(fn), Block: uint32(i - a.lay.off[fn])}
+		mergeBranch(res, key, src)
+	}
+	for key, src := range a.extra {
+		if src.Divergences != 0 {
+			mergeBranch(res, key, src)
+		}
+	}
+}
+
+func mergeBranch(res *Result, key BranchKey, src *BranchStats) {
+	bs := res.Branches[key]
+	if bs == nil {
+		bs = &BranchStats{}
+		res.Branches[key] = bs
+	}
+	bs.Divergences += src.Divergences
+	bs.Paths += src.Paths
+	bs.LanesOff += src.LanesOff
+}
+
 // Replay runs the SIMT-stack emulation over all warps and returns the
-// aggregated metrics.
+// aggregated metrics. Warps are independent: with Options.Parallelism != 1
+// (and no Listener) they fan out over a worker pool, each worker replaying
+// its share with worker-local accumulators that are merged afterwards. The
+// result is bit-identical to the serial path regardless of worker count.
 func Replay(t *trace.Trace, graphs map[uint32]*cfg.DCFG, pdoms map[uint32]*ipdom.PostDom, warps []warp.Warp, opts Options) (*Result, error) {
 	if opts.WarpSize <= 0 || opts.WarpSize > MaxWarpSize {
 		return nil, fmt.Errorf("simt: warp size %d out of range [1,%d]", opts.WarpSize, MaxWarpSize)
+	}
+	// Validate warp shapes up front so malformed inputs produce the same
+	// deterministic error no matter how the warps would be partitioned.
+	for wi, w := range warps {
+		if len(w) > opts.WarpSize {
+			return nil, fmt.Errorf("simt: warp %d has %d threads > warp size %d", wi, len(w), opts.WarpSize)
+		}
+		for _, tid := range w {
+			if tid < 0 || tid >= len(t.Threads) {
+				return nil, fmt.Errorf("simt: warp %d references thread %d outside trace", wi, tid)
+			}
+		}
 	}
 	res := &Result{
 		WarpSize: opts.WarpSize,
@@ -91,32 +273,56 @@ func Replay(t *trace.Trace, graphs map[uint32]*cfg.DCFG, pdoms map[uint32]*ipdom
 		Funcs:    make(map[uint32]*FuncMetrics),
 		Branches: make(map[BranchKey]*BranchStats),
 	}
-	for wi, w := range warps {
-		if len(w) > opts.WarpSize {
-			return nil, fmt.Errorf("simt: warp %d has %d threads > warp size %d", wi, len(w), opts.WarpSize)
-		}
-		wr := &warpReplay{
-			warpIndex: wi,
-			res:       res,
-			wm:        &res.Warps[wi],
-			graphs:    graphs,
-			pdoms:     pdoms,
-			opts:      opts,
-			tids:      w,
-		}
-		for _, tid := range w {
-			if tid < 0 || tid >= len(t.Threads) {
-				return nil, fmt.Errorf("simt: warp %d references thread %d outside trace", wi, tid)
+	lay := newBranchLayout(t)
+	nw := opts.workers(len(warps))
+
+	accs := make([]*accumulator, nw)
+	if nw == 1 {
+		acc := newAccumulator(t, lay)
+		accs[0] = acc
+		wr := newWarpReplay(graphs, pdoms, opts, acc)
+		for wi := range warps {
+			if err := wr.replayWarp(t, wi, warps[wi], &res.Warps[wi]); err != nil {
+				return nil, err
 			}
-			wr.cursors = append(wr.cursors, newCursor(t.Threads[tid]))
 		}
-		if err := wr.run(); err != nil {
-			return nil, fmt.Errorf("simt: warp %d: %w", wi, err)
+	} else {
+		// Warps are dealt round-robin to workers: deterministic, and
+		// neighbouring (similarly sized) warps spread across the pool.
+		errWarp := make([]int, nw)
+		errs := make([]error, nw)
+		var wg sync.WaitGroup
+		for k := 0; k < nw; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				acc := newAccumulator(t, lay)
+				accs[k] = acc
+				errWarp[k] = -1
+				wr := newWarpReplay(graphs, pdoms, opts, acc)
+				for wi := k; wi < len(warps); wi += nw {
+					if err := wr.replayWarp(t, wi, warps[wi], &res.Warps[wi]); err != nil {
+						errWarp[k], errs[k] = wi, err
+						return
+					}
+				}
+			}(k)
 		}
-		for _, c := range wr.cursors {
-			res.SkippedIO += c.skipIO
-			res.SkippedSpin += c.skipSpin
+		wg.Wait()
+		// Surface the failure of the lowest-numbered warp, matching what
+		// the serial path would have reported first.
+		first := -1
+		for k := 0; k < nw; k++ {
+			if errs[k] != nil && (first == -1 || errWarp[k] < errWarp[first]) {
+				first = k
+			}
 		}
+		if first >= 0 {
+			return nil, errs[first]
+		}
+	}
+	for _, acc := range accs {
+		acc.mergeInto(res)
 	}
 	return res, nil
 }
@@ -136,17 +342,64 @@ type group struct {
 	mask uint64
 }
 
+// warpReplay replays warps one at a time for a single worker, reusing its
+// stack, cursor, group and lane buffers across warps so the steady-state
+// inner loop allocates nothing.
 type warpReplay struct {
 	warpIndex int
-	res       *Result
 	wm        *WarpMetrics
+	acc       *accumulator
 	graphs    map[uint32]*cfg.DCFG
 	pdoms     map[uint32]*ipdom.PostDom
 	opts      Options
 	tids      []int
-	cursors   []*cursor
+	cursors   []cursor
 	done      uint64
 	stack     []entry
+
+	groupBuf  []group
+	laneBuf   []int
+	recBuf    []*trace.Record
+	threadBuf []int
+	mem       MemCharger
+	exec      BlockExec
+}
+
+func newWarpReplay(graphs map[uint32]*cfg.DCFG, pdoms map[uint32]*ipdom.PostDom, opts Options, acc *accumulator) *warpReplay {
+	return &warpReplay{
+		graphs: graphs,
+		pdoms:  pdoms,
+		opts:   opts,
+		acc:    acc,
+		stack:  make([]entry, 0, 16),
+	}
+}
+
+// replayWarp runs one warp to completion, writing its per-warp metrics into
+// wm (an exclusive slot of the shared Result) and its shared metrics into
+// the worker's accumulator.
+func (wr *warpReplay) replayWarp(t *trace.Trace, wi int, w warp.Warp, wm *WarpMetrics) error {
+	wr.warpIndex = wi
+	wr.wm = wm
+	wr.tids = w
+	if cap(wr.cursors) < len(w) {
+		wr.cursors = make([]cursor, len(w))
+	} else {
+		wr.cursors = wr.cursors[:len(w)]
+	}
+	for i, tid := range w {
+		wr.cursors[i].reset(t.Threads[tid])
+	}
+	wr.done = 0
+	wr.stack = wr.stack[:0]
+	if err := wr.run(); err != nil {
+		return fmt.Errorf("simt: warp %d: %w", wi, err)
+	}
+	for i := range wr.cursors {
+		wr.acc.skipIO += wr.cursors[i].skipIO
+		wr.acc.skipSpin += wr.cursors[i].skipSpin
+	}
+	return nil
 }
 
 func (wr *warpReplay) run() error {
@@ -157,8 +410,8 @@ func (wr *warpReplay) run() error {
 	wr.stack = append(wr.stack, entry{mask: all})
 
 	var maxSteps uint64 = 1024
-	for _, c := range wr.cursors {
-		maxSteps += uint64(len(c.recs)) * 8
+	for i := range wr.cursors {
+		maxSteps += uint64(len(wr.cursors[i].recs)) * 8
 	}
 
 	for steps := uint64(0); len(wr.stack) > 0; steps++ {
@@ -194,8 +447,8 @@ func (wr *warpReplay) run() error {
 		}
 		wr.diverge(e, groups)
 	}
-	for _, c := range wr.cursors {
-		c.drainTrailingSkips()
+	for i := range wr.cursors {
+		wr.cursors[i].drainTrailingSkips()
 	}
 	return nil
 }
@@ -227,9 +480,10 @@ func allAtOrPast(e *entry, groups []group) bool {
 
 // group partitions the active lanes by their next position, dropping lanes
 // whose traces are exhausted (and recording them as done). Groups are sorted
-// by position key for determinism.
+// by position key for determinism. The returned slice aliases the replay's
+// reusable buffer and is only valid until the next call.
 func (wr *warpReplay) group(active uint64) []group {
-	var groups []group
+	groups := wr.groupBuf[:0]
 	for m := active; m != 0; m &= m - 1 {
 		lane := bits.TrailingZeros64(m)
 		pos := wr.cursors[lane].peek()
@@ -250,7 +504,14 @@ func (wr *warpReplay) group(active uint64) []group {
 			groups = append(groups, group{pos: pos, mask: 1 << uint(lane)})
 		}
 	}
-	sort.Slice(groups, func(i, j int) bool { return groups[i].pos.key() < groups[j].pos.key() })
+	// Insertion sort by position key: group counts are tiny (bounded by the
+	// warp width) and this avoids sort.Slice allocations in the inner loop.
+	for i := 1; i < len(groups); i++ {
+		for j := i; j > 0 && groups[j].pos.key() < groups[j-1].pos.key(); j-- {
+			groups[j], groups[j-1] = groups[j-1], groups[j]
+		}
+	}
+	wr.groupBuf = groups
 	return groups
 }
 
@@ -261,18 +522,15 @@ func (wr *warpReplay) diverge(e *entry, groups []group) {
 	rpc := wr.reconvergencePoint(e, groups)
 	wr.recordDivergence(e, groups)
 	// Lanes already at the reconvergence point wait in the parent entry.
-	pushed := 0
 	for i := len(groups) - 1; i >= 0; i-- { // reverse so the lowest key ends on top
 		g := groups[i]
 		if g.pos == rpc {
 			continue
 		}
 		wr.stack = append(wr.stack, entry{mask: g.mask, rpc: rpc, hasRPC: true})
-		pushed++
 	}
 	// At least one group differs from rpc (groups have pairwise-distinct
 	// positions and at most one can equal it), so progress is guaranteed.
-	_ = pushed
 }
 
 // recordDivergence attributes a warp split to the block whose terminator
@@ -281,12 +539,7 @@ func (wr *warpReplay) recordDivergence(e *entry, groups []group) {
 	if !e.hasLast || e.last.kind != posBlock {
 		return
 	}
-	key := BranchKey{Func: e.last.fn, Block: e.last.block}
-	bs := wr.res.Branches[key]
-	if bs == nil {
-		bs = &BranchStats{}
-		wr.res.Branches[key] = bs
-	}
+	bs := wr.acc.branchStats(e.last.fn, e.last.block)
 	bs.Divergences++
 	bs.Paths += uint64(len(groups))
 	var total, largest int
@@ -377,35 +630,34 @@ func (wr *warpReplay) execGroup(e *entry, pos position, mask uint64) error {
 // every active lane's cursor, charges equation-1 instruction counts, and
 // coalesces the block's memory accesses instruction by instruction.
 func (wr *warpReplay) execBlock(e *entry, pos position, mask uint64) error {
-	lanes := make([]int, 0, bits.OnesCount64(mask))
-	recs := make([]*trace.Record, 0, cap(lanes))
+	lanes := wr.laneBuf[:0]
+	recs := wr.recBuf[:0]
 	for m := mask; m != 0; m &= m - 1 {
 		lane := bits.TrailingZeros64(m)
 		r := wr.cursors[lane].consumeBlock()
 		if r.Func != pos.fn || r.Block != pos.block {
+			wr.laneBuf, wr.recBuf = lanes, recs
 			return fmt.Errorf("lane %d consumed f%d.b%d, expected %v", lane, r.Func, r.Block, pos)
 		}
 		lanes = append(lanes, lane)
 		recs = append(recs, r)
 	}
-	fm := wr.res.Funcs[pos.fn]
-	if fm == nil {
-		fm = &FuncMetrics{}
-		wr.res.Funcs[pos.fn] = fm
-	}
+	wr.laneBuf, wr.recBuf = lanes, recs
+	fm := wr.acc.funcMetrics(pos.fn)
 	ChargeInstrs(wr.wm, fm, recs[0].N, len(lanes))
 	if g := wr.graphs[pos.fn]; g != nil && int32(pos.block) == g.Entry() {
 		fm.Invocations++
 	}
 
-	ChargeMemory(wr.wm, fm, recs)
+	wr.mem.Charge(wr.wm, fm, recs)
 
 	if wr.opts.Listener != nil {
-		threads := make([]int, len(lanes))
-		for i, l := range lanes {
-			threads[i] = wr.tids[l]
+		threads := wr.threadBuf[:0]
+		for _, l := range lanes {
+			threads = append(threads, wr.tids[l])
 		}
-		wr.opts.Listener.OnBlock(&BlockExec{
+		wr.threadBuf = threads
+		wr.exec = BlockExec{
 			Warp:     wr.warpIndex,
 			Func:     pos.fn,
 			Block:    pos.block,
@@ -414,7 +666,8 @@ func (wr *warpReplay) execBlock(e *entry, pos position, mask uint64) error {
 			Threads:  threads,
 			Records:  recs,
 			NumLanes: wr.opts.WarpSize,
-		})
+		}
+		wr.opts.Listener.OnBlock(&wr.exec)
 	}
 	e.last, e.hasLast = pos, true
 	return nil

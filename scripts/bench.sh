@@ -1,0 +1,35 @@
+#!/bin/sh
+# Runs the analyzer's key benchmarks and writes BENCH_analyzer.json so
+# future changes have a perf trajectory to regress against. The speedup
+# field is BenchmarkReplaySerial ns/op over BenchmarkReplayParallel ns/op;
+# on a single-core runner it hovers around 1.0 by construction.
+set -e
+cd "$(dirname "$0")/.."
+
+out=BENCH_analyzer.json
+raw=$(go test -run '^$' -bench 'BenchmarkReplay(Serial|Parallel|Allocs)$' \
+	-benchmem -count=1 .)
+echo "$raw"
+
+cores=$(nproc 2>/dev/null || echo 1)
+echo "$raw" | awk -v cores="$cores" '
+/^BenchmarkReplaySerial/   { serial_ns = $3 }
+/^BenchmarkReplayParallel/ { parallel_ns = $3 }
+/^BenchmarkReplayAllocs/   { allocs_ns = $3; bytes = $(NF-3); allocs = $(NF-1) }
+END {
+	if (serial_ns == "" || parallel_ns == "" || allocs_ns == "") {
+		print "bench.sh: missing benchmark rows" > "/dev/stderr"; exit 1
+	}
+	printf "{\n"
+	printf "  \"benchmark\": \"simt replay, parsec.vips, 64 threads, warp 32\",\n"
+	printf "  \"cpus\": %d,\n", cores
+	printf "  \"serial_ns_per_op\": %s,\n", serial_ns
+	printf "  \"parallel_ns_per_op\": %s,\n", parallel_ns
+	printf "  \"serial_vs_parallel_speedup\": %.2f,\n", serial_ns / parallel_ns
+	printf "  \"bytes_per_op\": %s,\n", bytes
+	printf "  \"allocs_per_op\": %s\n", allocs
+	printf "}\n"
+}' > "$out"
+
+echo "wrote $out:"
+cat "$out"

@@ -51,6 +51,10 @@ type Options struct {
 	// Strided / GreedyBatching select alternative warp formations.
 	Strided        bool
 	GreedyBatching bool
+	// Parallelism bounds the replay worker pool: 0 uses one worker per
+	// core, 1 forces serial replay. Parallel and serial replay produce
+	// bit-identical reports.
+	Parallelism int
 }
 
 func (o Options) coreOptions() core.Options {
@@ -65,6 +69,7 @@ func (o Options) coreOptions() core.Options {
 	if o.GreedyBatching {
 		opts.Formation = warp.GreedyEntry
 	}
+	opts.Parallelism = o.Parallelism
 	return opts
 }
 
