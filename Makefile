@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race bench check
+.PHONY: build vet test test-race bench check lint
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,15 @@ test:
 test-race:
 	$(GO) test -race ./internal/simt/... ./internal/core/... ./internal/report/... ./internal/pool/... ./internal/gpusim/...
 
+# Static sanity: go vet plus the tflint engine over workloads that must stay
+# clean — any finding is a regression in either the workload or a pass.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/tflint -severity info -workload vectoradd,uncoalesced
+
 # Run the key analyzer benchmarks and record the perf trajectory in
 # BENCH_analyzer.json (ns/op, allocs/op, serial-vs-parallel speedup).
 bench:
 	scripts/bench.sh
 
-check: build vet test test-race
+check: build vet test test-race lint

@@ -28,9 +28,19 @@ func main() {
 		warpSize = flag.Int("warp", 32, "warp width to model")
 		locks    = flag.Bool("locks", false, "emulate intra-warp lock serialization")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tfdiff -a before.tft -b after.tft [flags]\n\nflags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "tfdiff: unexpected argument %q (traces are given with -a/-b)\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *aPath == "" || *bPath == "" {
 		fmt.Fprintln(os.Stderr, "tfdiff: both -a and -b are required")
+		flag.Usage()
 		os.Exit(2)
 	}
 	opts := core.Defaults()

@@ -1,0 +1,180 @@
+// Command tflint is the ThreadFuser multi-pass lint engine: it runs the
+// trace sanitizer, the Eraser-style lockset race detector, the divergence
+// lint and the lock-serialization lint over one or more inputs and reports
+// structured findings. Inputs are .tft trace files or built-in workloads
+// traced on the fly.
+//
+// Usage:
+//
+//	tflint pigz.tft svc.tft
+//	tflint -workload seededrace,leakedlock
+//	tflint -all -severity error -json
+//	tflint -workload vectoradd -passes lockset,locks
+//
+// The exit status is 2 for usage errors, 1 if any input fails to load or
+// yields a finding at or above -severity, and 0 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"threadfuser/internal/analysis"
+	"threadfuser/internal/core"
+	"threadfuser/internal/pool"
+	"threadfuser/internal/trace"
+	"threadfuser/internal/warp"
+	"threadfuser/internal/workloads"
+)
+
+func main() {
+	var (
+		wlNames   = flag.String("workload", "", "comma-separated built-in workloads to trace and lint")
+		all       = flag.Bool("all", false, "lint every registered workload")
+		threads   = flag.Int("threads", 0, "thread count for workload tracing (0 = workload default)")
+		seed      = flag.Int64("seed", 7, "input-generator seed for workload tracing")
+		warpSize  = flag.Int("warp", 32, "warp width to model (1..64)")
+		formation = flag.String("formation", "round-robin", "warp batching: round-robin, strided or greedy")
+		severity  = flag.String("severity", "warning", "exit non-zero at findings of this severity or above (info, warning, error)")
+		passNames = flag.String("passes", "", "comma-separated pass ids to run (default all); see -list")
+		list      = flag.Bool("list", false, "list the available passes and exit")
+		asJSON    = flag.Bool("json", false, "emit reports as a JSON array")
+		parallel  = flag.Int("parallel", 0, "worker count (0 = all cores, 1 = serial; findings are identical)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tflint [flags] [trace.tft ...]\n")
+		fmt.Fprintf(os.Stderr, "lints .tft traces and/or built-in workloads (-workload, -all)\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, p := range analysis.Passes() {
+			fmt.Printf("%-12s %s\n", p.ID(), p.Desc())
+		}
+		return
+	}
+
+	threshold, err := analysis.ParseSeverity(*severity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tflint:", err)
+		os.Exit(2)
+	}
+	opts := analysis.Options{WarpSize: *warpSize, Parallelism: *parallel}
+	switch *formation {
+	case "round-robin":
+		opts.Formation = warp.RoundRobin
+	case "strided":
+		opts.Formation = warp.Strided
+	case "greedy":
+		opts.Formation = warp.GreedyEntry
+	default:
+		fmt.Fprintf(os.Stderr, "tflint: unknown formation %q\n", *formation)
+		os.Exit(2)
+	}
+	if *passNames != "" {
+		opts.Passes = strings.Split(*passNames, ",")
+	}
+
+	// Assemble the input list: files first, then workloads, in argument order.
+	type input struct {
+		name string
+		load func() (*trace.Trace, error)
+	}
+	var inputs []input
+	for _, path := range flag.Args() {
+		path := path
+		inputs = append(inputs, input{name: path, load: func() (*trace.Trace, error) {
+			return trace.ReadFile(path)
+		}})
+	}
+	addWorkload := func(w *workloads.Workload) {
+		inputs = append(inputs, input{name: w.Name, load: func() (*trace.Trace, error) {
+			inst, err := w.Instantiate(workloads.Config{Threads: *threads, Seed: *seed})
+			if err != nil {
+				return nil, err
+			}
+			return inst.Trace()
+		}})
+	}
+	if *all {
+		for _, w := range workloads.All() {
+			addWorkload(w)
+		}
+	} else if *wlNames != "" {
+		for _, name := range strings.Split(*wlNames, ",") {
+			w, err := workloads.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tflint:", err)
+				os.Exit(2)
+			}
+			addWorkload(w)
+		}
+	}
+	if len(inputs) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// One session shares memoized trace preparation across inputs that reuse
+	// a trace; each input's lint runs independently on the pool.
+	sess := core.NewSession()
+	reports := make([]*analysis.Report, len(inputs))
+	errs := make([]error, len(inputs))
+	g := pool.New(*parallel)
+	for i := range inputs {
+		i := i
+		g.Go(func() error {
+			tr, err := inputs[i].load()
+			if err != nil {
+				errs[i] = err
+				return nil
+			}
+			reports[i], errs[i] = analysis.RunSession(sess, tr, opts)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		fmt.Fprintln(os.Stderr, "tflint:", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	if *asJSON {
+		out := make([]*analysis.Report, 0, len(reports))
+		for i, rep := range reports {
+			if errs[i] != nil {
+				fmt.Fprintf(os.Stderr, "tflint: %s: %v\n", inputs[i].name, errs[i])
+				failed = true
+				continue
+			}
+			out = append(out, rep)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "tflint:", err)
+			os.Exit(1)
+		}
+	} else {
+		for i, rep := range reports {
+			if errs[i] != nil {
+				fmt.Fprintf(os.Stderr, "tflint: %s: %v\n", inputs[i].name, errs[i])
+				failed = true
+				continue
+			}
+			rep.Render(os.Stdout)
+		}
+	}
+	for i, rep := range reports {
+		if errs[i] == nil && rep.CountAtLeast(threshold) > 0 {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

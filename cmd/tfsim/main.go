@@ -35,9 +35,19 @@ func main() {
 		cpu      = flag.Bool("cpu", false, "also run the multicore CPU baseline (.tft input only)")
 		emit     = flag.String("emit", "", "write the generated warp trace to this .wtr path and exit")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tfsim -trace input.tft|input.wtr [flags]\n\nflags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "tfsim: unexpected argument %q (the trace is given with -trace)\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *path == "" {
 		fmt.Fprintln(os.Stderr, "tfsim: -trace is required")
+		flag.Usage()
 		os.Exit(2)
 	}
 

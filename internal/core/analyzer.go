@@ -63,6 +63,14 @@ type BranchReport struct {
 	AvgPaths float64
 	// LanesOff totals the lanes idled by this branch's splits.
 	LanesOff uint64
+	// RegionLockstep / RegionThreadInstrs total the warp instructions issued
+	// while the warp was split by this branch and the thread instructions
+	// those issues retired; LostSlots is their gap in issue slots
+	// (RegionLockstep×WarpSize − RegionThreadInstrs), the quantity the
+	// divergence lint ranks regions by.
+	RegionLockstep     uint64
+	RegionThreadInstrs uint64
+	LostSlots          uint64
 }
 
 // FuncReport is one row of the per-function breakdown (paper figure 7).
@@ -81,6 +89,11 @@ type FuncReport struct {
 	// HeapTxPerInstr is the function's own memory divergence (figure 10
 	// at function granularity).
 	HeapTxPerInstr float64
+	// LockSerializations / SerializedLanes attribute intra-warp
+	// critical-section serialization (EmulateLocks runs only) to the
+	// function whose block performed the contended acquire.
+	LockSerializations uint64
+	SerializedLanes    uint64
 }
 
 // Report is the analyzer's output for one trace at one configuration.
@@ -228,6 +241,9 @@ func buildReport(t *trace.Trace, res *simt.Result, nwarps int) *Report {
 			Lockstep:       fm.Lockstep,
 			Invocations:    fm.Invocations,
 			HeapTxPerInstr: fm.HeapTxPerMemInstr(),
+
+			LockSerializations: fm.LockSerializations,
+			SerializedLanes:    fm.SerializedLanes,
 		}
 		if total.ThreadInstrs > 0 {
 			fr.InstrShare = float64(fm.ThreadInstrs) / float64(total.ThreadInstrs)
@@ -240,6 +256,10 @@ func buildReport(t *trace.Trace, res *simt.Result, nwarps int) *Report {
 			Block:       key.Block,
 			Divergences: bs.Divergences,
 			LanesOff:    bs.LanesOff,
+
+			RegionLockstep:     bs.RegionLockstep,
+			RegionThreadInstrs: bs.RegionThreadInstrs,
+			LostSlots:          bs.LostSlots(res.WarpSize),
 		}
 		if bs.Divergences > 0 {
 			br.AvgPaths = float64(bs.Paths) / float64(bs.Divergences)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 
+	"threadfuser/internal/cfg"
+	"threadfuser/internal/ipdom"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/warp"
 )
@@ -67,6 +69,18 @@ func (s *Session) Analyze(t *trace.Trace, opts Options) (*Report, error) {
 		return nil, err
 	}
 	return analyzeWith(t, p, warps, opts)
+}
+
+// Prepared returns the trace's memoized DCFGs and post-dominator trees,
+// validating the trace and building them on first use. Analysis passes that
+// walk graph structure (divergence lint, static lock-leak paths) share the
+// same preparation the replay consumes; both maps are read-only.
+func (s *Session) Prepared(t *trace.Trace) (map[uint32]*cfg.DCFG, map[uint32]*ipdom.PostDom, error) {
+	p, err := s.prep(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.graphs, p.pdoms, nil
 }
 
 // prep returns the trace's cached preparation, computing it on first use.

@@ -16,6 +16,13 @@ type FuncMetrics struct {
 	MemInstrs uint64
 	HeapTx    uint64
 	StackTx   uint64
+	// LockSerializations / SerializedLanes attribute intra-warp
+	// critical-section serialization events (figure 9, EmulateLocks only)
+	// to the function whose block performed the contended acquire. The
+	// lock-serialization lint uses this to name the function a coarse lock
+	// is throttling.
+	LockSerializations uint64
+	SerializedLanes    uint64
 }
 
 // HeapTxPerMemInstr returns the function's heap transactions per memory
@@ -98,6 +105,24 @@ type BranchStats struct {
 	// LanesOff sums, over all splits, the lanes that left the largest
 	// group — an estimate of the lanes idled by each divergence.
 	LanesOff uint64
+	// RegionLockstep / RegionThreadInstrs total the warp instructions
+	// issued while the warp was split by this branch (between the split and
+	// its reconvergence point) and the thread instructions those issues
+	// retired on active lanes. Their gap is the issue bandwidth the
+	// divergent region wastes — the quantity the divergence lint ranks
+	// regions by. Nested splits attribute to the innermost branch.
+	RegionLockstep     uint64
+	RegionThreadInstrs uint64
+}
+
+// LostSlots returns the issue slots the branch's divergent regions left idle:
+// warpSize lanes per issued instruction, minus the lanes that were active.
+func (b *BranchStats) LostSlots(warpSize int) uint64 {
+	full := b.RegionLockstep * uint64(warpSize)
+	if full < b.RegionThreadInstrs {
+		return 0
+	}
+	return full - b.RegionThreadInstrs
 }
 
 // Result is the outcome of replaying all warps of a trace.

@@ -215,6 +215,8 @@ func (a *accumulator) mergeInto(res *Result) {
 		fm.MemInstrs += src.MemInstrs
 		fm.HeapTx += src.HeapTx
 		fm.StackTx += src.StackTx
+		fm.LockSerializations += src.LockSerializations
+		fm.SerializedLanes += src.SerializedLanes
 	}
 	fn := 0
 	for i := range a.branches {
@@ -244,6 +246,8 @@ func mergeBranch(res *Result, key BranchKey, src *BranchStats) {
 	bs.Divergences += src.Divergences
 	bs.Paths += src.Paths
 	bs.LanesOff += src.LanesOff
+	bs.RegionLockstep += src.RegionLockstep
+	bs.RegionThreadInstrs += src.RegionThreadInstrs
 }
 
 // Replay runs the SIMT-stack emulation over all warps and returns the
@@ -334,6 +338,19 @@ type entry struct {
 	hasRPC  bool
 	last    position // most recently executed position (for IPDOM lookup)
 	hasLast bool
+	// brFn/brBlock name the branch whose divergence pushed this entry, so
+	// block executions inside the divergent region can be attributed to it
+	// (BranchStats.RegionLockstep / RegionThreadInstrs). Entries pushed by
+	// critical-section serialization carry no branch tag.
+	brFn      uint32
+	brBlock   uint32
+	hasBranch bool
+	// mustExec forces at least one block execution before the reconvergence
+	// check. Serialization rounds whose critical section begins and ends in
+	// one self-looping block get an rpc equal to their current position;
+	// without this they would pop with zero progress and re-serialize
+	// forever.
+	mustExec bool
 }
 
 // group is a set of lanes sharing the same next position.
@@ -435,7 +452,7 @@ func (wr *warpReplay) run() error {
 			wr.pop()
 			continue
 		}
-		if e.hasRPC && allAtOrPast(e, groups) {
+		if e.hasRPC && (!e.mustExec || e.hasLast) && allAtOrPast(e, groups) {
 			wr.pop()
 			continue
 		}
@@ -521,13 +538,19 @@ func (wr *warpReplay) group(active uint64) []group {
 func (wr *warpReplay) diverge(e *entry, groups []group) {
 	rpc := wr.reconvergencePoint(e, groups)
 	wr.recordDivergence(e, groups)
+	tagged := e.hasLast && e.last.kind == posBlock
+	brFn, brBlock := e.last.fn, e.last.block
 	// Lanes already at the reconvergence point wait in the parent entry.
 	for i := len(groups) - 1; i >= 0; i-- { // reverse so the lowest key ends on top
 		g := groups[i]
 		if g.pos == rpc {
 			continue
 		}
-		wr.stack = append(wr.stack, entry{mask: g.mask, rpc: rpc, hasRPC: true})
+		ne := entry{mask: g.mask, rpc: rpc, hasRPC: true}
+		if tagged {
+			ne.brFn, ne.brBlock, ne.hasBranch = brFn, brBlock, true
+		}
+		wr.stack = append(wr.stack, ne)
 	}
 	// At least one group differs from rpc (groups have pairwise-distinct
 	// positions and at most one can equal it), so progress is guaranteed.
@@ -648,6 +671,11 @@ func (wr *warpReplay) execBlock(e *entry, pos position, mask uint64) error {
 	if g := wr.graphs[pos.fn]; g != nil && int32(pos.block) == g.Entry() {
 		fm.Invocations++
 	}
+	if e.hasBranch {
+		bs := wr.acc.branchStats(e.brFn, e.brBlock)
+		bs.RegionLockstep += recs[0].N
+		bs.RegionThreadInstrs += recs[0].N * uint64(len(lanes))
+	}
 
 	wr.mem.Charge(wr.wm, fm, recs)
 
@@ -746,21 +774,29 @@ func (wr *warpReplay) maybeSerialize(e *entry, pos position, mask uint64) bool {
 	}
 
 	roundMasks := make([]uint64, rounds)
+	var serialized uint64
 	for _, addr := range order {
 		for i, lane := range locks[addr] {
 			roundMasks[i] |= 1 << uint(lane)
 			if i > 0 {
 				wr.wm.SerializedLanes++
+				serialized++
 			}
 		}
 	}
 	roundMasks[0] |= noAcq
 	wr.wm.LockSerializations++
+	fm := wr.acc.funcMetrics(pos.fn)
+	fm.LockSerializations++
+	fm.SerializedLanes += serialized
 
 	// Parent waits at the reconvergence point; push later rounds first so
-	// round 0 ends on top of the stack and executes first.
+	// round 0 ends on top of the stack and executes first. When the critical
+	// section is one self-looping block, rpc equals the current position and
+	// each round must execute its block before the reconvergence check.
+	mustExec := rpc == pos
 	for i := rounds - 1; i >= 0; i-- {
-		wr.stack = append(wr.stack, entry{mask: roundMasks[i], rpc: rpc, hasRPC: true})
+		wr.stack = append(wr.stack, entry{mask: roundMasks[i], rpc: rpc, hasRPC: true, mustExec: mustExec})
 	}
 	return true
 }

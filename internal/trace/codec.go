@@ -161,15 +161,12 @@ func Decode(r io.Reader) (*Trace, error) {
 	}
 	t := &Trace{Program: d.str()}
 	t.Entry = uint32(d.uvarint())
-	nf := d.uvarint()
-	if d.err == nil && nf > 1<<20 {
-		return nil, fmt.Errorf("trace: decode: implausible function count %d", nf)
-	}
-	t.Funcs = make([]FuncInfo, 0, nf)
+	nf := d.count("function", d.uvarint())
+	t.Funcs = make([]FuncInfo, 0, preallocCap(nf))
 	for i := uint64(0); i < nf && d.err == nil; i++ {
 		fi := FuncInfo{Name: d.str()}
-		nb := d.uvarint()
-		fi.Blocks = make([]BlockInfo, 0, nb)
+		nb := d.count("block", d.uvarint())
+		fi.Blocks = make([]BlockInfo, 0, preallocCap(nb))
 		for j := uint64(0); j < nb && d.err == nil; j++ {
 			fi.Blocks = append(fi.Blocks, BlockInfo{NInstr: uint32(d.uvarint())})
 		}
@@ -179,7 +176,7 @@ func Decode(r io.Reader) (*Trace, error) {
 	for i := uint64(0); i < nt && d.err == nil; i++ {
 		th := &ThreadTrace{TID: int(d.uvarint())}
 		nr := d.uvarint()
-		th.Records = make([]Record, 0, nr)
+		th.Records = make([]Record, 0, preallocCap(nr))
 		var prevAddr uint64
 		for j := uint64(0); j < nr && d.err == nil; j++ {
 			if v == version2 {
@@ -211,6 +208,29 @@ func ReadFile(path string) (*Trace, error) {
 type decoder struct {
 	r   *bufio.Reader
 	err error
+}
+
+// maxCount bounds the element counts a .tft stream may declare. Counts are
+// attacker-controlled on untrusted input (the fuzz target feeds arbitrary
+// bytes), so the decoder both rejects absurd declarations and caps slice
+// preallocation, growing by append so memory tracks bytes actually read.
+const maxCount = 1 << 20
+
+// count passes n through, recording an error if it exceeds maxCount.
+func (d *decoder) count(what string, n uint64) uint64 {
+	if d.err == nil && n > maxCount {
+		d.err = fmt.Errorf("implausible %s count %d", what, n)
+	}
+	return n
+}
+
+// preallocCap clamps a declared count to a safe initial slice capacity.
+func preallocCap(n uint64) int {
+	const lim = 1 << 12
+	if n > lim {
+		return lim
+	}
+	return int(n)
 }
 
 func (d *decoder) uvarint() uint64 {
@@ -261,27 +281,27 @@ func (d *decoder) record() Record {
 		r.Func = uint32(d.uvarint())
 		r.Block = uint32(d.uvarint())
 		r.N = d.uvarint()
-		nm := d.uvarint()
+		nm := d.count("mem access", d.uvarint())
 		if nm > 0 && d.err == nil {
-			r.Mem = make([]MemAccess, nm)
-			for i := range r.Mem {
-				r.Mem[i] = MemAccess{
+			r.Mem = make([]MemAccess, 0, preallocCap(nm))
+			for i := uint64(0); i < nm && d.err == nil; i++ {
+				r.Mem = append(r.Mem, MemAccess{
 					Instr: uint16(d.uvarint()),
 					Addr:  d.uvarint(),
 					Size:  d.byte(),
 					Store: d.bool(),
-				}
+				})
 			}
 		}
-		nl := d.uvarint()
+		nl := d.count("lock op", d.uvarint())
 		if nl > 0 && d.err == nil {
-			r.Locks = make([]LockOp, nl)
-			for i := range r.Locks {
-				r.Locks[i] = LockOp{
+			r.Locks = make([]LockOp, 0, preallocCap(nl))
+			for i := uint64(0); i < nl && d.err == nil; i++ {
+				r.Locks = append(r.Locks, LockOp{
 					Instr:   uint16(d.uvarint()),
 					Addr:    d.uvarint(),
 					Release: d.bool(),
-				}
+				})
 			}
 		}
 	case KindCall:

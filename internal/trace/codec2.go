@@ -106,33 +106,33 @@ func (d *decoder) record2(prevAddr uint64) (Record, uint64) {
 		r.Func = uint32(d.uvarint())
 		r.Block = uint32(d.uvarint())
 		r.N = d.uvarint()
-		nm := d.uvarint()
+		nm := d.count("mem access", d.uvarint())
 		if nm > 0 && d.err == nil {
-			r.Mem = make([]MemAccess, nm)
-			for i := range r.Mem {
+			r.Mem = make([]MemAccess, 0, preallocCap(nm))
+			for i := uint64(0); i < nm && d.err == nil; i++ {
 				instr := uint16(d.uvarint())
 				addr := prevAddr + uint64(unzigzag(d.uvarint()))
 				prevAddr = addr
-				r.Mem[i] = MemAccess{
+				r.Mem = append(r.Mem, MemAccess{
 					Instr: instr,
 					Addr:  addr,
 					Size:  d.byte(),
 					Store: d.bool(),
-				}
+				})
 			}
 		}
-		nl := d.uvarint()
+		nl := d.count("lock op", d.uvarint())
 		if nl > 0 && d.err == nil {
-			r.Locks = make([]LockOp, nl)
-			for i := range r.Locks {
+			r.Locks = make([]LockOp, 0, preallocCap(nl))
+			for i := uint64(0); i < nl && d.err == nil; i++ {
 				instr := uint16(d.uvarint())
 				addr := prevAddr + uint64(unzigzag(d.uvarint()))
 				prevAddr = addr
-				r.Locks[i] = LockOp{
+				r.Locks = append(r.Locks, LockOp{
 					Instr:   instr,
 					Addr:    addr,
 					Release: d.bool(),
-				}
+				})
 			}
 		}
 	case KindCall:

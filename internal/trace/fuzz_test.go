@@ -1,0 +1,81 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"threadfuser/internal/analysis"
+	"threadfuser/internal/trace"
+	"threadfuser/internal/vm"
+)
+
+// fuzzSeedTrace is a small, fully valid two-thread trace exercising every
+// record kind, so mutations of its encodings explore the interesting paths.
+func fuzzSeedTrace() *trace.Trace {
+	t := &trace.Trace{
+		Program: "fuzzseed",
+		Funcs: []trace.FuncInfo{
+			{Name: "main", Blocks: []trace.BlockInfo{{NInstr: 3}, {NInstr: 2}}},
+			{Name: "leaf", Blocks: []trace.BlockInfo{{NInstr: 4}}},
+		},
+	}
+	for tid := 0; tid < 2; tid++ {
+		t.Threads = append(t.Threads, &trace.ThreadTrace{TID: tid, Records: []trace.Record{
+			{Kind: trace.KindCall, Callee: 0},
+			{Kind: trace.KindBBL, Func: 0, Block: 0, N: 3, Mem: []trace.MemAccess{
+				{Instr: 1, Addr: vm.GlobalBase + 8*uint64(tid), Size: 8, Store: true},
+			}},
+			{Kind: trace.KindCall, Callee: 1},
+			{Kind: trace.KindBBL, Func: 1, Block: 0, N: 4, Locks: []trace.LockOp{
+				{Instr: 0, Addr: vm.GlobalBase + 64},
+				{Instr: 3, Addr: vm.GlobalBase + 64, Release: true},
+			}},
+			{Kind: trace.KindRet},
+			{Kind: trace.KindSkip, N: 5, SkipKind: trace.SkipIO},
+			{Kind: trace.KindBBL, Func: 0, Block: 1, N: 2},
+			{Kind: trace.KindRet},
+		}})
+	}
+	return t
+}
+
+// FuzzDecode asserts the contract the tflint sanitizer depends on: arbitrary
+// bytes never panic or exhaust memory in the decoder, and any trace the
+// decoder does accept is either valid or diagnosed by the sanitize pass —
+// never silently consumed by the structural passes.
+func FuzzDecode(f *testing.F) {
+	seed := fuzzSeedTrace()
+	var v1, v2 bytes.Buffer
+	if err := trace.Encode(&v1, seed); err != nil {
+		f.Fatal(err)
+	}
+	if err := trace.EncodeCompact(&v2, seed); err != nil {
+		f.Fatal(err)
+	}
+	for _, b := range [][]byte{v1.Bytes(), v2.Bytes()} {
+		f.Add(b)
+		f.Add(b[:len(b)/2])
+		if len(b) > 12 {
+			mut := append([]byte(nil), b...)
+			mut[8] ^= 0xff
+			mut[len(mut)-4] ^= 0x40
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("TFT\x02garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := trace.Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected outright: fine
+		}
+		rep, err := analysis.Run(tr, analysis.Options{WarpSize: 4})
+		if err != nil {
+			t.Fatalf("lint engine errored on decoded trace: %v", err)
+		}
+		if verr := tr.Validate(); verr != nil && rep.Errors == 0 {
+			t.Fatalf("sanitizer reported no errors for invalid trace (%v)", verr)
+		}
+	})
+}

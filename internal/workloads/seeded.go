@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"threadfuser/internal/ir"
+	"threadfuser/internal/vm"
+)
+
+// Seeded-defect workloads for the tflint analysis engine. They are not
+// Table-I entries (PaperThreads 0): each plants one specific synchronization
+// bug so the lockset and lock-lint passes have a known-dirty target, while
+// staying deterministic enough for the semantics-preservation tests.
+
+// buildSeededRace updates counters[k&3] under locks[k&3] — properly
+// synchronized — and then bumps racy[k&3] with no lock held at all, the
+// textbook empty-lockset data race.
+func buildSeededRace(cfg Config) (*ir.Program, SetupFn, error) {
+	iters := cfg.scale(16)
+
+	pb := ir.NewBuilder("seededrace")
+	w := pb.NewFunc("worker")
+	pre := w.NewBlock("pre")
+	// Args: r0=locks, r1=counters, r2=racy (4 slots each).
+	// r3 = loop counter, r4 = slot index, r5 = &locks[slot], r6/r7 = values.
+	l := loopN(w, pre, "mix", 3, 0, im(int64(iters)))
+	l.Body.Mov(rg(4), rg(3)).
+		And(rg(4), im(3)).
+		Mov(rg(5), rg(4)).
+		Mul(rg(5), im(8)).
+		Add(rg(5), rg(0)).
+		Lock(mem8(5, 0)).
+		Mov(rg(6), idx8(1, 4, 8, 0)). // counters[slot]
+		Add(rg(6), tid()).
+		Mov(idx8(1, 4, 8, 0), rg(6)).
+		Unlock(mem8(5, 0)).
+		Mov(rg(7), idx8(2, 4, 8, 0)). // racy[slot], no lock held
+		Add(rg(7), im(1)).
+		Mov(idx8(2, 4, 8, 0), rg(7))
+	l.Next(l.Body)
+	l.Exit.Ret()
+	prog, err := pb.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	setup := func(p *vm.Process) (ArgFn, error) {
+		locks := p.AllocGlobal(8 * 4)
+		counters := p.AllocGlobal(8 * 4)
+		racy := p.AllocGlobal(8 * 4)
+		return func(tid int, th *vm.Thread) {
+			th.SetReg(ir.R(0), int64(locks))
+			th.SetReg(ir.R(1), int64(counters))
+			th.SetReg(ir.R(2), int64(racy))
+		}, nil
+	}
+	return prog, setup, nil
+}
+
+var wlSeededRace = register(&Workload{
+	Name:           "seededrace",
+	Suite:          SuiteMicro,
+	Desc:           "locked counter updates plus an unprotected shared increment (seeded data race)",
+	DefaultThreads: 64,
+	Build:          buildSeededRace,
+})
+
+// buildLeakedLock has every thread take its own per-thread lock, do some
+// work, and release it only on the even-tid arm of a parity branch: odd
+// threads leave the function still holding the lock. The two arms are padded
+// to the same size, so the branch is also a DARM-meldable diamond.
+func buildLeakedLock(cfg Config) (*ir.Program, SetupFn, error) {
+	iters := cfg.scale(8)
+
+	pb := ir.NewBuilder("leakedlock")
+	w := pb.NewFunc("worker")
+	pre := w.NewBlock("pre")
+	// Args: r0=locks (one 8-byte word per thread). r1 = &locks[tid],
+	// r2 = parity, r3 = loop counter.
+	pre.Mov(rg(1), tid()).
+		Mul(rg(1), im(8)).
+		Add(rg(1), rg(0)).
+		Lock(mem8(1, 0))
+	l := loopN(w, pre, "work", 3, 0, im(int64(iters)))
+	l.Body.Nop(2)
+	l.Next(l.Body)
+	branch := l.Exit
+	even := w.NewBlock("even")
+	odd := w.NewBlock("odd")
+	done := w.NewBlock("done")
+	branch.Mov(rg(2), tid()).
+		And(rg(2), im(1)).
+		Cmp(rg(2), im(0)).
+		Jcc(ir.CondEQ, even, odd)
+	even.Unlock(mem8(1, 0)).
+		Nop(2).
+		Jmp(done)
+	odd.Nop(3). // keeps the lock: the seeded leak
+			Jmp(done)
+	done.Ret()
+	prog, err := pb.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	setup := func(p *vm.Process) (ArgFn, error) {
+		locks := p.AllocGlobal(uint64(8 * cfg.Threads))
+		return func(tid int, th *vm.Thread) {
+			th.SetReg(ir.R(0), int64(locks))
+		}, nil
+	}
+	return prog, setup, nil
+}
+
+var wlLeakedLock = register(&Workload{
+	Name:           "leakedlock",
+	Suite:          SuiteMicro,
+	Desc:           "per-thread lock released only on the even-tid branch arm (seeded lock leak)",
+	DefaultThreads: 64,
+	Build:          buildLeakedLock,
+})

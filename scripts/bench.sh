@@ -6,6 +6,10 @@
 set -e
 cd "$(dirname "$0")/.."
 
+# Verify before measuring: benchmark numbers from a tree that fails lint are
+# not worth recording.
+make lint
+
 out=BENCH_analyzer.json
 raw=$(go test -run '^$' -bench 'BenchmarkReplay(Serial|Parallel|Allocs)$' \
 	-benchmem -count=1 .)

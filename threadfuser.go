@@ -28,6 +28,7 @@ package threadfuser
 import (
 	"fmt"
 
+	"threadfuser/internal/analysis"
 	"threadfuser/internal/core"
 	"threadfuser/internal/cpusim"
 	"threadfuser/internal/gpusim"
@@ -127,6 +128,51 @@ func AnalyzeWorkload(w *workloads.Workload, o Options) (*Report, error) {
 		return nil, err
 	}
 	return Analyze(tr, o)
+}
+
+// LintReport is the lint engine's output for one trace: structured findings
+// sorted by severity, plus per-severity counts (see internal/analysis).
+type LintReport = analysis.Report
+
+// LintFinding is one diagnostic from the lint engine.
+type LintFinding = analysis.Finding
+
+// Severity ranks lint findings.
+type Severity = analysis.Severity
+
+// Lint finding severities, ascending.
+const (
+	SevInfo    = analysis.SevInfo
+	SevWarning = analysis.SevWarning
+	SevError   = analysis.SevError
+)
+
+func (o Options) analysisOptions() analysis.Options {
+	opts := analysis.Options{WarpSize: o.WarpSize, Parallelism: o.Parallelism}
+	if o.Strided {
+		opts.Formation = warp.Strided
+	}
+	if o.GreedyBatching {
+		opts.Formation = warp.GreedyEntry
+	}
+	return opts
+}
+
+// Lint runs the multi-pass analysis engine (trace sanitizer, lockset race
+// detector, divergence lint and lock lint) over a previously collected
+// trace. Problems with the trace become findings, not errors; the returned
+// error covers only invalid options.
+func Lint(tr *trace.Trace, o Options) (*LintReport, error) {
+	return analysis.Run(tr, o.analysisOptions())
+}
+
+// LintWorkload traces and lints a bundled workload in one step.
+func LintWorkload(w *workloads.Workload, o Options) (*LintReport, error) {
+	tr, err := Trace(w, o)
+	if err != nil {
+		return nil, err
+	}
+	return Lint(tr, o)
 }
 
 // Projection is a cycle-level speedup projection from the simulator path.

@@ -105,3 +105,38 @@ func TestFacadeBatchingOptions(t *testing.T) {
 		}
 	}
 }
+
+func TestFacadeLint(t *testing.T) {
+	clean, err := Workload("vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LintWorkload(clean, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Errorf("vectoradd: want zero findings, got %d", len(rep.Findings))
+	}
+
+	dirty, err := Workload("seededrace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = LintWorkload(dirty, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CountAtLeast(SevError) == 0 {
+		t.Error("seededrace: expected at least one error-severity finding")
+	}
+	raced := false
+	for _, f := range rep.Findings {
+		if f.Pass == "lockset" && f.Severity == SevError {
+			raced = true
+		}
+	}
+	if !raced {
+		t.Error("seededrace: the planted data race was not reported")
+	}
+}
