@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race bench check lint
+.PHONY: build vet test test-race bench check lint tfcheck
 
 build:
 	$(GO) build ./...
@@ -23,9 +23,17 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/tflint -severity info -workload vectoradd,uncoalesced
 
+# Verify the analyzer's invariant catalog: tfcheck over every built-in
+# workload plus a batch of generated traces, and the Table-I golden-snapshot
+# comparison (regenerate intentionally changed numbers with
+# `go test ./internal/check -run TestGoldenTableI -update`).
+tfcheck:
+	$(GO) run ./cmd/tfcheck -all -gen 10 -q
+	$(GO) test ./internal/check -run TestGoldenTableI -count=1
+
 # Run the key analyzer benchmarks and record the perf trajectory in
 # BENCH_analyzer.json (ns/op, allocs/op, serial-vs-parallel speedup).
 bench:
 	scripts/bench.sh
 
-check: build vet test test-race lint
+check: build vet test test-race lint tfcheck

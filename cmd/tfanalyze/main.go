@@ -42,9 +42,19 @@ func main() {
 		branches  = flag.Int("branches", 5, "divergent-branch rows to print (0 = none)")
 		parallel  = flag.Int("parallel", 0, "replay worker count (0 = all cores, 1 = serial; results are identical)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tfanalyze -trace file.tft [flags]\n\nflags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "tfanalyze: unexpected argument %q (traces are passed with -trace)\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *path == "" {
 		fmt.Fprintln(os.Stderr, "tfanalyze: -trace is required")
+		flag.Usage()
 		os.Exit(2)
 	}
 

@@ -87,6 +87,10 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker count for experiment cells and replay (0 = all cores, 1 = serial; results are identical)")
 	)
 	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "tfreport: unexpected argument %q (experiments are selected with -exp)\n", flag.Arg(0))
+		os.Exit(2)
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")

@@ -1,0 +1,80 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"threadfuser/internal/trace"
+)
+
+// GenFailure is one generated trace that violated a property, reduced to a
+// minimal reproducer.
+type GenFailure struct {
+	// Seed regenerates the original failing trace via Generate(Seed).
+	Seed int64 `json:"seed"`
+	// Report is the verification report for the original generated trace.
+	Report *Report `json:"report"`
+	// ReproThreads / ReproRecords describe the shrunken reproducer.
+	ReproThreads int `json:"repro_threads"`
+	ReproRecords int `json:"repro_records"`
+	// Repro is the shrunken trace itself (not serialized to JSON; tfcheck
+	// writes it to a .tft file instead).
+	Repro *trace.Trace `json:"-"`
+}
+
+// RunGenerated verifies runs generated traces, seeds seed..seed+runs-1, and
+// shrinks every failure to a minimal reproducer. The returned error covers
+// only invalid options.
+func RunGenerated(opts Options, seed int64, runs int) ([]*Report, []*GenFailure, error) {
+	var reports []*Report
+	var failures []*GenFailure
+	for i := 0; i < runs; i++ {
+		s := seed + int64(i)
+		tr := Generate(s)
+		name := fmt.Sprintf("gen(seed=%d)", s)
+		rep, err := Run(name, tr, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		reports = append(reports, rep)
+		if rep.OK() {
+			continue
+		}
+		// A candidate reproduces the failure if it violates one of the
+		// originally-violated properties in the same way: an "analyze
+		// failed" violation (a trace the replay rejects) never stands in
+		// for a genuine invariant violation, or shrinking would wander off
+		// to any trace the mutilation happened to corrupt.
+		violated := make(map[[2]interface{}]bool, len(rep.Violations))
+		key := func(v Violation) [2]interface{} {
+			return [2]interface{}{v.Prop, strings.HasPrefix(v.Msg, "analyze failed")}
+		}
+		for _, v := range rep.Violations {
+			violated[key(v)] = true
+		}
+		repro := Shrink(tr, func(cand *trace.Trace) bool {
+			r, err := Run(name, cand, opts)
+			if err != nil {
+				return false
+			}
+			for _, v := range r.Violations {
+				if violated[key(v)] {
+					return true
+				}
+			}
+			return false
+		}, 0)
+		nrec := 0
+		for _, th := range repro.Threads {
+			nrec += len(th.Records)
+		}
+		failures = append(failures, &GenFailure{
+			Seed:         s,
+			Report:       rep,
+			ReproThreads: len(repro.Threads),
+			ReproRecords: nrec,
+			Repro:        repro,
+		})
+	}
+	return reports, failures, nil
+}

@@ -54,6 +54,34 @@ func Count(accs []Access) int {
 	return n
 }
 
+// sectors returns the number of TransactionSize-byte sectors one access
+// spans, using the same arithmetic as Count (a zero-size access at a sector
+// boundary spans none).
+func sectors(a Access) int {
+	first := a.Addr / TransactionSize
+	last := (a.Addr + uint64(a.Size) - 1) / TransactionSize
+	if last < first {
+		return 0
+	}
+	return int(last - first + 1)
+}
+
+// Bounds returns the algebraic lower and upper bounds on Count for an access
+// set: at least the widest single access's sector span (all of an access's
+// sectors are always charged), at most the sum of every access's span
+// (nothing need coalesce). The verification engine (internal/check) asserts
+// Count stays inside these bounds on every access set it replays.
+func Bounds(accs []Access) (lo, hi int) {
+	for _, a := range accs {
+		s := sectors(a)
+		if s > lo {
+			lo = s
+		}
+		hi += s
+	}
+	return lo, hi
+}
+
 // Split partitions accesses by memory segment and returns the transaction
 // count for each, the breakdown figure 10 of the paper reports (stack
 // accesses come from each thread's private stack; heap and global accesses

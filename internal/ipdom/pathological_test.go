@@ -1,0 +1,96 @@
+package ipdom
+
+import "testing"
+
+// TestPathologicalCFGs pins the post-dominator answers on the graph shapes
+// that historically break iterative dominance solvers: irreducible loops
+// (two entries into a cycle), multi-exit blocks (switch successors straight
+// to returns), and single-block self-loops. Every case also runs the generic
+// sanity sweep: no block is its own immediate post-dominator and the exit
+// post-dominates everything.
+func TestPathologicalCFGs(t *testing.T) {
+	type want struct {
+		block int32
+		ipdom int32 // -1 means the virtual exit
+	}
+	cases := []struct {
+		name  string
+		succs [][]int
+		wants []want
+	}{
+		{
+			// 0 -> 1, 0 -> 2; 1 <-> 2 form a two-node cycle entered from
+			// both sides (irreducible: neither 1 nor 2 dominates the other);
+			// each can leave to 3 -> exit.
+			name:  "irreducible two-entry loop",
+			succs: [][]int{{1, 2}, {2, 3}, {1, 3}, {}},
+			wants: []want{{0, 3}, {1, 3}, {2, 3}, {3, -1}},
+		},
+		{
+			// The cycle can only be left from 2, so 1's chain must pass
+			// through 2 even though 1 is also an entry point.
+			name:  "irreducible loop, single break block",
+			succs: [][]int{{1, 2}, {2}, {1, 3}, {}},
+			wants: []want{{0, 2}, {1, 2}, {2, 3}, {3, -1}},
+		},
+		{
+			// 1 is a 3-way switch: back to itself, to a return, and to a
+			// second distinct return — a multi-exit block.
+			name:  "multi-exit switch block",
+			succs: [][]int{{1}, {1, 2, 3}, {}, {}},
+			wants: []want{{0, 1}, {1, -1}, {2, -1}, {3, -1}},
+		},
+		{
+			// A single block both self-loops and returns: the tightest
+			// spin-loop shape a thread trace can produce.
+			name:  "single-block self-loop",
+			succs: [][]int{{0}},
+			wants: []want{{0, -1}},
+		},
+		{
+			// Self-loop in the middle of a straight line.
+			name:  "self-loop on interior block",
+			succs: [][]int{{1}, {1, 2}, {}},
+			wants: []want{{0, 1}, {1, 2}, {2, -1}},
+		},
+		{
+			// Nested irreducible mess: outer cycle 1<->3 entered at both 1
+			// (from 0) and 3 (from 2); exit only via 3 -> 4.
+			name:  "crossed entries",
+			succs: [][]int{{1, 2}, {3}, {3}, {1, 4}, {}},
+			wants: []want{{0, 3}, {1, 3}, {2, 3}, {3, 4}, {4, -1}},
+		},
+		{
+			// All paths loop forever; nothing ever reaches a return. IPDom
+			// falls back to the virtual exit for every block so the SIMT
+			// stack still has a well-defined reconvergence point.
+			name:  "no path to exit",
+			succs: [][]int{{1}, {0}},
+			wants: []want{{0, -1}, {1, -1}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildGraph(t, tc.succs)
+			pd := Compute(g)
+			exit := g.ExitNode()
+			for _, w := range tc.wants {
+				want := w.ipdom
+				if want == -1 {
+					want = exit
+				}
+				if got := pd.IPDom(w.block); got != want {
+					t.Errorf("ipdom(%d) = %d, want %d", w.block, got, want)
+				}
+			}
+			for b := int32(0); b < int32(len(tc.succs)); b++ {
+				if pd.IPDom(b) == b {
+					t.Errorf("ipdom(%d) is itself", b)
+				}
+				if !pd.PostDominates(exit, b) {
+					t.Errorf("exit does not post-dominate %d", b)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,102 @@
+package simt
+
+import (
+	"testing"
+	"time"
+
+	"threadfuser/internal/cfg"
+	"threadfuser/internal/ipdom"
+	"threadfuser/internal/ir"
+	"threadfuser/internal/vm"
+	"threadfuser/internal/warp"
+)
+
+// selfLoopLockProgram builds a critical section that begins and ends inside
+// one self-looping block: cs acquires the lock, does work, releases it and
+// conditionally branches back to itself. The lock serializer's rounds then
+// get a reconvergence point equal to their current position (rpc == pos) —
+// the shape that livelocked before entry.mustExec forced one block execution
+// per round.
+func selfLoopLockProgram(iters int64) *ir.Program {
+	pb := ir.NewBuilder("selflock")
+	f := pb.NewFunc("worker")
+	pre := f.NewBlock("pre")
+	cs := f.NewBlock("cs")
+	tail := f.NewBlock("tail")
+	// r1 = my lock address (from the shared table at r0); r2 = iteration count.
+	pre.Mov(ir.Rg(ir.R(1)), ir.MemIdx(ir.R(0), ir.TID, 8, 0, 8)).
+		Mov(ir.Rg(ir.R(2)), ir.Imm(iters)).
+		Jmp(cs)
+	cs.Lock(ir.Rg(ir.R(1))).
+		Nop(2).
+		Unlock(ir.Rg(ir.R(1))).
+		Sub(ir.Rg(ir.R(2)), ir.Imm(1)).
+		Cmp(ir.Rg(ir.R(2)), ir.Imm(0))
+	cs.Jcc(ir.CondNE, cs, tail)
+	tail.Nop(2).Ret()
+	return pb.MustBuild()
+}
+
+// TestSelfLoopCriticalSectionTerminates is the regression test for the
+// mustExec livelock: warp-mates contending on one lock inside a self-looping
+// block must serialize and finish, not spin forever popping zero-progress
+// reconvergence entries.
+func TestSelfLoopCriticalSectionTerminates(t *testing.T) {
+	const threads = 4
+	prog := selfLoopLockProgram(3)
+	p := vm.NewProcess(prog)
+	args := lockSetup(p, threads, 1) // all threads share one lock
+	tr, err := vm.TraceAll(p, threads, vm.RunConfig{}, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs, err := cfg.Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdoms := ipdom.ComputeAll(graphs)
+	warps, err := warp.Form(tr, threads, warp.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := Replay(tr, graphs, pdoms, warps, Options{WarpSize: threads, EmulateLocks: true})
+		done <- outcome{res, err}
+	}()
+	var res *Result
+	select {
+	case o := <-done:
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		res = o.res
+	case <-time.After(30 * time.Second):
+		t.Fatal("replay livelocked on a self-looping critical section (mustExec regression)")
+	}
+	total := res.Total()
+	if total.LockSerializations == 0 {
+		t.Error("contended self-loop lock produced no serializations")
+	}
+	if total.SerializedLanes == 0 {
+		t.Error("contended self-loop lock idled no lanes")
+	}
+
+	// The emulation must only add serialization, never lose instructions.
+	base, err := Replay(tr, graphs, pdoms, warps, Options{WarpSize: threads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := total.ThreadInstrs, base.Total().ThreadInstrs; got != want {
+		t.Errorf("lock emulation changed thread instructions: %d != %d", got, want)
+	}
+	if total.Lockstep < base.Total().Lockstep {
+		t.Errorf("lock emulation reduced lockstep instructions: %d < %d",
+			total.Lockstep, base.Total().Lockstep)
+	}
+}

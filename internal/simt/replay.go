@@ -280,13 +280,28 @@ func Replay(t *trace.Trace, graphs map[uint32]*cfg.DCFG, pdoms map[uint32]*ipdom
 	lay := newBranchLayout(t)
 	nw := opts.workers(len(warps))
 
+	// Replay internals panic on structurally impossible record streams (a
+	// block cursor landing on a return, a reconvergence stack underflow).
+	// Traces that reach this point passed trace.Validate, but that check is
+	// per-record, not whole-stream, so a corrupted or hand-edited .tft file
+	// can still trip them. Surface those as errors — with parallel replay a
+	// worker panic would otherwise kill the whole process.
+	safeReplay := func(wr *warpReplay, wi int, w warp.Warp, m *WarpMetrics) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("simt: replaying warp %d: %v", wi, r)
+			}
+		}()
+		return wr.replayWarp(t, wi, w, m)
+	}
+
 	accs := make([]*accumulator, nw)
 	if nw == 1 {
 		acc := newAccumulator(t, lay)
 		accs[0] = acc
 		wr := newWarpReplay(graphs, pdoms, opts, acc)
 		for wi := range warps {
-			if err := wr.replayWarp(t, wi, warps[wi], &res.Warps[wi]); err != nil {
+			if err := safeReplay(wr, wi, warps[wi], &res.Warps[wi]); err != nil {
 				return nil, err
 			}
 		}
@@ -305,7 +320,7 @@ func Replay(t *trace.Trace, graphs map[uint32]*cfg.DCFG, pdoms map[uint32]*ipdom
 				errWarp[k] = -1
 				wr := newWarpReplay(graphs, pdoms, opts, acc)
 				for wi := k; wi < len(warps); wi += nw {
-					if err := wr.replayWarp(t, wi, warps[wi], &res.Warps[wi]); err != nil {
+					if err := safeReplay(wr, wi, warps[wi], &res.Warps[wi]); err != nil {
 						errWarp[k], errs[k] = wi, err
 						return
 					}

@@ -2,11 +2,13 @@ package trace_test
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"threadfuser/internal/analysis"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/vm"
+	"threadfuser/internal/workloads"
 )
 
 // fuzzSeedTrace is a small, fully valid two-thread trace exercising every
@@ -76,6 +78,86 @@ func FuzzDecode(f *testing.F) {
 		}
 		if verr := tr.Validate(); verr != nil && rep.Errors == 0 {
 			t.Fatalf("sanitizer reported no errors for invalid trace (%v)", verr)
+		}
+	})
+}
+
+// roundTripCorpus seeds the round-trip fuzzer with encodings of real traces:
+// the synthetic every-record-kind seed plus two small built-in workloads
+// (one memory-heavy, one lock-heavy), in both codec versions.
+func roundTripCorpus(f *testing.F) [][]byte {
+	traces := []*trace.Trace{fuzzSeedTrace()}
+	for _, name := range []string{"vectoradd", "seededrace"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		inst, err := w.Instantiate(workloads.Config{Threads: 4, Seed: 1})
+		if err != nil {
+			f.Fatal(err)
+		}
+		tr, err := inst.Trace()
+		if err != nil {
+			f.Fatal(err)
+		}
+		traces = append(traces, tr)
+	}
+	var out [][]byte
+	for _, tr := range traces {
+		var v1, v2 bytes.Buffer
+		if err := trace.Encode(&v1, tr); err != nil {
+			f.Fatal(err)
+		}
+		if err := trace.EncodeCompact(&v2, tr); err != nil {
+			f.Fatal(err)
+		}
+		out = append(out, v1.Bytes(), v2.Bytes())
+	}
+	return out
+}
+
+// FuzzRoundTrip asserts the codec contract the check engine's codec property
+// relies on: for any trace the decoder accepts and Validate passes,
+// decode(encode(tr)) == tr under BOTH codec versions, and re-encoding the
+// decoded trace reproduces the bytes (encode∘decode is a fixed point).
+func FuzzRoundTrip(f *testing.F) {
+	for _, b := range roundTripCorpus(f) {
+		f.Add(b)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := trace.Decode(bytes.NewReader(data))
+		if err != nil || tr.Validate() != nil {
+			return // not a valid trace: out of the round-trip contract
+		}
+		type codec struct {
+			name   string
+			encode func(*bytes.Buffer, *trace.Trace) error
+		}
+		codecs := []codec{
+			{"v1", func(b *bytes.Buffer, tr *trace.Trace) error { return trace.Encode(b, tr) }},
+			{"v2", func(b *bytes.Buffer, tr *trace.Trace) error { return trace.EncodeCompact(b, tr) }},
+		}
+		for _, c := range codecs {
+			var enc bytes.Buffer
+			if err := c.encode(&enc, tr); err != nil {
+				t.Fatalf("%s: encoding a valid trace failed: %v", c.name, err)
+			}
+			got, err := trace.Decode(bytes.NewReader(enc.Bytes()))
+			if err != nil {
+				t.Fatalf("%s: decoding our own encoding failed: %v", c.name, err)
+			}
+			if !reflect.DeepEqual(got, tr) {
+				t.Fatalf("%s: decode(encode(tr)) != tr", c.name)
+			}
+			var re bytes.Buffer
+			if err := c.encode(&re, got); err != nil {
+				t.Fatalf("%s: re-encoding failed: %v", c.name, err)
+			}
+			if !bytes.Equal(re.Bytes(), enc.Bytes()) {
+				t.Fatalf("%s: encode∘decode is not a fixed point (%d vs %d bytes)",
+					c.name, re.Len(), enc.Len())
+			}
 		}
 	})
 }

@@ -94,6 +94,37 @@ func Form(t *trace.Trace, width int, f Formation) ([]Warp, error) {
 	return warps, nil
 }
 
+// CheckPartition verifies that warps form an exact partition of thread ids
+// 0..threads-1: every id appears exactly once and no warp exceeds the width.
+// Every Formation must satisfy this; the verification engine
+// (internal/check) asserts it as a standing property.
+func CheckPartition(warps []Warp, threads, width int) error {
+	seen := make([]bool, threads)
+	total := 0
+	for wi, w := range warps {
+		if len(w) == 0 {
+			return fmt.Errorf("warp: warp %d is empty", wi)
+		}
+		if len(w) > width {
+			return fmt.Errorf("warp: warp %d has %d threads > width %d", wi, len(w), width)
+		}
+		for _, tid := range w {
+			if tid < 0 || tid >= threads {
+				return fmt.Errorf("warp: warp %d references thread %d outside [0,%d)", wi, tid, threads)
+			}
+			if seen[tid] {
+				return fmt.Errorf("warp: thread %d appears in more than one warp", tid)
+			}
+			seen[tid] = true
+			total++
+		}
+	}
+	if total != threads {
+		return fmt.Errorf("warp: %d of %d threads batched", total, threads)
+	}
+	return nil
+}
+
 // entryKey identifies the first executed basic block of a thread trace.
 func entryKey(th *trace.ThreadTrace) uint64 {
 	for i := range th.Records {

@@ -6,9 +6,11 @@
 set -e
 cd "$(dirname "$0")/.."
 
-# Verify before measuring: benchmark numbers from a tree that fails lint are
-# not worth recording.
-make lint
+# Verify before measuring: benchmark numbers from a tree that fails the
+# lint or invariant checks (make check runs build/vet/test/race/lint plus
+# tfcheck over every workload and the golden-snapshot comparison) are not
+# worth recording.
+make check
 
 out=BENCH_analyzer.json
 raw=$(go test -run '^$' -bench 'BenchmarkReplay(Serial|Parallel|Allocs)$' \

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"threadfuser/internal/analysis"
+	"threadfuser/internal/check"
 	"threadfuser/internal/core"
 	"threadfuser/internal/cpusim"
 	"threadfuser/internal/gpusim"
@@ -173,6 +174,52 @@ func LintWorkload(w *workloads.Workload, o Options) (*LintReport, error) {
 		return nil, err
 	}
 	return Lint(tr, o)
+}
+
+// CheckReport is the verification engine's outcome for one trace: the
+// properties that ran, the number of assertions evaluated, and every failed
+// invariant (see internal/check).
+type CheckReport = check.Report
+
+// CheckViolation is one failed analyzer invariant.
+type CheckViolation = check.Violation
+
+func (o Options) checkOptions() check.Options {
+	opts := check.Options{}
+	if o.WarpSize != 0 {
+		opts.WarpSizes = []int{o.WarpSize}
+	}
+	if o.Parallelism > 1 {
+		opts.Parallelism = []int{1, o.Parallelism}
+	}
+	if o.Strided {
+		opts.Formations = []warp.Formation{warp.Strided}
+	}
+	if o.GreedyBatching {
+		opts.Formations = []warp.Formation{warp.GreedyEntry}
+	}
+	return opts
+}
+
+// Check runs the verification engine over a previously collected trace:
+// every invariant of the catalog (replay determinism, width-1 efficiency,
+// instruction conservation, lock monotonicity, coalescing bounds, codec
+// round trips, equation-1 recombination, formation partitioning) across the
+// configuration matrix. A zero Options checks the default matrix (warp
+// widths 1/4/32 × serial and parallel replay); setting WarpSize or
+// Parallelism narrows the matrix to those points. Failed invariants are
+// violations in the report; the returned error covers only invalid options.
+func Check(name string, tr *trace.Trace, o Options) (*CheckReport, error) {
+	return check.Run(name, tr, o.checkOptions())
+}
+
+// CheckWorkload traces and verifies a bundled workload in one step.
+func CheckWorkload(w *workloads.Workload, o Options) (*CheckReport, error) {
+	tr, err := Trace(w, o)
+	if err != nil {
+		return nil, err
+	}
+	return Check(w.Name, tr, o)
 }
 
 // Projection is a cycle-level speedup projection from the simulator path.

@@ -140,3 +140,31 @@ func TestFacadeLint(t *testing.T) {
 		t.Error("seededrace: the planted data race was not reported")
 	}
 }
+
+func TestFacadeCheck(t *testing.T) {
+	w, err := Workload("vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckWorkload(w, Options{Threads: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			t.Errorf("vectoradd: %s", v)
+		}
+	}
+	if rep.Checks == 0 {
+		t.Error("verification ran zero assertions")
+	}
+
+	// Narrowing the matrix to one warp width still verifies it.
+	narrow, err := CheckWorkload(w, Options{Threads: 8, Seed: 1, WarpSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !narrow.OK() {
+		t.Errorf("warp-16 matrix: %v", narrow.Violations)
+	}
+}
