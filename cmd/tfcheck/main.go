@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"threadfuser/internal/check"
+	"threadfuser/internal/ir"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/warp"
 	"threadfuser/internal/workloads"
@@ -91,25 +92,30 @@ func main() {
 		opts.Props = strings.Split(*propNames, ",")
 	}
 
-	// Assemble the input list: files first, then workloads, in argument order.
+	// Assemble the input list: files first, then workloads, in argument
+	// order. Workload loaders also hand back the program so the
+	// "staticuniform" invariant runs; .tft files carry no IR and leave it
+	// vacuously true.
 	type input struct {
 		name string
-		load func() (*trace.Trace, error)
+		load func() (*trace.Trace, *ir.Program, error)
 	}
 	var inputs []input
 	for _, path := range flag.Args() {
 		path := path
-		inputs = append(inputs, input{name: path, load: func() (*trace.Trace, error) {
-			return trace.ReadFile(path)
+		inputs = append(inputs, input{name: path, load: func() (*trace.Trace, *ir.Program, error) {
+			tr, err := trace.ReadFile(path)
+			return tr, nil, err
 		}})
 	}
 	addWorkload := func(w *workloads.Workload) {
-		inputs = append(inputs, input{name: w.Name, load: func() (*trace.Trace, error) {
+		inputs = append(inputs, input{name: w.Name, load: func() (*trace.Trace, *ir.Program, error) {
 			inst, err := w.Instantiate(workloads.Config{Threads: *threads, Seed: *seed})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return inst.Trace()
+			tr, err := inst.Trace()
+			return tr, inst.Prog, err
 		}})
 	}
 	if *all {
@@ -133,13 +139,15 @@ func main() {
 	failed := false
 	var reports []*check.Report
 	for _, in := range inputs {
-		tr, err := in.load()
+		tr, prog, err := in.load()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tfcheck: %s: %v\n", in.name, err)
 			failed = true
 			continue
 		}
-		rep, err := check.Run(in.name, tr, opts)
+		inOpts := opts
+		inOpts.Prog = prog
+		rep, err := check.Run(in.name, tr, inOpts)
 		if err != nil {
 			usageError("%v", err)
 		}

@@ -24,6 +24,7 @@ import (
 
 	"threadfuser/internal/analysis"
 	"threadfuser/internal/core"
+	"threadfuser/internal/ir"
 	"threadfuser/internal/pool"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/warp"
@@ -79,25 +80,29 @@ func main() {
 		opts.Passes = strings.Split(*passNames, ",")
 	}
 
-	// Assemble the input list: files first, then workloads, in argument order.
+	// Assemble the input list: files first, then workloads, in argument
+	// order. Workload loaders also hand back the program so the static
+	// oracle pass can run; .tft files carry no IR and skip it.
 	type input struct {
 		name string
-		load func() (*trace.Trace, error)
+		load func() (*trace.Trace, *ir.Program, error)
 	}
 	var inputs []input
 	for _, path := range flag.Args() {
 		path := path
-		inputs = append(inputs, input{name: path, load: func() (*trace.Trace, error) {
-			return trace.ReadFile(path)
+		inputs = append(inputs, input{name: path, load: func() (*trace.Trace, *ir.Program, error) {
+			tr, err := trace.ReadFile(path)
+			return tr, nil, err
 		}})
 	}
 	addWorkload := func(w *workloads.Workload) {
-		inputs = append(inputs, input{name: w.Name, load: func() (*trace.Trace, error) {
+		inputs = append(inputs, input{name: w.Name, load: func() (*trace.Trace, *ir.Program, error) {
 			inst, err := w.Instantiate(workloads.Config{Threads: *threads, Seed: *seed})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return inst.Trace()
+			tr, err := inst.Trace()
+			return tr, inst.Prog, err
 		}})
 	}
 	if *all {
@@ -128,12 +133,14 @@ func main() {
 	for i := range inputs {
 		i := i
 		g.Go(func() error {
-			tr, err := inputs[i].load()
+			tr, prog, err := inputs[i].load()
 			if err != nil {
 				errs[i] = err
 				return nil
 			}
-			reports[i], errs[i] = analysis.RunSession(sess, tr, opts)
+			inOpts := opts
+			inOpts.Prog = prog
+			reports[i], errs[i] = analysis.RunSession(sess, tr, inOpts)
 			return nil
 		})
 	}

@@ -13,8 +13,11 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"strings"
 
 	"threadfuser"
+	"threadfuser/internal/opt"
+	"threadfuser/internal/staticsimt"
 	"threadfuser/internal/workloads"
 )
 
@@ -59,6 +62,80 @@ Tiers:
   port + data fix control converges but memory diverges; restructure layouts (AoS->SoA) first
   refactor first  control divergence dominates; use the per-function report to find it
   keep on CPU     both control and memory fight the SIMT model`)
+
+	// For the refactor tiers, explain *which* divergent diamonds survive the
+	// compiler and why: the static oracle classifies the branches and flags
+	// meldable arms, and the if-conversion report names the reason each
+	// rejected candidate was skipped (calls, stores, flags, budget, ...) —
+	// the difference between "restructure the algorithm" and "raise a knob".
+	fmt.Println("\nDivergent diamonds the compiler left behind (refactor tiers):")
+	any := false
+	for _, r := range results {
+		if r.tier == "port as-is" {
+			continue
+		}
+		for _, line := range survivingDiamonds(r.name) {
+			fmt.Printf("  %-28s %s\n", r.name, line)
+			any = true
+		}
+	}
+	if !any {
+		fmt.Println("  (none: every divergent diamond is already if-converted at O3)")
+	}
+}
+
+// survivingDiamonds reports, for one workload, every statically-divergent
+// branch whose diamond the O3 if-converter examined but refused, with the
+// refusal reasons, plus the static oracle's meld findings (arms isomorphic
+// modulo renaming, or convertible with a bigger budget).
+func survivingDiamonds(name string) []string {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	inst, err := w.Instantiate(workloads.Config{Seed: 1})
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	res := staticsimt.Analyze(inst.Prog, staticsimt.Options{})
+	divergent := map[string]*staticsimt.Branch{}
+	var lines []string
+	for fi := range res.Funcs {
+		fr := &res.Funcs[fi]
+		for bi := range fr.Branches {
+			b := &fr.Branches[bi]
+			if !b.Uniform {
+				divergent[fmt.Sprintf("%s.b%d", fr.Name, b.Block)] = b
+			}
+		}
+		for _, m := range fr.Melds {
+			lines = append(lines, fmt.Sprintf("%s.b%d: meldable (%s): arms b%d/b%d of %d/%d instr(s), ~%d issue slot(s) reclaimable",
+				fr.Name, m.Block, m.Kind, m.ThenBlock, m.ElseBlock, m.ThenInstrs, m.ElseInstrs, m.SavedIssues))
+		}
+	}
+	// A fresh instance: IfConvertReport mutates the program it sweeps.
+	scratch, err := w.Instantiate(workloads.Config{Seed: 1})
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	_, diamonds := opt.IfConvertReport(scratch.Prog, opt.IfBudget(opt.O3), true)
+	for _, d := range diamonds {
+		if d.Convertible {
+			continue
+		}
+		key := fmt.Sprintf("%s.b%d", d.FuncName, d.Block)
+		b, ok := divergent[key]
+		if !ok {
+			continue // statically uniform: flattening it buys nothing
+		}
+		reasons := make([]string, len(d.Reasons))
+		for i, rs := range d.Reasons {
+			reasons[i] = string(rs)
+		}
+		lines = append(lines, fmt.Sprintf("%s: divergent (%s), if-conversion skipped it: %s",
+			key, strings.Join(b.Causes, "|"), strings.Join(reasons, ", ")))
+	}
+	return lines
 }
 
 // tier buckets a workload the way section V-A reasons about them:

@@ -25,6 +25,7 @@ import (
 	"threadfuser/internal/cfg"
 	"threadfuser/internal/core"
 	"threadfuser/internal/ipdom"
+	"threadfuser/internal/ir"
 	"threadfuser/internal/simt"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/warp"
@@ -140,9 +141,10 @@ type Pass interface {
 
 // Passes returns the engine's passes in their fixed execution order. The
 // sanitizer always runs first: its error findings gate the structural
-// passes, which assume a well-formed trace.
+// passes, which assume a well-formed trace. The static pass additionally
+// requires Options.Prog and is skipped for trace-only inputs.
 func Passes() []Pass {
-	return []Pass{sanitizePass{}, locksetPass{}, divergencePass{}, lockLintPass{}}
+	return []Pass{sanitizePass{}, locksetPass{}, divergencePass{}, lockLintPass{}, deadlockPass{}, staticPass{}}
 }
 
 // Options configure a lint run.
@@ -159,6 +161,10 @@ type Options struct {
 	Passes []string
 	// MinSeverity drops findings below the threshold from the report.
 	MinSeverity Severity
+	// Prog attaches the traced program's IR, enabling the static pass
+	// (static-oracle-vs-replay comparison). Nil disables it: trace-only
+	// inputs have no IR to analyze.
+	Prog *ir.Program
 }
 
 // Context is the shared state passes run against.
@@ -343,6 +349,15 @@ func RunSession(sess *core.Session, t *trace.Trace, opts Options) (*Report, erro
 			ctx.Graphs, ctx.PDoms = graphs, pdoms
 			for _, p := range all[1:] {
 				if !selected[p.ID()] {
+					continue
+				}
+				if p.ID() == "static" && opts.Prog == nil {
+					// Only surface the skip when the pass was asked for by
+					// name; an all-passes run over a trace-only input just
+					// omits it silently.
+					if len(opts.Passes) > 0 {
+						skipped = append(skipped, "static: no program attached (trace-only input)")
+					}
 					continue
 				}
 				if err := p.Run(ctx); err != nil {

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"threadfuser/internal/staticsimt"
+)
+
+// staticPass cross-checks the static SIMT oracle (internal/staticsimt)
+// against the dynamic replay. It needs the program attached to the run
+// (Options.Prog); trace-only inputs skip it. Two disagreement directions,
+// two meanings:
+//
+//   - a branch the oracle called uniform that split a warp at runtime is a
+//     soundness bug in the oracle (SevError — this should never happen and
+//     internal/check's "staticuniform" invariant enforces it);
+//   - a branch the oracle called divergent that stayed uniform through the
+//     whole replay is a precision gap (SevInfo), the expected cost of a
+//     conservative dataflow.
+type staticPass struct{}
+
+func (staticPass) ID() string { return "static" }
+func (staticPass) Desc() string {
+	return "static uniformity oracle vs dynamic replay: soundness violations and precision gaps"
+}
+
+// maxPrecisionReports bounds the per-run precision-gap findings; the rest
+// fold into the summary count.
+const maxPrecisionReports = 20
+
+func (staticPass) Run(ctx *Context) error {
+	prog := ctx.Opts.Prog
+	if prog == nil {
+		return nil // gated in RunSession; defensive
+	}
+
+	// Symbol-table guard: the attached program must describe the traced
+	// binary, or every block id the comparison uses is meaningless.
+	t := ctx.Trace
+	mismatch := ""
+	if len(prog.Funcs) != len(t.Funcs) {
+		mismatch = fmt.Sprintf("program has %d function(s), trace has %d", len(prog.Funcs), len(t.Funcs))
+	} else {
+		for id, f := range prog.Funcs {
+			if f.Name != t.Funcs[id].Name {
+				mismatch = fmt.Sprintf("function %d is %q in the program but %q in the trace", id, f.Name, t.Funcs[id].Name)
+				break
+			}
+			if len(f.Blocks) != len(t.Funcs[id].Blocks) {
+				mismatch = fmt.Sprintf("function %q has %d block(s) in the program but %d in the trace", f.Name, len(f.Blocks), len(t.Funcs[id].Blocks))
+				break
+			}
+			for bi, b := range f.Blocks {
+				if len(b.Instrs) != int(t.Funcs[id].Blocks[bi].NInstr) {
+					mismatch = fmt.Sprintf("%s.b%d has %d instruction(s) in the program but %d in the trace", f.Name, bi, len(b.Instrs), t.Funcs[id].Blocks[bi].NInstr)
+					break
+				}
+			}
+			if mismatch != "" {
+				break
+			}
+		}
+	}
+	if mismatch != "" {
+		f := finding("static", SevWarning)
+		f.Message = fmt.Sprintf("attached program does not match the trace symbol table (%s); static comparison skipped", mismatch)
+		ctx.add(f)
+		return nil
+	}
+
+	res := staticsimt.Analyze(prog, staticsimt.Options{})
+	rep, err := ctx.Report(false)
+	if err != nil {
+		return err
+	}
+
+	// Soundness direction: every dynamic divergence site must have been
+	// classified divergent (or at least classified — a block the oracle
+	// never saw as a branch would be a structural disagreement).
+	type key struct {
+		fn    uint32
+		block uint32
+	}
+	diverged := map[key]bool{}
+	for _, br := range rep.Branches {
+		if br.Divergences == 0 {
+			continue
+		}
+		fn, ok := ctx.funcID(br.Func)
+		if !ok {
+			continue
+		}
+		diverged[key{fn, br.Block}] = true
+		cls, ok := res.Class(fn, br.Block)
+		if !ok {
+			f := finding("static", SevError)
+			f.Function = br.Func
+			f.Block = int32(br.Block)
+			f.Message = fmt.Sprintf("oracle soundness bug: branch diverged %d time(s) at runtime but has no static classification", br.Divergences)
+			ctx.add(f)
+			continue
+		}
+		if cls.Uniform {
+			f := finding("static", SevError)
+			f.Function = br.Func
+			f.Block = int32(br.Block)
+			f.Message = fmt.Sprintf("oracle soundness bug: branch classified warp-uniform but diverged %d time(s) at runtime (%d lane(s) idled)", br.Divergences, br.LanesOff)
+			f.Details = map[string]string{"divergences": fmt.Sprintf("%d", br.Divergences)}
+			ctx.add(f)
+		}
+	}
+
+	// Precision direction: statically-divergent branches the replay executed
+	// without ever splitting a warp.
+	gaps := 0
+	for fi := range res.Funcs {
+		fr := &res.Funcs[fi]
+		g := ctx.Graphs[fr.ID]
+		if g == nil {
+			continue
+		}
+		for bi := range fr.Branches {
+			b := &fr.Branches[bi]
+			if b.Uniform || diverged[key{fr.ID, b.Block}] {
+				continue
+			}
+			if int(b.Block) >= g.NBlocks || len(g.Succs(int32(b.Block))) == 0 {
+				continue // never executed; no dynamic evidence either way
+			}
+			gaps++
+			if gaps > maxPrecisionReports {
+				continue
+			}
+			f := finding("static", SevInfo)
+			f.Function = fr.Name
+			f.Block = int32(b.Block)
+			f.Message = fmt.Sprintf("precision gap: %s classified divergent (%s) but never split a warp in this replay", b.Kind, strings.Join(b.Causes, "|"))
+			f.Details = map[string]string{"causes": strings.Join(b.Causes, "|")}
+			ctx.add(f)
+		}
+	}
+	if gaps > maxPrecisionReports {
+		f := finding("static", SevInfo)
+		f.Message = fmt.Sprintf("%d further precision gap(s) suppressed", gaps-maxPrecisionReports)
+		ctx.add(f)
+	}
+
+	f := finding("static", SevInfo)
+	f.Message = fmt.Sprintf("static oracle: %d uniform / %d divergent branch(es), %d meld candidate(s), %d precision gap(s) in this replay",
+		res.UniformBranches, res.DivergentBranches, res.Meldable, gaps)
+	ctx.add(f)
+	return nil
+}

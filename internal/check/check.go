@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"threadfuser/internal/core"
+	"threadfuser/internal/ir"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/warp"
 )
@@ -48,6 +49,10 @@ type Options struct {
 	// Analyze overrides the analyzer under test (fault injection for the
 	// engine's own tests). Nil uses a memoized core.Session.
 	Analyze AnalyzeFunc
+	// Prog attaches the traced program's IR, enabling the "staticuniform"
+	// property (static-oracle soundness against replay). Nil leaves that
+	// property vacuously true: trace-only inputs have no IR.
+	Prog *ir.Program
 }
 
 func (o Options) withDefaults() Options {

@@ -253,3 +253,53 @@ func TestSortViolations(t *testing.T) {
 		t.Errorf("sortViolations = %v, want %v", vs, want)
 	}
 }
+
+// TestStaticUniformInvariantOnAllWorkloads enforces the static oracle's
+// soundness contract across the entire built-in catalog: a branch classified
+// warp-uniform by internal/staticsimt must never record a divergence at any
+// matrix cell.
+func TestStaticUniformInvariantOnAllWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			inst, err := w.Instantiate(workloads.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := inst.Trace()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Run(w.Name, tr, Options{Props: []string{"staticuniform"}, Prog: inst.Prog})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range rep.Violations {
+				t.Error(v)
+			}
+			if rep.Checks == 0 {
+				t.Error("staticuniform evaluated no assertions")
+			}
+		})
+	}
+}
+
+func TestStaticUniformRejectsMismatchedProgram(t *testing.T) {
+	tr := workloadTrace(t, "vectoradd")
+	other, err := workloads.ByName("seededrace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := other.Instantiate(workloads.Config{Threads: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run("x", tr, Options{Props: []string{"staticuniform"}, Prog: inst.Prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("mismatched program accepted by staticuniform")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"reflect"
 
 	"threadfuser/internal/coalesce"
+	"threadfuser/internal/staticsimt"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/warp"
 )
@@ -282,6 +283,74 @@ var properties = []Property{
 				if len(r.LaneHistogram) > 0 {
 					c.assert(cell, r.LaneHistogram[0] == 0,
 						"%d lockstep issues with zero active lanes", r.LaneHistogram[0])
+				}
+			}
+		},
+	},
+	{
+		id:   "staticuniform",
+		desc: "no branch the static oracle classifies warp-uniform ever records a divergence",
+		check: func(c *ctx) {
+			prog := c.opts.Prog
+			if prog == nil {
+				return // trace-only input: no IR, vacuously true
+			}
+			cell := Cell{WarpSize: c.opts.WarpSizes[0], Parallelism: 1, Formation: c.opts.Formations[0]}
+			// The attached program must describe the traced binary, or the
+			// block ids below compare different code.
+			if len(prog.Funcs) != len(c.tr.Funcs) {
+				c.check()
+				c.violatef(cell, "attached program has %d function(s), trace has %d", len(prog.Funcs), len(c.tr.Funcs))
+				return
+			}
+			for id, f := range prog.Funcs {
+				if f.Name != c.tr.Funcs[id].Name {
+					c.check()
+					c.violatef(cell, "attached program function %d is %q, trace says %q", id, f.Name, c.tr.Funcs[id].Name)
+					return
+				}
+				if len(f.Blocks) != len(c.tr.Funcs[id].Blocks) {
+					c.check()
+					c.violatef(cell, "attached program function %q has %d block(s), trace says %d", f.Name, len(f.Blocks), len(c.tr.Funcs[id].Blocks))
+					return
+				}
+				for bi, b := range f.Blocks {
+					if len(b.Instrs) != int(c.tr.Funcs[id].Blocks[bi].NInstr) {
+						c.check()
+						c.violatef(cell, "attached program block %s.b%d has %d instruction(s), trace says %d", f.Name, bi, len(b.Instrs), c.tr.Funcs[id].Blocks[bi].NInstr)
+						return
+					}
+				}
+			}
+			res := staticsimt.Analyze(prog, staticsimt.Options{})
+			// Replay reports name branch sites by function name; AND-join the
+			// classification over same-named functions so a duplicate name can
+			// only make the check more conservative, never less.
+			type key struct {
+				name  string
+				block uint32
+			}
+			uniform := map[key]bool{}
+			for _, fr := range res.Funcs {
+				for _, b := range fr.Branches {
+					k := key{fr.Name, b.Block}
+					u, seen := uniform[k]
+					uniform[k] = (!seen || u) && b.Uniform
+				}
+			}
+			for _, cl := range c.baseCells() {
+				r, ok := c.mustReport(cl)
+				if !ok {
+					continue
+				}
+				for _, br := range r.Branches {
+					if br.Divergences == 0 {
+						continue
+					}
+					u, classified := uniform[key{br.Func, br.Block}]
+					c.assert(cl, !(classified && u),
+						"branch %s.b%d classified warp-uniform statically but diverged %d time(s) (%d lane(s) idled)",
+						br.Func, br.Block, br.Divergences, br.LanesOff)
 				}
 			}
 		},

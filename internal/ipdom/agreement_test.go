@@ -1,0 +1,88 @@
+package ipdom_test
+
+import (
+	"testing"
+
+	"threadfuser/internal/cfg"
+	"threadfuser/internal/ipdom"
+	"threadfuser/internal/workloads"
+)
+
+// TestStaticDynamicIPDomAgreement is the golden cross-check between the two
+// CFG sources: for every function of every built-in workload, the
+// post-dominator trees computed from the static graphs (cfg.FromFunction,
+// what the static oracle uses for reconvergence points) must agree with the
+// trees reconstructed from the trace (cfg.Build, what the replay engine
+// uses).
+//
+// Agreement has a direction. A trace only contains observed edges, so the
+// dynamic graph's edge set is a subset of the static one, and removing
+// edges can only grow a block's post-dominator set. The invariant is
+// therefore containment: the static IPDom of every executed block must
+// still post-dominate it in the dynamic graph. When the trace covered every
+// static edge the two graphs are identical and the trees must match
+// exactly, block for block.
+func TestStaticDynamicIPDomAgreement(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			inst, err := w.Instantiate(workloads.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := inst.Trace()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dynGraphs, err := cfg.Build(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			statGraphs := cfg.FromProgram(inst.Prog)
+
+			for fid, dyn := range dynGraphs {
+				stat := statGraphs[fid]
+				if stat == nil {
+					t.Fatalf("func %d traced but absent from the static program", fid)
+				}
+				name := inst.Prog.Funcs[fid].Name
+				if dyn.NBlocks != stat.NBlocks {
+					t.Fatalf("%s: %d blocks in the trace, %d in the program", name, dyn.NBlocks, stat.NBlocks)
+				}
+
+				// Observed edges must be a subset of the static edges —
+				// otherwise the trace took a branch the IR doesn't have and
+				// neither tree means anything.
+				covered := true
+				for b := int32(0); b < int32(dyn.NBlocks); b++ {
+					for _, s := range dyn.Succs(b) {
+						if !stat.HasEdge(b, s) {
+							t.Fatalf("%s: observed edge b%d->%v missing from the static CFG", name, b, s)
+						}
+					}
+					if len(dyn.Succs(b)) != len(stat.Succs(b)) {
+						covered = false
+					}
+				}
+
+				dynPD := ipdom.Compute(dyn)
+				statPD := ipdom.Compute(stat)
+				for b := int32(0); b < int32(dyn.NBlocks); b++ {
+					if len(dyn.Succs(b)) == 0 {
+						continue // never executed: no dynamic evidence
+					}
+					s := statPD.IPDom(b)
+					if !dynPD.PostDominates(s, b) {
+						t.Errorf("%s: static IPDom(b%d) = %v does not post-dominate b%d in the trace-built graph (dynamic IPDom %v)",
+							name, b, s, b, dynPD.IPDom(b))
+					}
+					if covered && s != dynPD.IPDom(b) {
+						t.Errorf("%s: full edge coverage but IPDom(b%d) disagrees: static %v, dynamic %v",
+							name, b, s, dynPD.IPDom(b))
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,10 @@
 package opt
 
-import "threadfuser/internal/ir"
+import (
+	"sort"
+
+	"threadfuser/internal/ir"
+)
 
 // IfConvert flattens branch diamonds into straight-line cmov code, the
 // divergence-removing transform the paper blames for the analyzer's O3
@@ -36,6 +40,32 @@ func IfConvertStores(p *ir.Program, budget int) int {
 	return ifConvert(p, budget, true)
 }
 
+// IfConvertReport runs the same sweep as IfConvert/IfConvertStores but also
+// returns a DiamondReport for every candidate diamond it examined — converted
+// or skipped, with the reasons for each skip — so downstream consumers (the
+// static melding matcher in internal/staticsimt, examples/portingadvisor)
+// can explain *why* a divergent diamond survives the optimizer. Reports are
+// in program order (function id, then block id). Like IfConvert, it mutates
+// the program; use Examine for a read-only view of a single diamond.
+func IfConvertReport(p *ir.Program, budget int, stores bool) (int, []DiamondReport) {
+	converted := 0
+	var reps []DiamondReport
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			rep, ok := examineDiamond(f, b, budget, stores)
+			if !ok {
+				continue
+			}
+			if rep.Convertible && convertDiamond(f, b, budget, stores) {
+				rep.Converted = true
+				converted++
+			}
+			reps = append(reps, rep)
+		}
+	}
+	return converted, reps
+}
+
 func ifConvert(p *ir.Program, budget int, stores bool) int {
 	converted := 0
 	for _, f := range p.Funcs {
@@ -48,34 +78,223 @@ func ifConvert(p *ir.Program, budget int, stores bool) int {
 	return converted
 }
 
+// Reason explains why if-conversion skipped a candidate diamond.
+type Reason string
+
+// Skip reasons, in the vocabulary portingadvisor and the static melding
+// matcher present to users.
+const (
+	// ReasonShape: a branch side has internal control flow — it does not end
+	// in an unconditional jump to a join block.
+	ReasonShape Reason = "shape"
+	// ReasonCalls: a branch side ends in a call; speculating calls is unsafe.
+	ReasonCalls Reason = "calls"
+	// ReasonBudget: a side exceeds the per-side instruction budget.
+	ReasonBudget Reason = "budget"
+	// ReasonFlags: a side reads or writes the flags (cmp/test/fcmp/cmov);
+	// the selects need the branch condition's flags intact.
+	ReasonFlags Reason = "flags"
+	// ReasonSideEffects: a side contains lock/unlock/io/spin.
+	ReasonSideEffects Reason = "side-effects"
+	// ReasonStores: a side contains a plain store and the sweep is not in
+	// aggressive (-O3) conditional-store mode.
+	ReasonStores Reason = "stores"
+	// ReasonRMWStore: a side read-modify-writes memory, which even the
+	// aggressive mode cannot predicate.
+	ReasonRMWStore Reason = "rmw-store"
+	// ReasonReserved: a side writes SP or TID.
+	ReasonReserved Reason = "reserved-regs"
+	// ReasonJoin: the two sides do not rejoin at a common block.
+	ReasonJoin Reason = "join-mismatch"
+	// ReasonScratch: the renamed temporaries would exhaust the scratch
+	// register file.
+	ReasonScratch Reason = "scratch"
+)
+
+// DiamondReport describes one examined if-conversion candidate: a block
+// ending in a two-way conditional branch with distinct, non-self targets.
+type DiamondReport struct {
+	Func     ir.FuncID  `json:"func"`
+	FuncName string     `json:"func_name"`
+	Block    ir.BlockID `json:"block"`
+	// Kind is "diamond", "hammock" (taken side rejoins at the fall-through)
+	// or "inverted-hammock" (fall-through side rejoins at the taken target).
+	Kind string `json:"kind"`
+	// Convertible reports whether the sweep would flatten this candidate;
+	// Converted whether a mutating sweep actually did.
+	Convertible bool `json:"convertible"`
+	Converted   bool `json:"converted,omitempty"`
+	// Reasons lists why the candidate was skipped (empty iff Convertible),
+	// deduplicated and sorted.
+	Reasons []Reason `json:"reasons,omitempty"`
+	// ThenInstrs/ElseInstrs are the side body sizes excluding terminators
+	// (a hammock has one side in the branch and zero in the fall-through).
+	ThenInstrs int `json:"then_instrs"`
+	ElseInstrs int `json:"else_instrs"`
+}
+
+// Examine is the read-only view of one candidate: it reports whether block b
+// of f is an if-conversion candidate (a two-way Jcc diamond or hammock) and,
+// if so, whether the given budget and store mode would convert it and why
+// not otherwise. It never mutates the program.
+func Examine(f *ir.Function, b *ir.Block, budget int, stores bool) (DiamondReport, bool) {
+	return examineDiamond(f, b, budget, stores)
+}
+
+// maxScratch is how many distinct renamed destinations the scratch file
+// r16..r29 can hold.
+const maxScratch = int(ir.TID - scratchBase)
+
+func examineDiamond(f *ir.Function, b *ir.Block, budget int, stores bool) (DiamondReport, bool) {
+	term := b.Terminator()
+	if term.Op != ir.OpJcc || term.Target == term.Fall ||
+		term.Target == b.ID || term.Fall == b.ID {
+		return DiamondReport{}, false
+	}
+	t := f.Blocks[term.Target]
+	fb := f.Blocks[term.Fall]
+	tJoin, tJoinOK, tReasons := examineSide(t, budget, stores)
+	fJoin, fJoinOK, fReasons := examineSide(fb, budget, stores)
+	tOK, fOK := len(tReasons) == 0, len(fReasons) == 0
+
+	rep := DiamondReport{
+		Func: f.ID, FuncName: f.Name, Block: b.ID,
+		ThenInstrs: len(t.Instrs) - 1, ElseInstrs: len(fb.Instrs) - 1,
+	}
+	finish := func(reasons ...Reason) (DiamondReport, bool) {
+		rep.Reasons = dedupeReasons(reasons)
+		rep.Convertible = len(rep.Reasons) == 0
+		return rep, true
+	}
+
+	// One-sided hammock "if (c) { T }": the taken side rejoins at the
+	// fall-through block. Mirrors convertDiamond's dispatch order exactly.
+	if tOK && tJoin == term.Fall {
+		rep.Kind = "hammock"
+		rep.ElseInstrs = 0
+		if distinctDefs(t) > maxScratch {
+			return finish(ReasonScratch)
+		}
+		return finish()
+	}
+	// Inverted hammock "if (!c) { F }".
+	if fOK && fJoin == term.Target {
+		rep.Kind = "inverted-hammock"
+		rep.ThenInstrs = 0
+		rep.ElseInstrs = len(fb.Instrs) - 1
+		if distinctDefs(fb) > maxScratch {
+			return finish(ReasonScratch)
+		}
+		return finish()
+	}
+
+	rep.Kind = "diamond"
+	reasons := append(append([]Reason(nil), tReasons...), fReasons...)
+	if tJoinOK && fJoinOK && tJoin != fJoin {
+		reasons = append(reasons, ReasonJoin)
+	}
+	if len(reasons) == 0 && distinctDefs(t)+distinctDefs(fb) > maxScratch {
+		reasons = append(reasons, ReasonScratch)
+	}
+	return finish(reasons...)
+}
+
+// examineSide is diamondSide with full reason accounting: it checks every
+// instruction instead of stopping at the first violation, and reports the
+// join target whenever the side at least ends in an unconditional jump
+// (joinOK), even if its body disqualifies it.
+func examineSide(b *ir.Block, budget int, stores bool) (join ir.BlockID, joinOK bool, reasons []Reason) {
+	switch b.Terminator().Op {
+	case ir.OpJmp:
+		join, joinOK = b.Terminator().Target, true
+	case ir.OpCall, ir.OpCallR:
+		return 0, false, []Reason{ReasonCalls}
+	default:
+		return 0, false, []Reason{ReasonShape}
+	}
+	body := b.Instrs[: len(b.Instrs)-1 : len(b.Instrs)-1]
+	if len(body) > budget {
+		reasons = append(reasons, ReasonBudget)
+	}
+	for i := range body {
+		in := &body[i]
+		switch in.Op {
+		case ir.OpCmp, ir.OpTest, ir.OpFCmp, ir.OpCmov:
+			reasons = append(reasons, ReasonFlags)
+			continue
+		case ir.OpLock, ir.OpUnlock, ir.OpIO, ir.OpSpin:
+			reasons = append(reasons, ReasonSideEffects)
+			continue
+		}
+		if in.Dst.IsMem() {
+			switch {
+			case in.Op != ir.OpMov:
+				reasons = append(reasons, ReasonRMWStore)
+			case !stores:
+				reasons = append(reasons, ReasonStores)
+			}
+			continue
+		}
+		if in.Dst.Kind == ir.OpndReg && (in.Dst.Reg == ir.SP || in.Dst.Reg == ir.TID) {
+			reasons = append(reasons, ReasonReserved)
+		}
+		if in.Dst.Kind == ir.OpndImm {
+			reasons = append(reasons, ReasonShape) // malformed destination
+		}
+	}
+	return join, joinOK, reasons
+}
+
+// distinctDefs counts the distinct register destinations a side body writes —
+// each costs one scratch temporary in renameSide.
+func distinctDefs(b *ir.Block) int {
+	var seen [ir.NumRegs]bool
+	n := 0
+	for i := range b.Instrs[:len(b.Instrs)-1] {
+		in := &b.Instrs[i]
+		if in.Dst.Kind == ir.OpndReg && !seen[in.Dst.Reg] {
+			seen[in.Dst.Reg] = true
+			n++
+		}
+	}
+	return n
+}
+
+func dedupeReasons(rs []Reason) []Reason {
+	if len(rs) == 0 {
+		return nil
+	}
+	seen := map[Reason]bool{}
+	out := rs[:0]
+	for _, r := range rs {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // scratchBase..NumRegs-3 are the temporaries the renamer may allocate; the
 // workload register conventions leave r16..r29 unused.
 const scratchBase = ir.Reg(16)
 
 func convertDiamond(f *ir.Function, b *ir.Block, budget int, stores bool) bool {
-	term := b.Terminator()
-	if term.Op != ir.OpJcc || term.Target == term.Fall ||
-		term.Target == b.ID || term.Fall == b.ID {
+	rep, ok := examineDiamond(f, b, budget, stores)
+	if !ok || !rep.Convertible {
 		return false
+	}
+	term := b.Terminator()
+	switch rep.Kind {
+	case "hammock":
+		return convertHammock(b, f.Blocks[term.Target], term.Cond, term.Fall, stores)
+	case "inverted-hammock":
+		return convertHammock(b, f.Blocks[term.Fall], negate(term.Cond), term.Target, stores)
 	}
 	t := f.Blocks[term.Target]
 	fb := f.Blocks[term.Fall]
-	tJoin, tOK := diamondSide(t, budget, stores)
-	fJoin, fOK := diamondSide(fb, budget, stores)
-
-	// One-sided hammock "if (c) { T }": the taken side rejoins at the
-	// fall-through block.
-	if tOK && tJoin == term.Fall {
-		return convertHammock(b, t, term.Cond, term.Fall, stores)
-	}
-	// Inverted hammock "if (!c) { F }".
-	if fOK && fJoin == term.Target {
-		return convertHammock(b, fb, negate(term.Cond), term.Target, stores)
-	}
-	if !tOK || !fOK || tJoin != fJoin {
-		return false
-	}
-	join := tJoin
+	join := t.Terminator().Target
 
 	nextScratch := scratchBase
 	alloc := func() (ir.Reg, bool) {
@@ -136,38 +355,6 @@ func convertHammock(b, side *ir.Block, cond ir.Cond, join ir.BlockID, stores boo
 	out = append(out, ir.Instr{Op: ir.OpJmp, Target: join})
 	b.Instrs = out
 	return true
-}
-
-// diamondSide checks that a block is a convertible branch side — at most
-// budget speculation-safe instructions ending in an unconditional jump —
-// and returns its join target.
-func diamondSide(b *ir.Block, budget int, stores bool) (ir.BlockID, bool) {
-	if b.Terminator().Op != ir.OpJmp {
-		return 0, false
-	}
-	body := b.Instrs[: len(b.Instrs)-1 : len(b.Instrs)-1]
-	if len(body) > budget {
-		return 0, false
-	}
-	for i := range body {
-		in := &body[i]
-		switch in.Op {
-		case ir.OpCmp, ir.OpTest, ir.OpFCmp, ir.OpCmov,
-			ir.OpLock, ir.OpUnlock, ir.OpIO, ir.OpSpin:
-			return 0, false // flag writers/readers and side effects
-		}
-		if in.Dst.IsMem() {
-			// Plain stores are convertible only in aggressive mode;
-			// read-modify-write memory destinations never are.
-			if !stores || in.Op != ir.OpMov {
-				return 0, false
-			}
-		}
-		if in.Dst.Kind == ir.OpndReg && (in.Dst.Reg == ir.SP || in.Dst.Reg == ir.TID) {
-			return 0, false
-		}
-	}
-	return b.Terminator().Target, true
 }
 
 type sel struct{ orig, temp ir.Reg }

@@ -56,6 +56,19 @@ const (
 	ifBudgetO3 = 12
 )
 
+// IfBudget returns the per-side if-conversion instruction budget the given
+// level applies (0 for levels that do not if-convert). The static melding
+// matcher uses the O3 budget as its "already handled by the optimizer" line.
+func IfBudget(l Level) int {
+	switch l {
+	case O2:
+		return ifBudgetO2
+	case O3:
+		return ifBudgetO3
+	}
+	return 0
+}
+
 // Apply returns a new program compiled at the given level. The canonical
 // program (as authored by internal/workloads) is treated as the -O1 build.
 func Apply(p *ir.Program, lvl Level) *ir.Program {

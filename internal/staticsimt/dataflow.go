@@ -1,0 +1,546 @@
+package staticsimt
+
+import (
+	"threadfuser/internal/cfg"
+	"threadfuser/internal/ipdom"
+	"threadfuser/internal/ir"
+)
+
+// slotKey identifies one tracked SP-relative stack slot by its exact
+// displacement and access width; overlapping accesses at other keys
+// invalidate it rather than alias into it.
+type slotKey struct {
+	disp int64
+	size uint8
+}
+
+// state is the dataflow fact at one program point: the uniformity of every
+// register, of the flags, and the set of SP-relative slots currently known
+// to hold warp-uniform values (absent = divergent).
+type state struct {
+	regs  [ir.NumRegs]Uniformity
+	flags Uniformity
+	slots map[slotKey]bool
+}
+
+func (s *state) clone() state {
+	out := *s
+	if s.slots != nil {
+		out.slots = make(map[slotKey]bool, len(s.slots))
+		for k := range s.slots {
+			out.slots[k] = true
+		}
+	}
+	return out
+}
+
+// joinInto merges src into dst (register/flag OR, slot intersection) and
+// reports whether dst changed.
+func joinInto(dst *state, src *state) bool {
+	changed := false
+	for r := range dst.regs {
+		if merged := dst.regs[r] | src.regs[r]; merged != dst.regs[r] {
+			dst.regs[r] = merged
+			changed = true
+		}
+	}
+	if merged := dst.flags | src.flags; merged != dst.flags {
+		dst.flags = merged
+		changed = true
+	}
+	for k := range dst.slots {
+		if !src.slots[k] {
+			delete(dst.slots, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// worstState is the all-divergent fact used for phantom (unreachable)
+// functions and unknown continuations.
+func worstState() state {
+	var s state
+	for r := range s.regs {
+		s.regs[r] = FromArgs | FromMemory | FromCall
+	}
+	s.regs[ir.TID] = FromTID
+	s.regs[ir.SP] = FromSP
+	s.flags = FromArgs | FromMemory | FromCall
+	s.slots = map[slotKey]bool{}
+	return s
+}
+
+// funcState is the per-function fixpoint state.
+type funcState struct {
+	f     *ir.Function
+	entry state // join over all call sites (seed for the entry function)
+	exit  state // join over all ret points
+	in    []state
+	entrySeen bool
+	exitSeen  bool
+	inSeen    []bool
+	// writesSP disables slot tracking: a rebased stack pointer makes
+	// displacement-keyed slots ambiguous across joins.
+	writesSP bool
+	// influenced marks blocks inside some divergent branch's influence
+	// region; every definition there picks up the FromControl taint.
+	influenced []bool
+	// branch is the divergence of each jcc/switch/callr terminator's
+	// condition/selector, keyed by block.
+	branch map[uint32]Uniformity
+	branchKind map[uint32]string
+	phantom    bool // analyzed standalone; never contributes to other functions
+}
+
+type analysis struct {
+	prog   *ir.Program
+	opts   Options
+	graphs map[uint32]*cfg.DCFG
+	pdoms  map[uint32]*ipdom.PostDom
+	fns    []*funcState
+	// stackEscapes: some stack address was stored to memory, so loads
+	// through non-SP pointers may observe (and stores may clobber) any
+	// frame slot — slot tracking shuts off program-wide.
+	stackEscapes bool
+	changed      bool
+}
+
+func newAnalysis(p *ir.Program, opts Options) *analysis {
+	graphs := cfg.FromProgram(p)
+	a := &analysis{
+		prog:   p,
+		opts:   opts,
+		graphs: graphs,
+		pdoms:  ipdom.ComputeAll(graphs),
+		fns:    make([]*funcState, len(p.Funcs)),
+	}
+	for i, f := range p.Funcs {
+		fs := &funcState{
+			f:          f,
+			in:         make([]state, len(f.Blocks)),
+			inSeen:     make([]bool, len(f.Blocks)),
+			influenced: make([]bool, len(f.Blocks)),
+			branch:     make(map[uint32]Uniformity),
+			branchKind: make(map[uint32]string),
+		}
+		for _, b := range f.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if !in.Op.IsTerminator() && in.Dst.Kind == ir.OpndReg && in.Dst.Reg == ir.SP {
+					fs.writesSP = true
+				}
+			}
+		}
+		a.fns[i] = fs
+	}
+	return a
+}
+
+// run drives the interprocedural least fixpoint, then classifies functions
+// with no call path from the entry under a standalone worst-case entry.
+func (a *analysis) run() {
+	entry := a.fns[a.prog.Entry]
+	var seed state
+	if a.opts.AssumeUniformEntry {
+		seed.slots = map[slotKey]bool{}
+	} else {
+		for r := range seed.regs {
+			seed.regs[r] = FromArgs
+		}
+		seed.slots = map[slotKey]bool{}
+	}
+	seed.regs[ir.TID] = FromTID
+	seed.regs[ir.SP] = FromSP
+	entry.entry = seed
+	entry.entrySeen = true
+
+	for {
+		a.changed = false
+		for _, fs := range a.fns {
+			if fs.entrySeen {
+				a.runFunc(fs)
+			}
+		}
+		if !a.changed {
+			break
+		}
+	}
+
+	// Phantom functions: no static call path reaches them (and no indirect
+	// call exists to conjure one), so they never execute — but classify them
+	// anyway, soundly, under a worst-case entry, without feeding their
+	// call-site contributions back into the live program.
+	for _, fs := range a.fns {
+		if fs.entrySeen {
+			continue
+		}
+		fs.phantom = true
+		fs.entry = worstState()
+		fs.entrySeen = true
+		for {
+			a.changed = false
+			a.runFunc(fs)
+			if !a.changed {
+				break
+			}
+		}
+	}
+}
+
+// runFunc does one monotone sweep over a function: refresh its influence
+// regions from the current divergent-branch set, then transfer every
+// reached block in order, propagating to successors, callees and the exit.
+func (a *analysis) runFunc(fs *funcState) {
+	a.refreshInfluence(fs)
+	if !fs.inSeen[0] {
+		fs.in[0] = fs.entry.clone()
+		fs.inSeen[0] = true
+		a.changed = true
+	} else if joinInto(&fs.in[0], &fs.entry) {
+		a.changed = true
+	}
+	for bi := range fs.f.Blocks {
+		if !fs.inSeen[bi] {
+			continue
+		}
+		st := fs.in[bi].clone()
+		a.transferBlock(fs, fs.f.Blocks[bi], &st)
+	}
+}
+
+// refreshInfluence recomputes the influenced-block set from the currently
+// divergent jcc/switch branches. Influence only grows (branch classes are
+// monotone), so this is part of the fixpoint.
+func (a *analysis) refreshInfluence(fs *funcState) {
+	fid := uint32(fs.f.ID)
+	g := a.graphs[fid]
+	pd := a.pdoms[fid]
+	for bid, u := range fs.branch {
+		if !u.Divergent() {
+			continue
+		}
+		term := fs.f.Blocks[bid].Terminator()
+		if term.Op == ir.OpCallR {
+			// A divergent indirect call has one in-function successor; the
+			// cross-callee divergence is handled by the continuation taint.
+			continue
+		}
+		for _, blk := range a.regionBlocks(g, pd, int32(bid)) {
+			if !fs.influenced[blk] {
+				fs.influenced[blk] = true
+				a.changed = true
+			}
+		}
+	}
+}
+
+// regionBlocks returns the influence region of a divergent branch: every
+// block reachable from its successors without passing its static immediate
+// post-dominator (the reconvergence point). The branch block itself joins
+// the region when a back edge re-enters it (divergent loop trip counts).
+func (a *analysis) regionBlocks(g *cfg.DCFG, pd *ipdom.PostDom, branch int32) []uint32 {
+	rpc := pd.IPDom(branch)
+	exit := g.ExitNode()
+	seen := map[int32]bool{}
+	var out []uint32
+	work := append([]int32(nil), g.Succs(branch)...)
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[v] || v == rpc || v == exit {
+			continue
+		}
+		seen[v] = true
+		out = append(out, uint32(v))
+		work = append(work, g.Succs(v)...)
+	}
+	return out
+}
+
+// setBranch records (joins) a terminator classification.
+func (a *analysis) setBranch(fs *funcState, block uint32, u Uniformity, kind string) {
+	if merged := fs.branch[block] | u; merged != fs.branch[block] || fs.branchKind[block] == "" {
+		fs.branch[block] = merged
+		fs.branchKind[block] = kind
+		a.changed = true
+	}
+}
+
+// flow joins a state into a block's entry fact.
+func (a *analysis) flow(fs *funcState, st *state, target ir.BlockID) {
+	if int(target) >= len(fs.in) {
+		return
+	}
+	if !fs.inSeen[target] {
+		fs.in[target] = st.clone()
+		fs.inSeen[target] = true
+		a.changed = true
+		return
+	}
+	if joinInto(&fs.in[target], st) {
+		a.changed = true
+	}
+}
+
+// contributeEntry joins a caller's registers and flags into a callee's entry
+// fact. Slots never cross the call: the VM shares SP across calls, so the
+// callee sees the frame but the analysis conservatively forgets it.
+func (a *analysis) contributeEntry(callee *funcState, st *state) {
+	contrib := state{regs: st.regs, flags: st.flags, slots: map[slotKey]bool{}}
+	if !callee.entrySeen {
+		callee.entry = contrib
+		callee.entrySeen = true
+		a.changed = true
+		return
+	}
+	if joinInto(&callee.entry, &contrib) {
+		a.changed = true
+	}
+}
+
+// joinExit joins a state into the function's exit fact.
+func (a *analysis) joinExit(fs *funcState, st *state) {
+	contrib := state{regs: st.regs, flags: st.flags, slots: map[slotKey]bool{}}
+	if !fs.exitSeen {
+		fs.exit = contrib
+		fs.exitSeen = true
+		a.changed = true
+		return
+	}
+	if joinInto(&fs.exit, &contrib) {
+		a.changed = true
+	}
+}
+
+// taintAll adds a cause to every register and the flags.
+func taintAll(st *state, cause Uniformity) {
+	for r := range st.regs {
+		st.regs[r] |= cause
+	}
+	st.flags |= cause
+}
+
+// transferBlock interprets one block's instructions over st and propagates
+// the result to successors / callees / the exit.
+func (a *analysis) transferBlock(fs *funcState, b *ir.Block, st *state) {
+	infl := fs.influenced[b.ID]
+	var ctl Uniformity
+	if infl {
+		ctl = FromControl
+	}
+	for ii := 0; ii < len(b.Instrs)-1; ii++ {
+		a.transferInstr(fs, st, &b.Instrs[ii], ctl)
+	}
+
+	term := b.Terminator()
+	bid := uint32(b.ID)
+	switch term.Op {
+	case ir.OpJmp:
+		a.flow(fs, st, term.Target)
+	case ir.OpJcc:
+		a.setBranch(fs, bid, st.flags, "jcc")
+		a.flow(fs, st, term.Target)
+		a.flow(fs, st, term.Fall)
+	case ir.OpSwitch:
+		a.setBranch(fs, bid, a.readOperand(fs, st, term.Src), "switch")
+		for _, t := range term.Targets {
+			a.flow(fs, st, t)
+		}
+	case ir.OpRet:
+		a.joinExit(fs, st)
+	case ir.OpCall:
+		if int(term.Callee) >= len(a.fns) {
+			return
+		}
+		callee := a.fns[term.Callee]
+		cont := a.callContinuation(fs, st, callee, ctl)
+		a.flow(fs, &cont, term.Fall)
+	case ir.OpCallR:
+		sel := a.readOperand(fs, st, term.Src)
+		a.setBranch(fs, bid, sel, "callr")
+		cont := worstState()
+		if !fs.phantom {
+			first := true
+			for _, callee := range a.fns {
+				a.contributeEntry(callee, st)
+				ce := a.calleeExit(callee)
+				if first {
+					cont = ce
+					first = false
+				} else {
+					joinInto(&cont, &ce)
+				}
+			}
+		}
+		if sel.Divergent() {
+			// Threads in different callees: every value the calls produce
+			// may differ per thread.
+			taintAll(&cont, FromCall|sel)
+		}
+		if infl {
+			taintAll(&cont, FromControl)
+		}
+		a.flow(fs, &cont, term.Fall)
+	}
+}
+
+// callContinuation computes the state at a direct call's continuation: the
+// callee's exit registers/flags, an emptied slot set (the callee shares the
+// frame and may have clobbered it), and the control taint when the call
+// site itself sits under divergent control.
+func (a *analysis) callContinuation(fs *funcState, st *state, callee *funcState, ctl Uniformity) state {
+	if fs.phantom {
+		return worstState()
+	}
+	a.contributeEntry(callee, st)
+	cont := a.calleeExit(callee)
+	if ctl != 0 {
+		// The callee ran under divergent control: any value it defines —
+		// which, context-insensitively, is any register — is suspect at
+		// this continuation.
+		taintAll(&cont, FromControl)
+	}
+	return cont
+}
+
+// calleeExit returns a copy of the callee's exit fact with fresh empty
+// slots; an exit not yet computed yields the optimistic bottom, which the
+// fixpoint corrects on later sweeps.
+func (a *analysis) calleeExit(callee *funcState) state {
+	var cont state
+	if callee.exitSeen {
+		cont.regs = callee.exit.regs
+		cont.flags = callee.exit.flags
+	}
+	cont.slots = map[slotKey]bool{}
+	return cont
+}
+
+// readOperand is the value-uniformity of one source operand.
+func (a *analysis) readOperand(fs *funcState, st *state, o ir.Operand) Uniformity {
+	switch o.Kind {
+	case ir.OpndReg:
+		return st.regs[o.Reg]
+	case ir.OpndImm:
+		return Uniform
+	case ir.OpndMem:
+		return a.loadUnif(fs, st, o.Mem)
+	}
+	return Uniform
+}
+
+// addrUnif is the uniformity of a memory operand's effective address.
+func addrUnif(st *state, m ir.MemRef) Uniformity {
+	u := st.regs[m.Base]
+	if m.HasIndex {
+		u |= st.regs[m.Index]
+	}
+	return u
+}
+
+// loadUnif is the uniformity of a loaded value: uniform only for a tracked
+// SP-relative slot, divergent (FromMemory) otherwise — the static view
+// cannot prove shared memory holds identical values per thread.
+func (a *analysis) loadUnif(fs *funcState, st *state, m ir.MemRef) Uniformity {
+	if m.Base == ir.SP && !m.HasIndex && !fs.writesSP && !a.stackEscapes {
+		if st.slots[slotKey{m.Disp, m.Size}] {
+			return Uniform
+		}
+	}
+	return FromMemory
+}
+
+// store updates slot tracking for a stored value and flags stack-address
+// escapes. val must already include any control taint.
+func (a *analysis) store(fs *funcState, st *state, m ir.MemRef, val Uniformity) {
+	if val&FromSP != 0 && !a.stackEscapes {
+		// A stack address reached memory: a reloaded copy could alias any
+		// frame slot, so slot tracking is no longer sound anywhere.
+		a.stackEscapes = true
+		a.changed = true
+	}
+	if fs.writesSP || a.stackEscapes {
+		clearSlots(st)
+		return
+	}
+	if m.Base == ir.SP {
+		if !m.HasIndex {
+			key := slotKey{m.Disp, m.Size}
+			clearOverlapping(st, m.Disp, int64(m.Size), key)
+			if val == Uniform {
+				st.slots[key] = true
+			} else {
+				delete(st.slots, key)
+			}
+			return
+		}
+		clearSlots(st) // indexed frame store: unknown offset
+		return
+	}
+	if st.regs[m.Base]&FromSP != 0 || (m.HasIndex && st.regs[m.Index]&FromSP != 0) {
+		clearSlots(st) // store through a frame-derived pointer
+	}
+}
+
+func clearSlots(st *state) {
+	for k := range st.slots {
+		delete(st.slots, k)
+	}
+}
+
+// clearOverlapping drops tracked slots overlapping [disp, disp+size) except
+// the exactly-matching key (which the caller re-decides).
+func clearOverlapping(st *state, disp, size int64, except slotKey) {
+	for k := range st.slots {
+		if k == except {
+			continue
+		}
+		if k.disp < disp+size && disp < k.disp+int64(k.size) {
+			delete(st.slots, k)
+		}
+	}
+}
+
+// def assigns a value to a destination operand (with control taint already
+// folded into val by the caller).
+func (a *analysis) def(fs *funcState, st *state, dst ir.Operand, val Uniformity) {
+	switch dst.Kind {
+	case ir.OpndReg:
+		st.regs[dst.Reg] = val
+	case ir.OpndMem:
+		a.store(fs, st, dst.Mem, val)
+	}
+}
+
+// transferInstr interprets one non-terminator instruction.
+func (a *analysis) transferInstr(fs *funcState, st *state, in *ir.Instr, ctl Uniformity) {
+	switch in.Op {
+	case ir.OpNop, ir.OpLock, ir.OpUnlock, ir.OpIO, ir.OpSpin:
+		// No register, flag, or tracked-slot effect. (Lock/Unlock use their
+		// operand's address only.)
+	case ir.OpMov:
+		a.def(fs, st, in.Dst, a.readOperand(fs, st, in.Src)|ctl)
+	case ir.OpLea:
+		a.def(fs, st, in.Dst, addrUnif(st, in.Src.Mem)|ctl)
+	case ir.OpCmp, ir.OpTest, ir.OpFCmp:
+		st.flags = a.readOperand(fs, st, in.Dst) | a.readOperand(fs, st, in.Src) | ctl
+	case ir.OpCmov:
+		if in.Dst.IsMem() {
+			// Conditional store: threads whose condition fails keep the old
+			// slot value, so the result joins old, new, and the flags.
+			old := a.loadUnif(fs, st, in.Dst.Mem)
+			a.store(fs, st, in.Dst.Mem, old|a.readOperand(fs, st, in.Src)|st.flags|ctl)
+		} else {
+			st.regs[in.Dst.Reg] |= a.readOperand(fs, st, in.Src) | st.flags | ctl
+		}
+	case ir.OpNeg, ir.OpNot, ir.OpFSqrt, ir.OpFAbs:
+		a.def(fs, st, in.Dst, a.readOperand(fs, st, in.Dst)|ctl)
+	case ir.OpCvtIF, ir.OpCvtFI:
+		a.def(fs, st, in.Dst, a.readOperand(fs, st, in.Src)|ctl)
+	default:
+		// Binary RMW ALU/FPU: add, sub, mul, div, rem, and, or, xor,
+		// shifts, fadd..fdiv.
+		a.def(fs, st, in.Dst, a.readOperand(fs, st, in.Dst)|a.readOperand(fs, st, in.Src)|ctl)
+	}
+}

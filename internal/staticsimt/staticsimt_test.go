@@ -1,0 +1,359 @@
+package staticsimt_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"threadfuser/internal/core"
+	"threadfuser/internal/ir"
+	"threadfuser/internal/staticsimt"
+	"threadfuser/internal/workloads"
+)
+
+// branchOf fetches a classification the test requires to exist.
+func branchOf(t *testing.T, r *staticsimt.Result, fn, block uint32) *staticsimt.Branch {
+	t.Helper()
+	b, ok := r.Class(fn, block)
+	if !ok {
+		t.Fatalf("no classification for fn %d block %d", fn, block)
+	}
+	return b
+}
+
+func TestTIDBranchDivergent(t *testing.T) {
+	pb := ir.NewBuilder("tid-branch")
+	f := pb.NewFunc("main")
+	entry := f.NewBlock("entry")
+	then := f.NewBlock("then")
+	els := f.NewBlock("else")
+	join := f.NewBlock("join")
+	entry.Cmp(ir.Rg(ir.TID), ir.Imm(2))
+	entry.Jcc(ir.CondLT, then, els)
+	then.Add(ir.Rg(ir.R(0)), ir.Imm(1))
+	then.Jmp(join)
+	els.Add(ir.Rg(ir.R(0)), ir.Imm(2))
+	els.Jmp(join)
+	join.Ret()
+	p := pb.MustBuild()
+
+	r := staticsimt.Analyze(p, staticsimt.Options{})
+	br := branchOf(t, r, 0, 0)
+	if br.Uniform {
+		t.Fatalf("tid compare classified uniform: %+v", br)
+	}
+	if len(br.Causes) != 1 || br.Causes[0] != "tid" {
+		t.Fatalf("causes = %v, want [tid]", br.Causes)
+	}
+	if got, want := br.Reconverge, int32(join.ID()); got != want {
+		t.Fatalf("reconverge = b%d, want b%d", got, want)
+	}
+	if len(br.RegionBlocks) != 2 {
+		t.Fatalf("region = %v, want the two arms", br.RegionBlocks)
+	}
+}
+
+func TestImmediateBranchUniform(t *testing.T) {
+	pb := ir.NewBuilder("imm-branch")
+	f := pb.NewFunc("main")
+	entry := f.NewBlock("entry")
+	then := f.NewBlock("then")
+	done := f.NewBlock("done")
+	entry.Mov(ir.Rg(ir.R(0)), ir.Imm(5))
+	entry.Cmp(ir.Rg(ir.R(0)), ir.Imm(3))
+	entry.Jcc(ir.CondGT, then, done)
+	then.Add(ir.Rg(ir.R(1)), ir.Imm(1))
+	then.Jmp(done)
+	done.Ret()
+	p := pb.MustBuild()
+
+	r := staticsimt.Analyze(p, staticsimt.Options{})
+	if br := branchOf(t, r, 0, 0); !br.Uniform {
+		t.Fatalf("immediate-only compare classified divergent: %+v", br)
+	}
+	if r.UniformBranches != 1 || r.DivergentBranches != 0 {
+		t.Fatalf("totals = %d/%d, want 1/0", r.UniformBranches, r.DivergentBranches)
+	}
+}
+
+// A value that is uniform on both arms of a divergent diamond still differs
+// across threads after the merge; the control taint must catch it.
+func TestControlTaintAtMerge(t *testing.T) {
+	pb := ir.NewBuilder("ctl-merge")
+	f := pb.NewFunc("main")
+	entry := f.NewBlock("entry")
+	then := f.NewBlock("then")
+	els := f.NewBlock("else")
+	join := f.NewBlock("join")
+	tail := f.NewBlock("tail")
+	done := f.NewBlock("done")
+	entry.Cmp(ir.Rg(ir.TID), ir.Imm(2))
+	entry.Jcc(ir.CondLT, then, els)
+	then.Mov(ir.Rg(ir.R(1)), ir.Imm(10)) // uniform value, divergent definition site
+	then.Jmp(join)
+	els.Mov(ir.Rg(ir.R(1)), ir.Imm(20))
+	els.Jmp(join)
+	join.Cmp(ir.Rg(ir.R(1)), ir.Imm(15))
+	join.Jcc(ir.CondLT, tail, done)
+	tail.Jmp(done)
+	done.Ret()
+	p := pb.MustBuild()
+
+	r := staticsimt.Analyze(p, staticsimt.Options{})
+	br := branchOf(t, r, 0, uint32(join.ID()))
+	if br.Uniform {
+		t.Fatalf("merge of divergent definitions classified uniform: %+v", br)
+	}
+	found := false
+	for _, c := range br.Causes {
+		if c == "control" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("causes = %v, want control taint", br.Causes)
+	}
+}
+
+func TestStackSlotTracking(t *testing.T) {
+	build := func(invalidate bool) *ir.Program {
+		pb := ir.NewBuilder("slots")
+		f := pb.NewFunc("main")
+		entry := f.NewBlock("entry")
+		then := f.NewBlock("then")
+		done := f.NewBlock("done")
+		entry.Mov(ir.Mem(ir.SP, -8, 8), ir.Imm(7)) // uniform spill
+		if invalidate {
+			// A store at an unknown frame offset wipes slot tracking.
+			entry.Mov(ir.MemIdx(ir.SP, ir.R(0), 1, -64, 8), ir.Imm(0))
+		}
+		entry.Mov(ir.Rg(ir.R(2)), ir.Mem(ir.SP, -8, 8)) // reload
+		entry.Cmp(ir.Rg(ir.R(2)), ir.Imm(0))
+		entry.Jcc(ir.CondEQ, then, done)
+		then.Jmp(done)
+		done.Ret()
+		return pb.MustBuild()
+	}
+
+	r := staticsimt.Analyze(build(false), staticsimt.Options{})
+	if br := branchOf(t, r, 0, 0); !br.Uniform {
+		t.Fatalf("tracked-slot reload classified divergent: %+v", br)
+	}
+	r = staticsimt.Analyze(build(true), staticsimt.Options{})
+	br := branchOf(t, r, 0, 0)
+	if br.Uniform {
+		t.Fatalf("reload after indexed frame store stayed uniform: %+v", br)
+	}
+	if len(br.Causes) != 1 || br.Causes[0] != "memory" {
+		t.Fatalf("causes = %v, want [memory]", br.Causes)
+	}
+}
+
+func TestCallPropagation(t *testing.T) {
+	// main moves a value into r0 and calls leaf, which branches on r0;
+	// leaf also returns TID in r1, which main then branches on.
+	build := func(arg ir.Operand) *ir.Program {
+		pb := ir.NewBuilder("calls")
+		mainF := pb.NewFunc("main")
+		leafF := pb.NewFunc("leaf")
+
+		entry := mainF.NewBlock("entry")
+		cont := mainF.NewBlock("cont")
+		tail := mainF.NewBlock("tail")
+		done := mainF.NewBlock("done")
+		entry.Mov(ir.Rg(ir.R(0)), arg)
+		entry.Call(leafF, cont)
+		cont.Cmp(ir.Rg(ir.R(1)), ir.Imm(0)) // r1 set by leaf
+		cont.Jcc(ir.CondEQ, tail, done)
+		tail.Jmp(done)
+		done.Ret()
+
+		lentry := leafF.NewBlock("entry")
+		lthen := leafF.NewBlock("then")
+		lret := leafF.NewBlock("ret")
+		lentry.Cmp(ir.Rg(ir.R(0)), ir.Imm(1))
+		lentry.Jcc(ir.CondEQ, lthen, lret)
+		lthen.Jmp(lret)
+		lret.Mov(ir.Rg(ir.R(1)), ir.Rg(ir.TID))
+		lret.Ret()
+		return pb.MustBuild()
+	}
+
+	r := staticsimt.Analyze(build(ir.Imm(1)), staticsimt.Options{})
+	if br := branchOf(t, r, 1, 0); !br.Uniform {
+		t.Fatalf("leaf branch on uniform argument classified divergent: %+v", br)
+	}
+	if br := branchOf(t, r, 0, 1); br.Uniform {
+		t.Fatalf("caller branch on callee's TID result classified uniform: %+v", br)
+	}
+
+	r = staticsimt.Analyze(build(ir.Rg(ir.TID)), staticsimt.Options{})
+	if br := branchOf(t, r, 1, 0); br.Uniform {
+		t.Fatalf("leaf branch on TID argument classified uniform: %+v", br)
+	}
+}
+
+func TestIsomorphicArmsMeld(t *testing.T) {
+	pb := ir.NewBuilder("meld-iso")
+	f := pb.NewFunc("main")
+	entry := f.NewBlock("entry")
+	then := f.NewBlock("then")
+	els := f.NewBlock("else")
+	join := f.NewBlock("join")
+	entry.Cmp(ir.Rg(ir.TID), ir.Imm(2))
+	entry.Jcc(ir.CondLT, then, els)
+	then.Add(ir.Rg(ir.R(1)), ir.Imm(3))
+	then.Mul(ir.Rg(ir.R(1)), ir.Rg(ir.R(4)))
+	then.Jmp(join)
+	els.Add(ir.Rg(ir.R(2)), ir.Imm(3)) // same code modulo r1→r2
+	els.Mul(ir.Rg(ir.R(2)), ir.Rg(ir.R(4)))
+	els.Jmp(join)
+	join.Ret()
+	p := pb.MustBuild()
+
+	r := staticsimt.Analyze(p, staticsimt.Options{})
+	if r.Meldable != 1 {
+		t.Fatalf("meldable = %d, want 1\nfuncs: %+v", r.Meldable, r.Funcs)
+	}
+	m := r.Funcs[0].Melds[0]
+	if m.Kind != "isomorphic-arms" || m.ThenInstrs != 2 || m.SavedIssues != 2 {
+		t.Fatalf("meld = %+v", m)
+	}
+}
+
+func TestOverBudgetMeld(t *testing.T) {
+	pb := ir.NewBuilder("meld-budget")
+	f := pb.NewFunc("main")
+	entry := f.NewBlock("entry")
+	then := f.NewBlock("then")
+	els := f.NewBlock("else")
+	join := f.NewBlock("join")
+	entry.Cmp(ir.Rg(ir.TID), ir.Imm(2))
+	entry.Jcc(ir.CondLT, then, els)
+	for i := 0; i < 13; i++ { // over the O3 budget of 12, but speculation-safe
+		then.Add(ir.Rg(ir.R(1)), ir.Imm(1))
+		els.Add(ir.Rg(ir.R(2)), ir.Imm(2)) // not isomorphic: different imm
+	}
+	then.Jmp(join)
+	els.Jmp(join)
+	join.Ret()
+	p := pb.MustBuild()
+
+	r := staticsimt.Analyze(p, staticsimt.Options{})
+	if r.Meldable != 1 {
+		t.Fatalf("meldable = %d, want 1\nfuncs: %+v", r.Meldable, r.Funcs)
+	}
+	m := r.Funcs[0].Melds[0]
+	if m.Kind != "if-convertible-over-budget" || m.NeedBudget != 13 {
+		t.Fatalf("meld = %+v", m)
+	}
+}
+
+func TestUnreachableFunctionMarked(t *testing.T) {
+	pb := ir.NewBuilder("phantom")
+	mainF := pb.NewFunc("main")
+	deadF := pb.NewFunc("dead")
+	entry := mainF.NewBlock("entry")
+	entry.Ret()
+	dentry := deadF.NewBlock("entry")
+	dthen := deadF.NewBlock("then")
+	dret := deadF.NewBlock("ret")
+	dentry.Cmp(ir.Rg(ir.R(0)), ir.Imm(0))
+	dentry.Jcc(ir.CondEQ, dthen, dret)
+	dthen.Jmp(dret)
+	dret.Ret()
+	p := pb.MustBuild()
+
+	r := staticsimt.Analyze(p, staticsimt.Options{})
+	if len(r.Funcs) != 2 || !r.Funcs[1].Unreachable {
+		t.Fatalf("dead function not marked unreachable: %+v", r.Funcs)
+	}
+	// Worst-case entry: the branch on r0 must be divergent, not uniform.
+	if br := branchOf(t, r, 1, 0); br.Uniform {
+		t.Fatalf("phantom branch on unknown register classified uniform: %+v", br)
+	}
+}
+
+// TestOracleSoundOnAllWorkloads is the ground-truth validation the issue
+// demands: no branch the oracle calls uniform may record a divergence during
+// dynamic replay, on any built-in workload, at two warp sizes.
+func TestOracleSoundOnAllWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			inst, err := w.Instantiate(workloads.Config{})
+			if err != nil {
+				t.Fatalf("instantiate: %v", err)
+			}
+			static := staticsimt.Analyze(inst.Prog, staticsimt.Options{})
+			tr, err := inst.Trace()
+			if err != nil {
+				t.Fatalf("trace: %v", err)
+			}
+			for _, warpSize := range []int{8, 32} {
+				opts := core.Defaults()
+				opts.WarpSize = warpSize
+				rep, err := core.Analyze(tr, opts)
+				if err != nil {
+					t.Fatalf("analyze (warp %d): %v", warpSize, err)
+				}
+				for _, br := range rep.Branches {
+					if br.Divergences == 0 {
+						continue
+					}
+					fn := inst.Prog.FuncByName(br.Func)
+					if fn == nil {
+						t.Fatalf("warp %d: report names unknown function %q", warpSize, br.Func)
+					}
+					cls, ok := static.Class(uint32(fn.ID), br.Block)
+					if !ok {
+						t.Errorf("warp %d: %s b%d diverged but has no static classification",
+							warpSize, br.Func, br.Block)
+						continue
+					}
+					if cls.Uniform {
+						t.Errorf("warp %d: %s b%d diverged %d times but was classified uniform (soundness bug)",
+							warpSize, br.Func, br.Block, br.Divergences)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The JSON projection must be byte-for-byte deterministic and round-trip.
+func TestJSONDeterministicRoundTrip(t *testing.T) {
+	w, err := workloads.ByName("bfs")
+	if err != nil {
+		// Name set may evolve; fall back to the first registered workload.
+		w = workloads.All()[0]
+	}
+	inst, err := w.Instantiate(workloads.Config{})
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	enc := func() []byte {
+		r := staticsimt.Analyze(inst.Prog, staticsimt.Options{})
+		b, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return b
+	}
+	a, b := enc(), enc()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two runs produced different JSON")
+	}
+	var back staticsimt.Result
+	if err := json.Unmarshal(a, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	c, err := json.MarshalIndent(&back, "", "  ")
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatalf("JSON did not round-trip")
+	}
+}

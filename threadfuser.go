@@ -34,6 +34,7 @@ import (
 	"threadfuser/internal/cpusim"
 	"threadfuser/internal/gpusim"
 	"threadfuser/internal/simtrace"
+	"threadfuser/internal/staticsimt"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/warp"
 	"threadfuser/internal/workloads"
@@ -167,13 +168,39 @@ func Lint(tr *trace.Trace, o Options) (*LintReport, error) {
 	return analysis.Run(tr, o.analysisOptions())
 }
 
-// LintWorkload traces and lints a bundled workload in one step.
+// LintWorkload traces and lints a bundled workload in one step. Unlike Lint
+// on a bare trace, the workload's IR is available, so the static
+// oracle-vs-replay pass runs too.
 func LintWorkload(w *workloads.Workload, o Options) (*LintReport, error) {
-	tr, err := Trace(w, o)
+	inst, err := w.Instantiate(workloads.Config{Seed: o.Seed, Threads: o.Threads})
 	if err != nil {
 		return nil, err
 	}
-	return Lint(tr, o)
+	tr, err := inst.Trace()
+	if err != nil {
+		return nil, err
+	}
+	opts := o.analysisOptions()
+	opts.Prog = inst.Prog
+	return analysis.Run(tr, opts)
+}
+
+// StaticReport is the static SIMT oracle's projection for one program:
+// per-branch uniformity classifications with divergence causes, divergent
+// reconvergence regions, and DARM-style melding opportunities (see
+// internal/staticsimt).
+type StaticReport = staticsimt.Result
+
+// StaticWorkload runs the static SIMT oracle over a bundled workload's IR.
+// No trace is collected — the oracle predicts divergence from the program
+// text alone, soundly: a branch it classifies uniform never splits a warp
+// in any replay (the "staticuniform" check invariant).
+func StaticWorkload(w *workloads.Workload, o Options) (*StaticReport, error) {
+	inst, err := w.Instantiate(workloads.Config{Seed: o.Seed, Threads: o.Threads})
+	if err != nil {
+		return nil, err
+	}
+	return staticsimt.Analyze(inst.Prog, staticsimt.Options{}), nil
 }
 
 // CheckReport is the verification engine's outcome for one trace: the
@@ -213,13 +240,21 @@ func Check(name string, tr *trace.Trace, o Options) (*CheckReport, error) {
 	return check.Run(name, tr, o.checkOptions())
 }
 
-// CheckWorkload traces and verifies a bundled workload in one step.
+// CheckWorkload traces and verifies a bundled workload in one step. The
+// workload's IR is attached, so the "staticuniform" invariant (static
+// oracle soundness) is enforced in addition to the trace-only catalog.
 func CheckWorkload(w *workloads.Workload, o Options) (*CheckReport, error) {
-	tr, err := Trace(w, o)
+	inst, err := w.Instantiate(workloads.Config{Seed: o.Seed, Threads: o.Threads})
 	if err != nil {
 		return nil, err
 	}
-	return Check(w.Name, tr, o)
+	tr, err := inst.Trace()
+	if err != nil {
+		return nil, err
+	}
+	opts := o.checkOptions()
+	opts.Prog = inst.Prog
+	return check.Run(w.Name, tr, opts)
 }
 
 // Projection is a cycle-level speedup projection from the simulator path.
