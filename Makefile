@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race bench check lint staticcheck tfcheck tfstatic
+.PHONY: build vet test test-race bench bench-decode check lint staticcheck tfcheck tfstatic
 
 build:
 	$(GO) build ./...
@@ -49,9 +49,16 @@ tfcheck:
 tfstatic:
 	$(GO) run ./cmd/tfstatic -all -q
 
-# Run the key analyzer benchmarks and record the perf trajectory in
-# BENCH_analyzer.json (ns/op, allocs/op, serial-vs-parallel speedup).
+# Run the key analyzer benchmarks (replay + trace decode) and record the
+# perf trajectory in BENCH_analyzer.json: a JSON array with per-row ns/op,
+# MB/s, allocs/op, the replay serial-vs-parallel speedup, and the v3
+# parallel-decode speedup over the v1 serial baseline.
 bench:
 	scripts/bench.sh
+
+# Just the trace-decode benchmarks (v1/v2/v3 serial, v3 parallel), without
+# the make-check gate or the JSON artifact — a quick loop for codec work.
+bench-decode:
+	$(GO) test -run '^$$' -bench 'BenchmarkDecodeV(1Serial|2Serial|3Serial|3Parallel)$$' -benchmem -count=1 .
 
 check: build vet test test-race lint staticcheck tfcheck tfstatic

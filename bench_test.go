@@ -13,6 +13,7 @@ package threadfuser
 // granularity, and lock-emulation cost.
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 
@@ -462,5 +463,99 @@ func BenchmarkAblationLockReconvergence(b *testing.B) {
 			})
 			b.ReportMetric(rep.Efficiency, "efficiency")
 		})
+	}
+}
+
+// ------------------------------------------------------- decode benchmarks
+
+// decodeBench caches the parsec.vips/64-thread trace encoded in all three
+// container versions, so the decode benchmarks measure pure decoding.
+var decodeBench struct {
+	once       sync.Once
+	v1, v2, v3 []byte
+	err        error
+}
+
+func decodeBenchSetup(b *testing.B) {
+	b.Helper()
+	decodeBench.once.Do(func() {
+		w, err := workloads.ByName("parsec.vips")
+		if err != nil {
+			decodeBench.err = err
+			return
+		}
+		inst, err := w.Instantiate(workloads.Config{Seed: 1, Threads: 64})
+		if err != nil {
+			decodeBench.err = err
+			return
+		}
+		tr, err := inst.Trace()
+		if err != nil {
+			decodeBench.err = err
+			return
+		}
+		var v1, v2, v3 bytes.Buffer
+		if err := trace.Encode(&v1, tr); err != nil {
+			decodeBench.err = err
+			return
+		}
+		if err := trace.EncodeCompact(&v2, tr); err != nil {
+			decodeBench.err = err
+			return
+		}
+		if err := trace.EncodeIndexed(&v3, tr); err != nil {
+			decodeBench.err = err
+			return
+		}
+		decodeBench.v1 = v1.Bytes()
+		decodeBench.v2 = v2.Bytes()
+		decodeBench.v3 = v3.Bytes()
+	})
+	if decodeBench.err != nil {
+		b.Fatal(decodeBench.err)
+	}
+}
+
+func benchDecodeSerial(b *testing.B, data []byte) {
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Decode(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeV1Serial is the baseline the decode speedup figure in
+// BENCH_analyzer.json is computed against.
+func BenchmarkDecodeV1Serial(b *testing.B) {
+	decodeBenchSetup(b)
+	benchDecodeSerial(b, decodeBench.v1)
+}
+
+func BenchmarkDecodeV2Serial(b *testing.B) {
+	decodeBenchSetup(b)
+	benchDecodeSerial(b, decodeBench.v2)
+}
+
+// BenchmarkDecodeV3Serial decodes the indexed format front-to-back without
+// using the index, isolating the container overhead.
+func BenchmarkDecodeV3Serial(b *testing.B) {
+	decodeBenchSetup(b)
+	benchDecodeSerial(b, decodeBench.v3)
+}
+
+// BenchmarkDecodeV3Parallel fans per-thread section decoding over one worker
+// per core using the v3 index. The decoded trace is identical to the serial
+// path; only wall-clock differs.
+func BenchmarkDecodeV3Parallel(b *testing.B) {
+	decodeBenchSetup(b)
+	data := decodeBench.v3
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.DecodeParallel(bytes.NewReader(data), int64(len(data)), 0); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -41,6 +41,8 @@ func main() {
 		sweep     = flag.Bool("sweep", false, "print an efficiency sweep over warp sizes 4..64 and exit")
 		branches  = flag.Int("branches", 5, "divergent-branch rows to print (0 = none)")
 		parallel  = flag.Int("parallel", 0, "replay worker count (0 = all cores, 1 = serial; results are identical)")
+		useCache  = flag.Bool("cache", false, "serve identical (trace, options) analyses from the on-disk report cache")
+		cacheDir  = flag.String("cache-dir", "", "report cache directory (implies -cache; default $XDG_CACHE_HOME/threadfuser)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: tfanalyze -trace file.tft [flags]\n\nflags:\n")
@@ -58,10 +60,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	tr, err := trace.ReadFile(*path)
+	// Indexed (v3) traces decode thread-parallel; v1/v2 fall back to the
+	// sequential decoder transparently.
+	tr, err := trace.ReadFileParallel(*path, *parallel)
 	if err != nil {
 		fatal(err)
 	}
+	cache := core.OpenFlagCache(*useCache, *cacheDir)
 	if *exclude != "" {
 		tr, err = trace.ExcludeFunctions(tr, strings.Split(*exclude, ",")...)
 		if err != nil {
@@ -99,6 +104,7 @@ func main() {
 		// A session validates the trace and builds DCFG+IPDOM once for all
 		// five warp-width points.
 		sess := core.NewSession()
+		sess.SetCache(cache)
 		fmt.Printf("%-10s %s\n", "warp size", "SIMT efficiency")
 		for _, ws := range []int{4, 8, 16, 32, 64} {
 			o := opts
@@ -111,7 +117,7 @@ func main() {
 		}
 		return
 	}
-	rep, err := core.Analyze(tr, opts)
+	rep, _, err := core.AnalyzeCached(cache, tr, opts)
 	if err != nil {
 		fatal(err)
 	}

@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"threadfuser/internal/check"
+	"threadfuser/internal/core"
 	"threadfuser/internal/ir"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/warp"
@@ -52,6 +53,8 @@ func main() {
 		asJSON     = flag.Bool("json", false, "emit reports as a JSON array")
 		reproDir   = flag.String("repro-dir", "", "write shrunken reproducer traces for generated failures to this directory")
 		quiet      = flag.Bool("q", false, "print only failing inputs")
+		useCache   = flag.Bool("cache", false, "serve already-verified (trace, options) replays from the on-disk report cache")
+		cacheDir   = flag.String("cache-dir", "", "report cache directory (implies -cache; default $XDG_CACHE_HOME/threadfuser)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: tfcheck [flags] [trace.tft ...]\n")
@@ -68,7 +71,7 @@ func main() {
 		return
 	}
 
-	opts := check.Options{}
+	opts := check.Options{Cache: core.OpenFlagCache(*useCache, *cacheDir)}
 	var err error
 	if opts.WarpSizes, err = parseInts(*warpsFlag); err != nil {
 		usageError("bad -warps: %v", err)

@@ -44,6 +44,8 @@ func main() {
 		list      = flag.Bool("list", false, "list the available passes and exit")
 		asJSON    = flag.Bool("json", false, "emit reports as a JSON array")
 		parallel  = flag.Int("parallel", 0, "worker count (0 = all cores, 1 = serial; findings are identical)")
+		useCache  = flag.Bool("cache", false, "serve identical (trace, options) replay reports from the on-disk report cache")
+		cacheDir  = flag.String("cache-dir", "", "report cache directory (implies -cache; default $XDG_CACHE_HOME/threadfuser)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: tflint [flags] [trace.tft ...]\n")
@@ -64,7 +66,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tflint:", err)
 		os.Exit(2)
 	}
-	opts := analysis.Options{WarpSize: *warpSize, Parallelism: *parallel}
+	opts := analysis.Options{
+		WarpSize:    *warpSize,
+		Parallelism: *parallel,
+		Cache:       core.OpenFlagCache(*useCache, *cacheDir),
+	}
 	switch *formation {
 	case "round-robin":
 		opts.Formation = warp.RoundRobin

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"threadfuser/internal/core"
 	"threadfuser/internal/report"
 )
 
@@ -85,6 +86,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "input-generation seed")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		parallel = flag.Int("parallel", 0, "worker count for experiment cells and replay (0 = all cores, 1 = serial; results are identical)")
+		useCache = flag.Bool("cache", false, "serve identical (trace, options) analyses from the on-disk report cache")
+		cacheDir = flag.String("cache-dir", "", "report cache directory (implies -cache; default $XDG_CACHE_HOME/threadfuser)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -104,7 +107,13 @@ func main() {
 		return
 	}
 
-	scale := report.Scale{Threads: *threads, Full: *full, Seed: *seed, Parallel: *parallel}
+	scale := report.Scale{
+		Threads:  *threads,
+		Full:     *full,
+		Seed:     *seed,
+		Parallel: *parallel,
+		Cache:    core.OpenFlagCache(*useCache, *cacheDir),
+	}
 	ran := false
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.id {

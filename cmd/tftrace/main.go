@@ -32,6 +32,7 @@ func main() {
 		list    = flag.Bool("list", false, "list available workloads and exit")
 		disasm  = flag.Bool("disasm", false, "print the workload's (post-transform) listing instead of tracing")
 		compact = flag.Bool("compact", false, "write the delta-compressed v2 trace format")
+		index   = flag.Bool("index", false, "write the indexed v3 format (v2 compression plus a per-thread seek index for streaming/parallel readers)")
 		quiet   = flag.Bool("q", false, "suppress the summary line")
 	)
 	flag.Parse()
@@ -83,6 +84,9 @@ func main() {
 	write := trace.WriteFile
 	if *compact {
 		write = trace.WriteFileCompact
+	}
+	if *index {
+		write = trace.WriteFileIndexed
 	}
 	if err := write(path, tr); err != nil {
 		fatal(err)

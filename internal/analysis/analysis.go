@@ -165,6 +165,10 @@ type Options struct {
 	// (static-oracle-vs-replay comparison). Nil disables it: trace-only
 	// inputs have no IR to analyze.
 	Prog *ir.Program
+	// Cache, if set, is attached to the run's session: replay reports the
+	// passes request are served from it when present and stored after
+	// computation. Findings are unaffected — only replay time is.
+	Cache *core.Cache
 }
 
 // Context is the shared state passes run against.
@@ -288,6 +292,9 @@ func RunSession(sess *core.Session, t *trace.Trace, opts Options) (*Report, erro
 	}
 	if opts.WarpSize < 1 || opts.WarpSize > simt.MaxWarpSize {
 		return nil, fmt.Errorf("analysis: warp size %d out of range 1..%d", opts.WarpSize, simt.MaxWarpSize)
+	}
+	if opts.Cache != nil {
+		sess.SetCache(opts.Cache)
 	}
 	all := Passes()
 	selected := make(map[string]bool, len(all))

@@ -53,6 +53,10 @@ type Options struct {
 	// property (static-oracle soundness against replay). Nil leaves that
 	// property vacuously true: trace-only inputs have no IR.
 	Prog *ir.Program
+	// Cache, if set, is attached to the default session, so matrix cells
+	// already analyzed in an earlier run skip replay. Ignored when Analyze
+	// is overridden (fault-injected analyzers must actually run).
+	Cache *core.Cache
 }
 
 func (o Options) withDefaults() Options {
@@ -260,6 +264,9 @@ func Run(name string, tr *trace.Trace, opts Options) (*Report, error) {
 	analyze := opts.Analyze
 	if analyze == nil {
 		sess := core.NewSession()
+		if opts.Cache != nil {
+			sess.SetCache(opts.Cache)
+		}
 		analyze = sess.Analyze
 	}
 	c := &ctx{

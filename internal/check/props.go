@@ -176,7 +176,7 @@ var properties = []Property{
 	},
 	{
 		id:   "codec",
-		desc: "encode-decode-encode is a fixed point for both codec versions",
+		desc: "encode-decode-encode is a fixed point for every codec version",
 		check: func(c *ctx) {
 			cell := Cell{WarpSize: c.opts.WarpSizes[0], Parallelism: 1, Formation: c.opts.Formations[0]}
 			encoders := []struct {
@@ -185,6 +185,7 @@ var properties = []Property{
 			}{
 				{"v1", func(b *bytes.Buffer, t *trace.Trace) error { return trace.Encode(b, t) }},
 				{"v2", func(b *bytes.Buffer, t *trace.Trace) error { return trace.EncodeCompact(b, t) }},
+				{"v3", func(b *bytes.Buffer, t *trace.Trace) error { return trace.EncodeIndexed(b, t) }},
 			}
 			var decoded []*trace.Trace
 			for _, e := range encoders {
@@ -213,9 +214,9 @@ var properties = []Property{
 					"%s round trip changed validity", e.name)
 				decoded = append(decoded, t2)
 			}
-			if len(decoded) == 2 {
-				c.assert(cell, reflect.DeepEqual(decoded[0], decoded[1]),
-					"v1 and v2 round trips decode to different traces")
+			for i := 1; i < len(decoded); i++ {
+				c.assert(cell, reflect.DeepEqual(decoded[0], decoded[i]),
+					"v1 and %s round trips decode to different traces", encoders[i].name)
 			}
 		},
 	},

@@ -172,8 +172,15 @@ func prepare(t *trace.Trace) (*prep, error) {
 	return &prep{graphs: graphs, pdoms: ipdom.ComputeAll(graphs)}, nil
 }
 
+// testHookReplay, when non-nil, is called every time a replay actually runs.
+// Cache tests use it to prove a hit skips replay entirely.
+var testHookReplay func()
+
 // analyzeWith replays a prepared trace under one configuration.
 func analyzeWith(t *trace.Trace, p *prep, warps []warp.Warp, opts Options) (*Report, error) {
+	if testHookReplay != nil {
+		testHookReplay()
+	}
 	res, err := simt.Replay(t, p.graphs, p.pdoms, warps, simt.Options{
 		WarpSize:          opts.WarpSize,
 		EmulateLocks:      opts.EmulateLocks,

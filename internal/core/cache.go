@@ -1,0 +1,182 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"threadfuser/internal/trace"
+)
+
+// Cache is a content-addressed on-disk report cache: every tfreport, tflint,
+// and tfcheck invocation re-pays full replay even for a trace it analyzed
+// seconds ago, and on paper-scale traces that preparation dominates. Entries
+// are keyed by a SHA-256 over the trace content (its canonical v2 encoding,
+// so the same trace hits regardless of which container version it travelled
+// through) combined with the canonicalized analysis options and a schema
+// tag that self-invalidates every entry when the Report format changes.
+//
+// The cache is strictly best-effort: writes are atomic (temp file + rename)
+// so readers never see a torn entry, and any unreadable, corrupt, or
+// schema-mismatched entry is treated as a miss and recomputed — corruption
+// never surfaces as an error. A Cache is safe for concurrent use, including
+// by multiple processes sharing one directory.
+type Cache struct {
+	dir string
+}
+
+// cacheSchema versions the on-disk entry layout AND the semantics of the
+// cached computation. Bump it whenever Report gains fields or replay
+// semantics change, so stale entries self-invalidate.
+const cacheSchema = 1
+
+// cacheEntry is the stored JSON envelope.
+type cacheEntry struct {
+	Schema int     `json:"schema"`
+	Report *Report `json:"report"`
+}
+
+// NewCache returns a cache rooted at dir. The directory is created lazily on
+// first store, so pointing at a read-only or nonexistent location merely
+// disables storing.
+func NewCache(dir string) *Cache {
+	return &Cache{dir: dir}
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// DefaultCacheDir is the per-user default cache location the CLI front-ends
+// share (-cache with no -cache-dir).
+func DefaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ".tfcache"
+	}
+	return filepath.Join(base, "threadfuser")
+}
+
+// OpenFlagCache resolves the -cache/-cache-dir CLI convention the front-ends
+// share: nil (caching disabled) unless either flag is set, the default
+// per-user directory when only -cache is given.
+func OpenFlagCache(enabled bool, dir string) *Cache {
+	if !enabled && dir == "" {
+		return nil
+	}
+	if dir == "" {
+		dir = DefaultCacheDir()
+	}
+	return NewCache(dir)
+}
+
+// traceDigest hashes the trace content by streaming its canonical (v2)
+// encoding through SHA-256; no intermediate buffer is materialized.
+func traceDigest(t *trace.Trace) ([sha256.Size]byte, error) {
+	h := sha256.New()
+	if err := trace.EncodeCompact(h, t); err != nil {
+		return [sha256.Size]byte{}, err
+	}
+	var sum [sha256.Size]byte
+	copy(sum[:], h.Sum(nil))
+	return sum, nil
+}
+
+// cacheKeyFromDigest mixes the canonicalized options into the trace digest.
+// Parallelism is deliberately excluded (parallel and serial replay are
+// bit-identical — a standing tfcheck invariant), as is Listener (a listener
+// observes replay, so listener runs bypass the cache entirely).
+func cacheKeyFromDigest(sum [sha256.Size]byte, opts Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "threadfuser report schema %d\n", cacheSchema)
+	h.Write(sum[:])
+	fmt.Fprintf(h, "\nwarp=%d formation=%s locks=%t lockreconv=%s\n",
+		opts.WarpSize, opts.Formation, opts.EmulateLocks, opts.LockReconvergence)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheKey computes the full content-addressed key for one analysis.
+func cacheKey(t *trace.Trace, opts Options) (string, error) {
+	sum, err := traceDigest(t)
+	if err != nil {
+		return "", err
+	}
+	return cacheKeyFromDigest(sum, opts), nil
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// get loads the entry for key. Every failure mode — missing file, torn or
+// truncated JSON, schema mismatch — is a miss, never an error.
+func (c *Cache) get(key string) (*Report, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(b, &e) != nil || e.Schema != cacheSchema || e.Report == nil {
+		return nil, false
+	}
+	// Rebuild the lazily-built name index eagerly so a cached report is
+	// indistinguishable (reflect.DeepEqual) from a freshly computed one —
+	// the verification engine compares reports across matrix cells.
+	e.Report.funcIndex = buildFuncIndex(e.Report.PerFunction)
+	return e.Report, true
+}
+
+// put stores the report under key, atomically: the entry is written to a
+// temp file in the same directory and renamed into place, so a concurrent
+// reader (or a crashed writer) can never observe a partial entry. Failures
+// are swallowed — a cache that cannot store is just a cache that misses.
+func (c *Cache) put(key string, r *Report) {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	b, err := json.Marshal(cacheEntry{Schema: cacheSchema, Report: r})
+	if err != nil {
+		return
+	}
+	f, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return
+	}
+	_, werr := f.Write(b)
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(f.Name())
+		return
+	}
+	if err := os.Rename(f.Name(), c.path(key)); err != nil {
+		os.Remove(f.Name())
+	}
+}
+
+// AnalyzeCached runs the full analyzer pipeline through the cache: a hit
+// returns the stored report without validating, preparing, or replaying the
+// trace; a miss computes and stores. A nil cache, or options carrying a
+// Listener (which must observe a real replay), degrade to a plain Analyze.
+// The boolean reports whether the result came from the cache.
+func AnalyzeCached(c *Cache, t *trace.Trace, opts Options) (*Report, bool, error) {
+	if c == nil || opts.Listener != nil {
+		r, err := Analyze(t, opts)
+		return r, false, err
+	}
+	key, kerr := cacheKey(t, opts)
+	if kerr == nil {
+		if r, ok := c.get(key); ok {
+			return r, true, nil
+		}
+	}
+	r, err := Analyze(t, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if kerr == nil {
+		c.put(key, r)
+	}
+	return r, false, nil
+}

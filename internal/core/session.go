@@ -1,6 +1,7 @@
 package core
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sync"
 
@@ -22,14 +23,22 @@ import (
 // after analyzing it through a Session yields stale results; build a new
 // trace (or a new Session) instead.
 type Session struct {
-	mu    sync.Mutex
-	preps map[*trace.Trace]*prepEntry
-	warps map[warpKey]*warpsEntry
+	mu      sync.Mutex
+	preps   map[*trace.Trace]*prepEntry
+	warps   map[warpKey]*warpsEntry
+	digests map[*trace.Trace]*digestEntry
+	cache   *Cache
 }
 
 type prepEntry struct {
 	once sync.Once
 	p    *prep
+	err  error
+}
+
+type digestEntry struct {
+	once sync.Once
+	sum  [sha256.Size]byte
 	err  error
 }
 
@@ -48,17 +57,41 @@ type warpsEntry struct {
 // NewSession returns an empty Session.
 func NewSession() *Session {
 	return &Session{
-		preps: make(map[*trace.Trace]*prepEntry),
-		warps: make(map[warpKey]*warpsEntry),
+		preps:   make(map[*trace.Trace]*prepEntry),
+		warps:   make(map[warpKey]*warpsEntry),
+		digests: make(map[*trace.Trace]*digestEntry),
 	}
+}
+
+// SetCache attaches an on-disk report cache to the session. Subsequent
+// Analyze calls consult it first; a hit skips preparation and replay
+// entirely. Passing nil detaches the cache. The trace content digest the key
+// needs is memoized per trace, so a sweep over many configurations hashes
+// each trace once.
+func (s *Session) SetCache(c *Cache) {
+	s.mu.Lock()
+	s.cache = c
+	s.mu.Unlock()
 }
 
 // Analyze is equivalent to the package-level Analyze but reuses the
 // session's cached DCFG/IPDOM products and warp formations for traces it
-// has seen before.
+// has seen before, and consults the attached report cache (if any) first.
 func (s *Session) Analyze(t *trace.Trace, opts Options) (*Report, error) {
 	if opts.WarpSize == 0 {
 		return nil, fmt.Errorf("core: WarpSize must be set (use core.Defaults)")
+	}
+	s.mu.Lock()
+	c := s.cache
+	s.mu.Unlock()
+	key := ""
+	if c != nil && opts.Listener == nil {
+		if sum, err := s.digest(t); err == nil {
+			key = cacheKeyFromDigest(sum, opts)
+			if r, ok := c.get(key); ok {
+				return r, nil
+			}
+		}
 	}
 	p, err := s.prep(t)
 	if err != nil {
@@ -68,7 +101,24 @@ func (s *Session) Analyze(t *trace.Trace, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return analyzeWith(t, p, warps, opts)
+	r, err := analyzeWith(t, p, warps, opts)
+	if err == nil && key != "" {
+		c.put(key, r)
+	}
+	return r, err
+}
+
+// digest returns the trace's memoized content digest.
+func (s *Session) digest(t *trace.Trace) ([sha256.Size]byte, error) {
+	s.mu.Lock()
+	e := s.digests[t]
+	if e == nil {
+		e = &digestEntry{}
+		s.digests[t] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.sum, e.err = traceDigest(t) })
+	return e.sum, e.err
 }
 
 // Prepared returns the trace's memoized DCFGs and post-dominator trees,

@@ -176,7 +176,7 @@ func Fig9(s Scale) (*Fig9Data, error) {
 			if err != nil {
 				return err
 			}
-			sess := core.NewSession()
+			sess := s.session()
 			base, err := sess.Analyze(tr, s.options(32, false))
 			if err != nil {
 				return err

@@ -31,6 +31,10 @@ type Scale struct {
 	// index-addressed slots and cross-cell statistics are aggregated
 	// serially in the original order.
 	Parallel int
+	// Cache, if set, serves replay reports for (trace, options) pairs the
+	// cache has seen before and stores new ones. Tracing and the hardware
+	// oracle still run; only analyzer replays are skipped.
+	Cache *core.Cache
 }
 
 func (s Scale) config(w *workloads.Workload) workloads.Config {
@@ -65,8 +69,17 @@ func analyze(w *workloads.Workload, s Scale, warpSize int, locks bool) (*core.Re
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	rep, err := core.Analyze(tr, s.options(warpSize, locks))
+	rep, _, err := core.AnalyzeCached(s.Cache, tr, s.options(warpSize, locks))
 	return rep, tr, inst, err
+}
+
+// session returns a fresh analysis session wired to the scale's cache.
+func (s Scale) session() *core.Session {
+	sess := core.NewSession()
+	if s.Cache != nil {
+		sess.SetCache(s.Cache)
+	}
+	return sess
 }
 
 // ---------------------------------------------------------------- Figure 1
@@ -105,7 +118,7 @@ func Fig1(s Scale) (*Fig1Data, error) {
 			if err != nil {
 				return err
 			}
-			sess := core.NewSession()
+			sess := s.session()
 			for _, width := range []int{8, 16, 32} {
 				rep, err := sess.Analyze(tr, s.options(width, false))
 				if err != nil {
@@ -279,7 +292,7 @@ func fig5(s Scale, metric string, pred func(*core.Report) float64, ref func(*hwM
 				if err != nil {
 					return err
 				}
-				rep, err := core.Analyze(tr, s.options(32, false))
+				rep, _, err := core.AnalyzeCached(s.Cache, tr, s.options(32, false))
 				if err != nil {
 					return err
 				}

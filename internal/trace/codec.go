@@ -79,18 +79,21 @@ func WriteFile(path string, t *Trace) error {
 type encoder struct {
 	w   *bufio.Writer
 	buf [binary.MaxVarintLen64]byte
+	n   int64 // bytes written so far (byte offsets for the v3 index)
 	err error
 }
 
 func (e *encoder) bytes(b []byte) {
 	if e.err == nil {
 		_, e.err = e.w.Write(b)
+		e.n += int64(len(b))
 	}
 }
 
 func (e *encoder) byte(b byte) {
 	if e.err == nil {
 		e.err = e.w.WriteByte(b)
+		e.n++
 	}
 }
 
@@ -145,24 +148,49 @@ func (e *encoder) bool(b bool) {
 	}
 }
 
-// Decode reads a trace in the .tft binary format.
+// Decode reads a trace in the .tft binary format. All format versions are
+// accepted transparently: v1 (raw addresses), v2 (delta-encoded addresses),
+// and v3 (delta-encoded with an index footer, which a pure stream decode
+// simply never reads).
 func Decode(r io.Reader) (*Trace, error) {
 	d := &decoder{r: bufio.NewReaderSize(r, 1<<16)}
+	h := d.header()
+	if d.err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", d.err)
+	}
+	t := &Trace{Program: h.Program, Entry: h.Entry, Funcs: h.Funcs}
+	for i := 0; i < h.NumThreads && d.err == nil; i++ {
+		t.Threads = append(t.Threads, d.thread(h.Version))
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", d.err)
+	}
+	return t, nil
+}
+
+// header decodes the version-independent header section: magic, version,
+// program name, entry function, the function table, and the thread count.
+func (d *decoder) header() *Header {
 	var m [4]byte
-	if _, err := io.ReadFull(d.r, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: decode: %w", err)
+	if d.err == nil {
+		_, d.err = io.ReadFull(d.r, m[:])
+	}
+	if d.err != nil {
+		return nil
 	}
 	if string(m[:]) != magic {
-		return nil, fmt.Errorf("trace: decode: bad magic %q", m[:])
+		d.err = fmt.Errorf("bad magic %q", m[:])
+		return nil
 	}
 	v := d.uvarint()
-	if v != version && v != version2 {
-		return nil, fmt.Errorf("trace: decode: unsupported version %d", v)
+	if d.err == nil && v != version && v != version2 && v != version3 {
+		d.err = fmt.Errorf("unsupported version %d", v)
+		return nil
 	}
-	t := &Trace{Program: d.str()}
-	t.Entry = uint32(d.uvarint())
+	h := &Header{Version: int(v), Program: d.str()}
+	h.Entry = uint32(d.uvarint())
 	nf := d.count("function", d.uvarint())
-	t.Funcs = make([]FuncInfo, 0, preallocCap(nf))
+	h.Funcs = make([]FuncInfo, 0, preallocCap(nf))
 	for i := uint64(0); i < nf && d.err == nil; i++ {
 		fi := FuncInfo{Name: d.str()}
 		nb := d.count("block", d.uvarint())
@@ -170,29 +198,34 @@ func Decode(r io.Reader) (*Trace, error) {
 		for j := uint64(0); j < nb && d.err == nil; j++ {
 			fi.Blocks = append(fi.Blocks, BlockInfo{NInstr: uint32(d.uvarint())})
 		}
-		t.Funcs = append(t.Funcs, fi)
+		h.Funcs = append(h.Funcs, fi)
 	}
-	nt := d.uvarint()
-	for i := uint64(0); i < nt && d.err == nil; i++ {
-		th := &ThreadTrace{TID: int(d.uvarint())}
-		nr := d.uvarint()
-		th.Records = make([]Record, 0, preallocCap(nr))
-		var prevAddr uint64
-		for j := uint64(0); j < nr && d.err == nil; j++ {
-			if v == version2 {
-				var r Record
-				r, prevAddr = d.record2(prevAddr)
-				th.Records = append(th.Records, r)
-			} else {
-				th.Records = append(th.Records, d.record())
-			}
-		}
-		t.Threads = append(t.Threads, th)
-	}
+	h.NumThreads = int(d.count("thread", d.uvarint()))
 	if d.err != nil {
-		return nil, fmt.Errorf("trace: decode: %w", d.err)
+		return nil
 	}
-	return t, nil
+	return h
+}
+
+// thread decodes one thread section. Counts are attacker-controlled like any
+// other declared count, so the record count goes through the same cap the
+// function/block/access counts use. Address deltas reset at the start of each
+// thread in every versioned encoding, so sections decode independently.
+func (d *decoder) thread(version int) *ThreadTrace {
+	th := &ThreadTrace{TID: int(d.uvarint())}
+	nr := d.count("record", d.uvarint())
+	th.Records = make([]Record, 0, preallocCap(nr))
+	var prevAddr uint64
+	for j := uint64(0); j < nr && d.err == nil; j++ {
+		if version >= version2 {
+			var r Record
+			r, prevAddr = d.record2(prevAddr)
+			th.Records = append(th.Records, r)
+		} else {
+			th.Records = append(th.Records, d.record())
+		}
+	}
+	return th
 }
 
 // ReadFile decodes the named .tft file.

@@ -1,0 +1,337 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"threadfuser/internal/pool"
+)
+
+// Version 3 of the .tft format keeps the v2 delta-encoded record stream but
+// appends a per-thread index footer, so readers can decode the header (the
+// function table) without touching thread data and can seek to any thread
+// independently. That is what makes paper-scale ingest parallel: a 42K-thread
+// trace decodes one thread section per worker instead of one byte stream per
+// file.
+//
+// Layout:
+//
+//	header   magic "TFTR" | version=3 | program | entry | functable | nthreads
+//	threads  nthreads × { tid uvarint, nrecords uvarint, v2-encoded records }
+//	         (address deltas reset at each thread, as in v2)
+//	footer   headerlen uvarint | nthreads uvarint
+//	         nthreads × { tid uvarint, offset uvarint, length uvarint }
+//	         (offsets are absolute file offsets of each thread section)
+//	trailer  footerlen uint64 LE | magic "TFXI"     (fixed 12 bytes)
+//
+// The trailer is fixed-size so a reader finds the footer by reading the last
+// 12 bytes and seeking back footerlen more. A v3 stream read front to back is
+// a valid v2-style stream followed by bytes Decode never consumes, which is
+// how Decode handles v3 transparently.
+
+const (
+	version3     = 3
+	indexMagic   = "TFXI"
+	trailerSize  = 12 // uint64 footer length + 4-byte index magic
+	minIndexSize = trailerSize + 3
+)
+
+// ErrNoIndex reports that a .tft input has no usable thread index: it is a
+// v1/v2 file, or its footer is missing, truncated, or corrupt. Callers fall
+// back to the sequential whole-stream Decode; an unreadable index never makes
+// an otherwise-decodable trace unreadable.
+var ErrNoIndex = errors.New("trace: no thread index")
+
+// Header is the metadata section of a .tft file: everything before the
+// per-thread event streams. ReadHeader returns it without decoding any
+// thread data.
+type Header struct {
+	Version    int
+	Program    string
+	Entry      uint32
+	Funcs      []FuncInfo
+	NumThreads int
+}
+
+// ReadHeader decodes only the metadata section of a .tft stream (any
+// version): program name, entry function, function table, and thread count.
+// It reads nothing past the header, so on a v3 file it touches a few KB of a
+// trace that may be gigabytes.
+func ReadHeader(r io.Reader) (*Header, error) {
+	d := &decoder{r: bufio.NewReaderSize(r, 1<<12)}
+	h := d.header()
+	if d.err != nil {
+		return nil, fmt.Errorf("trace: header: %w", d.err)
+	}
+	return h, nil
+}
+
+// EncodeIndexed writes the trace to w in the indexed v3 format.
+func EncodeIndexed(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	e := &encoder{w: bw}
+	e.bytes([]byte(magic))
+	e.uvarint(version3)
+	e.str(t.Program)
+	e.uvarint(uint64(t.Entry))
+	e.uvarint(uint64(len(t.Funcs)))
+	for _, f := range t.Funcs {
+		e.str(f.Name)
+		e.uvarint(uint64(len(f.Blocks)))
+		for _, b := range f.Blocks {
+			e.uvarint(uint64(b.NInstr))
+		}
+	}
+	e.uvarint(uint64(len(t.Threads)))
+	headerLen := e.n
+	index := make([]indexEntry, len(t.Threads))
+	for i, th := range t.Threads {
+		off := e.n
+		e.uvarint(uint64(th.TID))
+		e.uvarint(uint64(len(th.Records)))
+		var prevAddr uint64
+		for j := range th.Records {
+			prevAddr = e.record2(&th.Records[j], prevAddr)
+		}
+		index[i] = indexEntry{tid: th.TID, off: off, len: e.n - off}
+	}
+	footerOff := e.n
+	e.uvarint(uint64(headerLen))
+	e.uvarint(uint64(len(index)))
+	for _, en := range index {
+		e.uvarint(uint64(en.tid))
+		e.uvarint(uint64(en.off))
+		e.uvarint(uint64(en.len))
+	}
+	var trailer [trailerSize]byte
+	binary.LittleEndian.PutUint64(trailer[:8], uint64(e.n-footerOff))
+	copy(trailer[8:], indexMagic)
+	e.bytes(trailer[:])
+	if e.err != nil {
+		return e.err
+	}
+	return bw.Flush()
+}
+
+// WriteFileIndexed encodes the trace to the named file in v3 format.
+func WriteFileIndexed(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := EncodeIndexed(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+type indexEntry struct {
+	tid      int
+	off, len int64
+}
+
+// Reader provides random access to the thread sections of an indexed v3
+// trace. Thread decodes are independent of each other, so a Reader is safe
+// for concurrent use by multiple goroutines.
+type Reader struct {
+	ra     io.ReaderAt
+	size   int64
+	hdr    *Header
+	index  []indexEntry
+	closer io.Closer
+}
+
+// NewReader validates the index footer of a v3 trace held in ra. Any input
+// without a usable index — a v1/v2 file, a truncated footer, offsets past
+// EOF — yields an error wrapping ErrNoIndex so callers can fall back to the
+// sequential Decode.
+func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
+	if size < minIndexSize {
+		return nil, fmt.Errorf("%w: %d-byte input is too short for a footer", ErrNoIndex, size)
+	}
+	var trailer [trailerSize]byte
+	if _, err := ra.ReadAt(trailer[:], size-trailerSize); err != nil {
+		return nil, fmt.Errorf("%w: reading trailer: %v", ErrNoIndex, err)
+	}
+	if string(trailer[8:]) != indexMagic {
+		return nil, fmt.Errorf("%w: no trailer magic", ErrNoIndex)
+	}
+	footerLen := int64(binary.LittleEndian.Uint64(trailer[:8]))
+	if footerLen <= 0 || footerLen > size-trailerSize {
+		return nil, fmt.Errorf("%w: implausible footer length %d in a %d-byte file", ErrNoIndex, footerLen, size)
+	}
+	footerOff := size - trailerSize - footerLen
+	d := &decoder{r: bufio.NewReaderSize(io.NewSectionReader(ra, footerOff, footerLen), 1<<12)}
+	headerLen := int64(d.uvarint())
+	n := d.count("thread", d.uvarint())
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: decoding footer: %v", ErrNoIndex, d.err)
+	}
+	index := make([]indexEntry, 0, preallocCap(n))
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		e := indexEntry{
+			tid: int(d.uvarint()),
+			off: int64(d.uvarint()),
+			len: int64(d.uvarint()),
+		}
+		if d.err != nil {
+			break
+		}
+		if e.off < headerLen || e.len < 0 || e.off+e.len > footerOff {
+			return nil, fmt.Errorf("%w: thread %d section [%d,+%d) outside data region [%d,%d)",
+				ErrNoIndex, e.tid, e.off, e.len, headerLen, footerOff)
+		}
+		index = append(index, e)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: decoding footer: %v", ErrNoIndex, d.err)
+	}
+	if headerLen <= 0 || headerLen > footerOff {
+		return nil, fmt.Errorf("%w: implausible header length %d", ErrNoIndex, headerLen)
+	}
+	hdr, err := ReadHeader(io.NewSectionReader(ra, 0, headerLen))
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Version != version3 {
+		return nil, fmt.Errorf("%w: version %d file carries a footer", ErrNoIndex, hdr.Version)
+	}
+	if hdr.NumThreads != len(index) {
+		return nil, fmt.Errorf("%w: header declares %d threads, index has %d", ErrNoIndex, hdr.NumThreads, len(index))
+	}
+	return &Reader{ra: ra, size: size, hdr: hdr, index: index}, nil
+}
+
+// OpenFile opens the named .tft file as an indexed Reader. The caller must
+// Close it. A file without a usable index fails with ErrNoIndex.
+func OpenFile(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := NewReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.closer = f
+	return r, nil
+}
+
+// Close releases the underlying file when the Reader owns one (OpenFile).
+func (r *Reader) Close() error {
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}
+
+// Header returns the trace's metadata section.
+func (r *Reader) Header() *Header { return r.hdr }
+
+// NumThreads returns the number of thread sections in the index.
+func (r *Reader) NumThreads() int { return len(r.index) }
+
+// TID returns the thread id of section i without decoding it.
+func (r *Reader) TID(i int) int { return r.index[i].tid }
+
+// Thread decodes thread section i. Sections decode independently (address
+// deltas reset per thread), so concurrent calls are safe.
+func (r *Reader) Thread(i int) (*ThreadTrace, error) {
+	if i < 0 || i >= len(r.index) {
+		return nil, fmt.Errorf("trace: thread section %d out of range [0,%d)", i, len(r.index))
+	}
+	en := r.index[i]
+	d := &decoder{r: bufio.NewReaderSize(io.NewSectionReader(r.ra, en.off, en.len), 1<<15)}
+	th := d.thread(version3)
+	if d.err != nil {
+		return nil, fmt.Errorf("trace: thread section %d (tid %d): %w", i, en.tid, d.err)
+	}
+	if th.TID != en.tid {
+		return nil, fmt.Errorf("trace: thread section %d decodes tid %d, index says %d", i, th.TID, en.tid)
+	}
+	return th, nil
+}
+
+// Iter returns an iterator over the thread sections in file order. Each
+// Next decodes exactly one section, so a consumer that processes threads one
+// at a time never materializes the whole trace.
+func (r *Reader) Iter() *ThreadIter { return &ThreadIter{r: r} }
+
+// ThreadIter yields one ThreadTrace per Next call.
+type ThreadIter struct {
+	r *Reader
+	i int
+}
+
+// Next decodes and returns the next thread section, or (nil, io.EOF) after
+// the last one.
+func (it *ThreadIter) Next() (*ThreadTrace, error) {
+	if it.i >= it.r.NumThreads() {
+		return nil, io.EOF
+	}
+	th, err := it.r.Thread(it.i)
+	it.i++
+	return th, err
+}
+
+// DecodeParallel decodes a trace from ra, fanning per-thread section decodes
+// out over a bounded worker pool (parallelism 0 = one worker per core, 1 =
+// serial). Assembly is deterministic: threads land at their index position,
+// so the result is identical to Decode at every parallelism. Inputs without
+// a usable index (v1/v2 files, corrupt footers) degrade to the sequential
+// whole-stream decode rather than erroring.
+func DecodeParallel(ra io.ReaderAt, size int64, parallelism int) (*Trace, error) {
+	r, err := NewReader(ra, size)
+	if err != nil {
+		if errors.Is(err, ErrNoIndex) {
+			return Decode(io.NewSectionReader(ra, 0, size))
+		}
+		return nil, err
+	}
+	t := &Trace{Program: r.hdr.Program, Entry: r.hdr.Entry, Funcs: r.hdr.Funcs}
+	if r.NumThreads() == 0 {
+		return t, nil
+	}
+	t.Threads = make([]*ThreadTrace, r.NumThreads())
+	g := pool.New(parallelism)
+	for i := range t.Threads {
+		i := i
+		g.Go(func() error {
+			th, err := r.Thread(i)
+			if err != nil {
+				return err
+			}
+			t.Threads[i] = th
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadFileParallel decodes the named .tft file with DecodeParallel.
+func ReadFileParallel(path string, parallelism int) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	return DecodeParallel(f, st.Size(), parallelism)
+}

@@ -1,0 +1,323 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestIndexedCodecRoundTrip: Decode(EncodeIndexed(t)) == t for arbitrary
+// valid traces — the v3 stream is readable front to back without the index.
+func TestIndexedCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTrace(rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		if err := EncodeIndexed(&buf, tr); err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Logf("decode v3: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(tr, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeParallelMatchesDecode: indexed parallel decode assembles the
+// exact same trace as the sequential stream decode, at several worker counts.
+func TestDecodeParallelMatchesDecode(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		tr := randomTrace(rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		if err := EncodeIndexed(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		for _, par := range []int{1, 4, 0} {
+			got, err := DecodeParallel(bytes.NewReader(data), int64(len(data)), par)
+			if err != nil {
+				t.Fatalf("seed %d par %d: %v", seed, par, err)
+			}
+			if !reflect.DeepEqual(tr, got) {
+				t.Fatalf("seed %d par %d: parallel decode mismatch", seed, par)
+			}
+		}
+	}
+}
+
+// TestDecodeParallelFallsBackWithoutIndex: v1 and v2 inputs have no index
+// and must degrade to the sequential path, never to an error.
+func TestDecodeParallelFallsBackWithoutIndex(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(7)))
+	for name, encode := range map[string]func(io.Writer, *Trace) error{
+		"v1": Encode, "v2": EncodeCompact,
+	} {
+		var buf bytes.Buffer
+		if err := encode(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		if _, err := NewReader(bytes.NewReader(data), int64(len(data))); !errors.Is(err, ErrNoIndex) {
+			t.Errorf("%s: NewReader error = %v, want ErrNoIndex", name, err)
+		}
+		got, err := DecodeParallel(bytes.NewReader(data), int64(len(data)), 4)
+		if err != nil {
+			t.Fatalf("%s: fallback decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(tr, got) {
+			t.Errorf("%s: fallback decode mismatch", name)
+		}
+	}
+}
+
+// TestReadHeaderAllVersions: ReadHeader returns the same metadata from all
+// three encodings and never needs the thread data.
+func TestReadHeaderAllVersions(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(3)))
+	for name, encode := range map[string]func(io.Writer, *Trace) error{
+		"v1": Encode, "v2": EncodeCompact, "v3": EncodeIndexed,
+	} {
+		var buf bytes.Buffer
+		if err := encode(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		h, err := ReadHeader(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h.Program != tr.Program || h.Entry != tr.Entry || h.NumThreads != len(tr.Threads) {
+			t.Errorf("%s: header = %q/%d/%d threads, want %q/%d/%d",
+				name, h.Program, h.Entry, h.NumThreads, tr.Program, tr.Entry, len(tr.Threads))
+		}
+		if !reflect.DeepEqual(h.Funcs, tr.Funcs) {
+			t.Errorf("%s: function table mismatch", name)
+		}
+	}
+}
+
+// TestReaderThreadsAndIter: per-thread random access and the iterator both
+// reproduce the encoded streams, in file order, without a whole-trace decode.
+func TestReaderThreadsAndIter(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(11)))
+	var buf bytes.Buffer
+	if err := EncodeIndexed(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumThreads() != len(tr.Threads) {
+		t.Fatalf("NumThreads = %d, want %d", r.NumThreads(), len(tr.Threads))
+	}
+	// Random access, deliberately out of order.
+	for i := r.NumThreads() - 1; i >= 0; i-- {
+		if r.TID(i) != tr.Threads[i].TID {
+			t.Fatalf("TID(%d) = %d, want %d", i, r.TID(i), tr.Threads[i].TID)
+		}
+		th, err := r.Thread(i)
+		if err != nil {
+			t.Fatalf("Thread(%d): %v", i, err)
+		}
+		if !reflect.DeepEqual(th, tr.Threads[i]) {
+			t.Fatalf("Thread(%d) mismatch", i)
+		}
+	}
+	if _, err := r.Thread(r.NumThreads()); err == nil {
+		t.Error("Thread(out of range) succeeded")
+	}
+	// Iterator, in order, ending with io.EOF.
+	it := r.Iter()
+	for i := 0; ; i++ {
+		th, err := it.Next()
+		if err == io.EOF {
+			if i != len(tr.Threads) {
+				t.Fatalf("iterator stopped after %d threads, want %d", i, len(tr.Threads))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(th, tr.Threads[i]) {
+			t.Fatalf("iterated thread %d mismatch", i)
+		}
+	}
+}
+
+func TestOpenFileAndReadFileParallel(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(5)))
+	dir := t.TempDir()
+	indexed := filepath.Join(dir, "indexed.tft")
+	if err := WriteFileIndexed(indexed, tr); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFile(indexed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := r.Thread(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(th, tr.Threads[0]) {
+		t.Error("Thread(0) mismatch")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFileParallel(indexed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Error("ReadFileParallel mismatch on indexed file")
+	}
+	// And the plain ReadFile still understands v3.
+	got, err = ReadFile(indexed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Error("ReadFile mismatch on indexed file")
+	}
+	// Unindexed files take the fallback path.
+	plain := filepath.Join(dir, "plain.tft")
+	if err := WriteFileCompact(plain, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(plain); !errors.Is(err, ErrNoIndex) {
+		t.Errorf("OpenFile(v2) error = %v, want ErrNoIndex", err)
+	}
+	got, err = ReadFileParallel(plain, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Error("ReadFileParallel mismatch on v2 file")
+	}
+}
+
+// indexedParts splits a v3 encoding into (body, footer, trailer) so tests
+// can corrupt each region independently.
+func indexedParts(t *testing.T, tr *Trace) (body, footer, trailer []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeIndexed(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if len(b) < trailerSize {
+		t.Fatalf("encoding too short: %d bytes", len(b))
+	}
+	trailer = b[len(b)-trailerSize:]
+	fl := int(binary.LittleEndian.Uint64(trailer[:8]))
+	footer = b[len(b)-trailerSize-fl : len(b)-trailerSize]
+	return b[:len(b)-trailerSize-fl], footer, trailer
+}
+
+// TestTruncatedFooterDegrades: cutting anywhere inside the footer/trailer
+// yields ErrNoIndex from NewReader, and DecodeParallel still succeeds via
+// the sequential path (the thread data is intact).
+func TestTruncatedFooterDegrades(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(13)))
+	body, footer, trailer := indexedParts(t, tr)
+	full := append(append(append([]byte(nil), body...), footer...), trailer...)
+	for _, cut := range []int{1, trailerSize - 1, trailerSize, trailerSize + len(footer)/2, trailerSize + len(footer)} {
+		data := full[:len(full)-cut]
+		if _, err := NewReader(bytes.NewReader(data), int64(len(data))); !errors.Is(err, ErrNoIndex) {
+			t.Errorf("cut %d: NewReader error = %v, want ErrNoIndex", cut, err)
+		}
+		got, err := DecodeParallel(bytes.NewReader(data), int64(len(data)), 2)
+		if err != nil {
+			t.Errorf("cut %d: DecodeParallel: %v", cut, err)
+			continue
+		}
+		if !reflect.DeepEqual(tr, got) {
+			t.Errorf("cut %d: fallback decode mismatch", cut)
+		}
+	}
+}
+
+// TestIndexOffsetsPastEOFDegrade: a footer whose offsets point outside the
+// data region is rejected as ErrNoIndex, and DecodeParallel falls back to
+// the stream decode rather than erroring.
+func TestIndexOffsetsPastEOFDegrade(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(17)))
+	body, _, _ := indexedParts(t, tr)
+
+	uv := func(buf []byte, v uint64) []byte {
+		var tmp [binary.MaxVarintLen64]byte
+		return append(buf, tmp[:binary.PutUvarint(tmp[:], v)]...)
+	}
+	bogus := []struct {
+		name     string
+		off, len uint64
+	}{
+		{"offset past EOF", uint64(len(body)) + 1000, 10},
+		{"length past EOF", uint64(len(body)) - 1, 1 << 30},
+		{"offset inside header", 1, 10},
+	}
+	for _, c := range bogus {
+		var footer []byte
+		footer = uv(footer, 10)                      // headerLen
+		footer = uv(footer, uint64(len(tr.Threads))) // nthreads
+		for range tr.Threads {
+			footer = uv(footer, 0) // tid
+			footer = uv(footer, c.off)
+			footer = uv(footer, c.len)
+		}
+		data := append(append([]byte(nil), body...), footer...)
+		var trailer [trailerSize]byte
+		binary.LittleEndian.PutUint64(trailer[:8], uint64(len(footer)))
+		copy(trailer[8:], indexMagic)
+		data = append(data, trailer[:]...)
+
+		if _, err := NewReader(bytes.NewReader(data), int64(len(data))); !errors.Is(err, ErrNoIndex) {
+			t.Errorf("%s: NewReader error = %v, want ErrNoIndex", c.name, err)
+		}
+		got, err := DecodeParallel(bytes.NewReader(data), int64(len(data)), 2)
+		if err != nil {
+			t.Errorf("%s: DecodeParallel: %v", c.name, err)
+			continue
+		}
+		if !reflect.DeepEqual(tr, got) {
+			t.Errorf("%s: fallback decode mismatch", c.name)
+		}
+	}
+}
+
+// TestDecodeCapsThreadAndRecordCounts: the count caps cover the thread count
+// and the per-thread record count, so a corrupt header cannot drive
+// pathological decode loops (the counts the fuzz-hardening pass previously
+// left unchecked).
+func TestDecodeCapsThreadAndRecordCounts(t *testing.T) {
+	// v1 header: program "", entry 0, 0 funcs, then an absurd thread count.
+	hugeThreads := append([]byte("TFTR\x01\x00\x00\x00"), 0xff, 0xff, 0xff, 0xff, 0x7f)
+	// Same header, 1 thread with tid 0 and an absurd record count.
+	hugeRecords := append([]byte("TFTR\x01\x00\x00\x00\x01\x00"), 0xff, 0xff, 0xff, 0xff, 0x7f)
+	for name, data := range map[string][]byte{
+		"thread count": hugeThreads,
+		"record count": hugeRecords,
+	} {
+		_, err := Decode(bytes.NewReader(data))
+		if err == nil {
+			t.Errorf("%s: implausible count decoded successfully", name)
+			continue
+		}
+		if want := "implausible"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+			t.Errorf("%s: error %q does not mention %q", name, err, want)
+		}
+	}
+}

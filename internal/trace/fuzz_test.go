@@ -47,14 +47,17 @@ func fuzzSeedTrace() *trace.Trace {
 // never silently consumed by the structural passes.
 func FuzzDecode(f *testing.F) {
 	seed := fuzzSeedTrace()
-	var v1, v2 bytes.Buffer
+	var v1, v2, v3 bytes.Buffer
 	if err := trace.Encode(&v1, seed); err != nil {
 		f.Fatal(err)
 	}
 	if err := trace.EncodeCompact(&v2, seed); err != nil {
 		f.Fatal(err)
 	}
-	for _, b := range [][]byte{v1.Bytes(), v2.Bytes()} {
+	if err := trace.EncodeIndexed(&v3, seed); err != nil {
+		f.Fatal(err)
+	}
+	for _, b := range [][]byte{v1.Bytes(), v2.Bytes(), v3.Bytes()} {
 		f.Add(b)
 		f.Add(b[:len(b)/2])
 		if len(b) > 12 {
@@ -66,6 +69,11 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte("TFT\x02garbage"))
+	// Implausible declared counts: a huge thread count, and a single thread
+	// declaring a huge record count. Both must hit the count caps, not drive
+	// pathological decode loops.
+	f.Add(append([]byte("TFTR\x01\x00\x00\x00"), 0xff, 0xff, 0xff, 0xff, 0x7f))
+	f.Add(append([]byte("TFTR\x01\x00\x00\x00\x01\x00"), 0xff, 0xff, 0xff, 0xff, 0x7f))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := trace.Decode(bytes.NewReader(data))
@@ -104,14 +112,17 @@ func roundTripCorpus(f *testing.F) [][]byte {
 	}
 	var out [][]byte
 	for _, tr := range traces {
-		var v1, v2 bytes.Buffer
+		var v1, v2, v3 bytes.Buffer
 		if err := trace.Encode(&v1, tr); err != nil {
 			f.Fatal(err)
 		}
 		if err := trace.EncodeCompact(&v2, tr); err != nil {
 			f.Fatal(err)
 		}
-		out = append(out, v1.Bytes(), v2.Bytes())
+		if err := trace.EncodeIndexed(&v3, tr); err != nil {
+			f.Fatal(err)
+		}
+		out = append(out, v1.Bytes(), v2.Bytes(), v3.Bytes())
 	}
 	return out
 }
@@ -137,6 +148,7 @@ func FuzzRoundTrip(f *testing.F) {
 		codecs := []codec{
 			{"v1", func(b *bytes.Buffer, tr *trace.Trace) error { return trace.Encode(b, tr) }},
 			{"v2", func(b *bytes.Buffer, tr *trace.Trace) error { return trace.EncodeCompact(b, tr) }},
+			{"v3", func(b *bytes.Buffer, tr *trace.Trace) error { return trace.EncodeIndexed(b, tr) }},
 		}
 		for _, c := range codecs {
 			var enc bytes.Buffer

@@ -1,0 +1,83 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"reflect"
+	"testing"
+
+	"threadfuser/internal/core"
+	"threadfuser/internal/trace"
+	"threadfuser/internal/workloads"
+)
+
+// TestGoldenCodecEquivalence is the codec-equivalence golden test: for every
+// built-in workload, the v1, v2, and v3 encodings decode to deeply-equal
+// traces (including the parallel v3 path), and the analyzer produces
+// bit-identical Reports from each — so nothing an analysis can observe
+// depends on which container version a trace travelled through.
+func TestGoldenCodecEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traces and analyzes every workload")
+	}
+	encoders := []struct {
+		name string
+		enc  func(io.Writer, *trace.Trace) error
+	}{
+		{"v1", trace.Encode},
+		{"v2", trace.EncodeCompact},
+		{"v3", trace.EncodeIndexed},
+	}
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			inst, err := w.Instantiate(workloads.Config{Threads: 8, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := inst.Trace()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var reports [][]byte
+			for _, e := range encoders {
+				var buf bytes.Buffer
+				if err := e.enc(&buf, tr); err != nil {
+					t.Fatalf("%s encode: %v", e.name, err)
+				}
+				got, err := trace.Decode(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("%s decode: %v", e.name, err)
+				}
+				if !reflect.DeepEqual(tr, got) {
+					t.Fatalf("%s: decode(encode(tr)) != tr", e.name)
+				}
+				if e.name == "v3" {
+					par, err := trace.DecodeParallel(bytes.NewReader(buf.Bytes()), int64(buf.Len()), 0)
+					if err != nil {
+						t.Fatalf("v3 parallel decode: %v", err)
+					}
+					if !reflect.DeepEqual(tr, par) {
+						t.Fatal("v3: DecodeParallel(encode(tr)) != tr")
+					}
+				}
+				rep, err := core.Analyze(got, core.Defaults())
+				if err != nil {
+					t.Fatalf("%s analyze: %v", e.name, err)
+				}
+				js, err := json.Marshal(rep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reports = append(reports, js)
+			}
+			for i := 1; i < len(reports); i++ {
+				if !bytes.Equal(reports[0], reports[i]) {
+					t.Errorf("report from %s-decoded trace differs from v1's", encoders[i].name)
+				}
+			}
+		})
+	}
+}

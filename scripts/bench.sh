@@ -1,8 +1,16 @@
 #!/bin/sh
-# Runs the analyzer's key benchmarks and writes BENCH_analyzer.json so
-# future changes have a perf trajectory to regress against. The speedup
-# field is BenchmarkReplaySerial ns/op over BenchmarkReplayParallel ns/op;
-# on a single-core runner it hovers around 1.0 by construction.
+# Runs the analyzer's key benchmarks and writes BENCH_analyzer.json — a JSON
+# ARRAY with one row per benchmark — so future changes have a perf trajectory
+# to regress against. Two derived fields carry the headline claims:
+#   replay_parallel.speedup_vs_serial        (replay scaling)
+#   decode_v3_parallel.speedup_vs_v1_serial  (indexed-decode scaling)
+# Each row records the GOMAXPROCS the run actually used (go test suffixes
+# benchmark names with -N when N > 1); on a single-core runner both speedups
+# hover around 1.0 by construction and only materialize at >= 8 cores.
+#
+# Environment:
+#   BENCH_SKIP_CHECK=1  skip the `make check` gate (CI smoke runs)
+#   BENCHTIME=1x        forwarded to -benchtime (default 1s)
 set -e
 cd "$(dirname "$0")/.."
 
@@ -10,31 +18,83 @@ cd "$(dirname "$0")/.."
 # lint or invariant checks (make check runs build/vet/test/race/lint plus
 # tfcheck over every workload and the golden-snapshot comparison) are not
 # worth recording.
-make check
+if [ "${BENCH_SKIP_CHECK:-0}" != "1" ]; then
+	make check
+fi
 
 out=BENCH_analyzer.json
-raw=$(go test -run '^$' -bench 'BenchmarkReplay(Serial|Parallel|Allocs)$' \
-	-benchmem -count=1 .)
+raw=$(go test -run '^$' \
+	-bench 'BenchmarkReplay(Serial|Parallel|Allocs)$|BenchmarkDecodeV(1Serial|2Serial|3Serial|3Parallel)$' \
+	-benchmem -benchtime "${BENCHTIME:-1s}" -count=1 .)
 echo "$raw"
 
 cores=$(nproc 2>/dev/null || echo 1)
 echo "$raw" | awk -v cores="$cores" '
-/^BenchmarkReplaySerial/   { serial_ns = $3 }
-/^BenchmarkReplayParallel/ { parallel_ns = $3 }
-/^BenchmarkReplayAllocs/   { allocs_ns = $3; bytes = $(NF-3); allocs = $(NF-1) }
-END {
-	if (serial_ns == "" || parallel_ns == "" || allocs_ns == "") {
-		print "bench.sh: missing benchmark rows" > "/dev/stderr"; exit 1
+/^Benchmark/ {
+	# Field 1 is "BenchmarkName-N"; N is the GOMAXPROCS used (absent when 1).
+	name = $1
+	procs = 1
+	if (match(name, /-[0-9]+$/)) {
+		procs = substr(name, RSTART + 1) + 0
+		name = substr(name, 1, RSTART - 1)
 	}
-	printf "{\n"
-	printf "  \"benchmark\": \"simt replay, parsec.vips, 64 threads, warp 32\",\n"
-	printf "  \"cpus\": %d,\n", cores
-	printf "  \"serial_ns_per_op\": %s,\n", serial_ns
-	printf "  \"parallel_ns_per_op\": %s,\n", parallel_ns
-	printf "  \"serial_vs_parallel_speedup\": %.2f,\n", serial_ns / parallel_ns
-	printf "  \"bytes_per_op\": %s,\n", bytes
-	printf "  \"allocs_per_op\": %s\n", allocs
-	printf "}\n"
+	sub(/^Benchmark/, "", name)
+	# Scan value/unit pairs; units anchor the values, field positions vary.
+	ns[name] = ""; mbs[name] = ""; bpo[name] = ""; apo[name] = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns[name] = $i
+		else if ($(i + 1) == "MB/s") mbs[name] = $i
+		else if ($(i + 1) == "B/op") bpo[name] = $i
+		else if ($(i + 1) == "allocs/op") apo[name] = $i
+	}
+	gomax[name] = procs
+	seen[name] = 1
+}
+function key(name) {
+	# ReplaySerial -> replay_serial, DecodeV3Parallel -> decode_v3_parallel
+	out = ""
+	for (j = 1; j <= length(name); j++) {
+		ch = substr(name, j, 1)
+		if (ch >= "A" && ch <= "Z") {
+			if (out != "") out = out "_"
+			out = out tolower(ch)
+		} else out = out ch
+	}
+	gsub(/v_([0-9])/, "v\\1", out)
+	return out
+}
+function row(name, extra,    s) {
+	s = sprintf("  {\"name\": \"%s\", \"gomaxprocs\": %d, \"ns_per_op\": %s", \
+		key(name), gomax[name], ns[name])
+	if (mbs[name] != "") s = s sprintf(", \"mb_per_s\": %s", mbs[name])
+	if (bpo[name] != "") s = s sprintf(", \"bytes_per_op\": %s", bpo[name])
+	if (apo[name] != "") s = s sprintf(", \"allocs_per_op\": %s", apo[name])
+	if (extra != "")     s = s ", " extra
+	return s "}"
+}
+END {
+	n = split("ReplaySerial ReplayParallel ReplayAllocs " \
+		"DecodeV1Serial DecodeV2Serial DecodeV3Serial DecodeV3Parallel", want, " ")
+	missing = ""
+	for (i = 1; i <= n; i++)
+		if (!(want[i] in seen) || ns[want[i]] == "")
+			missing = missing " " want[i]
+	if (missing != "") {
+		print "bench.sh: missing benchmark rows:" missing > "/dev/stderr"
+		exit 1
+	}
+	print "["
+	print "  {\"benchmark\": \"parsec.vips, 64 threads, warp 32\", \"cpus\": " cores "},"
+	print row("ReplaySerial") ","
+	print row("ReplayParallel", \
+		sprintf("\"speedup_vs_serial\": %.2f", ns["ReplaySerial"] / ns["ReplayParallel"])) ","
+	print row("ReplayAllocs") ","
+	print row("DecodeV1Serial") ","
+	print row("DecodeV2Serial") ","
+	print row("DecodeV3Serial") ","
+	print row("DecodeV3Parallel", \
+		sprintf("\"speedup_vs_v1_serial\": %.2f", ns["DecodeV1Serial"] / ns["DecodeV3Parallel"]))
+	print "]"
 }' > "$out"
 
 echo "wrote $out:"

@@ -58,6 +58,31 @@ type Options struct {
 	// core, 1 forces serial replay. Parallel and serial replay produce
 	// bit-identical reports.
 	Parallelism int
+	// Cache, if set, is consulted before analyzing and populated after: a
+	// hit returns the stored report without replaying the trace. Use
+	// OpenCache or WithCache. Parallelism does not affect cache keys
+	// (serial and parallel replay are bit-identical).
+	Cache *Cache
+}
+
+// Cache is a content-addressed on-disk report cache keyed by trace content
+// and analysis options (see internal/core). Corrupt or stale entries degrade
+// to recomputation, never errors.
+type Cache = core.Cache
+
+// OpenCache returns a report cache rooted at dir; an empty dir selects the
+// per-user default (os.UserCacheDir()/threadfuser).
+func OpenCache(dir string) *Cache {
+	if dir == "" {
+		dir = core.DefaultCacheDir()
+	}
+	return core.NewCache(dir)
+}
+
+// WithCache returns a copy of the options that routes analyses through c.
+func (o Options) WithCache(c *Cache) Options {
+	o.Cache = c
+	return o
 }
 
 func (o Options) coreOptions() core.Options {
@@ -118,9 +143,11 @@ func Trace(w *workloads.Workload, o Options) (*trace.Trace, error) {
 	return inst.Trace()
 }
 
-// Analyze runs the ThreadFuser analyzer over a previously collected trace.
+// Analyze runs the ThreadFuser analyzer over a previously collected trace,
+// consulting the configured report cache first if one is set.
 func Analyze(tr *trace.Trace, o Options) (*Report, error) {
-	return core.Analyze(tr, o.coreOptions())
+	r, _, err := core.AnalyzeCached(o.Cache, tr, o.coreOptions())
+	return r, err
 }
 
 // AnalyzeWorkload traces and analyzes a bundled workload in one step.
@@ -150,7 +177,7 @@ const (
 )
 
 func (o Options) analysisOptions() analysis.Options {
-	opts := analysis.Options{WarpSize: o.WarpSize, Parallelism: o.Parallelism}
+	opts := analysis.Options{WarpSize: o.WarpSize, Parallelism: o.Parallelism, Cache: o.Cache}
 	if o.Strided {
 		opts.Formation = warp.Strided
 	}
@@ -212,7 +239,7 @@ type CheckReport = check.Report
 type CheckViolation = check.Violation
 
 func (o Options) checkOptions() check.Options {
-	opts := check.Options{}
+	opts := check.Options{Cache: o.Cache}
 	if o.WarpSize != 0 {
 		opts.WarpSizes = []int{o.WarpSize}
 	}

@@ -172,3 +172,42 @@ func TestFacadeCheck(t *testing.T) {
 		t.Errorf("warp-16 matrix: %v", narrow.Violations)
 	}
 }
+
+func TestFacadeCache(t *testing.T) {
+	w, err := Workload("vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := OpenCache(t.TempDir())
+	o := Options{Threads: 8, Seed: 1, WarpSize: 8}.WithCache(cache)
+	tr, err := Trace(w, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Analyze(tr, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Analyze(tr, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Efficiency != second.Efficiency || first.TotalInstrs != second.TotalInstrs {
+		t.Errorf("cached analysis differs: %+v vs %+v", first, second)
+	}
+	// Uncached analysis agrees with both.
+	plain, err := Analyze(tr, Options{Threads: 8, Seed: 1, WarpSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Efficiency != second.Efficiency {
+		t.Errorf("cache changed the result: %v vs %v", plain.Efficiency, second.Efficiency)
+	}
+	// The cache also threads through the lint and check paths.
+	if _, err := Lint(tr, o); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := Check("vectoradd", tr, o); err != nil || !rep.OK() {
+		t.Fatalf("cached check: err=%v rep=%+v", err, rep)
+	}
+}
