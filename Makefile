@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race bench bench-decode check lint staticcheck tfcheck tfstatic
+.PHONY: build vet test test-race bench bench-decode bench-guard check lint staticcheck tfcheck tfstatic
 
 build:
 	$(GO) build ./...
@@ -60,5 +60,12 @@ bench:
 # the make-check gate or the JSON artifact — a quick loop for codec work.
 bench-decode:
 	$(GO) test -run '^$$' -bench 'BenchmarkDecodeV(1Serial|2Serial|3Serial|3Parallel)$$' -benchmem -count=1 .
+
+# One-iteration decode benchmarks checked against the committed allocs/op
+# ceilings in scripts/bench_baseline.json; fails if decode allocation
+# regresses (the CI guard against losing the arena decoder's near-zero
+# per-record allocation).
+bench-guard:
+	scripts/bench_guard.sh
 
 check: build vet test test-race lint staticcheck tfcheck tfstatic

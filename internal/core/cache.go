@@ -2,9 +2,12 @@ package core
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -14,8 +17,8 @@ import (
 // Cache is a content-addressed on-disk report cache: every tfreport, tflint,
 // and tfcheck invocation re-pays full replay even for a trace it analyzed
 // seconds ago, and on paper-scale traces that preparation dominates. Entries
-// are keyed by a SHA-256 over the trace content (its canonical v2 encoding,
-// so the same trace hits regardless of which container version it travelled
+// are keyed by a SHA-256 over the trace content (its decoded rows, so the
+// same trace hits regardless of which container version it travelled
 // through) combined with the canonicalized analysis options and a schema
 // tag that self-invalidates every entry when the Report format changes.
 //
@@ -31,7 +34,7 @@ type Cache struct {
 // cacheSchema versions the on-disk entry layout AND the semantics of the
 // cached computation. Bump it whenever Report gains fields or replay
 // semantics change, so stale entries self-invalidate.
-const cacheSchema = 1
+const cacheSchema = 2
 
 // cacheEntry is the stored JSON envelope.
 type cacheEntry struct {
@@ -72,16 +75,101 @@ func OpenFlagCache(enabled bool, dir string) *Cache {
 	return NewCache(dir)
 }
 
-// traceDigest hashes the trace content by streaming its canonical (v2)
-// encoding through SHA-256; no intermediate buffer is materialized.
+// traceDigest hashes the trace content by streaming its flat rows —
+// fixed-width little-endian record, access, and lock tuples plus
+// length-prefixed metadata — through SHA-256. Hashing decoded rows instead
+// of re-encoding to the canonical v2 container skips all the varint and
+// address-delta work (the digest used to cost about as much as a decode),
+// and stays construction-independent: an arena-backed decode and a
+// record-by-record build of the same trace digest identically, because only
+// field values are hashed, never layout. Counts prefix every variable-length
+// sequence, so distinct traces cannot collide by reframing.
 func traceDigest(t *trace.Trace) ([sha256.Size]byte, error) {
-	h := sha256.New()
-	if err := trace.EncodeCompact(h, t); err != nil {
-		return [sha256.Size]byte{}, err
+	w := rowHasher{h: sha256.New(), buf: make([]byte, 0, 4096)}
+	w.str("threadfuser trace rows v1")
+	w.str(t.Program)
+	w.u64(uint64(t.Entry))
+	w.u64(uint64(len(t.Funcs)))
+	for _, f := range t.Funcs {
+		w.str(f.Name)
+		w.u64(uint64(len(f.Blocks)))
+		for _, b := range f.Blocks {
+			w.u64(uint64(b.NInstr))
+		}
 	}
+	w.u64(uint64(len(t.Threads)))
+	for _, th := range t.Threads {
+		w.u64(uint64(th.TID))
+		w.u64(uint64(len(th.Records)))
+		for i := range th.Records {
+			r := &th.Records[i]
+			w.u64(uint64(r.Kind))
+			switch r.Kind {
+			case trace.KindBBL:
+				w.u64(uint64(r.Func))
+				w.u64(uint64(r.Block))
+				w.u64(r.N)
+				w.u64(uint64(len(r.Mem)))
+				for _, m := range r.Mem {
+					w.u64(uint64(m.Instr))
+					w.u64(m.Addr)
+					w.u64(uint64(m.Size))
+					w.bool(m.Store)
+				}
+				w.u64(uint64(len(r.Locks)))
+				for _, l := range r.Locks {
+					w.u64(uint64(l.Instr))
+					w.u64(l.Addr)
+					w.bool(l.Release)
+				}
+			case trace.KindCall:
+				w.u64(uint64(r.Callee))
+			case trace.KindSkip:
+				w.u64(uint64(r.SkipKind))
+				w.u64(r.N)
+			}
+		}
+	}
+	w.flush()
 	var sum [sha256.Size]byte
-	copy(sum[:], h.Sum(nil))
+	copy(sum[:], w.h.Sum(nil))
 	return sum, nil
+}
+
+// rowHasher batches fixed-width writes into one buffer between hash calls;
+// feeding SHA-256 eight bytes at a time would spend more in call overhead
+// than in compression.
+type rowHasher struct {
+	h   hash.Hash
+	buf []byte
+}
+
+func (w *rowHasher) flush() {
+	if len(w.buf) > 0 {
+		w.h.Write(w.buf)
+		w.buf = w.buf[:0]
+	}
+}
+
+func (w *rowHasher) u64(v uint64) {
+	if len(w.buf)+8 > cap(w.buf) {
+		w.flush()
+	}
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+func (w *rowHasher) bool(b bool) {
+	if b {
+		w.u64(1)
+	} else {
+		w.u64(0)
+	}
+}
+
+func (w *rowHasher) str(s string) {
+	w.u64(uint64(len(s)))
+	w.flush()
+	io.WriteString(w.h, s)
 }
 
 // cacheKeyFromDigest mixes the canonicalized options into the trace digest.

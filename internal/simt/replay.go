@@ -41,6 +41,11 @@ type Options struct {
 	// produces bit-identical Results to the serial one: every metric is a
 	// per-warp or commutative uint64 sum, merged deterministically.
 	Parallelism int
+
+	// disableRunBatch turns off same-block run batching in the replay inner
+	// loop, forcing one group-formation step per block execution. Only the
+	// batched/stepped equivalence test sets it.
+	disableRunBatch bool
 }
 
 // workers resolves the effective worker count for a warp count.
@@ -472,8 +477,17 @@ func (wr *warpReplay) run() error {
 			continue
 		}
 		if len(groups) == 1 {
-			if err := wr.execGroup(e, groups[0].pos, groups[0].mask); err != nil {
+			g := groups[0]
+			if err := wr.execGroup(e, g.pos, g.mask); err != nil {
 				return err
+			}
+			// Converged warps spend most of their time re-executing the same
+			// block (loops): batch the rest of the run without re-forming
+			// groups each iteration.
+			if g.pos.kind == posBlock && !wr.opts.disableRunBatch {
+				if err := wr.execRun(e, g.pos, g.mask); err != nil {
+					return err
+				}
 			}
 			continue
 		}
@@ -662,6 +676,52 @@ func (wr *warpReplay) execGroup(e *entry, pos position, mask uint64) error {
 		return wr.execBlock(e, pos, mask)
 	}
 	return fmt.Errorf("execGroup on %v", pos)
+}
+
+// execRun executes the tail of a run of identical block records in one
+// batch: as long as every lane's immediate next record is another execution
+// of pos's block (and carries no lock operations when locks are emulated),
+// stepping the main loop would deterministically produce the same
+// single-group execution again, so the loop's group formation, sorting, and
+// reconvergence checks are skipped wholesale. The batch is exact, not an
+// approximation: each iteration reuses execBlock, so instruction charging,
+// branch-region accounting, memory coalescing, and listener callbacks are
+// bit-identical to the stepped replay (the equivalence test pins this down).
+func (wr *warpReplay) execRun(e *entry, pos position, mask uint64) error {
+	// At the entry's reconvergence position the stepped loop pops instead of
+	// executing again (e.hasLast is set after the block above); any other
+	// pop condition needs pos.depth both >= and < the RPC depth at once,
+	// which cannot happen, so this is the only exit the batch must respect.
+	if e.hasRPC && e.rpc == pos {
+		return nil
+	}
+	for wr.sameBlockRunNext(pos, mask) {
+		if err := wr.execBlock(e, pos, mask); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sameBlockRunNext reports whether every lane in mask has, as its immediate
+// next record, another execution of pos's basic block with no lock
+// operations to serialize — the condition under which one more stepped
+// iteration is guaranteed to re-form exactly this group and execute it.
+func (wr *warpReplay) sameBlockRunNext(pos position, mask uint64) bool {
+	for m := mask; m != 0; m &= m - 1 {
+		c := &wr.cursors[bits.TrailingZeros64(m)]
+		if c.idx >= len(c.recs) {
+			return false
+		}
+		r := &c.recs[c.idx]
+		if r.Kind != trace.KindBBL || r.Func != pos.fn || r.Block != pos.block {
+			return false
+		}
+		if wr.opts.EmulateLocks && len(r.Locks) > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // execBlock performs the lockstep execution of one basic block: advances

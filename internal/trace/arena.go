@@ -1,0 +1,864 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+)
+
+// This file implements the columnar trace arena: the decoded form of a trace
+// as three flat tables — records, memory accesses, lock operations — plus a
+// per-thread span header, instead of per-thread record slices with
+// per-record access slices. The arena is what makes decode run at memory
+// bandwidth: one large allocation per table (near-zero per-record
+// allocation), filled by a byte-slice decoder with no reader interface calls
+// on the hot path, and filled in disjoint sub-ranges by parallel workers when
+// the v3 index carries per-thread table sizes.
+//
+// The public Trace/Record API is preserved as a zero-copy view: every
+// ThreadTrace.Records is a sub-slice of the arena's record table, and every
+// Record.Mem/Record.Locks is a sub-slice of the shared access/lock tables.
+// Nothing a consumer can observe distinguishes an arena-backed trace from
+// one built record by record (reflect.DeepEqual included), which is what the
+// differential tests against the legacy streaming decoder assert.
+
+// Arena is the columnar backing store of a decoded trace. All threads'
+// records live contiguously in Records (thread sections in file order), all
+// memory accesses in Mem, and all lock operations in Locks, each in record
+// order. MemOff and LockOff are prefix-offset columns of length
+// len(Records)+1: record i's accesses are Mem[MemOff[i]:MemOff[i+1]], its
+// lock operations Locks[LockOff[i]:LockOff[i+1]]. Spans maps each thread to
+// its record range.
+type Arena struct {
+	Spans   []Span
+	Records []Record
+	Mem     []MemAccess
+	Locks   []LockOp
+	MemOff  []uint32
+	LockOff []uint32
+}
+
+// Span locates one thread's records inside the arena's record table.
+type Span struct {
+	TID    int
+	Lo, Hi int // record index range [Lo,Hi)
+}
+
+// NewArena flattens an existing trace into columnar form, copying its
+// records and access/lock entries into freshly allocated tables. It is the
+// adapter in the opposite direction from decode: workload generators build
+// traces record by record, and NewArena gives tests (and anything that wants
+// contiguous tables) the arena view of them.
+func NewArena(t *Trace) *Arena {
+	var nrec, nmem, nlock int
+	for _, th := range t.Threads {
+		nrec += len(th.Records)
+		for i := range th.Records {
+			nmem += len(th.Records[i].Mem)
+			nlock += len(th.Records[i].Locks)
+		}
+	}
+	a := &Arena{
+		Spans:   make([]Span, 0, len(t.Threads)),
+		Records: make([]Record, 0, nrec),
+		Mem:     make([]MemAccess, 0, nmem),
+		Locks:   make([]LockOp, 0, nlock),
+		MemOff:  make([]uint32, 1, nrec+1),
+		LockOff: make([]uint32, 1, nrec+1),
+	}
+	for _, th := range t.Threads {
+		lo := len(a.Records)
+		for i := range th.Records {
+			r := th.Records[i] // copy; the arena owns its own entries
+			a.Mem = append(a.Mem, r.Mem...)
+			a.Locks = append(a.Locks, r.Locks...)
+			r.Mem, r.Locks = nil, nil
+			a.Records = append(a.Records, r)
+			a.MemOff = append(a.MemOff, uint32(len(a.Mem)))
+			a.LockOff = append(a.LockOff, uint32(len(a.Locks)))
+		}
+		a.Spans = append(a.Spans, Span{TID: th.TID, Lo: lo, Hi: len(a.Records)})
+	}
+	a.fixup(0, len(a.Records))
+	return a
+}
+
+// Trace materializes the view adapter: a Trace whose thread record slices
+// and per-record access/lock slices alias the arena's tables. The arena must
+// not be mutated afterwards.
+func (a *Arena) Trace(program string, entry uint32, funcs []FuncInfo) *Trace {
+	t := &Trace{Program: program, Entry: entry, Funcs: funcs}
+	if len(a.Spans) == 0 {
+		return t
+	}
+	// One block allocation for all ThreadTrace headers.
+	block := make([]ThreadTrace, len(a.Spans))
+	t.Threads = make([]*ThreadTrace, len(a.Spans))
+	for i, sp := range a.Spans {
+		block[i] = ThreadTrace{TID: sp.TID, Records: a.Records[sp.Lo:sp.Hi]}
+		t.Threads[i] = &block[i]
+	}
+	return t
+}
+
+// fixup points the Mem/Locks view slices of records [lo,hi) at their
+// sections of the shared tables. It must run only after the tables' backing
+// arrays are final (no further appends), or the views would alias stale
+// copies.
+func (a *Arena) fixup(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if s, e := a.MemOff[i], a.MemOff[i+1]; e > s {
+			a.Records[i].Mem = a.Mem[s:e]
+		}
+		if s, e := a.LockOff[i], a.LockOff[i+1]; e > s {
+			a.Records[i].Locks = a.Locks[s:e]
+		}
+	}
+}
+
+// bdec decodes .tft structures from an in-memory byte slice. Unlike the
+// stream decoder it makes no reader interface calls: the single-byte varint
+// fast path is a bounds check and an increment, which is where the decode
+// MB/s comes from.
+type bdec struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *bdec) uvarint() uint64 {
+	if off := d.off; off < len(d.data) {
+		if b := d.data[off]; b < 0x80 {
+			d.off = off + 1
+			return uint64(b)
+		}
+	}
+	return d.uvarintSlow()
+}
+
+// uvarintSlow handles multi-byte varints (raw v1 addresses are routinely 5+
+// bytes) with a manual loop: one pass, no interface or stdlib call overhead.
+func (d *bdec) uvarintSlow() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	var v uint64
+	var s uint
+	for i := d.off; i < len(d.data); i++ {
+		b := d.data[i]
+		if b < 0x80 {
+			if s >= 63 && (s > 63 || b > 1) {
+				d.err = fmt.Errorf("varint overflows uint64")
+				return 0
+			}
+			d.off = i + 1
+			return v | uint64(b)<<s
+		}
+		v |= uint64(b&0x7f) << s
+		s += 7
+		if s >= 70 {
+			d.err = fmt.Errorf("varint overflows uint64")
+			return 0
+		}
+	}
+	d.err = io.ErrUnexpectedEOF
+	return 0
+}
+
+// skipUvarint advances past one varint without decoding its value — the
+// measuring pass cares only about structure.
+func (d *bdec) skipUvarint() {
+	for i := d.off; i < len(d.data); i++ {
+		if d.data[i] < 0x80 {
+			d.off = i + 1
+			return
+		}
+	}
+	d.err = io.ErrUnexpectedEOF
+}
+
+// skip advances past n raw bytes.
+func (d *bdec) skip(n int) {
+	if len(d.data)-d.off < n {
+		d.off = len(d.data)
+		d.err = io.ErrUnexpectedEOF
+		return
+	}
+	d.off += n
+}
+
+func (d *bdec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.data) {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	b := d.data[d.off]
+	d.off++
+	return b
+}
+
+func (d *bdec) bool() bool { return d.byte() != 0 }
+
+func (d *bdec) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		d.err = fmt.Errorf("implausible string length %d", n)
+		return ""
+	}
+	if uint64(len(d.data)-d.off) < n {
+		d.err = io.ErrUnexpectedEOF
+		return ""
+	}
+	s := string(d.data[d.off : d.off+uint64asInt(n)])
+	d.off += uint64asInt(n)
+	return s
+}
+
+// uint64asInt converts a value already validated to fit.
+func uint64asInt(v uint64) int { return int(v) }
+
+// count mirrors decoder.count: declared element counts are
+// attacker-controlled, so implausible ones are rejected outright.
+func (d *bdec) count(what string, n uint64) uint64 {
+	if d.err == nil && n > maxCount {
+		d.err = fmt.Errorf("implausible %s count %d", what, n)
+	}
+	return n
+}
+
+// header decodes the version-independent metadata section, mirroring
+// decoder.header byte for byte (including prealloc clamps), so the arena and
+// stream decoders accept and reject exactly the same inputs.
+func (d *bdec) header() *Header {
+	if len(d.data)-d.off < len(magic) {
+		d.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	m := d.data[d.off : d.off+len(magic)]
+	d.off += len(magic)
+	if string(m) != magic {
+		d.err = fmt.Errorf("bad magic %q", m)
+		return nil
+	}
+	v := d.uvarint()
+	if d.err == nil && v != version && v != version2 && v != version3 {
+		d.err = fmt.Errorf("unsupported version %d", v)
+		return nil
+	}
+	h := &Header{Version: int(v), Program: d.str()}
+	h.Entry = uint32(d.uvarint())
+	nf := d.count("function", d.uvarint())
+	if d.err != nil {
+		return nil
+	}
+	h.Funcs = make([]FuncInfo, 0, preallocCap(nf))
+	for i := uint64(0); i < nf && d.err == nil; i++ {
+		fi := FuncInfo{Name: d.str()}
+		nb := d.count("block", d.uvarint())
+		fi.Blocks = make([]BlockInfo, 0, preallocCap(nb))
+		for j := uint64(0); j < nb && d.err == nil; j++ {
+			fi.Blocks = append(fi.Blocks, BlockInfo{NInstr: uint32(d.uvarint())})
+		}
+		h.Funcs = append(h.Funcs, fi)
+	}
+	h.NumThreads = int(d.count("thread", d.uvarint()))
+	if d.err != nil {
+		return nil
+	}
+	return h
+}
+
+// DecodeBytes decodes a complete in-memory .tft encoding (any version) into
+// an arena-backed trace. It is the fast path behind Decode and ReadFile;
+// trailing bytes past the last thread section (a v3 index footer) are
+// ignored, exactly as the stream decoder never reads them.
+func DecodeBytes(data []byte) (*Trace, error) {
+	t, _, err := decodeArena(data)
+	return t, err
+}
+
+// DecodeInto decodes like DecodeBytes but reuses a's tables as the backing
+// store, growing them only when this trace needs more capacity than the
+// arena already has. Steady-state decoding of similarly sized traces — the
+// scan-many-files loop — allocates almost nothing per decode and never
+// re-zeroes the tables. The returned Trace aliases the arena: the next
+// DecodeInto on the same arena overwrites it.
+func DecodeInto(data []byte, a *Arena) (*Trace, error) {
+	t, _, err := decodeArenaInto(data, a)
+	return t, err
+}
+
+// decodeArena is DecodeBytes exposing the arena, for tests and internal
+// callers that want the columnar form.
+func decodeArena(data []byte) (*Trace, *Arena, error) {
+	return decodeArenaInto(data, nil)
+}
+
+func decodeArenaInto(data []byte, a *Arena) (*Trace, *Arena, error) {
+	if a == nil {
+		a = &Arena{}
+	}
+	// Indexed inputs carry exact per-thread table sizes in the footer: skip
+	// the measuring pass and fill exactly-sized tables straight from each
+	// section. Anything without a usable index — or an index the stream
+	// contradicts — takes the measure-then-fill path below, which trusts
+	// only the stream.
+	if t, err := decodeArenaIndexed(data, a); err == nil {
+		return t, a, nil
+	}
+	d := &bdec{data: data}
+	h := d.header()
+	if d.err != nil {
+		return nil, nil, fmt.Errorf("trace: decode: %w", d.err)
+	}
+	// Measure pass: walk the thread sections once without decoding values
+	// to learn the exact table sizes. The second pass then performs one
+	// exact allocation per column and never reallocates, so decode memory
+	// equals decoded size (entries are only counted after their bytes are
+	// verified present, so a lying count cannot inflate the allocation).
+	nrec, nmem, nlock := measureStream(data, d.off, h.NumThreads)
+	a.Spans = growEmpty(a.Spans, h.NumThreads)
+	a.Records = growEmpty(a.Records, nrec)
+	a.Mem = growEmpty(a.Mem, nmem)
+	a.Locks = growEmpty(a.Locks, nlock)
+	a.MemOff = append(growEmpty(a.MemOff, nrec+1), 0)
+	a.LockOff = append(growEmpty(a.LockOff, nrec+1), 0)
+	for i := 0; i < h.NumThreads && d.err == nil; i++ {
+		a.appendThread(d, h.Version)
+	}
+	if d.err != nil {
+		return nil, nil, fmt.Errorf("trace: decode: %w", d.err)
+	}
+	a.fixup(0, len(a.Records))
+	return a.Trace(h.Program, h.Entry, h.Funcs), a, nil
+}
+
+// decodeArenaIndexed decodes a v3 input through its index footer into a:
+// exact per-section table sizes, serial section fills. It fails (for the
+// caller to fall back) on any input without a valid index or whose stream
+// disagrees with it.
+func decodeArenaIndexed(data []byte, a *Arena) (*Trace, error) {
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	if err := a.sizeFromIndex(r); err != nil {
+		return nil, err
+	}
+	ri, mi, li := 0, 0, 0
+	for i, en := range r.index {
+		if err := a.fillSection(data[en.off:en.off+en.len], en, i, ri, mi, li); err != nil {
+			return nil, err
+		}
+		ri += int(en.nrec)
+		mi += int(en.nmem)
+		li += int(en.nlock)
+	}
+	return a.Trace(r.hdr.Program, r.hdr.Entry, r.hdr.Funcs), nil
+}
+
+// sizeFromIndex sizes the arena tables exactly from an index's per-thread
+// counts, reusing existing backing arrays when they are large enough.
+// Reused tables are NOT re-zeroed: fillSection stores every field of every
+// entry it covers, and the index's counts are exactly the entries filled.
+func (a *Arena) sizeFromIndex(r *Reader) error {
+	var nrec, nmem, nlock int64
+	for _, en := range r.index {
+		nrec += en.nrec
+		nmem += en.nmem
+		nlock += en.nlock
+	}
+	if nmem > math.MaxUint32 || nlock > math.MaxUint32 {
+		return fmt.Errorf("trace: decode: implausible table size")
+	}
+	a.Spans = resize(a.Spans, len(r.index))
+	a.Records = resize(a.Records, int(nrec))
+	a.Mem = resize(a.Mem, int(nmem))
+	a.Locks = resize(a.Locks, int(nlock))
+	a.MemOff = resize(a.MemOff, int(nrec)+1)
+	a.LockOff = resize(a.LockOff, int(nrec)+1)
+	a.MemOff[0], a.LockOff[0] = 0, 0
+	return nil
+}
+
+// resize returns s with length n, reusing the backing array when its
+// capacity allows. Surviving contents are unspecified; callers overwrite
+// every element.
+func resize[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// growEmpty returns s emptied, with capacity at least n.
+func growEmpty[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:0]
+	}
+	return make([]T, 0, n)
+}
+
+// measureStream walks every thread section from off, returning the exact
+// table sizes a fill pass will produce. Values are skipped, not decoded;
+// entries count only once their bytes are verified present, so adversarial
+// counts cannot inflate the subsequent allocation. The walk is
+// version-independent: v1 and v2 records have identical field structure
+// (only the address encoding differs, invisible to a skip).
+func measureStream(data []byte, off, nthreads int) (nrec, nmem, nlock int) {
+	d := &bdec{data: data, off: off}
+	for t := 0; t < nthreads && d.err == nil; t++ {
+		d.skipUvarint() // tid
+		nr := d.count("record", d.uvarint())
+		for j := uint64(0); j < nr && d.err == nil; j++ {
+			switch Kind(d.byte()) {
+			case KindBBL:
+				d.skipUvarint() // func
+				d.skipUvarint() // block
+				d.skipUvarint() // n
+				nm := d.count("mem access", d.uvarint())
+				for i := uint64(0); i < nm && d.err == nil; i++ {
+					d.skipUvarint()
+					d.skipUvarint()
+					d.skip(2)
+					if d.err == nil {
+						nmem++
+					}
+				}
+				nl := d.count("lock op", d.uvarint())
+				for i := uint64(0); i < nl && d.err == nil; i++ {
+					d.skipUvarint()
+					d.skipUvarint()
+					d.skip(1)
+					if d.err == nil {
+						nlock++
+					}
+				}
+			case KindCall:
+				d.skipUvarint()
+			case KindRet:
+			case KindSkip:
+				d.skip(1)
+				d.skipUvarint()
+			default:
+				return nrec, nmem, nlock
+			}
+			if d.err == nil {
+				nrec++
+			}
+		}
+	}
+	return nrec, nmem, nlock
+}
+
+// appendThread decodes one thread section from d onto the end of the arena,
+// recording its span. Address deltas reset at the section start in every
+// versioned encoding, so sections decode independently.
+func (a *Arena) appendThread(d *bdec, version int) {
+	tid := int(d.uvarint())
+	nr := d.count("record", d.uvarint())
+	lo := len(a.Records)
+	var prevAddr uint64
+	for j := uint64(0); j < nr && d.err == nil; j++ {
+		if version >= version2 {
+			prevAddr = a.appendRecord2(d, prevAddr)
+		} else {
+			a.appendRecord1(d)
+		}
+	}
+	// The offset columns are uint32; a single thread cannot legally push the
+	// tables past 4G entries (each entry consumes input bytes), but guard
+	// the invariant rather than assume it.
+	if d.err == nil && (len(a.Mem) > math.MaxUint32 || len(a.Locks) > math.MaxUint32) {
+		d.err = fmt.Errorf("implausible table size")
+		return
+	}
+	a.Spans = append(a.Spans, Span{TID: tid, Lo: lo, Hi: len(a.Records)})
+}
+
+// appendRecord1 decodes one v1 (raw-address) record onto the arena.
+func (a *Arena) appendRecord1(d *bdec) {
+	r := Record{Kind: Kind(d.byte())}
+	switch r.Kind {
+	case KindBBL:
+		r.Func = uint32(d.uvarint())
+		r.Block = uint32(d.uvarint())
+		r.N = d.uvarint()
+		nm := d.count("mem access", d.uvarint())
+		for i := uint64(0); i < nm && d.err == nil; i++ {
+			a.Mem = append(a.Mem, MemAccess{
+				Instr: uint16(d.uvarint()),
+				Addr:  d.uvarint(),
+				Size:  d.byte(),
+				Store: d.bool(),
+			})
+		}
+		nl := d.count("lock op", d.uvarint())
+		for i := uint64(0); i < nl && d.err == nil; i++ {
+			a.Locks = append(a.Locks, LockOp{
+				Instr:   uint16(d.uvarint()),
+				Addr:    d.uvarint(),
+				Release: d.bool(),
+			})
+		}
+	case KindCall:
+		r.Callee = uint32(d.uvarint())
+	case KindRet:
+	case KindSkip:
+		r.SkipKind = SkipKind(d.byte())
+		r.N = d.uvarint()
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("unknown record kind %d", r.Kind)
+		}
+	}
+	a.Records = append(a.Records, r)
+	a.MemOff = append(a.MemOff, uint32(len(a.Mem)))
+	a.LockOff = append(a.LockOff, uint32(len(a.Locks)))
+}
+
+// appendRecord2 decodes one v2/v3 (delta-address) record onto the arena.
+func (a *Arena) appendRecord2(d *bdec, prevAddr uint64) uint64 {
+	r := Record{Kind: Kind(d.byte())}
+	switch r.Kind {
+	case KindBBL:
+		r.Func = uint32(d.uvarint())
+		r.Block = uint32(d.uvarint())
+		r.N = d.uvarint()
+		nm := d.count("mem access", d.uvarint())
+		for i := uint64(0); i < nm && d.err == nil; i++ {
+			instr := uint16(d.uvarint())
+			addr := prevAddr + uint64(unzigzag(d.uvarint()))
+			prevAddr = addr
+			a.Mem = append(a.Mem, MemAccess{
+				Instr: instr,
+				Addr:  addr,
+				Size:  d.byte(),
+				Store: d.bool(),
+			})
+		}
+		nl := d.count("lock op", d.uvarint())
+		for i := uint64(0); i < nl && d.err == nil; i++ {
+			instr := uint16(d.uvarint())
+			addr := prevAddr + uint64(unzigzag(d.uvarint()))
+			prevAddr = addr
+			a.Locks = append(a.Locks, LockOp{
+				Instr:   instr,
+				Addr:    addr,
+				Release: d.bool(),
+			})
+		}
+	case KindCall:
+		r.Callee = uint32(d.uvarint())
+	case KindRet:
+	case KindSkip:
+		r.SkipKind = SkipKind(d.byte())
+		r.N = d.uvarint()
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("unknown record kind %d", r.Kind)
+		}
+	}
+	a.Records = append(a.Records, r)
+	a.MemOff = append(a.MemOff, uint32(len(a.Mem)))
+	a.LockOff = append(a.LockOff, uint32(len(a.Locks)))
+	return prevAddr
+}
+
+// uvarint2 is the manually inlined varint fast path for the section fill
+// loop: one- and two-byte varints (the overwhelming majority — record fields,
+// counts, instruction offsets, and small address deltas) decode with two
+// bounds checks and no call. (*bdec).uvarint cannot serve here: its slow-path
+// call pushes it past the inliner budget, and this loop reads on the order of
+// ten varints per record. Returns ok=false without consuming anything when
+// the varint is longer than two bytes or the buffer is nearly exhausted;
+// uvarintAt finishes those.
+func uvarint2(data []byte, off int) (uint64, int, bool) {
+	if off+1 < len(data) {
+		b0 := data[off]
+		if b0 < 0x80 {
+			return uint64(b0), off + 1, true
+		}
+		if b1 := data[off+1]; b1 < 0x80 {
+			return uint64(b0&0x7f) | uint64(b1)<<7, off + 2, true
+		}
+	}
+	return 0, off, false
+}
+
+// uvarintAt is the arbitrary-length companion to uvarint2. Varints of up to
+// eight bytes decode branch-lean from one 64-bit load: the terminator byte
+// is found with a trailing-zeros count over the inverted continuation bits,
+// and the 7-bit groups are compacted with a fixed shift cascade (an 8-byte
+// varint carries at most 56 bits, so the fast path cannot overflow uint64).
+// Longer varints and varints within eight bytes of the buffer end take the
+// byte loop, which mirrors uvarintSlow's overflow limits. ok=false means
+// truncated or overflowing.
+func uvarintAt(data []byte, off int) (uint64, int, bool) {
+	if off+8 <= len(data) {
+		x := binary.LittleEndian.Uint64(data[off:])
+		if stop := ^x & 0x8080808080808080; stop != 0 {
+			n := bits.TrailingZeros64(stop) >> 3 // terminator byte index
+			x &= ^uint64(0) >> (56 - 8*uint(n))
+			v := x&0x7f |
+				x>>1&(0x7f<<7) |
+				x>>2&(0x7f<<14) |
+				x>>3&(0x7f<<21) |
+				x>>4&(0x7f<<28) |
+				x>>5&(0x7f<<35) |
+				x>>6&(0x7f<<42) |
+				x>>7&(0x7f<<49)
+			return v, off + n + 1, true
+		}
+	}
+	var v uint64
+	var s uint
+	for i := off; i < len(data); i++ {
+		b := data[i]
+		if b < 0x80 {
+			if s >= 63 && (s > 63 || b > 1) {
+				return 0, off, false
+			}
+			return v | uint64(b)<<s, i + 1, true
+		}
+		v |= uint64(b&0x7f) << s
+		s += 7
+		if s >= 70 {
+			return 0, off, false
+		}
+	}
+	return 0, off, false
+}
+
+// fillSection decodes one indexed thread section directly into the arena's
+// preallocated tables at the given base offsets. Every caller owns a disjoint
+// sub-range of the same backing arrays (the index footer's per-thread table
+// sizes are the partition), so section fills allocate nothing and may run in
+// parallel. Any disagreement between the stream and the index is an error;
+// the caller falls back to the sequential decode, which trusts only the
+// stream.
+//
+// This is the decode hot loop: records are written field by field through a
+// pointer into the record table (no build-then-copy, no bulk write barrier),
+// every field is stored on every path (the tables may be reused across
+// decodes and carry stale values), and varints go through the inlined
+// uvarint2 fast path. The section is fully validated against the index
+// before returning: record/access/lock counts and the section byte length
+// must all match exactly.
+func (a *Arena) fillSection(data []byte, en indexEntry, span, recLo, memLo, lockLo int) error {
+	d := &bdec{data: data}
+	tid := int(d.uvarint())
+	nr := d.uvarint()
+	if d.err != nil {
+		return fmt.Errorf("trace: thread section %d (tid %d): %w", span, en.tid, d.err)
+	}
+	if tid != en.tid || nr != uint64(en.nrec) {
+		return fmt.Errorf("trace: thread section %d: stream declares tid %d with %d records, index says tid %d with %d",
+			span, tid, nr, en.tid, en.nrec)
+	}
+	ri, mi, li := recLo, memLo, lockLo
+	memEnd, lockEnd := memLo+int(en.nmem), lockLo+int(en.nlock)
+	off := d.off
+	var prevAddr uint64
+	var ok bool
+	for j := int64(0); j < en.nrec; j++ {
+		if off >= len(data) {
+			return fmt.Errorf("trace: thread section %d (tid %d): %w", span, en.tid, io.ErrUnexpectedEOF)
+		}
+		kind := Kind(data[off])
+		off++
+		r := &a.Records[ri]
+		r.Kind = kind
+		switch kind {
+		case KindBBL:
+			// Fused header read: func/block/n/nmem are almost always one
+			// byte each, so one 32-bit load plus a continuation-bit test
+			// replaces four varint reads.
+			var fn, blk, n, cnt uint64
+			fused := false
+			if off+4 <= len(data) {
+				if x := binary.LittleEndian.Uint32(data[off:]); x&0x80808080 == 0 {
+					fn, blk, n, cnt = uint64(x&0xff), uint64(x>>8&0xff), uint64(x>>16&0xff), uint64(x>>24)
+					off += 4
+					fused = true
+				}
+			}
+			if !fused {
+				if fn, off, ok = uvarint2(data, off); !ok {
+					if fn, off, ok = uvarintAt(data, off); !ok {
+						return a.badVarint(span, en)
+					}
+				}
+				if blk, off, ok = uvarint2(data, off); !ok {
+					if blk, off, ok = uvarintAt(data, off); !ok {
+						return a.badVarint(span, en)
+					}
+				}
+				if n, off, ok = uvarint2(data, off); !ok {
+					if n, off, ok = uvarintAt(data, off); !ok {
+						return a.badVarint(span, en)
+					}
+				}
+				if cnt, off, ok = uvarint2(data, off); !ok {
+					if cnt, off, ok = uvarintAt(data, off); !ok {
+						return a.badVarint(span, en)
+					}
+				}
+			}
+			r.Func, r.Block, r.N = uint32(fn), uint32(blk), n
+			r.SkipKind, r.Callee = 0, 0
+			if cnt > maxCount || cnt > uint64(memEnd-mi) {
+				return fmt.Errorf("trace: thread section %d: stream carries more accesses than the index declares", span)
+			}
+			m0 := mi
+			for i := uint64(0); i < cnt; i++ {
+				var instr uint64
+				if instr, off, ok = uvarint2(data, off); !ok {
+					if instr, off, ok = uvarintAt(data, off); !ok {
+						return a.badVarint(span, en)
+					}
+				}
+				// Address deltas are the one routinely multi-byte varint, so
+				// the 64-bit-load cascade (see uvarintAt) is written out here
+				// rather than called: this line runs once per access and the
+				// call overhead alone was a measurable slice of decode time.
+				var delta uint64
+				if off+8 <= len(data) {
+					x := binary.LittleEndian.Uint64(data[off:])
+					if stop := ^x & 0x8080808080808080; stop != 0 {
+						nb := bits.TrailingZeros64(stop) >> 3
+						x &= ^uint64(0) >> (56 - 8*uint(nb))
+						delta = x&0x7f |
+							x>>1&(0x7f<<7) |
+							x>>2&(0x7f<<14) |
+							x>>3&(0x7f<<21) |
+							x>>4&(0x7f<<28) |
+							x>>5&(0x7f<<35) |
+							x>>6&(0x7f<<42) |
+							x>>7&(0x7f<<49)
+						off += nb + 1
+					} else if delta, off, ok = uvarintAt(data, off); !ok {
+						return a.badVarint(span, en)
+					}
+				} else if delta, off, ok = uvarintAt(data, off); !ok {
+					return a.badVarint(span, en)
+				}
+				if off+1 >= len(data) {
+					return fmt.Errorf("trace: thread section %d (tid %d): %w", span, en.tid, io.ErrUnexpectedEOF)
+				}
+				addr := prevAddr + uint64(unzigzag(delta))
+				prevAddr = addr
+				a.Mem[mi] = MemAccess{Instr: uint16(instr), Addr: addr, Size: data[off], Store: data[off+1] != 0}
+				off += 2
+				mi++
+			}
+			// Conditional nil store: on arena reuse the field is usually
+			// already nil, and skipping the store skips its write barrier.
+			if mi > m0 {
+				r.Mem = a.Mem[m0:mi]
+			} else if r.Mem != nil {
+				r.Mem = nil
+			}
+			if cnt, off, ok = uvarint2(data, off); !ok {
+				if cnt, off, ok = uvarintAt(data, off); !ok {
+					return a.badVarint(span, en)
+				}
+			}
+			if cnt > maxCount || cnt > uint64(lockEnd-li) {
+				return fmt.Errorf("trace: thread section %d: stream carries more lock ops than the index declares", span)
+			}
+			l0 := li
+			for i := uint64(0); i < cnt; i++ {
+				var instr, delta uint64
+				if instr, off, ok = uvarint2(data, off); !ok {
+					if instr, off, ok = uvarintAt(data, off); !ok {
+						return a.badVarint(span, en)
+					}
+				}
+				if delta, off, ok = uvarint2(data, off); !ok {
+					if delta, off, ok = uvarintAt(data, off); !ok {
+						return a.badVarint(span, en)
+					}
+				}
+				if off >= len(data) {
+					return fmt.Errorf("trace: thread section %d (tid %d): %w", span, en.tid, io.ErrUnexpectedEOF)
+				}
+				addr := prevAddr + uint64(unzigzag(delta))
+				prevAddr = addr
+				a.Locks[li] = LockOp{Instr: uint16(instr), Addr: addr, Release: data[off] != 0}
+				off++
+				li++
+			}
+			if li > l0 {
+				r.Locks = a.Locks[l0:li]
+			} else if r.Locks != nil {
+				r.Locks = nil
+			}
+		case KindCall:
+			var callee uint64
+			if callee, off, ok = uvarint2(data, off); !ok {
+				if callee, off, ok = uvarintAt(data, off); !ok {
+					return a.badVarint(span, en)
+				}
+			}
+			r.Func, r.Block, r.N = 0, 0, 0
+			r.SkipKind, r.Callee = 0, uint32(callee)
+			r.clearViews()
+		case KindRet:
+			r.Func, r.Block, r.N = 0, 0, 0
+			r.SkipKind, r.Callee = 0, 0
+			r.clearViews()
+		case KindSkip:
+			if off >= len(data) {
+				return fmt.Errorf("trace: thread section %d (tid %d): %w", span, en.tid, io.ErrUnexpectedEOF)
+			}
+			sk := SkipKind(data[off])
+			off++
+			var n uint64
+			if n, off, ok = uvarint2(data, off); !ok {
+				if n, off, ok = uvarintAt(data, off); !ok {
+					return a.badVarint(span, en)
+				}
+			}
+			r.Func, r.Block, r.N = 0, 0, n
+			r.SkipKind, r.Callee = sk, 0
+			r.clearViews()
+		default:
+			return fmt.Errorf("trace: thread section %d (tid %d): unknown record kind %d", span, en.tid, kind)
+		}
+		a.MemOff[ri+1] = uint32(mi)
+		a.LockOff[ri+1] = uint32(li)
+		ri++
+	}
+	if off != len(data) || mi != memEnd || li != lockEnd {
+		return fmt.Errorf("trace: thread section %d (tid %d): stream and index disagree on section contents", span, en.tid)
+	}
+	a.Spans[span] = Span{TID: tid, Lo: recLo, Hi: ri}
+	return nil
+}
+
+// clearViews nils a record's Mem/Locks view slices, skipping the store (and
+// its write barrier) when they already are — the common case when the arena
+// is reused across decodes of similar traces.
+func (r *Record) clearViews() {
+	if r.Mem != nil {
+		r.Mem = nil
+	}
+	if r.Locks != nil {
+		r.Locks = nil
+	}
+}
+
+// badVarint is fillSection's shared truncated/overflowing-varint error.
+func (a *Arena) badVarint(span int, en indexEntry) error {
+	return fmt.Errorf("trace: thread section %d (tid %d): truncated or overflowing varint", span, en.tid)
+}

@@ -1,0 +1,90 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"reflect"
+	"testing"
+
+	"threadfuser/internal/core"
+	"threadfuser/internal/trace"
+	"threadfuser/internal/workloads"
+)
+
+// TestArenaWorkloadEquivalence is the arena-vs-legacy property test over
+// real inputs: for every built-in workload and all three container versions,
+// the arena-backed decode (Decode/DecodeBytes, plus the parallel fill path)
+// and the legacy streaming decode produce deeply-equal traces, and the
+// analyzer produces bit-identical reports from either — so switching the
+// decode path can never change an analysis result.
+func TestArenaWorkloadEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traces and analyzes every workload")
+	}
+	encoders := []struct {
+		name string
+		enc  func(io.Writer, *trace.Trace) error
+	}{
+		{"v1", trace.Encode},
+		{"v2", trace.EncodeCompact},
+		{"v3", trace.EncodeIndexed},
+	}
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			inst, err := w.Instantiate(workloads.Config{Threads: 8, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := inst.Trace()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range encoders {
+				var buf bytes.Buffer
+				if err := e.enc(&buf, tr); err != nil {
+					t.Fatalf("%s encode: %v", e.name, err)
+				}
+				legacy, err := trace.DecodeStream(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("%s legacy decode: %v", e.name, err)
+				}
+				arena, err := trace.Decode(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("%s arena decode: %v", e.name, err)
+				}
+				if !reflect.DeepEqual(legacy, arena) {
+					t.Fatalf("%s: arena decode differs from legacy decode", e.name)
+				}
+				par, err := trace.DecodeParallel(bytes.NewReader(buf.Bytes()), int64(buf.Len()), 4)
+				if err != nil {
+					t.Fatalf("%s parallel decode: %v", e.name, err)
+				}
+				if !reflect.DeepEqual(legacy, par) {
+					t.Fatalf("%s: parallel decode differs from legacy decode", e.name)
+				}
+				legacyRep, err := core.Analyze(legacy, core.Defaults())
+				if err != nil {
+					t.Fatalf("%s analyze legacy: %v", e.name, err)
+				}
+				arenaRep, err := core.Analyze(arena, core.Defaults())
+				if err != nil {
+					t.Fatalf("%s analyze arena: %v", e.name, err)
+				}
+				lj, err := json.Marshal(legacyRep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				aj, err := json.Marshal(arenaRep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(lj, aj) {
+					t.Fatalf("%s: analyzer report differs between legacy and arena decode", e.name)
+				}
+			}
+		})
+	}
+}

@@ -151,8 +151,36 @@ func (e *encoder) bool(b bool) {
 // Decode reads a trace in the .tft binary format. All format versions are
 // accepted transparently: v1 (raw addresses), v2 (delta-encoded addresses),
 // and v3 (delta-encoded with an index footer, which a pure stream decode
-// simply never reads).
+// simply never reads). The input is slurped and decoded in memory by the
+// columnar arena decoder (see arena.go); a decoded trace occupies several
+// times its encoding anyway, so the extra resident bytes are bounded while
+// the byte-slice hot path runs several times faster than stream decoding.
 func Decode(r io.Reader) (*Trace, error) {
+	data, err := readAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return DecodeBytes(data)
+}
+
+// readAll slurps r, preallocating exactly when the reader can report its
+// unread size (bytes.Reader, bytes.Buffer, strings.Reader).
+func readAll(r io.Reader) ([]byte, error) {
+	if l, ok := r.(interface{ Len() int }); ok {
+		data := make([]byte, l.Len())
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, err
+		}
+		return data, nil
+	}
+	return io.ReadAll(r)
+}
+
+// decodeStream is the legacy record-at-a-time streaming decoder. It is kept
+// as the reference implementation the arena decoder is differentially tested
+// against: both must accept and reject exactly the same inputs and produce
+// deeply-equal traces.
+func decodeStream(r io.Reader) (*Trace, error) {
 	d := &decoder{r: bufio.NewReaderSize(r, 1<<16)}
 	h := d.header()
 	if d.err != nil {
@@ -230,16 +258,23 @@ func (d *decoder) thread(version int) *ThreadTrace {
 
 // ReadFile decodes the named .tft file.
 func ReadFile(path string) (*Trace, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return Decode(f)
+	return DecodeBytes(data)
+}
+
+// byteReader is what the stream decoder needs from its input: bulk reads for
+// strings plus single-byte reads for varints. bufio.Reader satisfies it; so
+// does the unbuffered one-byte wrapper ReadHeader uses to avoid overreading.
+type byteReader interface {
+	io.Reader
+	io.ByteReader
 }
 
 type decoder struct {
-	r   *bufio.Reader
+	r   byteReader
 	err error
 }
 

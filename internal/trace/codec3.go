@@ -2,11 +2,13 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"threadfuser/internal/pool"
 )
@@ -24,8 +26,12 @@ import (
 //	threads  nthreads × { tid uvarint, nrecords uvarint, v2-encoded records }
 //	         (address deltas reset at each thread, as in v2)
 //	footer   headerlen uvarint | nthreads uvarint
-//	         nthreads × { tid uvarint, offset uvarint, length uvarint }
-//	         (offsets are absolute file offsets of each thread section)
+//	         nthreads × { tid uvarint, offset uvarint, length uvarint,
+//	                      nrecords uvarint, nmem uvarint, nlocks uvarint }
+//	         (offsets are absolute file offsets of each thread section;
+//	         nrecords/nmem/nlocks are the section's table sizes, which let a
+//	         parallel decode preallocate exact columnar arrays and hand each
+//	         worker a disjoint sub-range to fill)
 //	trailer  footerlen uint64 LE | magic "TFXI"     (fixed 12 bytes)
 //
 // The trailer is fixed-size so a reader finds the footer by reading the last
@@ -59,16 +65,43 @@ type Header struct {
 
 // ReadHeader decodes only the metadata section of a .tft stream (any
 // version): program name, entry function, function table, and thread count.
-// It reads nothing past the header, so on a v3 file it touches a few KB of a
-// trace that may be gigabytes.
+// It consumes nothing past the header — varints are read byte by byte and
+// bulk reads ask for exactly the bytes they need — so on any version the
+// reader is left positioned at the first thread section. Callers reading
+// from a raw file may wrap r in a bufio.Reader if they do not care where the
+// underlying stream is left.
 func ReadHeader(r io.Reader) (*Header, error) {
-	d := &decoder{r: bufio.NewReaderSize(r, 1<<12)}
+	d := &decoder{r: &oneByteReader{r: r}}
 	h := d.header()
 	if d.err != nil {
 		return nil, fmt.Errorf("trace: header: %w", d.err)
 	}
 	return h, nil
 }
+
+// oneByteReader adapts an io.Reader into a byteReader whose ReadByte pulls
+// exactly one byte from the underlying stream, so header decoding never
+// buffers past the header block the way a bufio wrapper would.
+type oneByteReader struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func (o *oneByteReader) ReadByte() (byte, error) {
+	for {
+		n, err := o.r.Read(o.one[:])
+		if n == 1 {
+			return o.one[0], nil
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+}
+
+// Read delegates: the decoder's bulk reads (magic, strings) already request
+// exactly the bytes they consume.
+func (o *oneByteReader) Read(p []byte) (int, error) { return o.r.Read(p) }
 
 // EncodeIndexed writes the trace to w in the indexed v3 format.
 func EncodeIndexed(w io.Writer, t *Trace) error {
@@ -94,10 +127,16 @@ func EncodeIndexed(w io.Writer, t *Trace) error {
 		e.uvarint(uint64(th.TID))
 		e.uvarint(uint64(len(th.Records)))
 		var prevAddr uint64
+		var nmem, nlock int64
 		for j := range th.Records {
 			prevAddr = e.record2(&th.Records[j], prevAddr)
+			nmem += int64(len(th.Records[j].Mem))
+			nlock += int64(len(th.Records[j].Locks))
 		}
-		index[i] = indexEntry{tid: th.TID, off: off, len: e.n - off}
+		index[i] = indexEntry{
+			tid: th.TID, off: off, len: e.n - off,
+			nrec: int64(len(th.Records)), nmem: nmem, nlock: nlock,
+		}
 	}
 	footerOff := e.n
 	e.uvarint(uint64(headerLen))
@@ -106,6 +145,9 @@ func EncodeIndexed(w io.Writer, t *Trace) error {
 		e.uvarint(uint64(en.tid))
 		e.uvarint(uint64(en.off))
 		e.uvarint(uint64(en.len))
+		e.uvarint(uint64(en.nrec))
+		e.uvarint(uint64(en.nmem))
+		e.uvarint(uint64(en.nlock))
 	}
 	var trailer [trailerSize]byte
 	binary.LittleEndian.PutUint64(trailer[:8], uint64(e.n-footerOff))
@@ -133,6 +175,10 @@ func WriteFileIndexed(path string, t *Trace) error {
 type indexEntry struct {
 	tid      int
 	off, len int64
+	// Columnar table sizes of the section: record, memory-access, and
+	// lock-op counts. They turn parallel decode into exact preallocation
+	// plus disjoint-range fills instead of per-worker allocation.
+	nrec, nmem, nlock int64
 }
 
 // Reader provides random access to the thread sections of an indexed v3
@@ -175,9 +221,12 @@ func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
 	index := make([]indexEntry, 0, preallocCap(n))
 	for i := uint64(0); i < n && d.err == nil; i++ {
 		e := indexEntry{
-			tid: int(d.uvarint()),
-			off: int64(d.uvarint()),
-			len: int64(d.uvarint()),
+			tid:   int(d.uvarint()),
+			off:   int64(d.uvarint()),
+			len:   int64(d.uvarint()),
+			nrec:  int64(d.count("record", d.uvarint())),
+			nmem:  int64(d.uvarint()),
+			nlock: int64(d.uvarint()),
 		}
 		if d.err != nil {
 			break
@@ -185,6 +234,14 @@ func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
 		if e.off < headerLen || e.len < 0 || e.off+e.len > footerOff {
 			return nil, fmt.Errorf("%w: thread %d section [%d,+%d) outside data region [%d,%d)",
 				ErrNoIndex, e.tid, e.off, e.len, headerLen, footerOff)
+		}
+		// Every record and table entry costs at least one stream byte, so
+		// counts exceeding the section length cannot be honest. (The record
+		// count additionally went through the shared maxCount cap above,
+		// matching what the stream decoder enforces per thread.)
+		if e.nrec > e.len || e.nmem > e.len || e.nlock > e.len {
+			return nil, fmt.Errorf("%w: thread %d section declares implausible table sizes %d/%d/%d for %d bytes",
+				ErrNoIndex, e.tid, e.nrec, e.nmem, e.nlock, e.len)
 		}
 		index = append(index, e)
 	}
@@ -194,7 +251,9 @@ func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
 	if headerLen <= 0 || headerLen > footerOff {
 		return nil, fmt.Errorf("%w: implausible header length %d", ErrNoIndex, headerLen)
 	}
-	hdr, err := ReadHeader(io.NewSectionReader(ra, 0, headerLen))
+	// The section is exactly the header, so buffered reads cannot overshoot
+	// into thread data; bufio keeps the byte-at-a-time header decode cheap.
+	hdr, err := ReadHeader(bufio.NewReaderSize(io.NewSectionReader(ra, 0, headerLen), 1<<12))
 	if err != nil {
 		return nil, err
 	}
@@ -245,22 +304,59 @@ func (r *Reader) NumThreads() int { return len(r.index) }
 // TID returns the thread id of section i without decoding it.
 func (r *Reader) TID(i int) int { return r.index[i].tid }
 
-// Thread decodes thread section i. Sections decode independently (address
-// deltas reset per thread), so concurrent calls are safe.
+// Thread decodes thread section i into a per-thread mini arena: one exact
+// read of the section bytes, then exact-capacity record/access/lock tables
+// sized from the index counts. Sections decode independently (address deltas
+// reset per thread), so concurrent calls are safe.
 func (r *Reader) Thread(i int) (*ThreadTrace, error) {
+	th, _, err := r.thread(i, nil)
+	return th, err
+}
+
+// thread decodes section i using buf as scratch when it is large enough,
+// returning the (possibly grown) scratch buffer for reuse.
+func (r *Reader) thread(i int, buf []byte) (*ThreadTrace, []byte, error) {
 	if i < 0 || i >= len(r.index) {
-		return nil, fmt.Errorf("trace: thread section %d out of range [0,%d)", i, len(r.index))
+		return nil, buf, fmt.Errorf("trace: thread section %d out of range [0,%d)", i, len(r.index))
 	}
 	en := r.index[i]
-	d := &decoder{r: bufio.NewReaderSize(io.NewSectionReader(r.ra, en.off, en.len), 1<<15)}
-	th := d.thread(version3)
-	if d.err != nil {
-		return nil, fmt.Errorf("trace: thread section %d (tid %d): %w", i, en.tid, d.err)
+	if int64(cap(buf)) < en.len {
+		buf = make([]byte, en.len)
+	}
+	b := buf[:en.len]
+	if _, err := r.ra.ReadAt(b, en.off); err != nil {
+		return nil, buf, fmt.Errorf("trace: thread section %d (tid %d): %w", i, en.tid, err)
+	}
+	th, err := threadFromSection(b, en, r.hdr.Version)
+	if err != nil {
+		return nil, buf, fmt.Errorf("trace: thread section %d (tid %d): %w", i, en.tid, err)
 	}
 	if th.TID != en.tid {
-		return nil, fmt.Errorf("trace: thread section %d decodes tid %d, index says %d", i, th.TID, en.tid)
+		return nil, buf, fmt.Errorf("trace: thread section %d decodes tid %d, index says %d", i, th.TID, en.tid)
 	}
-	return th, nil
+	return th, buf, nil
+}
+
+// threadFromSection decodes one thread's section bytes into a private mini
+// arena. The index counts size the tables exactly; a lying index merely
+// costs append growth before the stream decode detects the mismatch.
+func threadFromSection(data []byte, en indexEntry, version int) (*ThreadTrace, error) {
+	a := &Arena{
+		Spans:   make([]Span, 0, 1),
+		Records: make([]Record, 0, en.nrec),
+		Mem:     make([]MemAccess, 0, en.nmem),
+		Locks:   make([]LockOp, 0, en.nlock),
+		MemOff:  make([]uint32, 1, en.nrec+1),
+		LockOff: make([]uint32, 1, en.nrec+1),
+	}
+	d := &bdec{data: data}
+	a.appendThread(d, version)
+	if d.err != nil {
+		return nil, d.err
+	}
+	a.fixup(0, len(a.Records))
+	sp := a.Spans[0]
+	return &ThreadTrace{TID: sp.TID, Records: a.Records[sp.Lo:sp.Hi]}, nil
 }
 
 // Iter returns an iterator over the thread sections in file order. Each
@@ -268,10 +364,13 @@ func (r *Reader) Thread(i int) (*ThreadTrace, error) {
 // at a time never materializes the whole trace.
 func (r *Reader) Iter() *ThreadIter { return &ThreadIter{r: r} }
 
-// ThreadIter yields one ThreadTrace per Next call.
+// ThreadIter yields one ThreadTrace per Next call. The iterator reuses one
+// scratch buffer for section bytes across threads, so it is not safe for
+// concurrent use (the decoded ThreadTraces themselves are independent).
 type ThreadIter struct {
-	r *Reader
-	i int
+	r   *Reader
+	i   int
+	buf []byte
 }
 
 // Next decodes and returns the next thread section, or (nil, io.EOF) after
@@ -280,46 +379,106 @@ func (it *ThreadIter) Next() (*ThreadTrace, error) {
 	if it.i >= it.r.NumThreads() {
 		return nil, io.EOF
 	}
-	th, err := it.r.Thread(it.i)
+	th, buf, err := it.r.thread(it.i, it.buf)
+	it.buf = buf
 	it.i++
 	return th, err
 }
 
+// minParallelDecodeThreads is the section count below which DecodeParallel
+// always takes the sequential path: with only a handful of sections the
+// fan-out overhead (goroutines, per-worker cache traffic) exceeds what the
+// extra cores win back.
+const minParallelDecodeThreads = 8
+
 // DecodeParallel decodes a trace from ra, fanning per-thread section decodes
 // out over a bounded worker pool (parallelism 0 = one worker per core, 1 =
-// serial). Assembly is deterministic: threads land at their index position,
-// so the result is identical to Decode at every parallelism. Inputs without
-// a usable index (v1/v2 files, corrupt footers) degrade to the sequential
-// whole-stream decode rather than erroring.
+// serial). The input is read into memory once; the index footer's per-thread
+// table sizes are prefix-summed into one exactly-sized allocation per arena
+// column, and each worker fills its thread's disjoint sub-range of those
+// shared arrays — no per-worker copies, so parallel decode allocates the
+// same bytes as serial. Assembly is deterministic: threads land at their
+// index position, so the result is identical to Decode at every parallelism.
+//
+// The sequential path is taken outright when it would win: an effective
+// worker count of one (parallelism 1, or GOMAXPROCS=1 with parallelism 0)
+// or fewer sections than minParallelDecodeThreads. Inputs without a usable
+// index (v1/v2 files, corrupt footers) degrade to the sequential
+// whole-stream decode rather than erroring, as does an index whose counts
+// turn out to disagree with the stream — only the stream is trusted.
 func DecodeParallel(ra io.ReaderAt, size int64, parallelism int) (*Trace, error) {
-	r, err := NewReader(ra, size)
+	data, err := readAllAt(ra, size)
+	if err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	r, err := NewReader(bytes.NewReader(data), size)
 	if err != nil {
 		if errors.Is(err, ErrNoIndex) {
-			return Decode(io.NewSectionReader(ra, 0, size))
+			return DecodeBytes(data)
 		}
 		return nil, err
 	}
-	t := &Trace{Program: r.hdr.Program, Entry: r.hdr.Entry, Funcs: r.hdr.Funcs}
-	if r.NumThreads() == 0 {
-		return t, nil
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	t.Threads = make([]*ThreadTrace, r.NumThreads())
-	g := pool.New(parallelism)
-	for i := range t.Threads {
+	if workers <= 1 || r.NumThreads() < minParallelDecodeThreads {
+		return DecodeBytes(data)
+	}
+	t, err := decodeArenaParallel(data, r, workers)
+	if err != nil {
+		// The index disagreed with the stream. The stream may still be
+		// perfectly decodable (only the footer lied), so degrade to the
+		// sequential decode, which trusts nothing but the stream.
+		return DecodeBytes(data)
+	}
+	return t, nil
+}
+
+// readAllAt reads the whole [0,size) range of ra into one exactly-sized
+// allocation.
+func readAllAt(ra io.ReaderAt, size int64) ([]byte, error) {
+	if size < 0 || int64(int(size)) != size {
+		return nil, fmt.Errorf("implausible input size %d", size)
+	}
+	data := make([]byte, size)
+	if n, err := ra.ReadAt(data, 0); n < len(data) && err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// decodeArenaParallel fills one shared arena from the indexed sections of
+// data: prefix sums over the index counts partition each column into
+// disjoint per-thread ranges, and a worker pool fills them concurrently.
+// Any stream/index disagreement surfaces as an error; the caller falls back
+// to sequential decode.
+func decodeArenaParallel(data []byte, r *Reader, workers int) (*Trace, error) {
+	n := len(r.index)
+	recLo := make([]int, n+1)
+	memLo := make([]int, n+1)
+	lockLo := make([]int, n+1)
+	for i, en := range r.index {
+		recLo[i+1] = recLo[i] + int(en.nrec)
+		memLo[i+1] = memLo[i] + int(en.nmem)
+		lockLo[i+1] = lockLo[i] + int(en.nlock)
+	}
+	a := &Arena{}
+	if err := a.sizeFromIndex(r); err != nil {
+		return nil, err
+	}
+	g := pool.New(workers)
+	for i := range r.index {
 		i := i
 		g.Go(func() error {
-			th, err := r.Thread(i)
-			if err != nil {
-				return err
-			}
-			t.Threads[i] = th
-			return nil
+			en := r.index[i]
+			return a.fillSection(data[en.off:en.off+en.len], en, i, recLo[i], memLo[i], lockLo[i])
 		})
 	}
 	if err := g.Wait(); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return a.Trace(r.hdr.Program, r.hdr.Entry, r.hdr.Funcs), nil
 }
 
 // ReadFileParallel decodes the named .tft file with DecodeParallel.

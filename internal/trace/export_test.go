@@ -1,0 +1,14 @@
+package trace
+
+import "io"
+
+// Test-only exports: the legacy streaming decoder stays unexported (it is a
+// reference implementation, not API), but the differential tests in the
+// external trace_test package compare it against the arena decoder.
+
+// DecodeStream runs the legacy record-at-a-time streaming decoder.
+func DecodeStream(r io.Reader) (*Trace, error) { return decodeStream(r) }
+
+// DecodeArena decodes data and returns the backing arena alongside the
+// trace view, so tests can check arena invariants directly.
+func DecodeArena(data []byte) (*Trace, *Arena, error) { return decodeArena(data) }

@@ -67,6 +67,22 @@ func FuzzDecode(f *testing.F) {
 			f.Add(mut)
 		}
 	}
+	// Arena section-size edge cases (empty threads, single-record threads,
+	// maximal same-block runs) in the indexed container, plus a variant with
+	// a corrupted footer so the index-vs-stream reconciliation paths run.
+	for _, tr := range arenaEdgeSeedTraces() {
+		var v3e bytes.Buffer
+		if err := trace.EncodeIndexed(&v3e, tr); err != nil {
+			f.Fatal(err)
+		}
+		b := v3e.Bytes()
+		f.Add(b)
+		if len(b) > 20 {
+			mut := append([]byte(nil), b...)
+			mut[len(mut)-16] ^= 0x11
+			f.Add(mut)
+		}
+	}
 	f.Add([]byte{})
 	f.Add([]byte("TFT\x02garbage"))
 	// Implausible declared counts: a huge thread count, and a single thread
@@ -90,11 +106,38 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// arenaEdgeSeedTraces are valid traces hitting the arena decoder's
+// section-size edge cases: empty threads between populated ones,
+// single-record threads, and a long run of identical blocks (maximal
+// same-block run length for the batched replay).
+func arenaEdgeSeedTraces() []*trace.Trace {
+	funcs := []trace.FuncInfo{{Name: "f", Blocks: []trace.BlockInfo{{NInstr: 2}}}}
+	longRun := &trace.ThreadTrace{TID: 1}
+	for i := 0; i < 300; i++ {
+		longRun.Records = append(longRun.Records, trace.Record{Kind: trace.KindBBL, N: 2})
+	}
+	return []*trace.Trace{
+		{Program: "edge-empty", Funcs: funcs, Threads: []*trace.ThreadTrace{
+			{TID: 0, Records: []trace.Record{}},
+			{TID: 1, Records: []trace.Record{{Kind: trace.KindBBL, N: 2}}},
+			{TID: 2, Records: []trace.Record{}},
+		}},
+		{Program: "edge-single", Funcs: funcs, Threads: []*trace.ThreadTrace{
+			{TID: 0, Records: []trace.Record{{Kind: trace.KindBBL, N: 2,
+				Mem: []trace.MemAccess{{Instr: 1, Addr: vm.GlobalBase, Size: 8}}}}},
+			{TID: 1, Records: []trace.Record{{Kind: trace.KindSkip, SkipKind: trace.SkipIO, N: 3}}},
+		}},
+		{Program: "edge-run", Funcs: funcs, Threads: []*trace.ThreadTrace{longRun}},
+	}
+}
+
 // roundTripCorpus seeds the round-trip fuzzer with encodings of real traces:
-// the synthetic every-record-kind seed plus two small built-in workloads
-// (one memory-heavy, one lock-heavy), in both codec versions.
+// the synthetic every-record-kind seed plus the arena edge-case traces and
+// two small built-in workloads (one memory-heavy, one lock-heavy), in both
+// codec versions.
 func roundTripCorpus(f *testing.F) [][]byte {
 	traces := []*trace.Trace{fuzzSeedTrace()}
+	traces = append(traces, arenaEdgeSeedTraces()...)
 	for _, name := range []string{"vectoradd", "seededrace"} {
 		w, err := workloads.ByName(name)
 		if err != nil {

@@ -1,0 +1,83 @@
+#!/bin/sh
+# bench_guard: run the decode benchmarks once (-benchtime=1x) and fail loudly
+# if any row's allocs/op regresses above the committed ceilings in
+# scripts/bench_baseline.json. A single iteration says nothing about MB/s —
+# both are printed for the log/artifact — but allocs/op is exact at any
+# benchtime, which is what makes it guardable in CI: the arena decoder does a
+# fixed handful of allocations per decode, and an accidental return to
+# per-record allocation shows up as a 100x jump no amount of runner noise can
+# hide.
+#
+# Environment:
+#   BENCHTIME  forwarded to -benchtime (default 1x)
+set -e
+cd "$(dirname "$0")/.."
+
+baseline=scripts/bench_baseline.json
+
+raw=$(go test -run '^$' \
+	-bench 'BenchmarkDecodeV(1Serial|2Serial|3Serial|3Parallel)$' \
+	-benchmem -benchtime "${BENCHTIME:-1x}" -count=1 .)
+echo "$raw"
+
+printf '%s\n' "$raw" | awk -v baseline="$baseline" '
+BEGIN {
+	while ((getline line < baseline) > 0) {
+		if (match(line, /"decode_[a-z0-9_]+"/)) {
+			name = substr(line, RSTART + 1, RLENGTH - 2)
+			if (match(line, /"max_allocs_per_op": [0-9]+/))
+				ceil[name] = substr(line, RSTART + 21, RLENGTH - 21)
+		}
+	}
+	close(baseline)
+	if (length(ceil) == 0) {
+		print "bench_guard: no ceilings parsed from " baseline > "/dev/stderr"
+		exit 1
+	}
+}
+/^BenchmarkDecode/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	# DecodeV3Serial -> decode_v3_serial (same keying as bench.sh rows)
+	key = ""
+	for (j = 1; j <= length(name); j++) {
+		ch = substr(name, j, 1)
+		if (ch >= "A" && ch <= "Z") {
+			if (key != "") key = key "_"
+			key = key tolower(ch)
+		} else key = key ch
+	}
+	gsub(/v_([0-9])/, "v\\1", key)
+	mbs = "n/a"; allocs = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "MB/s") mbs = $i
+		else if ($(i + 1) == "allocs/op") allocs = $i
+	}
+	if (allocs == "") {
+		print "bench_guard: no allocs/op in row " $1 " (need -benchmem)" > "/dev/stderr"
+		exit 1
+	}
+	seen[key] = 1
+	status = "ok"
+	if (!(key in ceil)) {
+		status = "NO BASELINE"
+		bad = bad " " key
+	} else if (allocs + 0 > ceil[key] + 0) {
+		status = sprintf("REGRESSION (ceiling %d)", ceil[key])
+		bad = bad " " key
+	}
+	printf "bench_guard: %-20s %8s allocs/op  %10s MB/s  %s\n", key, allocs, mbs, status
+}
+END {
+	for (k in ceil)
+		if (!(k in seen)) {
+			print "bench_guard: baseline row " k " missing from bench output" > "/dev/stderr"
+			exit 1
+		}
+	if (bad != "") {
+		print "bench_guard: decode allocs/op above committed baseline:" bad > "/dev/stderr"
+		exit 1
+	}
+	print "bench_guard: all decode rows within committed allocs/op ceilings"
+}'
