@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race bench bench-decode bench-guard check lint staticcheck tfcheck tfstatic
+.PHONY: build vet test test-race bench bench-decode bench-guard check lint staticcheck tfcheck tfstatic staticlock
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,13 @@ tfcheck:
 tfstatic:
 	$(GO) run ./cmd/tfstatic -all -q
 
+# Static concurrency oracle smoke: the lock/race projection over the whole
+# catalog, plus the dynamic cross-check on the seeded-defect workloads (exits
+# nonzero if any soundness-class finding survives).
+staticlock:
+	$(GO) run ./cmd/tfstatic -all -locks -q
+	$(GO) run ./cmd/tfstatic -workload seededrace,leakedlock,seededcycle,seededspin -locks -races -verify
+
 # Run the key analyzer benchmarks (replay + trace decode) and record the
 # perf trajectory in BENCH_analyzer.json: a JSON array with per-row ns/op,
 # MB/s, allocs/op, the replay serial-vs-parallel speedup, and the v3
@@ -68,4 +75,4 @@ bench-decode:
 bench-guard:
 	scripts/bench_guard.sh
 
-check: build vet test test-race lint staticcheck tfcheck tfstatic
+check: build vet test test-race lint staticcheck tfcheck tfstatic staticlock

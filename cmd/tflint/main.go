@@ -1,8 +1,10 @@
 // Command tflint is the ThreadFuser multi-pass lint engine: it runs the
 // trace sanitizer, the Eraser-style lockset race detector, the divergence
-// lint and the lock-serialization lint over one or more inputs and reports
-// structured findings. Inputs are .tft trace files or built-in workloads
-// traced on the fly.
+// lint, the lock-serialization lint, the lock-order deadlock pass, and the
+// static oracle passes ("static" for uniformity, "staticlock" for the
+// concurrency cross-check) over one or more inputs and reports structured
+// findings. Inputs are .tft trace files or built-in workloads traced on the
+// fly; the static passes need the workload's IR and skip trace-file inputs.
 //
 // Usage:
 //
@@ -88,7 +90,7 @@ func main() {
 
 	// Assemble the input list: files first, then workloads, in argument
 	// order. Workload loaders also hand back the program so the static
-	// oracle pass can run; .tft files carry no IR and skip it.
+	// oracle passes can run; .tft files carry no IR and skip them.
 	type input struct {
 		name string
 		load func() (*trace.Trace, *ir.Program, error)

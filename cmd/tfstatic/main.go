@@ -6,15 +6,27 @@
 // which diamond arms are meldable (isomorphic modulo register renaming, or
 // if-convertible beyond the optimizer's O3 budget).
 //
+// With -locks or -races it instead runs the static concurrency oracle of
+// internal/staticlock over the same programs: must-hold locksets, the static
+// lock-order graph with deadlock-cycle candidates, race-candidate address
+// classes, and acquires under divergent control (guaranteed SIMT
+// serialization, the livelock shape when the critical section spins). -verify
+// additionally traces the workload and cross-checks the static predictions
+// against the dynamic lockset and lock-order passes, exiting nonzero if any
+// soundness-class finding survives.
+//
 // Usage:
 //
 //	tfstatic -workload vectoradd
 //	tfstatic -workload other.pigz -opt O3 -v
+//	tfstatic -workload seededspin -locks
+//	tfstatic -workload seededcycle -races -verify
 //	tfstatic -all -json
 //
 // The exit status is 2 for usage errors, 1 if any workload fails to load or
-// analyze, and 0 otherwise; divergent classifications are reports, not
-// failures. -json emits an array of staticsimt.Result values with a
+// analyze (or, under -verify, if a soundness finding survives), and 0
+// otherwise; divergent classifications are reports, not failures. -json
+// emits an array of staticsimt.Result (or staticlock.Result) values with a
 // deterministic field and finding order, so byte-identical inputs produce
 // byte-identical output.
 package main
@@ -23,10 +35,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"threadfuser/internal/analysis"
 	"threadfuser/internal/opt"
+	"threadfuser/internal/staticlock"
 	"threadfuser/internal/staticsimt"
 	"threadfuser/internal/workloads"
 )
@@ -42,6 +57,9 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit results as a JSON array")
 		verbose = flag.Bool("v", false, "list every branch, not just the divergent ones")
 		quiet   = flag.Bool("q", false, "one summary line per workload")
+		locks   = flag.Bool("locks", false, "static concurrency oracle: lock-order graph, cycle candidates, divergent-region acquires")
+		races   = flag.Bool("races", false, "static concurrency oracle: race-candidate address classes and their locksets")
+		verify  = flag.Bool("verify", false, "trace the workload and cross-check static predictions against dynamic replay (O1 only)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: tfstatic [flags] -workload name[,name...] | -all\n")
@@ -61,6 +79,13 @@ func main() {
 	}
 	if *verbose && *quiet {
 		fmt.Fprintln(os.Stderr, "tfstatic: -v and -q are mutually exclusive")
+		os.Exit(2)
+	}
+	lockMode := *locks || *races || *verify
+	if *verify && lvl != opt.O1 {
+		// The cross-check compares static IR positions against traced ones;
+		// tracing always runs the instantiated (O1) program.
+		fmt.Fprintln(os.Stderr, "tfstatic: -verify requires -opt O1 (the traced program)")
 		os.Exit(2)
 	}
 
@@ -84,6 +109,7 @@ func main() {
 
 	failed := false
 	var results []*staticsimt.Result
+	var lockResults []*staticlock.Result
 	for _, w := range list {
 		inst, err := w.Instantiate(workloads.Config{Threads: *threads, Seed: *seed})
 		if err != nil {
@@ -95,6 +121,24 @@ func main() {
 		if lvl != opt.O1 {
 			prog = opt.Apply(prog, lvl)
 		}
+
+		if lockMode {
+			res := staticlock.Analyze(prog)
+			switch {
+			case *asJSON:
+				lockResults = append(lockResults, res)
+			case *quiet:
+				fmt.Printf("%-28s %3d acquire(s) (%d divergent), %d cycle candidate(s), %d race candidate(s)\n",
+					w.Name, res.Acquires, res.DivergentAcquires, res.CycleCandidates, res.RaceCandidates)
+			default:
+				renderConcurrency(os.Stdout, res, *locks || *verify, *races || *verify, *verbose)
+			}
+			if *verify && !verifyWorkload(inst, w.Name) {
+				failed = true
+			}
+			continue
+		}
+
 		res := staticsimt.Analyze(prog, staticsimt.Options{MeldBudget: *budget})
 		switch {
 		case *asJSON:
@@ -109,7 +153,13 @@ func main() {
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(results); err != nil {
+		var err error
+		if lockMode {
+			err = enc.Encode(lockResults)
+		} else {
+			err = enc.Encode(results)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "tfstatic:", err)
 			os.Exit(1)
 		}
@@ -117,6 +167,89 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// renderConcurrency writes the lock- and/or race-oriented sections of one
+// static concurrency report. Output order is fixed (sites, then classes,
+// sorted by function/block/instruction), so repeated runs are byte-identical.
+func renderConcurrency(w io.Writer, res *staticlock.Result, showLocks, showRaces, verbose bool) {
+	fmt.Fprintf(w, "%s: %d acquire(s) (%d divergent), %d lock class(es), %d order edge(s), %d cycle candidate(s), %d race-candidate class(es)\n",
+		res.Program, res.Acquires, res.DivergentAcquires, len(res.LockClasses), len(res.Edges), res.CycleCandidates, res.RaceCandidates)
+	if showLocks {
+		for i := range res.Sites {
+			s := &res.Sites[i]
+			if s.Release || s.Unreachable {
+				continue
+			}
+			if s.Divergent {
+				fmt.Fprintf(w, "  divergent acquire: %s b%d i%d lock %s — serialized under SIMT; livelock hazard if the critical section spins\n",
+					s.FuncName, s.Block, s.Instr, s.Shape)
+			} else if verbose {
+				fmt.Fprintf(w, "  acquire: %s b%d i%d lock %s\n", s.FuncName, s.Block, s.Instr, s.Shape)
+			}
+		}
+		for _, idx := range res.Recursions {
+			s := &res.Sites[idx]
+			fmt.Fprintf(w, "  recursive acquire: %s b%d i%d lock %s may already be held\n", s.FuncName, s.Block, s.Instr, s.Shape)
+		}
+		for _, idx := range res.BareReleases {
+			s := &res.Sites[idx]
+			fmt.Fprintf(w, "  release without acquire: %s b%d i%d lock %s\n", s.FuncName, s.Block, s.Instr, s.Shape)
+		}
+		for ci := range res.Cycles {
+			c := &res.Cycles[ci]
+			fmt.Fprintf(w, "  cycle candidate: classes %v over {%s}\n", c.Classes, strings.Join(c.Shapes, ", "))
+		}
+		if verbose {
+			for i := range res.Edges {
+				e := &res.Edges[i]
+				fmt.Fprintf(w, "  order edge: %s -> %s\n", e.From, e.To)
+			}
+		}
+	}
+	if showRaces {
+		for ci := range res.AccessClasses {
+			ac := &res.AccessClasses[ci]
+			if ac.Candidate {
+				fmt.Fprintf(w, "  race candidate: class %d {%s} written with no common named lock\n", ci, strings.Join(ac.Shapes, ", "))
+			} else if verbose {
+				note := ac.Kind
+				if len(ac.CommonLocks) > 0 {
+					note = "protected by " + strings.Join(ac.CommonLocks, ", ")
+				}
+				fmt.Fprintf(w, "  class %d {%s}: %s\n", ci, strings.Join(ac.Shapes, ", "), note)
+			}
+		}
+	}
+}
+
+// verifyWorkload traces one workload instance and runs the staticlock
+// cross-check pass over it; it reports the pass' findings and returns false
+// when any soundness-class (error-severity) finding survives.
+func verifyWorkload(inst *workloads.Instance, name string) bool {
+	tr, err := inst.Trace()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfstatic: %s: trace: %v\n", name, err)
+		return false
+	}
+	rep, err := analysis.Run(tr, analysis.Options{Prog: inst.Prog, Passes: []string{"staticlock"}})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfstatic: %s: verify: %v\n", name, err)
+		return false
+	}
+	for i := range rep.Findings {
+		f := &rep.Findings[i]
+		if f.Severity != analysis.SevError {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "tfstatic: %s: SOUNDNESS: %s\n", name, f.Message)
+	}
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "tfstatic: %s: %d soundness finding(s) survived the dynamic cross-check\n", name, rep.Errors)
+		return false
+	}
+	fmt.Printf("  verified against dynamic replay: every dynamic race and lock-order cycle statically covered\n")
+	return true
 }
 
 func parseLevel(s string) (opt.Level, bool) {

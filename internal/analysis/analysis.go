@@ -141,10 +141,11 @@ type Pass interface {
 
 // Passes returns the engine's passes in their fixed execution order. The
 // sanitizer always runs first: its error findings gate the structural
-// passes, which assume a well-formed trace. The static pass additionally
-// requires Options.Prog and is skipped for trace-only inputs.
+// passes, which assume a well-formed trace. The static passes ("static",
+// "staticlock") additionally require Options.Prog and are skipped for
+// trace-only inputs.
 func Passes() []Pass {
-	return []Pass{sanitizePass{}, locksetPass{}, divergencePass{}, lockLintPass{}, deadlockPass{}, staticPass{}}
+	return []Pass{sanitizePass{}, locksetPass{}, divergencePass{}, lockLintPass{}, deadlockPass{}, staticPass{}, staticLockPass{}}
 }
 
 // Options configure a lint run.
@@ -358,12 +359,12 @@ func RunSession(sess *core.Session, t *trace.Trace, opts Options) (*Report, erro
 				if !selected[p.ID()] {
 					continue
 				}
-				if p.ID() == "static" && opts.Prog == nil {
+				if (p.ID() == "static" || p.ID() == "staticlock") && opts.Prog == nil {
 					// Only surface the skip when the pass was asked for by
 					// name; an all-passes run over a trace-only input just
 					// omits it silently.
 					if len(opts.Passes) > 0 {
-						skipped = append(skipped, "static: no program attached (trace-only input)")
+						skipped = append(skipped, p.ID()+": no program attached (trace-only input)")
 					}
 					continue
 				}

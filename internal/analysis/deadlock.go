@@ -5,32 +5,84 @@ import (
 	"sort"
 	"strings"
 
+	"threadfuser/internal/graph"
 	"threadfuser/internal/trace"
 )
 
-// deadlockPass builds the program's lock-order graph — an edge a→b whenever
-// some thread acquired lock b while holding lock a — and reports its cycles.
-// The locks pass already flags two-lock inversions pairwise; this pass finds
-// the general case (cycles of any length across any set of threads), the
-// classic deadlock certificate the trace's non-blocking locks hide. It is
-// the lock-order complement to the Eraser-style lockset race detector.
-type deadlockPass struct{}
-
-func (deadlockPass) ID() string { return "deadlock" }
-func (deadlockPass) Desc() string {
-	return "lock-order graph cycles: acquisition orders that could deadlock under blocking mutexes"
+// LockSite identifies one static lock-op instruction: function, block, and
+// the instruction's index within its block — the coordinates the dynamic
+// trace records (trace.LockOp.Instr) and the static oracle share.
+type LockSite struct {
+	Func  uint32
+	Block uint32
+	Instr uint16
 }
 
-func (deadlockPass) Run(ctx *Context) error {
-	t := ctx.Trace
+func (s LockSite) less(o LockSite) bool {
+	if s.Func != o.Func {
+		return s.Func < o.Func
+	}
+	if s.Block != o.Block {
+		return s.Block < o.Block
+	}
+	return s.Instr < o.Instr
+}
 
-	// Edge set of the lock-order graph, with the threads that created each
-	// edge (for attribution in the finding).
+// LockEdge is one lock-order graph edge with site attribution: some thread
+// acquired lock word To at ToSite while holding From, which it had acquired
+// (at depth one) at FromSite. Edges are deduplicated on all four
+// coordinates; Threads lists every thread that produced this exact edge.
+type LockEdge struct {
+	From     uint64
+	To       uint64
+	FromSite LockSite
+	ToSite   LockSite
+	Threads  []int
+}
+
+// LockCycle is one strongly connected component of the address-level
+// lock-order graph with at least two locks — a set of acquisition orders
+// that could interleave into a deadlock under blocking mutexes.
+type LockCycle struct {
+	// Addrs lists the SCC's lock words, sorted ascending.
+	Addrs []uint64
+	// Path is a canonical certificate walk inside the SCC (implicitly
+	// closed back to Path[0]): from the smallest lock word, repeatedly the
+	// smallest unvisited in-SCC successor.
+	Path []uint64
+	// Threads lists the threads contributing edges along Path.
+	Threads []int
+}
+
+// LockOrder is the dynamic lock-order graph of a trace: site-attributed
+// edges plus the cycles certifying potential deadlocks. Both slices are
+// deterministically ordered.
+type LockOrder struct {
+	Edges  []LockEdge
+	Cycles []LockCycle
+}
+
+// DynamicLockOrder replays every thread's lock events and builds the
+// lock-order graph: an edge a→b whenever some thread acquired b while
+// holding a (recursive re-acquires deepen the hold, they add no edge).
+// The static oracle's cross-check consumes the site-attributed edges; the
+// deadlock pass formats the cycles.
+func DynamicLockOrder(t *trace.Trace) *LockOrder {
 	type edge struct{ from, to uint64 }
-	edges := map[edge]map[int]bool{}
+	type heldInfo struct {
+		depth int
+		site  LockSite // where the depth-1 acquire happened
+	}
+	type siteEdge struct {
+		e        edge
+		fromSite LockSite
+		toSite   LockSite
+	}
+	edgeThreads := map[edge]map[int]bool{}
+	siteThreads := map[siteEdge]map[int]bool{}
 	nodes := map[uint64]bool{}
 	for _, th := range t.Threads {
-		held := map[uint64]int{} // lock word -> recursion depth
+		held := map[uint64]heldInfo{}
 		for ri := range th.Records {
 			r := &th.Records[ri]
 			if r.Kind != trace.KindBBL {
@@ -38,37 +90,67 @@ func (deadlockPass) Run(ctx *Context) error {
 			}
 			for li := range r.Locks {
 				l := &r.Locks[li]
+				site := LockSite{Func: r.Func, Block: r.Block, Instr: l.Instr}
 				if l.Release {
-					if d := held[l.Addr]; d > 1 {
-						held[l.Addr] = d - 1
+					if h := held[l.Addr]; h.depth > 1 {
+						h.depth--
+						held[l.Addr] = h
 					} else {
 						delete(held, l.Addr)
 					}
 					continue
 				}
-				if held[l.Addr] > 0 {
-					held[l.Addr]++ // recursive; no new order edge
+				if h, ok := held[l.Addr]; ok {
+					h.depth++ // recursive; no new order edge
+					held[l.Addr] = h
 					continue
 				}
-				for other := range held {
+				for other, h := range held {
 					e := edge{other, l.Addr}
-					if edges[e] == nil {
-						edges[e] = map[int]bool{}
+					if edgeThreads[e] == nil {
+						edgeThreads[e] = map[int]bool{}
 						nodes[other] = true
 						nodes[l.Addr] = true
 					}
-					edges[e][th.TID] = true
+					edgeThreads[e][th.TID] = true
+					se := siteEdge{e, h.site, site}
+					if siteThreads[se] == nil {
+						siteThreads[se] = map[int]bool{}
+					}
+					siteThreads[se][th.TID] = true
 				}
-				held[l.Addr] = 1
+				held[l.Addr] = heldInfo{depth: 1, site: site}
 			}
 		}
 	}
-	if len(edges) == 0 {
-		return nil
+
+	lo := &LockOrder{}
+	for se, ths := range siteThreads {
+		lo.Edges = append(lo.Edges, LockEdge{
+			From: se.e.from, To: se.e.to,
+			FromSite: se.fromSite, ToSite: se.toSite,
+			Threads: sortedInts(ths),
+		})
+	}
+	sort.Slice(lo.Edges, func(i, j int) bool {
+		a, b := &lo.Edges[i], &lo.Edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.FromSite != b.FromSite {
+			return a.FromSite.less(b.FromSite)
+		}
+		return a.ToSite.less(b.ToSite)
+	})
+	if len(edgeThreads) == 0 {
+		return lo
 	}
 
-	// Tarjan over the lock-order graph; every SCC with ≥2 locks certifies a
-	// set of acquisition orders that can interleave into a deadlock.
+	// Tarjan over the address-level graph; every SCC with ≥2 locks is a
+	// cycle certificate.
 	ids := make([]uint64, 0, len(nodes))
 	for n := range nodes {
 		ids = append(ids, n)
@@ -79,16 +161,14 @@ func (deadlockPass) Run(ctx *Context) error {
 		idx[n] = i
 	}
 	succs := make([][]int, len(ids))
-	for e := range edges {
+	for e := range edgeThreads {
 		succs[idx[e.from]] = append(succs[idx[e.from]], idx[e.to])
 	}
 	for i := range succs {
 		sort.Ints(succs[i])
 	}
 
-	sccs := tarjanSCCs(succs)
-
-	for _, scc := range sccs {
+	for _, scc := range graph.SCCs(succs) {
 		if len(scc) < 2 {
 			continue
 		}
@@ -118,96 +198,56 @@ func (deadlockPass) Run(ctx *Context) error {
 			visited[next] = true
 			path = append(path, next)
 		}
-		words := make([]string, 0, len(path)+1)
+		c := LockCycle{Addrs: make([]uint64, 0, len(scc)), Path: make([]uint64, 0, len(path))}
+		for _, v := range scc {
+			c.Addrs = append(c.Addrs, ids[v])
+		}
 		threads := map[int]bool{}
 		for i, v := range path {
-			words = append(words, fmt.Sprintf("0x%x", ids[v]))
+			c.Path = append(c.Path, ids[v])
 			to := path[0]
 			if i+1 < len(path) {
 				to = path[i+1]
 			}
-			for tid := range edges[edge{ids[v], ids[to]}] {
+			for tid := range edgeThreads[edge{ids[v], ids[to]}] {
 				threads[tid] = true
 			}
+		}
+		c.Threads = sortedInts(threads)
+		lo.Cycles = append(lo.Cycles, c)
+	}
+	return lo
+}
+
+// deadlockPass builds the program's lock-order graph — an edge a→b whenever
+// some thread acquired lock b while holding lock a — and reports its cycles.
+// The locks pass already flags two-lock inversions pairwise; this pass finds
+// the general case (cycles of any length across any set of threads), the
+// classic deadlock certificate the trace's non-blocking locks hide. It is
+// the lock-order complement to the Eraser-style lockset race detector.
+type deadlockPass struct{}
+
+func (deadlockPass) ID() string { return "deadlock" }
+func (deadlockPass) Desc() string {
+	return "lock-order graph cycles: acquisition orders that could deadlock under blocking mutexes"
+}
+
+func (deadlockPass) Run(ctx *Context) error {
+	lo := DynamicLockOrder(ctx.Trace)
+	for _, c := range lo.Cycles {
+		words := make([]string, 0, len(c.Path)+1)
+		for _, a := range c.Path {
+			words = append(words, fmt.Sprintf("0x%x", a))
 		}
 		words = append(words, words[0])
 
 		f := finding("deadlock", SevWarning)
-		f.Addr = ids[scc[0]]
-		f.Threads = sortedInts(threads)
+		f.Addr = c.Addrs[0]
+		f.Threads = c.Threads
 		f.Message = fmt.Sprintf("lock-order cycle over %d lock(s): %s (threads %s; would deadlock under blocking mutexes)",
-			len(scc), strings.Join(words, " -> "), intsCSV(f.Threads))
-		f.Details = map[string]string{"locks": fmt.Sprintf("%d", len(scc))}
+			len(c.Addrs), strings.Join(words, " -> "), intsCSV(c.Threads))
+		f.Details = map[string]string{"locks": fmt.Sprintf("%d", len(c.Addrs))}
 		ctx.add(f)
 	}
 	return nil
-}
-
-// tarjanSCCs returns the strongly connected components of a graph given as
-// sorted adjacency lists, iteratively (traces can hold many locks).
-// Components come out in an order derived from the algorithm; callers
-// needing determinism across runs get it because the input ordering is
-// deterministic.
-func tarjanSCCs(succs [][]int) [][]int {
-	n := len(succs)
-	index := make([]int, n)
-	low := make([]int, n)
-	onStack := make([]bool, n)
-	for i := range index {
-		index[i] = -1
-	}
-	var sccStack []int
-	var sccs [][]int
-	next := 0
-
-	type frame struct{ v, si int }
-	for root := 0; root < n; root++ {
-		if index[root] >= 0 {
-			continue
-		}
-		callStack := []frame{{root, 0}}
-		index[root], low[root] = next, next
-		next++
-		sccStack = append(sccStack, root)
-		onStack[root] = true
-		for len(callStack) > 0 {
-			fr := &callStack[len(callStack)-1]
-			v := fr.v
-			if fr.si < len(succs[v]) {
-				w := succs[v][fr.si]
-				fr.si++
-				if index[w] < 0 {
-					index[w], low[w] = next, next
-					next++
-					sccStack = append(sccStack, w)
-					onStack[w] = true
-					callStack = append(callStack, frame{w, 0})
-				} else if onStack[w] && index[w] < low[v] {
-					low[v] = index[w]
-				}
-				continue
-			}
-			callStack = callStack[:len(callStack)-1]
-			if len(callStack) > 0 {
-				p := callStack[len(callStack)-1].v
-				if low[v] < low[p] {
-					low[p] = low[v]
-				}
-			}
-			if low[v] == index[v] {
-				var scc []int
-				for {
-					w := sccStack[len(sccStack)-1]
-					sccStack = sccStack[:len(sccStack)-1]
-					onStack[w] = false
-					scc = append(scc, w)
-					if w == v {
-						break
-					}
-				}
-				sccs = append(sccs, scc)
-			}
-		}
-	}
-	return sccs
 }

@@ -61,21 +61,12 @@ func (sh *shadow) note(tid int) {
 	}
 }
 
-// raceSite aggregates race reports by static location, so one racy store in
-// a loop over a thousand addresses yields one finding, not a thousand.
-type raceSite struct {
-	fn      uint32
-	block   uint32
-	instr   uint16
-	store   bool
-	count   int
-	minAddr uint64
-	threads map[int]bool
-}
-
-func (locksetPass) Run(ctx *Context) error {
-	t := ctx.Trace
-
+// eraserWalk runs the Eraser shadow state machine over every thread's memory
+// and lock events, invoking report exactly once per racy address — at the
+// first access that left its candidate lockset empty in the SharedMod state.
+// Lock words and stack addresses are excluded. It returns the set of lock
+// words seen, so callers re-walking the trace can apply the same exclusion.
+func eraserWalk(t *trace.Trace, report func(r *trace.Record, m *trace.MemAccess, sh *shadow)) map[uint64]bool {
 	// Lock words are synchronization state, not data: accesses to them are
 	// excluded, whichever thread or instruction touches them.
 	lockWords := make(map[uint64]bool)
@@ -88,7 +79,6 @@ func (locksetPass) Run(ctx *Context) error {
 	}
 
 	shadows := make(map[uint64]*shadow)
-	sites := make(map[[3]uint64]*raceSite)
 
 	for _, th := range t.Threads {
 		held := make(map[uint64]int) // lock addr -> acquire depth
@@ -135,20 +125,7 @@ func (locksetPass) Run(ctx *Context) error {
 				}
 				if sh.state == stSharedMod && len(sh.lockset) == 0 && !sh.report {
 					sh.report = true
-					key := [3]uint64{uint64(r.Func), uint64(r.Block), uint64(m.Instr)}
-					site := sites[key]
-					if site == nil {
-						site = &raceSite{fn: r.Func, block: r.Block, instr: m.Instr,
-							store: m.Store, minAddr: m.Addr, threads: make(map[int]bool)}
-						sites[key] = site
-					}
-					site.count++
-					if m.Addr < site.minAddr {
-						site.minAddr = m.Addr
-					}
-					for _, tid := range sh.threads {
-						site.threads[tid] = true
-					}
+					report(r, m, sh)
 				}
 			}
 			for ; li < len(r.Locks); li++ {
@@ -156,6 +133,40 @@ func (locksetPass) Run(ctx *Context) error {
 			}
 		}
 	}
+	return lockWords
+}
+
+// raceSite aggregates race reports by static location, so one racy store in
+// a loop over a thousand addresses yields one finding, not a thousand.
+type raceSite struct {
+	fn      uint32
+	block   uint32
+	instr   uint16
+	store   bool
+	count   int
+	minAddr uint64
+	threads map[int]bool
+}
+
+func (locksetPass) Run(ctx *Context) error {
+	t := ctx.Trace
+	sites := make(map[[3]uint64]*raceSite)
+	eraserWalk(t, func(r *trace.Record, m *trace.MemAccess, sh *shadow) {
+		key := [3]uint64{uint64(r.Func), uint64(r.Block), uint64(m.Instr)}
+		site := sites[key]
+		if site == nil {
+			site = &raceSite{fn: r.Func, block: r.Block, instr: m.Instr,
+				store: m.Store, minAddr: m.Addr, threads: make(map[int]bool)}
+			sites[key] = site
+		}
+		site.count++
+		if m.Addr < site.minAddr {
+			site.minAddr = m.Addr
+		}
+		for _, tid := range sh.threads {
+			site.threads[tid] = true
+		}
+	})
 
 	keys := make([][3]uint64, 0, len(sites))
 	for k := range sites {
@@ -191,6 +202,98 @@ func (locksetPass) Run(ctx *Context) error {
 		ctx.add(f)
 	}
 	return nil
+}
+
+// RaceAccess is one static site observed touching a racy address.
+type RaceAccess struct {
+	Func  uint32
+	Block uint32
+	Instr uint16
+	// Store reports that some dynamic access at this site stored.
+	Store bool
+	// Unlocked reports that some dynamic access at this site happened with
+	// zero locks held — the strongest form of the race, which the static
+	// oracle must flag as a candidate at this very site.
+	Unlocked bool
+}
+
+// RacyAddr groups the accessing sites of one address the Eraser machine
+// reported racy.
+type RacyAddr struct {
+	Addr     uint64
+	Accesses []RaceAccess // deduped by site, deterministically sorted
+}
+
+// DynamicRaceAccesses runs the Eraser lockset machine and, for every racy
+// address it reports, re-walks the trace collecting the static sites that
+// touched that address (with per-site store/unlocked attribution). This is
+// the dynamic ground truth the staticlock cross-check pass compares the
+// static race candidates against.
+func DynamicRaceAccesses(t *trace.Trace) []RacyAddr {
+	racy := map[uint64]bool{}
+	eraserWalk(t, func(_ *trace.Record, m *trace.MemAccess, _ *shadow) {
+		racy[m.Addr] = true
+	})
+	if len(racy) == 0 {
+		return nil
+	}
+
+	type key struct {
+		addr uint64
+		site LockSite
+	}
+	accs := map[key]*RaceAccess{}
+	for _, th := range t.Threads {
+		held := make(map[uint64]int)
+		for ri := range th.Records {
+			r := &th.Records[ri]
+			if r.Kind != trace.KindBBL {
+				continue
+			}
+			li := 0
+			for mi := range r.Mem {
+				m := &r.Mem[mi]
+				for li < len(r.Locks) && r.Locks[li].Instr <= m.Instr {
+					applyLockOp(held, &r.Locks[li])
+					li++
+				}
+				if !racy[m.Addr] {
+					continue
+				}
+				k := key{m.Addr, LockSite{Func: r.Func, Block: r.Block, Instr: m.Instr}}
+				a := accs[k]
+				if a == nil {
+					a = &RaceAccess{Func: r.Func, Block: r.Block, Instr: m.Instr}
+					accs[k] = a
+				}
+				if m.Store {
+					a.Store = true
+				}
+				if len(held) == 0 {
+					a.Unlocked = true
+				}
+			}
+			for ; li < len(r.Locks); li++ {
+				applyLockOp(held, &r.Locks[li])
+			}
+		}
+	}
+
+	byAddr := map[uint64][]RaceAccess{}
+	for k, a := range accs {
+		byAddr[k.addr] = append(byAddr[k.addr], *a)
+	}
+	out := make([]RacyAddr, 0, len(byAddr))
+	for addr, as := range byAddr {
+		sort.Slice(as, func(i, j int) bool {
+			si := LockSite{as[i].Func, as[i].Block, as[i].Instr}
+			sj := LockSite{as[j].Func, as[j].Block, as[j].Instr}
+			return si.less(sj)
+		})
+		out = append(out, RacyAddr{Addr: addr, Accesses: as})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
 }
 
 func applyLockOp(held map[uint64]int, l *trace.LockOp) {

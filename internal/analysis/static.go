@@ -4,8 +4,33 @@ import (
 	"fmt"
 	"strings"
 
+	"threadfuser/internal/ir"
 	"threadfuser/internal/staticsimt"
+	"threadfuser/internal/trace"
 )
+
+// progTraceMismatch checks an attached program against a trace's symbol
+// table and describes the first disagreement ("" when they match). Shared by
+// every pass that correlates static IR positions with trace positions.
+func progTraceMismatch(prog *ir.Program, t *trace.Trace) string {
+	if len(prog.Funcs) != len(t.Funcs) {
+		return fmt.Sprintf("program has %d function(s), trace has %d", len(prog.Funcs), len(t.Funcs))
+	}
+	for id, f := range prog.Funcs {
+		if f.Name != t.Funcs[id].Name {
+			return fmt.Sprintf("function %d is %q in the program but %q in the trace", id, f.Name, t.Funcs[id].Name)
+		}
+		if len(f.Blocks) != len(t.Funcs[id].Blocks) {
+			return fmt.Sprintf("function %q has %d block(s) in the program but %d in the trace", f.Name, len(f.Blocks), len(t.Funcs[id].Blocks))
+		}
+		for bi, b := range f.Blocks {
+			if len(b.Instrs) != int(t.Funcs[id].Blocks[bi].NInstr) {
+				return fmt.Sprintf("%s.b%d has %d instruction(s) in the program but %d in the trace", f.Name, bi, len(b.Instrs), t.Funcs[id].Blocks[bi].NInstr)
+			}
+		}
+	}
+	return ""
+}
 
 // staticPass cross-checks the static SIMT oracle (internal/staticsimt)
 // against the dynamic replay. It needs the program attached to the run
@@ -37,32 +62,7 @@ func (staticPass) Run(ctx *Context) error {
 
 	// Symbol-table guard: the attached program must describe the traced
 	// binary, or every block id the comparison uses is meaningless.
-	t := ctx.Trace
-	mismatch := ""
-	if len(prog.Funcs) != len(t.Funcs) {
-		mismatch = fmt.Sprintf("program has %d function(s), trace has %d", len(prog.Funcs), len(t.Funcs))
-	} else {
-		for id, f := range prog.Funcs {
-			if f.Name != t.Funcs[id].Name {
-				mismatch = fmt.Sprintf("function %d is %q in the program but %q in the trace", id, f.Name, t.Funcs[id].Name)
-				break
-			}
-			if len(f.Blocks) != len(t.Funcs[id].Blocks) {
-				mismatch = fmt.Sprintf("function %q has %d block(s) in the program but %d in the trace", f.Name, len(f.Blocks), len(t.Funcs[id].Blocks))
-				break
-			}
-			for bi, b := range f.Blocks {
-				if len(b.Instrs) != int(t.Funcs[id].Blocks[bi].NInstr) {
-					mismatch = fmt.Sprintf("%s.b%d has %d instruction(s) in the program but %d in the trace", f.Name, bi, len(b.Instrs), t.Funcs[id].Blocks[bi].NInstr)
-					break
-				}
-			}
-			if mismatch != "" {
-				break
-			}
-		}
-	}
-	if mismatch != "" {
+	if mismatch := progTraceMismatch(prog, ctx.Trace); mismatch != "" {
 		f := finding("static", SevWarning)
 		f.Message = fmt.Sprintf("attached program does not match the trace symbol table (%s); static comparison skipped", mismatch)
 		ctx.add(f)

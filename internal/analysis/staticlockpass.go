@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"threadfuser/internal/staticlock"
+)
+
+// staticLockPass cross-checks the static concurrency oracle
+// (internal/staticlock) against the dynamic lockset and lock-order passes.
+// Like the static SIMT pass it needs Options.Prog; trace-only inputs skip
+// it. The two disagreement directions carry opposite meanings:
+//
+//   - a dynamic lockset race, lock-order edge, or deadlock cycle with no
+//     covering static candidate is a soundness bug in the oracle (SevError —
+//     internal/check's "staticlockset" invariant enforces that this never
+//     happens);
+//   - a static race or cycle candidate the replay never confirmed is a
+//     precision gap (SevInfo), the expected cost of a conservative dataflow.
+//
+// Acquires reachable under divergent control are additionally surfaced as
+// SevWarning: an SIMT execution serializes them, and a self-looping critical
+// section under divergence is the livelock shape.
+type staticLockPass struct{}
+
+func (staticLockPass) ID() string { return "staticlock" }
+func (staticLockPass) Desc() string {
+	return "static concurrency oracle vs dynamic replay: lockset/lock-order soundness, precision gaps, divergent acquires"
+}
+
+func (staticLockPass) Run(ctx *Context) error {
+	prog := ctx.Opts.Prog
+	if prog == nil {
+		return nil // gated in RunSession; defensive
+	}
+	if mismatch := progTraceMismatch(prog, ctx.Trace); mismatch != "" {
+		f := finding("staticlock", SevWarning)
+		f.Message = fmt.Sprintf("attached program does not match the trace symbol table (%s); static comparison skipped", mismatch)
+		ctx.add(f)
+		return nil
+	}
+
+	sr := staticlock.Analyze(prog)
+	races := DynamicRaceAccesses(ctx.Trace)
+	order := DynamicLockOrder(ctx.Trace)
+
+	fname := func(fn uint32) string {
+		if int(fn) < len(prog.Funcs) {
+			return prog.Funcs[fn].Name
+		}
+		return fmt.Sprintf("f%d", fn)
+	}
+
+	// Soundness (a): every dynamically racy address must land in a static
+	// race-candidate class, and every access the dynamic pass saw with an
+	// empty lockset must itself be a candidate.
+	confirmedRace := map[int]bool{} // access classes with dynamic evidence
+	for _, ra := range races {
+		any := false
+		for _, acc := range ra.Accesses {
+			ai, ok := sr.AccessAt(acc.Func, acc.Block, acc.Instr)
+			if !ok {
+				f := finding("staticlock", SevError)
+				f.Function = fname(acc.Func)
+				f.Block = int32(acc.Block)
+				f.Addr = ra.Addr
+				f.Message = fmt.Sprintf("oracle soundness bug: dynamic access to racy addr 0x%x at instr %d has no static access entry", ra.Addr, acc.Instr)
+				ctx.add(f)
+				continue
+			}
+			sa := &sr.Accesses[ai]
+			if sa.Class >= 0 {
+				confirmedRace[sa.Class] = true
+			}
+			if sa.Candidate {
+				any = true
+			}
+			if acc.Unlocked && !sa.Candidate {
+				f := finding("staticlock", SevError)
+				f.Function = fname(acc.Func)
+				f.Block = int32(acc.Block)
+				f.Addr = ra.Addr
+				f.Message = fmt.Sprintf("oracle soundness bug: access %s i%d touched racy addr 0x%x with no lock held, but its static class (%s, kind %s) is not a race candidate",
+					sa.Shape, acc.Instr, ra.Addr, classShapes(sr, sa.Class), sa.Kind)
+				ctx.add(f)
+			}
+		}
+		if !any {
+			f := finding("staticlock", SevError)
+			f.Addr = ra.Addr
+			f.Message = fmt.Sprintf("oracle soundness bug: addr 0x%x raced in the replay but no access reaching it is a static race candidate", ra.Addr)
+			ctx.add(f)
+		}
+	}
+
+	// Soundness (b): every dynamic lock-order edge must exist between the
+	// static shapes of its witness acquire sites.
+	for _, e := range order.Edges {
+		fi, okF := sr.SiteAt(e.FromSite.Func, e.FromSite.Block, e.FromSite.Instr)
+		ti, okT := sr.SiteAt(e.ToSite.Func, e.ToSite.Block, e.ToSite.Instr)
+		if !okF || !okT {
+			f := finding("staticlock", SevError)
+			f.Function = fname(e.ToSite.Func)
+			f.Block = int32(e.ToSite.Block)
+			f.Message = fmt.Sprintf("oracle soundness bug: dynamic lock-order edge 0x%x->0x%x has acquire sites missing from the static site table", e.From, e.To)
+			ctx.add(f)
+			continue
+		}
+		from, to := sr.Sites[fi].Shape, sr.Sites[ti].Shape
+		if !sr.HasEdge(from, to) {
+			f := finding("staticlock", SevError)
+			f.Function = fname(e.ToSite.Func)
+			f.Block = int32(e.ToSite.Block)
+			f.Message = fmt.Sprintf("oracle soundness bug: replay acquired 0x%x (shape %s) while holding 0x%x (shape %s) but the static order graph has no such edge",
+				e.To, to, e.From, from)
+			ctx.add(f)
+		}
+	}
+
+	// Soundness (c): every dynamic deadlock cycle's lock classes must be
+	// covered by one static cycle candidate.
+	confirmedCycle := map[string]bool{} // class-set keys with dynamic evidence
+	for _, c := range order.Cycles {
+		inCycle := map[uint64]bool{}
+		for _, a := range c.Addrs {
+			inCycle[a] = true
+		}
+		clsSet := map[int]bool{}
+		broken := false
+		for _, e := range order.Edges {
+			if !inCycle[e.From] || !inCycle[e.To] {
+				continue
+			}
+			for _, site := range []LockSite{e.FromSite, e.ToSite} {
+				si, ok := sr.SiteAt(site.Func, site.Block, site.Instr)
+				if !ok {
+					broken = true
+					continue
+				}
+				if ci, ok := sr.LockClassOf(sr.Sites[si].Shape); ok {
+					clsSet[ci] = true
+				} else {
+					broken = true
+				}
+			}
+		}
+		classes := make([]int, 0, len(clsSet))
+		for ci := range clsSet {
+			classes = append(classes, ci)
+		}
+		sort.Ints(classes)
+		if broken || !sr.CycleCovering(classes) {
+			f := finding("staticlock", SevError)
+			f.Addr = c.Addrs[0]
+			f.Message = fmt.Sprintf("oracle soundness bug: dynamic lock-order cycle over %d lock(s) (classes %v) has no covering static cycle candidate", len(c.Addrs), classes)
+			ctx.add(f)
+			continue
+		}
+		confirmedCycle[intsKey(classes)] = true
+	}
+
+	// Divergent-region acquires: guaranteed serialization under SIMT, and the
+	// livelock hazard when the critical section spins or self-loops.
+	for i := range sr.Sites {
+		s := &sr.Sites[i]
+		if s.Release || !s.Divergent || s.Unreachable {
+			continue
+		}
+		f := finding("staticlock", SevWarning)
+		f.Function = s.FuncName
+		f.Block = int32(s.Block)
+		f.Message = fmt.Sprintf("lock %s acquired under divergent control at instr %d: the warp serializes here; livelock hazard if the critical section spins", s.Shape, s.Instr)
+		f.Details = map[string]string{"shape": s.Shape}
+		ctx.add(f)
+	}
+
+	// Precision direction: static candidates the replay never confirmed.
+	gaps := 0
+	precision := func(msg string) {
+		gaps++
+		if gaps > maxPrecisionReports {
+			return
+		}
+		f := finding("staticlock", SevInfo)
+		f.Message = msg
+		ctx.add(f)
+	}
+	for ci := range sr.AccessClasses {
+		ac := &sr.AccessClasses[ci]
+		if ac.Candidate && !confirmedRace[ci] {
+			precision(fmt.Sprintf("precision gap: static race candidate {%s} never raced in this replay", strings.Join(ac.Shapes, ", ")))
+		}
+	}
+	for i := range sr.Cycles {
+		c := &sr.Cycles[i]
+		covered := false
+		for key := range confirmedCycle {
+			if key == intsKey(c.Classes) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			precision(fmt.Sprintf("precision gap: static cycle candidate over {%s} never deadlocked in this replay", strings.Join(c.Shapes, ", ")))
+		}
+	}
+	if gaps > maxPrecisionReports {
+		f := finding("staticlock", SevInfo)
+		f.Message = fmt.Sprintf("%d further precision gap(s) suppressed", gaps-maxPrecisionReports)
+		ctx.add(f)
+	}
+
+	f := finding("staticlock", SevInfo)
+	f.Message = fmt.Sprintf("static concurrency oracle: %d acquire(s) (%d divergent), %d lock class(es), %d order edge(s), %d cycle candidate(s), %d race candidate(s); %d racy addr(s) and %d cycle(s) dynamic, %d precision gap(s)",
+		sr.Acquires, sr.DivergentAcquires, len(sr.LockClasses), len(sr.Edges), sr.CycleCandidates, sr.RaceCandidates, len(races), len(order.Cycles), gaps)
+	ctx.add(f)
+	return nil
+}
+
+// classShapes renders an access class's member shapes for messages.
+func classShapes(sr *staticlock.Result, class int) string {
+	if class < 0 || class >= len(sr.AccessClasses) {
+		return "unclassified"
+	}
+	return strings.Join(sr.AccessClasses[class].Shapes, ", ")
+}
+
+// intsKey is a canonical map key for a sorted int set.
+func intsKey(xs []int) string {
+	var sb strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", x)
+	}
+	return sb.String()
+}

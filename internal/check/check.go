@@ -50,8 +50,8 @@ type Options struct {
 	// engine's own tests). Nil uses a memoized core.Session.
 	Analyze AnalyzeFunc
 	// Prog attaches the traced program's IR, enabling the "staticuniform"
-	// property (static-oracle soundness against replay). Nil leaves that
-	// property vacuously true: trace-only inputs have no IR.
+	// and "staticlockset" properties (static-oracle soundness against
+	// replay). Nil leaves them vacuously true: trace-only inputs have no IR.
 	Prog *ir.Program
 	// Cache, if set, is attached to the default session, so matrix cells
 	// already analyzed in an earlier run skip replay. Ignored when Analyze

@@ -108,16 +108,37 @@ func (g *genThread) mem(n uint64) []trace.MemAccess {
 }
 
 // locks emits a lock pattern within one block: usually a balanced
-// acquire/release of a shared address, occasionally an unbalanced acquire or
-// a bare release, which the replay's reconvergence fallbacks must tolerate.
+// acquire/release of a shared address, occasionally an unbalanced acquire, a
+// bare release, a recursive double-acquire, or a two-lock nesting whose
+// order flips with the thread id — the seed shapes the lock-order and
+// "staticlockset" checks (and their delta-debug shrinks) need to see.
 func (g *genThread) locks(n uint64) []trace.LockOp {
 	addr := vm.GlobalBase + 1024 + 64*uint64(g.rng.Intn(3))
 	acq := uint16(g.rng.Int63n(int64(n)))
-	switch g.rng.Intn(8) {
+	switch g.rng.Intn(10) {
 	case 0: // acquire without release (leak)
 		return []trace.LockOp{{Instr: acq, Addr: addr}}
 	case 1: // bare release
 		return []trace.LockOp{{Instr: acq, Addr: addr, Release: true}}
+	case 2: // recursive: acquire twice, release twice (depth bookkeeping)
+		return []trace.LockOp{
+			{Instr: acq, Addr: addr},
+			{Instr: acq, Addr: addr},
+			{Instr: acq, Addr: addr, Release: true},
+			{Instr: acq, Addr: addr, Release: true},
+		}
+	case 3: // tid-flipped nesting of two fixed words: seeds order cycles
+		a := vm.GlobalBase + 1024
+		b := vm.GlobalBase + 1088
+		if g.tid%2 == 1 {
+			a, b = b, a
+		}
+		return []trace.LockOp{
+			{Instr: acq, Addr: a},
+			{Instr: acq, Addr: b},
+			{Instr: acq, Addr: b, Release: true},
+			{Instr: acq, Addr: a, Release: true},
+		}
 	default:
 		rel := acq
 		if uint64(acq)+1 < n {

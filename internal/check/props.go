@@ -3,8 +3,11 @@ package check
 import (
 	"bytes"
 	"reflect"
+	"sort"
 
+	"threadfuser/internal/analysis"
 	"threadfuser/internal/coalesce"
+	"threadfuser/internal/staticlock"
 	"threadfuser/internal/staticsimt"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/warp"
@@ -297,31 +300,8 @@ var properties = []Property{
 				return // trace-only input: no IR, vacuously true
 			}
 			cell := Cell{WarpSize: c.opts.WarpSizes[0], Parallelism: 1, Formation: c.opts.Formations[0]}
-			// The attached program must describe the traced binary, or the
-			// block ids below compare different code.
-			if len(prog.Funcs) != len(c.tr.Funcs) {
-				c.check()
-				c.violatef(cell, "attached program has %d function(s), trace has %d", len(prog.Funcs), len(c.tr.Funcs))
+			if !progMatchesTrace(c, cell) {
 				return
-			}
-			for id, f := range prog.Funcs {
-				if f.Name != c.tr.Funcs[id].Name {
-					c.check()
-					c.violatef(cell, "attached program function %d is %q, trace says %q", id, f.Name, c.tr.Funcs[id].Name)
-					return
-				}
-				if len(f.Blocks) != len(c.tr.Funcs[id].Blocks) {
-					c.check()
-					c.violatef(cell, "attached program function %q has %d block(s), trace says %d", f.Name, len(f.Blocks), len(c.tr.Funcs[id].Blocks))
-					return
-				}
-				for bi, b := range f.Blocks {
-					if len(b.Instrs) != int(c.tr.Funcs[id].Blocks[bi].NInstr) {
-						c.check()
-						c.violatef(cell, "attached program block %s.b%d has %d instruction(s), trace says %d", f.Name, bi, len(b.Instrs), c.tr.Funcs[id].Blocks[bi].NInstr)
-						return
-					}
-				}
 			}
 			res := staticsimt.Analyze(prog, staticsimt.Options{})
 			// Replay reports name branch sites by function name; AND-join the
@@ -357,6 +337,67 @@ var properties = []Property{
 		},
 	},
 	{
+		id:   "staticlockset",
+		desc: "every dynamic lockset race and lock-order cycle has a covering static candidate",
+		check: func(c *ctx) {
+			prog := c.opts.Prog
+			if prog == nil {
+				return // trace-only input: no IR, vacuously true
+			}
+			cell := Cell{WarpSize: c.opts.WarpSizes[0], Parallelism: 1, Formation: c.opts.Formations[0]}
+			if !progMatchesTrace(c, cell) {
+				return
+			}
+			// The static oracle and the dynamic facts both depend only on the
+			// program and the trace; the matrix sweep below re-asserts the
+			// coverage contract in every serial cell so a violation names the
+			// configuration it was observed under.
+			sr := staticlock.Analyze(prog)
+			races := analysis.DynamicRaceAccesses(c.tr)
+			order := analysis.DynamicLockOrder(c.tr)
+			for _, cl := range c.baseCells() {
+				for _, ra := range races {
+					any := false
+					for _, acc := range ra.Accesses {
+						ai, ok := sr.AccessAt(acc.Func, acc.Block, acc.Instr)
+						if !ok {
+							c.check()
+							c.violatef(cl, "racy addr 0x%x accessed at f%d.b%d i%d with no static access entry",
+								ra.Addr, acc.Func, acc.Block, acc.Instr)
+							continue
+						}
+						sa := &sr.Accesses[ai]
+						if sa.Candidate {
+							any = true
+						}
+						c.assert(cl, !acc.Unlocked || sa.Candidate,
+							"racy addr 0x%x accessed lock-free at f%d.b%d i%d (shape %s) but its class is not a static race candidate",
+							ra.Addr, acc.Func, acc.Block, acc.Instr, sa.Shape)
+					}
+					c.assert(cl, any, "racy addr 0x%x has no static race-candidate access", ra.Addr)
+				}
+				for _, e := range order.Edges {
+					fi, okF := sr.SiteAt(e.FromSite.Func, e.FromSite.Block, e.FromSite.Instr)
+					ti, okT := sr.SiteAt(e.ToSite.Func, e.ToSite.Block, e.ToSite.Instr)
+					if !okF || !okT {
+						c.check()
+						c.violatef(cl, "dynamic lock edge 0x%x->0x%x has sites missing from the static site table", e.From, e.To)
+						continue
+					}
+					c.assert(cl, sr.HasEdge(sr.Sites[fi].Shape, sr.Sites[ti].Shape),
+						"dynamic lock edge 0x%x->0x%x (shapes %s -> %s) missing from the static order graph",
+						e.From, e.To, sr.Sites[fi].Shape, sr.Sites[ti].Shape)
+				}
+				for _, cy := range order.Cycles {
+					classes, ok := cycleClasses(sr, order, cy)
+					c.assert(cl, ok && sr.CycleCovering(classes),
+						"dynamic lock-order cycle over %d lock(s) has no covering static cycle candidate (classes %v)",
+						len(cy.Addrs), classes)
+				}
+			}
+		},
+	},
+	{
 		id:   "formation",
 		desc: "every warp formation partitions the thread ids exactly once",
 		check: func(c *ctx) {
@@ -375,6 +416,74 @@ var properties = []Property{
 			}
 		},
 	},
+}
+
+// progMatchesTrace verifies the attached program describes the traced
+// binary (same functions, blocks and instruction counts); on a mismatch it
+// records a violation against cell and returns false. Shared by every
+// property that correlates static IR positions with trace positions.
+func progMatchesTrace(c *ctx, cell Cell) bool {
+	prog := c.opts.Prog
+	if len(prog.Funcs) != len(c.tr.Funcs) {
+		c.check()
+		c.violatef(cell, "attached program has %d function(s), trace has %d", len(prog.Funcs), len(c.tr.Funcs))
+		return false
+	}
+	for id, f := range prog.Funcs {
+		if f.Name != c.tr.Funcs[id].Name {
+			c.check()
+			c.violatef(cell, "attached program function %d is %q, trace says %q", id, f.Name, c.tr.Funcs[id].Name)
+			return false
+		}
+		if len(f.Blocks) != len(c.tr.Funcs[id].Blocks) {
+			c.check()
+			c.violatef(cell, "attached program function %q has %d block(s), trace says %d", f.Name, len(f.Blocks), len(c.tr.Funcs[id].Blocks))
+			return false
+		}
+		for bi, b := range f.Blocks {
+			if len(b.Instrs) != int(c.tr.Funcs[id].Blocks[bi].NInstr) {
+				c.check()
+				c.violatef(cell, "attached program block %s.b%d has %d instruction(s), trace says %d", f.Name, bi, len(b.Instrs), c.tr.Funcs[id].Blocks[bi].NInstr)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// cycleClasses maps one dynamic lock-order cycle to the static lock classes
+// of the acquire sites along its in-cycle edges; ok is false when any site
+// or shape is missing from the static tables.
+func cycleClasses(sr *staticlock.Result, order *analysis.LockOrder, cy analysis.LockCycle) ([]int, bool) {
+	in := make(map[uint64]bool, len(cy.Addrs))
+	for _, a := range cy.Addrs {
+		in[a] = true
+	}
+	set := map[int]bool{}
+	ok := true
+	for _, e := range order.Edges {
+		if !in[e.From] || !in[e.To] {
+			continue
+		}
+		for _, s := range []analysis.LockSite{e.FromSite, e.ToSite} {
+			si, found := sr.SiteAt(s.Func, s.Block, s.Instr)
+			if !found {
+				ok = false
+				continue
+			}
+			if ci, found := sr.LockClassOf(sr.Sites[si].Shape); found {
+				set[ci] = true
+			} else {
+				ok = false
+			}
+		}
+	}
+	classes := make([]int, 0, len(set))
+	for ci := range set {
+		classes = append(classes, ci)
+	}
+	sort.Ints(classes)
+	return classes, ok
 }
 
 // traceMemBounds computes, straight from the trace, the maximum possible

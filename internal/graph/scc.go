@@ -1,0 +1,74 @@
+// Package graph holds small graph algorithms shared by the analyzers: today
+// an iterative Tarjan strongly-connected-components pass, used by both the
+// dynamic lock-order deadlock pass (internal/analysis) and the static
+// lock-order oracle (internal/staticlock).
+package graph
+
+// SCCs returns the strongly connected components of a graph given as
+// adjacency lists, using Tarjan's algorithm iteratively (inputs can hold
+// many nodes; no recursion depth limit). Components come out in an order
+// derived from the algorithm; callers needing determinism across runs get it
+// because the input ordering is deterministic.
+func SCCs(succs [][]int) [][]int {
+	n := len(succs)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var sccStack []int
+	var sccs [][]int
+	next := 0
+
+	type frame struct{ v, si int }
+	for root := 0; root < n; root++ {
+		if index[root] >= 0 {
+			continue
+		}
+		callStack := []frame{{root, 0}}
+		index[root], low[root] = next, next
+		next++
+		sccStack = append(sccStack, root)
+		onStack[root] = true
+		for len(callStack) > 0 {
+			fr := &callStack[len(callStack)-1]
+			v := fr.v
+			if fr.si < len(succs[v]) {
+				w := succs[v][fr.si]
+				fr.si++
+				if index[w] < 0 {
+					index[w], low[w] = next, next
+					next++
+					sccStack = append(sccStack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{w, 0})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := callStack[len(callStack)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var scc []int
+				for {
+					w := sccStack[len(sccStack)-1]
+					sccStack = sccStack[:len(sccStack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}

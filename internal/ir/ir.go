@@ -336,6 +336,18 @@ func (in *Instr) MemOperand() (m MemRef, load, store bool) {
 	return MemRef{}, false, false
 }
 
+// LockOperand returns the lock-word operand of an OpLock/OpUnlock and true,
+// plus whether the instruction releases. The operand names the lock by
+// address: a register operand's value, an immediate's value, or a memory
+// operand's *effective address* (the lock word itself is never loaded — the
+// memory form is address-only, exactly as the VM evaluates it).
+func (in *Instr) LockOperand() (o Operand, release, ok bool) {
+	if in.Op != OpLock && in.Op != OpUnlock {
+		return Operand{}, false, false
+	}
+	return in.Src, in.Op == OpUnlock, true
+}
+
 func (in *Instr) String() string {
 	switch in.Op {
 	case OpJmp:

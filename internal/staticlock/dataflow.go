@@ -1,0 +1,316 @@
+package staticlock
+
+import (
+	"threadfuser/internal/ir"
+)
+
+// state is the phase-1 dataflow fact at one program point: the symbolic
+// value of every register.
+type state [ir.NumRegs]symval
+
+// joinInto merges src into dst per-register and reports whether dst changed.
+func joinInto(dst, src *state) bool {
+	changed := false
+	for r := range dst {
+		merged := symJoin(dst[r], src[r])
+		if !symEq(merged, dst[r]) {
+			dst[r] = merged
+			changed = true
+		}
+	}
+	return changed
+}
+
+func topState() state {
+	var s state
+	for r := range s {
+		s[r] = top
+	}
+	return s
+}
+
+// funcState is the per-function fixpoint state, mirroring the staticsimt
+// driver: entry/exit facts joined over call sites and returns, per-block
+// converged in-states, and seen flags that double as reachability.
+type funcState struct {
+	f         *ir.Function
+	entry     state // join over all call sites (seed for the entry function)
+	exit      state // join over all ret points
+	in        []state
+	entrySeen bool
+	exitSeen  bool
+	inSeen    []bool
+	phantom   bool // no call path from the entry; analyzed standalone
+}
+
+type analysis struct {
+	prog    *ir.Program
+	fns     []*funcState
+	changed bool
+}
+
+func newAnalysis(p *ir.Program) *analysis {
+	a := &analysis{prog: p, fns: make([]*funcState, len(p.Funcs))}
+	for i, f := range p.Funcs {
+		a.fns[i] = &funcState{
+			f:      f,
+			in:     make([]state, len(f.Blocks)),
+			inSeen: make([]bool, len(f.Blocks)),
+		}
+	}
+	return a
+}
+
+// run drives the interprocedural least fixpoint over symbolic register
+// values, then analyzes functions with no call path from the entry under an
+// all-unknown standalone entry.
+func (a *analysis) run() {
+	entry := a.fns[a.prog.Entry]
+	var seed state
+	for r := range seed {
+		seed[r] = symRoot(root{kind: rootArg, reg: uint8(r)})
+	}
+	seed[ir.TID] = symRoot(root{kind: rootTID})
+	seed[ir.SP] = symRoot(root{kind: rootSP})
+	entry.entry = seed
+	entry.entrySeen = true
+
+	for {
+		a.changed = false
+		for _, fs := range a.fns {
+			if fs.entrySeen {
+				a.runFunc(fs)
+			}
+		}
+		if !a.changed {
+			break
+		}
+	}
+
+	// Phantom functions: no static call path reaches them, so they never
+	// execute — analyze them anyway under an all-Top entry so their lock
+	// sites still get (worst-case) shapes, without contributing back into
+	// the live program.
+	for _, fs := range a.fns {
+		if fs.entrySeen {
+			continue
+		}
+		fs.phantom = true
+		fs.entry = topState()
+		fs.entrySeen = true
+		for {
+			a.changed = false
+			a.runFunc(fs)
+			if !a.changed {
+				break
+			}
+		}
+	}
+}
+
+// runFunc does one monotone sweep over a function: transfer every reached
+// block in order, propagating to successors, callees and the exit.
+func (a *analysis) runFunc(fs *funcState) {
+	if !fs.inSeen[0] {
+		fs.in[0] = fs.entry
+		fs.inSeen[0] = true
+		a.changed = true
+	} else if joinInto(&fs.in[0], &fs.entry) {
+		a.changed = true
+	}
+	for bi := range fs.f.Blocks {
+		if !fs.inSeen[bi] {
+			continue
+		}
+		st := fs.in[bi]
+		a.transferBlock(fs, fs.f.Blocks[bi], &st)
+	}
+}
+
+// flow joins a state into a block's entry fact.
+func (a *analysis) flow(fs *funcState, st *state, target ir.BlockID) {
+	if int(target) >= len(fs.in) {
+		return
+	}
+	if !fs.inSeen[target] {
+		fs.in[target] = *st
+		fs.inSeen[target] = true
+		a.changed = true
+		return
+	}
+	if joinInto(&fs.in[target], st) {
+		a.changed = true
+	}
+}
+
+// contributeEntry joins a caller's registers into a callee's entry fact (the
+// VM has one register file, so the callee starts from the caller's state).
+func (a *analysis) contributeEntry(callee *funcState, st *state) {
+	if !callee.entrySeen {
+		callee.entry = *st
+		callee.entrySeen = true
+		a.changed = true
+		return
+	}
+	if joinInto(&callee.entry, st) {
+		a.changed = true
+	}
+}
+
+// joinExit joins a state into the function's exit fact.
+func (a *analysis) joinExit(fs *funcState, st *state) {
+	if !fs.exitSeen {
+		fs.exit = *st
+		fs.exitSeen = true
+		a.changed = true
+		return
+	}
+	if joinInto(&fs.exit, st) {
+		a.changed = true
+	}
+}
+
+// transferBlock interprets one block's instructions over st and propagates
+// the result to successors / callees / the exit. Call continuations only
+// flow once the callee's exit fact exists ("skip-if-unseen"): the fixpoint
+// revisits when it materializes, and a callee that never returns correctly
+// never reaches its continuation.
+func (a *analysis) transferBlock(fs *funcState, b *ir.Block, st *state) {
+	for ii := 0; ii < len(b.Instrs)-1; ii++ {
+		transferInstr(st, &b.Instrs[ii])
+	}
+
+	term := b.Terminator()
+	switch term.Op {
+	case ir.OpJmp:
+		a.flow(fs, st, term.Target)
+	case ir.OpJcc:
+		a.flow(fs, st, term.Target)
+		a.flow(fs, st, term.Fall)
+	case ir.OpSwitch:
+		for _, t := range term.Targets {
+			a.flow(fs, st, t)
+		}
+	case ir.OpRet:
+		a.joinExit(fs, st)
+	case ir.OpCall:
+		if int(term.Callee) >= len(a.fns) {
+			return
+		}
+		if fs.phantom {
+			cont := topState()
+			a.flow(fs, &cont, term.Fall)
+			return
+		}
+		callee := a.fns[term.Callee]
+		a.contributeEntry(callee, st)
+		if callee.exitSeen {
+			cont := callee.exit
+			a.flow(fs, &cont, term.Fall)
+		}
+	case ir.OpCallR:
+		if fs.phantom {
+			cont := topState()
+			a.flow(fs, &cont, term.Fall)
+			return
+		}
+		var cont state
+		seen := false
+		for _, callee := range a.fns {
+			a.contributeEntry(callee, st)
+			if callee.exitSeen {
+				if !seen {
+					cont = callee.exit
+					seen = true
+				} else {
+					joinInto(&cont, &callee.exit)
+				}
+			}
+		}
+		if seen {
+			a.flow(fs, &cont, term.Fall)
+		}
+	}
+}
+
+// read is the symbolic value of one source operand. Loads are Top: the
+// static view cannot see memory contents.
+func read(st *state, o ir.Operand) symval {
+	switch o.Kind {
+	case ir.OpndReg:
+		return st[o.Reg]
+	case ir.OpndImm:
+		return symConst(o.Imm)
+	case ir.OpndMem:
+		return top
+	}
+	return top
+}
+
+// addrOf is the symbolic effective address of a memory operand:
+// base + scale·index + disp.
+func addrOf(st *state, m ir.MemRef) symval {
+	v := st[m.Base]
+	if m.HasIndex {
+		v = symAdd(v, symScale(st[m.Index], int64(m.Scale)))
+	}
+	return symAdd(v, symConst(m.Disp))
+}
+
+// lockShape is the symbolic address a lock operand names: a register's
+// value, an immediate, or a memory operand's effective address (address-only
+// use, exactly as the VM evaluates it).
+func lockShape(st *state, o ir.Operand) symval {
+	switch o.Kind {
+	case ir.OpndReg:
+		return st[o.Reg]
+	case ir.OpndImm:
+		return symConst(o.Imm)
+	case ir.OpndMem:
+		return addrOf(st, o.Mem)
+	}
+	return top
+}
+
+// transferInstr interprets one non-terminator instruction over the symbolic
+// register state. Memory is untracked: stores have no register effect and
+// loads produce Top.
+func transferInstr(st *state, in *ir.Instr) {
+	def := func(v symval) {
+		if in.Dst.Kind == ir.OpndReg {
+			st[in.Dst.Reg] = v
+		}
+	}
+	switch in.Op {
+	case ir.OpNop, ir.OpLock, ir.OpUnlock, ir.OpIO, ir.OpSpin,
+		ir.OpCmp, ir.OpTest, ir.OpFCmp:
+		// No register effect (flags are not tracked symbolically).
+	case ir.OpMov:
+		def(read(st, in.Src))
+	case ir.OpLea:
+		def(addrOf(st, in.Src.Mem))
+	case ir.OpAdd:
+		def(symAdd(read(st, in.Dst), read(st, in.Src)))
+	case ir.OpSub:
+		def(symSub(read(st, in.Dst), read(st, in.Src)))
+	case ir.OpMul:
+		def(symMul(read(st, in.Dst), read(st, in.Src)))
+	case ir.OpShl:
+		def(symShl(read(st, in.Dst), read(st, in.Src)))
+	case ir.OpNeg:
+		def(symNeg(read(st, in.Dst)))
+	case ir.OpXor:
+		if in.Dst.Kind == ir.OpndReg && in.Src.Kind == ir.OpndReg && in.Dst.Reg == in.Src.Reg {
+			def(symConst(0)) // the zeroing idiom stays precise
+		} else {
+			def(top)
+		}
+	case ir.OpCmov:
+		// dst = cond ? src : dst — the join of both arms.
+		def(symJoin(read(st, in.Dst), read(st, in.Src)))
+	default:
+		// Non-linear or untracked: div, rem, and, or, shr, sar, not,
+		// float ops, conversions.
+		def(top)
+	}
+}

@@ -1,0 +1,370 @@
+package staticlock
+
+import (
+	"threadfuser/internal/ir"
+)
+
+// Phase 2 runs a second interprocedural fixpoint over the converged symbolic
+// register states: at every program point it tracks two shape-keyed held
+// maps —
+//
+//   - must: shapes certainly held (intersection join, under-approximation).
+//     A named shape in must at an access certifies a concrete lock held by
+//     every thread executing it.
+//   - may: shapes possibly held (union join, over-approximation), each with
+//     a witness acquire site. Lock-order edges are drawn from may at every
+//     acquire.
+//
+// Hold depths saturate at depthCap; a may entry at the cap becomes sticky
+// (releases stop decrementing it), which keeps may an over-approximation
+// under recursion deeper than the cap. A release through an unknown address
+// ("?") could release anything: it clears must entirely and leaves may
+// untouched.
+
+// depthCap saturates recursion-depth tracking. Sticky at the cap: a may
+// entry that reaches it is never removed again.
+const depthCap = 7
+
+// mayEntry is one possibly-held shape: its saturating depth and the
+// smallest acquire-site index that first established it.
+type mayEntry struct {
+	depth   int8
+	witness int32
+}
+
+// lstate is the phase-2 fact: must/may held maps keyed by shape string.
+type lstate struct {
+	must map[string]int8
+	may  map[string]mayEntry
+}
+
+func newLstate() lstate {
+	return lstate{must: map[string]int8{}, may: map[string]mayEntry{}}
+}
+
+func (s *lstate) clone() lstate {
+	out := newLstate()
+	for k, v := range s.must {
+		out.must[k] = v
+	}
+	for k, v := range s.may {
+		out.may[k] = v
+	}
+	return out
+}
+
+// ljoinInto merges src into dst (must: intersection with min depth; may:
+// union with max depth and min witness) and reports whether dst changed.
+func ljoinInto(dst, src *lstate) bool {
+	changed := false
+	for k, d := range dst.must {
+		sd, ok := src.must[k]
+		if !ok {
+			delete(dst.must, k)
+			changed = true
+			continue
+		}
+		if sd < d {
+			dst.must[k] = sd
+			changed = true
+		}
+	}
+	for k, sv := range src.may {
+		dv, ok := dst.may[k]
+		if !ok {
+			dst.may[k] = sv
+			changed = true
+			continue
+		}
+		merged := dv
+		if sv.depth > merged.depth {
+			merged.depth = sv.depth
+		}
+		if sv.witness < merged.witness {
+			merged.witness = sv.witness
+		}
+		if merged != dv {
+			dst.may[k] = merged
+			changed = true
+		}
+	}
+	return changed
+}
+
+// acquire applies one lock acquire of the given shape at the given site.
+func (s *lstate) acquire(shape string, site int32) {
+	if d := s.must[shape]; d < depthCap {
+		s.must[shape] = d + 1
+	}
+	e, ok := s.may[shape]
+	if !ok {
+		s.may[shape] = mayEntry{depth: 1, witness: site}
+		return
+	}
+	if e.depth < depthCap {
+		e.depth++
+	}
+	if site < e.witness {
+		e.witness = site
+	}
+	s.may[shape] = e
+}
+
+// release applies one lock release of the given symbolic address. A precise
+// shape releases exactly itself; an unknown address clears must (it might
+// release any lock) and leaves may alone (it might release none).
+func (s *lstate) release(v symval, shape string) {
+	if !v.precise() {
+		for k := range s.must {
+			delete(s.must, k)
+		}
+		return
+	}
+	if d, ok := s.must[shape]; ok {
+		if d > 1 {
+			s.must[shape] = d - 1
+		} else {
+			delete(s.must, shape)
+		}
+	}
+	if e, ok := s.may[shape]; ok && e.depth < depthCap { // at the cap: sticky
+		if e.depth > 1 {
+			e.depth--
+			s.may[shape] = e
+		} else {
+			delete(s.may, shape)
+		}
+	}
+}
+
+// lockFuncState is the per-function phase-2 fixpoint state.
+type lockFuncState struct {
+	entry     lstate
+	exit      lstate
+	in        []lstate
+	entrySeen bool
+	exitSeen  bool
+	inSeen    []bool
+}
+
+// lockAnalysis drives phase 2 over the phase-1 analysis it wraps.
+type lockAnalysis struct {
+	sym     *analysis // converged phase-1 states
+	fns     []*lockFuncState
+	siteIdx map[siteKey]int32 // every OpLock/OpUnlock instruction, pre-indexed
+	changed bool
+}
+
+// siteKey is the static identity of one lock-op instruction.
+type siteKey struct {
+	fn    uint32
+	block uint32
+	instr uint16
+}
+
+func newLockAnalysis(sym *analysis) *lockAnalysis {
+	la := &lockAnalysis{
+		sym:     sym,
+		fns:     make([]*lockFuncState, len(sym.fns)),
+		siteIdx: map[siteKey]int32{},
+	}
+	// Pre-index every lock-op site in program order; witness fields refer to
+	// these indices, so they exist before the fixpoint runs.
+	var n int32
+	for _, fs := range sym.fns {
+		for _, b := range fs.f.Blocks {
+			for ii := range b.Instrs {
+				if op := b.Instrs[ii].Op; op == ir.OpLock || op == ir.OpUnlock {
+					la.siteIdx[siteKey{uint32(fs.f.ID), uint32(b.ID), uint16(ii)}] = n
+					n++
+				}
+			}
+		}
+	}
+	for i, fs := range sym.fns {
+		la.fns[i] = &lockFuncState{
+			in:     make([]lstate, len(fs.f.Blocks)),
+			inSeen: make([]bool, len(fs.f.Blocks)),
+		}
+	}
+	return la
+}
+
+func (la *lockAnalysis) run() {
+	prog := la.sym.prog
+	entry := la.fns[prog.Entry]
+	entry.entry = newLstate() // nothing held at program start
+	entry.entrySeen = true
+
+	for {
+		la.changed = false
+		for fi, lfs := range la.fns {
+			if lfs.entrySeen {
+				la.runFunc(fi, lfs)
+			}
+		}
+		if !la.changed {
+			break
+		}
+	}
+
+	// Phantoms, after the live program: empty held state (nothing certain,
+	// nothing known-possible from callers that do not exist).
+	for fi, lfs := range la.fns {
+		if lfs.entrySeen {
+			continue
+		}
+		lfs.entry = newLstate()
+		lfs.entrySeen = true
+		for {
+			la.changed = false
+			la.runFunc(fi, lfs)
+			if !la.changed {
+				break
+			}
+		}
+	}
+}
+
+func (la *lockAnalysis) runFunc(fi int, lfs *lockFuncState) {
+	sfs := la.sym.fns[fi]
+	if !lfs.inSeen[0] {
+		lfs.in[0] = lfs.entry.clone()
+		lfs.inSeen[0] = true
+		la.changed = true
+	} else if ljoinInto(&lfs.in[0], &lfs.entry) {
+		la.changed = true
+	}
+	for bi := range sfs.f.Blocks {
+		if !lfs.inSeen[bi] || !sfs.inSeen[bi] {
+			continue
+		}
+		st := lfs.in[bi].clone()
+		la.transferBlock(fi, sfs.f.Blocks[bi], &st)
+	}
+}
+
+func (la *lockAnalysis) lflow(lfs *lockFuncState, st *lstate, target ir.BlockID) {
+	if int(target) >= len(lfs.in) {
+		return
+	}
+	if !lfs.inSeen[target] {
+		lfs.in[target] = st.clone()
+		lfs.inSeen[target] = true
+		la.changed = true
+		return
+	}
+	if ljoinInto(&lfs.in[target], st) {
+		la.changed = true
+	}
+}
+
+func (la *lockAnalysis) contributeEntry(callee *lockFuncState, st *lstate) {
+	if !callee.entrySeen {
+		callee.entry = st.clone()
+		callee.entrySeen = true
+		la.changed = true
+		return
+	}
+	if ljoinInto(&callee.entry, st) {
+		la.changed = true
+	}
+}
+
+func (la *lockAnalysis) joinExit(lfs *lockFuncState, st *lstate) {
+	if !lfs.exitSeen {
+		lfs.exit = st.clone()
+		lfs.exitSeen = true
+		la.changed = true
+		return
+	}
+	if ljoinInto(&lfs.exit, st) {
+		la.changed = true
+	}
+}
+
+// transferBlock replays the block's symbolic state alongside the held maps
+// (lock shapes depend on the registers at each instruction) and propagates
+// to successors, callees and the exit, with the same skip-if-unseen call
+// continuations as phase 1. Skipping unseen exits is what makes the must
+// (intersection) lattice work without a ⊤ initialization: a continuation is
+// never seeded from a fact that does not exist yet.
+func (la *lockAnalysis) transferBlock(fi int, b *ir.Block, st *lstate) {
+	sfs := la.sym.fns[fi]
+	lfs := la.fns[fi]
+	sym := sfs.in[b.ID]
+	fid := uint32(sfs.f.ID)
+	for ii := 0; ii < len(b.Instrs)-1; ii++ {
+		in := &b.Instrs[ii]
+		if o, rel, ok := in.LockOperand(); ok {
+			v := lockShape(&sym, o)
+			shape := v.shape()
+			if rel {
+				st.release(v, shape)
+			} else {
+				st.acquire(shape, la.siteIdx[siteKey{fid, uint32(b.ID), uint16(ii)}])
+			}
+		}
+		transferInstr(&sym, in)
+	}
+
+	term := b.Terminator()
+	switch term.Op {
+	case ir.OpJmp:
+		la.lflow(lfs, st, term.Target)
+	case ir.OpJcc:
+		la.lflow(lfs, st, term.Target)
+		la.lflow(lfs, st, term.Fall)
+	case ir.OpSwitch:
+		for _, t := range term.Targets {
+			la.lflow(lfs, st, t)
+		}
+	case ir.OpRet:
+		la.joinExit(lfs, st)
+	case ir.OpCall:
+		if int(term.Callee) >= len(la.fns) {
+			return
+		}
+		if sfs.phantom {
+			// A phantom's callees are analyzed on their own; assume nothing
+			// about the continuation's held set beyond what may carries.
+			cont := newLstate()
+			for k, v := range st.may {
+				cont.may[k] = v
+			}
+			la.lflow(lfs, &cont, term.Fall)
+			return
+		}
+		callee := la.fns[term.Callee]
+		la.contributeEntry(callee, st)
+		if callee.exitSeen {
+			cont := callee.exit.clone()
+			la.lflow(lfs, &cont, term.Fall)
+		}
+	case ir.OpCallR:
+		if sfs.phantom {
+			cont := newLstate()
+			for k, v := range st.may {
+				cont.may[k] = v
+			}
+			la.lflow(lfs, &cont, term.Fall)
+			return
+		}
+		var cont lstate
+		seen := false
+		for _, callee := range la.fns {
+			la.contributeEntry(callee, st)
+			if callee.exitSeen {
+				if !seen {
+					cont = callee.exit.clone()
+					seen = true
+				} else {
+					ljoinInto(&cont, &callee.exit)
+				}
+			}
+		}
+		if seen {
+			la.lflow(lfs, &cont, term.Fall)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package staticlock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"threadfuser/internal/ir"
+)
+
+// The symbolic address domain: each register holds either nothing yet
+// (bottom, for not-yet-joined paths), a linear expression
+//
+//	c + Σ coeff·root
+//
+// over a small set of opaque roots, or Top ("?", any value). Roots are the
+// entry function's initial registers (argN), the thread id (tid), and the
+// entry stack pointer (sp). Two assumptions give the roots their meaning and
+// are documented as the analysis' soundness contract (DESIGN.md §13):
+//
+//   - shared-world: arg roots denote run constants identical across threads
+//     (every built-in workload's ArgFn passes the same pointers/sizes to all
+//     threads; the cross-check pass catches violations dynamically);
+//   - per-thread roots: tid is the thread id, sp the base of the thread's
+//     private stack segment.
+//
+// Anything non-linear — loads, bitwise ops, division — collapses to Top.
+
+// rootKind discriminates symbolic roots.
+type rootKind uint8
+
+const (
+	rootArg rootKind = iota // entry function's initial register value
+	rootTID                 // the thread-id register's initial value
+	rootSP                  // the entry stack pointer
+)
+
+// root is one opaque symbol; reg is meaningful for rootArg only.
+type root struct {
+	kind rootKind
+	reg  uint8
+}
+
+// rootOrder gives the canonical term order: arg0..argN, then tid, then sp.
+func (r root) order() int {
+	switch r.kind {
+	case rootArg:
+		return int(r.reg)
+	case rootTID:
+		return int(ir.NumRegs)
+	default:
+		return int(ir.NumRegs) + 1
+	}
+}
+
+func (r root) String() string {
+	switch r.kind {
+	case rootArg:
+		return fmt.Sprintf("arg%d", r.reg)
+	case rootTID:
+		return "tid"
+	default:
+		return "sp"
+	}
+}
+
+// term is one coeff·root summand; coeff is never zero in a normalized value.
+type term struct {
+	root  root
+	coeff int64
+}
+
+type symKind uint8
+
+const (
+	symUnset symKind = iota // bottom: no path has defined the value yet
+	symLin                  // linear expression c + Σ coeff·root
+	symTop                  // unknown
+)
+
+// symval is one abstract register value. Terms are sorted by root order and
+// hold no zero coefficients; the zero symval is Unset (the join identity).
+type symval struct {
+	kind  symKind
+	c     int64
+	terms []term
+}
+
+var top = symval{kind: symTop}
+
+func symConst(c int64) symval { return symval{kind: symLin, c: c} }
+
+func symRoot(r root) symval {
+	return symval{kind: symLin, terms: []term{{root: r, coeff: 1}}}
+}
+
+// isConst reports a pure constant and its value.
+func (v symval) isConst() (int64, bool) {
+	if v.kind == symLin && len(v.terms) == 0 {
+		return v.c, true
+	}
+	return 0, false
+}
+
+// coeffOf returns the coefficient of one root (0 when absent).
+func (v symval) coeffOf(k rootKind) int64 {
+	for _, t := range v.terms {
+		if t.root.kind == k {
+			return t.coeff
+		}
+	}
+	return 0
+}
+
+// tidCoeff is the tid term's coefficient of a linear value.
+func (v symval) tidCoeff() int64 { return v.coeffOf(rootTID) }
+
+// precise reports a fully-known linear value (not Unset, not Top).
+func (v symval) precise() bool { return v.kind == symLin }
+
+// named reports a value that denotes a single concrete address, identical
+// for every thread of a run: linear over arg roots and constants only.
+func (v symval) named() bool {
+	if v.kind != symLin {
+		return false
+	}
+	for _, t := range v.terms {
+		if t.root.kind != rootArg {
+			return false
+		}
+	}
+	return true
+}
+
+// spRooted reports a linear value containing the sp root — an address into
+// the thread's private stack segment.
+func (v symval) spRooted() bool {
+	return v.kind == symLin && v.coeffOf(rootSP) != 0
+}
+
+func symAdd(a, b symval) symval {
+	if a.kind == symTop || b.kind == symTop {
+		return top
+	}
+	if a.kind == symUnset || b.kind == symUnset {
+		return symval{} // bottom absorbs until defined
+	}
+	out := symval{kind: symLin, c: a.c + b.c}
+	i, j := 0, 0
+	for i < len(a.terms) || j < len(b.terms) {
+		switch {
+		case j >= len(b.terms) || (i < len(a.terms) && a.terms[i].root.order() < b.terms[j].root.order()):
+			out.terms = append(out.terms, a.terms[i])
+			i++
+		case i >= len(a.terms) || b.terms[j].root.order() < a.terms[i].root.order():
+			out.terms = append(out.terms, b.terms[j])
+			j++
+		default:
+			if c := a.terms[i].coeff + b.terms[j].coeff; c != 0 {
+				out.terms = append(out.terms, term{root: a.terms[i].root, coeff: c})
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func symNeg(a symval) symval { return symScale(a, -1) }
+
+func symSub(a, b symval) symval { return symAdd(a, symNeg(b)) }
+
+func symScale(a symval, k int64) symval {
+	switch a.kind {
+	case symTop:
+		if k == 0 {
+			return symConst(0)
+		}
+		return top
+	case symUnset:
+		return symval{}
+	}
+	if k == 0 {
+		return symConst(0)
+	}
+	out := symval{kind: symLin, c: a.c * k}
+	for _, t := range a.terms {
+		out.terms = append(out.terms, term{root: t.root, coeff: t.coeff * k})
+	}
+	return out
+}
+
+// symMul multiplies two values: defined when either side is a pure constant.
+func symMul(a, b symval) symval {
+	if k, ok := b.isConst(); ok {
+		return symScale(a, k)
+	}
+	if k, ok := a.isConst(); ok {
+		return symScale(b, k)
+	}
+	if a.kind == symUnset || b.kind == symUnset {
+		return symval{}
+	}
+	return top
+}
+
+// symShl is a left shift by a known constant amount.
+func symShl(a symval, amount symval) symval {
+	k, ok := amount.isConst()
+	if !ok || k < 0 || k > 62 {
+		if a.kind == symUnset || amount.kind == symUnset {
+			return symval{}
+		}
+		return top
+	}
+	return symScale(a, 1<<uint(k))
+}
+
+func symEq(a, b symval) bool {
+	if a.kind != b.kind || a.c != b.c || len(a.terms) != len(b.terms) {
+		return false
+	}
+	for i := range a.terms {
+		if a.terms[i] != b.terms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// symJoin is the lattice join: Unset is the identity, unequal linear values
+// go to Top.
+func symJoin(a, b symval) symval {
+	if a.kind == symUnset {
+		return b
+	}
+	if b.kind == symUnset {
+		return a
+	}
+	if a.kind == symTop || b.kind == symTop {
+		return top
+	}
+	if symEq(a, b) {
+		return a
+	}
+	return top
+}
+
+// TopShape is the canonical rendering of an unknown address.
+const TopShape = "?"
+
+// shape renders the canonical string form of a value: sorted terms, hex
+// constants, "?" for Top. Shape strings are the identity of static lock and
+// address expressions throughout the package.
+func (v symval) shape() string {
+	switch v.kind {
+	case symTop, symUnset: // Unset only escapes for unreached code; render unknown
+		return TopShape
+	}
+	if len(v.terms) == 0 {
+		return hexConst(v.c)
+	}
+	var sb strings.Builder
+	for i, t := range v.terms {
+		if i > 0 {
+			sb.WriteByte('+')
+		}
+		if t.coeff == 1 {
+			sb.WriteString(t.root.String())
+		} else if t.coeff == -1 {
+			sb.WriteByte('-')
+			sb.WriteString(t.root.String())
+		} else {
+			fmt.Fprintf(&sb, "%d*%s", t.coeff, t.root)
+		}
+	}
+	if v.c > 0 {
+		sb.WriteByte('+')
+		sb.WriteString(hexConst(v.c))
+	} else if v.c < 0 {
+		sb.WriteByte('-')
+		sb.WriteString(hexConst(-v.c))
+	}
+	return sb.String()
+}
+
+func hexConst(c int64) string {
+	if c < 0 {
+		return fmt.Sprintf("-0x%x", uint64(-c))
+	}
+	return fmt.Sprintf("0x%x", uint64(c))
+}
+
+// sortTerms normalizes a term slice in place (construction sites keep terms
+// sorted already; this is for hand-built test values).
+func sortTerms(ts []term) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].root.order() < ts[j].root.order() })
+}

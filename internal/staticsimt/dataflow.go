@@ -73,10 +73,10 @@ func worstState() state {
 
 // funcState is the per-function fixpoint state.
 type funcState struct {
-	f     *ir.Function
-	entry state // join over all call sites (seed for the entry function)
-	exit  state // join over all ret points
-	in    []state
+	f         *ir.Function
+	entry     state // join over all call sites (seed for the entry function)
+	exit      state // join over all ret points
+	in        []state
 	entrySeen bool
 	exitSeen  bool
 	inSeen    []bool
@@ -88,7 +88,7 @@ type funcState struct {
 	influenced []bool
 	// branch is the divergence of each jcc/switch/callr terminator's
 	// condition/selector, keyed by block.
-	branch map[uint32]Uniformity
+	branch     map[uint32]Uniformity
 	branchKind map[uint32]string
 	phantom    bool // analyzed standalone; never contributes to other functions
 }

@@ -10,6 +10,7 @@ import (
 // memory-address uniformity counts.
 func (a *analysis) result() *Result {
 	r := &Result{Program: a.prog.Name, StackEscapes: a.stackEscapes}
+	divCtx := a.divergentContexts()
 	for _, fs := range a.fns {
 		fr := FuncResult{ID: uint32(fs.f.ID), Name: fs.f.Name, Unreachable: fs.phantom}
 		g := a.graphs[fr.ID]
@@ -55,12 +56,87 @@ func (a *analysis) result() *Result {
 			}
 			fr.Branches = append(fr.Branches, br)
 		}
+		for bid, infl := range fs.influenced {
+			if infl {
+				fr.Influenced = append(fr.Influenced, uint32(bid))
+			}
+		}
+		fr.DivergentContext = divCtx[fs.f.ID]
 		fr.MemUniform, fr.MemDivergent = a.memProfile(fs)
 		r.Meldable += len(fr.Melds)
 		r.Funcs = append(r.Funcs, fr)
 	}
 	sortResult(r)
 	return r
+}
+
+// divergentContexts computes, per function, whether some call path can enter
+// it with an already-split warp: a direct call from an influenced block, an
+// indirect call with a divergent selector (threads fan out across callees),
+// or any call made by a function that is itself in divergent context. The
+// closure is a plain reachability worklist over the converged fixpoint.
+func (a *analysis) divergentContexts() []bool {
+	divCtx := make([]bool, len(a.fns))
+	var queue []int
+	mark := func(fi int) {
+		if fi >= 0 && fi < len(divCtx) && !divCtx[fi] {
+			divCtx[fi] = true
+			queue = append(queue, fi)
+		}
+	}
+	markAll := func() {
+		for fi := range divCtx {
+			mark(fi)
+		}
+	}
+	// forEachCall visits the reached call terminators of one function.
+	forEachCall := func(fs *funcState, visit func(term *ir.Instr, influenced bool, selDivergent bool)) {
+		for bi, b := range fs.f.Blocks {
+			if !fs.inSeen[bi] {
+				continue
+			}
+			term := b.Terminator()
+			if term.Op != ir.OpCall && term.Op != ir.OpCallR {
+				continue
+			}
+			visit(term, fs.influenced[b.ID], fs.branch[uint32(b.ID)].Divergent())
+		}
+	}
+	// Seed: calls made under divergent control in any reached function.
+	for _, fs := range a.fns {
+		if fs.phantom {
+			continue
+		}
+		forEachCall(fs, func(term *ir.Instr, influenced, selDivergent bool) {
+			switch term.Op {
+			case ir.OpCall:
+				if influenced {
+					mark(int(term.Callee))
+				}
+			case ir.OpCallR:
+				if influenced || selDivergent {
+					markAll()
+				}
+			}
+		})
+	}
+	// Closure: everything a divergent-context function calls inherits it.
+	for len(queue) > 0 {
+		fi := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		fs := a.fns[fi]
+		if fs.phantom {
+			continue
+		}
+		forEachCall(fs, func(term *ir.Instr, _, _ bool) {
+			if term.Op == ir.OpCall {
+				mark(int(term.Callee))
+			} else {
+				markAll()
+			}
+		})
+	}
+	return divCtx
 }
 
 // memProfile counts the function's static memory operands by effective-
@@ -122,12 +198,12 @@ func (a *analysis) meldAt(fs *funcState, b *ir.Block) (Meld, bool) {
 		n := tb.NumInstrs() - 1
 		m := eb.NumInstrs() - 1
 		return Meld{
-			Block:      uint32(b.ID),
-			Kind:       "isomorphic-arms",
-			ThenBlock:  uint32(tb.ID),
-			ElseBlock:  uint32(eb.ID),
-			ThenInstrs: n,
-			ElseInstrs: m,
+			Block:       uint32(b.ID),
+			Kind:        "isomorphic-arms",
+			ThenBlock:   uint32(tb.ID),
+			ElseBlock:   uint32(eb.ID),
+			ThenInstrs:  n,
+			ElseInstrs:  m,
 			SavedIssues: min(n, m),
 		}, true
 	}
@@ -141,14 +217,14 @@ func (a *analysis) meldAt(fs *funcState, b *ir.Block) (Meld, bool) {
 		}
 	}
 	return Meld{
-		Block:      uint32(b.ID),
-		Kind:       "if-convertible-over-budget",
-		ThenBlock:  uint32(term.Target),
-		ElseBlock:  uint32(term.Fall),
-		ThenInstrs: rep.ThenInstrs,
-		ElseInstrs: rep.ElseInstrs,
+		Block:       uint32(b.ID),
+		Kind:        "if-convertible-over-budget",
+		ThenBlock:   uint32(term.Target),
+		ElseBlock:   uint32(term.Fall),
+		ThenInstrs:  rep.ThenInstrs,
+		ElseInstrs:  rep.ElseInstrs,
 		SavedIssues: min(rep.ThenInstrs, rep.ElseInstrs),
-		NeedBudget: max(rep.ThenInstrs, rep.ElseInstrs),
+		NeedBudget:  max(rep.ThenInstrs, rep.ElseInstrs),
 	}, true
 }
 

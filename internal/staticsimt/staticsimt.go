@@ -192,6 +192,15 @@ type FuncResult struct {
 	// out).
 	MemUniform   int `json:"mem_uniform"`
 	MemDivergent int `json:"mem_divergent"`
+	// Influenced lists the blocks inside some divergent branch's influence
+	// region — code that can execute with a split warp.
+	Influenced []uint32 `json:"influenced,omitempty"`
+	// DivergentContext marks functions reachable through a call made under
+	// divergent control: a direct call from an influenced block, any
+	// indirect call with a divergent selector, or transitively through such
+	// a callee. Every instruction in them may run with a split warp even if
+	// none of their own branches diverge.
+	DivergentContext bool `json:"divergent_context,omitempty"`
 }
 
 // Result is the static oracle's projection for one program.

@@ -41,30 +41,71 @@ func fuzzSeedTrace() *trace.Trace {
 	return t
 }
 
+// lockSeedTrace is a valid two-thread trace whose lock events hit the
+// deadlock and lockset passes' hard cases: a tid-flipped two-lock inversion
+// (the classic order cycle), a recursive re-acquire of the inner lock, and a
+// release of a word that was never acquired. Mutating its encodings explores
+// the lock-op decode paths that the plain fuzzSeedTrace's single balanced
+// pair never reaches.
+func lockSeedTrace() *trace.Trace {
+	t := &trace.Trace{
+		Program: "lockseed",
+		Funcs: []trace.FuncInfo{
+			{Name: "worker", Blocks: []trace.BlockInfo{{NInstr: 8}}},
+		},
+	}
+	const (
+		lockA = vm.GlobalBase + 1024
+		lockB = vm.GlobalBase + 1088
+		stray = vm.GlobalBase + 1152
+	)
+	for tid := 0; tid < 2; tid++ {
+		a, b := uint64(lockA), uint64(lockB)
+		if tid == 1 {
+			a, b = b, a // inverted nesting order: the seeded cycle
+		}
+		t.Threads = append(t.Threads, &trace.ThreadTrace{TID: tid, Records: []trace.Record{
+			{Kind: trace.KindBBL, Func: 0, Block: 0, N: 8, Locks: []trace.LockOp{
+				{Instr: 0, Addr: a},
+				{Instr: 1, Addr: b},
+				{Instr: 2, Addr: b}, // recursive re-acquire
+				{Instr: 4, Addr: b, Release: true},
+				{Instr: 5, Addr: b, Release: true},
+				{Instr: 6, Addr: a, Release: true},
+				{Instr: 7, Addr: stray, Release: true}, // bare release
+			}, Mem: []trace.MemAccess{
+				{Instr: 3, Addr: vm.GlobalBase + 2048, Size: 8, Store: true},
+			}},
+		}})
+	}
+	return t
+}
+
 // FuzzDecode asserts the contract the tflint sanitizer depends on: arbitrary
 // bytes never panic or exhaust memory in the decoder, and any trace the
 // decoder does accept is either valid or diagnosed by the sanitize pass —
 // never silently consumed by the structural passes.
 func FuzzDecode(f *testing.F) {
-	seed := fuzzSeedTrace()
-	var v1, v2, v3 bytes.Buffer
-	if err := trace.Encode(&v1, seed); err != nil {
-		f.Fatal(err)
-	}
-	if err := trace.EncodeCompact(&v2, seed); err != nil {
-		f.Fatal(err)
-	}
-	if err := trace.EncodeIndexed(&v3, seed); err != nil {
-		f.Fatal(err)
-	}
-	for _, b := range [][]byte{v1.Bytes(), v2.Bytes(), v3.Bytes()} {
-		f.Add(b)
-		f.Add(b[:len(b)/2])
-		if len(b) > 12 {
-			mut := append([]byte(nil), b...)
-			mut[8] ^= 0xff
-			mut[len(mut)-4] ^= 0x40
-			f.Add(mut)
+	for _, seed := range []*trace.Trace{fuzzSeedTrace(), lockSeedTrace()} {
+		var v1, v2, v3 bytes.Buffer
+		if err := trace.Encode(&v1, seed); err != nil {
+			f.Fatal(err)
+		}
+		if err := trace.EncodeCompact(&v2, seed); err != nil {
+			f.Fatal(err)
+		}
+		if err := trace.EncodeIndexed(&v3, seed); err != nil {
+			f.Fatal(err)
+		}
+		for _, b := range [][]byte{v1.Bytes(), v2.Bytes(), v3.Bytes()} {
+			f.Add(b)
+			f.Add(b[:len(b)/2])
+			if len(b) > 12 {
+				mut := append([]byte(nil), b...)
+				mut[8] ^= 0xff
+				mut[len(mut)-4] ^= 0x40
+				f.Add(mut)
+			}
 		}
 	}
 	// Arena section-size edge cases (empty threads, single-record threads,
@@ -136,7 +177,7 @@ func arenaEdgeSeedTraces() []*trace.Trace {
 // two small built-in workloads (one memory-heavy, one lock-heavy), in both
 // codec versions.
 func roundTripCorpus(f *testing.F) [][]byte {
-	traces := []*trace.Trace{fuzzSeedTrace()}
+	traces := []*trace.Trace{fuzzSeedTrace(), lockSeedTrace()}
 	traces = append(traces, arenaEdgeSeedTraces()...)
 	for _, name := range []string{"vectoradd", "seededrace"} {
 		w, err := workloads.ByName(name)

@@ -117,3 +117,114 @@ var wlLeakedLock = register(&Workload{
 	DefaultThreads: 64,
 	Build:          buildLeakedLock,
 })
+
+// buildSeededCycle nests two global locks in tid-parity order: even threads
+// take A then B, odd threads B then A — the classic two-lock inversion. The
+// deadlock pass certifies the dynamic cycle and the static oracle must
+// predict it (one two-class cycle candidate over the two named lock words).
+func buildSeededCycle(cfg Config) (*ir.Program, SetupFn, error) {
+	iters := cfg.scale(8)
+
+	pb := ir.NewBuilder("seededcycle")
+	w := pb.NewFunc("worker")
+	pre := w.NewBlock("pre")
+	// Args: r0=lock pair (A at +0, B at +8), r1=counter word.
+	// r2 = parity, r3 = loop counter, r4 = scratch.
+	l := loopN(w, pre, "rounds", 3, 0, im(int64(iters)))
+	ab := w.NewBlock("ab")
+	ba := w.NewBlock("ba")
+	join := w.NewBlock("join")
+	l.Body.Mov(rg(2), tid()).
+		And(rg(2), im(1)).
+		Cmp(rg(2), im(0)).
+		Jcc(ir.CondEQ, ab, ba)
+	ab.Lock(mem8(0, 0)).
+		Lock(mem8(0, 8)).
+		Mov(rg(4), mem8(1, 0)).
+		Add(rg(4), im(1)).
+		Mov(mem8(1, 0), rg(4)).
+		Unlock(mem8(0, 8)).
+		Unlock(mem8(0, 0)).
+		Jmp(join)
+	ba.Lock(mem8(0, 8)).
+		Lock(mem8(0, 0)).
+		Mov(rg(4), mem8(1, 0)).
+		Add(rg(4), im(1)).
+		Mov(mem8(1, 0), rg(4)).
+		Unlock(mem8(0, 0)).
+		Unlock(mem8(0, 8)).
+		Jmp(join)
+	l.Next(join)
+	l.Exit.Ret()
+	prog, err := pb.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	setup := func(p *vm.Process) (ArgFn, error) {
+		locks := p.AllocGlobal(8 * 2)
+		counter := p.AllocGlobal(8)
+		return func(tid int, th *vm.Thread) {
+			th.SetReg(ir.R(0), int64(locks))
+			th.SetReg(ir.R(1), int64(counter))
+		}, nil
+	}
+	return prog, setup, nil
+}
+
+var wlSeededCycle = register(&Workload{
+	Name:           "seededcycle",
+	Suite:          SuiteMicro,
+	Desc:           "two global locks nested in tid-parity order (seeded lock-order cycle)",
+	DefaultThreads: 64,
+	Build:          buildSeededCycle,
+})
+
+// buildSeededSpin re-enters a single-block critical section (tid&3)+1 times:
+// the trip count diverges across the warp, so every lock acquire happens
+// under divergent control — the shape the static oracle must flag as a
+// guaranteed SIMT serialization / livelock hazard (tfstatic -locks).
+func buildSeededSpin(cfg Config) (*ir.Program, SetupFn, error) {
+	pb := ir.NewBuilder("seededspin")
+	w := pb.NewFunc("worker")
+	pre := w.NewBlock("pre")
+	cs := w.NewBlock("cs")
+	done := w.NewBlock("done")
+	// Args: r0=lock word, r1=shared counter. r2 = tid-derived trip count,
+	// r3 = scratch.
+	pre.Mov(rg(2), tid()).
+		And(rg(2), im(3)).
+		Add(rg(2), im(1)).
+		Jmp(cs)
+	cs.Lock(mem8(0, 0)).
+		Mov(rg(3), mem8(1, 0)).
+		Add(rg(3), im(1)).
+		Mov(mem8(1, 0), rg(3)).
+		Unlock(mem8(0, 0)).
+		Sub(rg(2), im(1)).
+		Cmp(rg(2), im(0)).
+		Jcc(ir.CondNE, cs, done)
+	done.Ret()
+	prog, err := pb.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	setup := func(p *vm.Process) (ArgFn, error) {
+		lock := p.AllocGlobal(8)
+		counter := p.AllocGlobal(8)
+		return func(tid int, th *vm.Thread) {
+			th.SetReg(ir.R(0), int64(lock))
+			th.SetReg(ir.R(1), int64(counter))
+		}, nil
+	}
+	return prog, setup, nil
+}
+
+var wlSeededSpin = register(&Workload{
+	Name:           "seededspin",
+	Suite:          SuiteMicro,
+	Desc:           "self-looping critical section with a tid-derived trip count (divergent-region locking)",
+	DefaultThreads: 64,
+	Build:          buildSeededSpin,
+})

@@ -34,6 +34,7 @@ import (
 	"threadfuser/internal/cpusim"
 	"threadfuser/internal/gpusim"
 	"threadfuser/internal/simtrace"
+	"threadfuser/internal/staticlock"
 	"threadfuser/internal/staticsimt"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/warp"
@@ -228,6 +229,25 @@ func StaticWorkload(w *workloads.Workload, o Options) (*StaticReport, error) {
 		return nil, err
 	}
 	return staticsimt.Analyze(inst.Prog, staticsimt.Options{}), nil
+}
+
+// StaticLockReport is the static concurrency oracle's projection for one
+// program: must-hold locksets at every memory access, the static lock-order
+// graph with deadlock-cycle candidates, race-candidate address classes, and
+// acquires under divergent control (see internal/staticlock).
+type StaticLockReport = staticlock.Result
+
+// StaticLockWorkload runs the static concurrency oracle over a bundled
+// workload's IR. No trace is collected — the oracle over-approximates the
+// dynamic lockset and lock-order passes: every dynamic race and deadlock
+// cycle lands in a static candidate (the "staticlockset" check invariant),
+// and static-only candidates are the precision gap.
+func StaticLockWorkload(w *workloads.Workload, o Options) (*StaticLockReport, error) {
+	inst, err := w.Instantiate(workloads.Config{Seed: o.Seed, Threads: o.Threads})
+	if err != nil {
+		return nil, err
+	}
+	return staticlock.Analyze(inst.Prog), nil
 }
 
 // CheckReport is the verification engine's outcome for one trace: the
