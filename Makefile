@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race bench bench-decode bench-guard check lint staticcheck tfcheck tfstatic staticlock
+.PHONY: build vet test test-race bench bench-decode bench-guard check lint staticcheck tfcheck tfstatic staticlock serve-smoke
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,11 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages the parallel analyzer pipeline touches: the
-# per-warp replay workers, the session cache, the experiment cell pools, and
-# the sweep/pool plumbing they are built on.
+# per-warp replay workers, the session cache, the experiment cell pools, the
+# sweep/pool plumbing they are built on, and the tfserve concurrency suite
+# (admission shedding, singleflight dedup, tenant budgets, drain).
 test-race:
-	$(GO) test -race ./internal/simt/... ./internal/core/... ./internal/report/... ./internal/pool/... ./internal/gpusim/...
+	$(GO) test -race ./internal/simt/... ./internal/core/... ./internal/report/... ./internal/pool/... ./internal/gpusim/... ./internal/serve/...
 
 # Static sanity: go vet plus the tflint engine over workloads that must stay
 # clean. The trace passes must produce zero findings of any severity; the
@@ -56,6 +57,12 @@ staticlock:
 	$(GO) run ./cmd/tfstatic -all -locks -q
 	$(GO) run ./cmd/tfstatic -workload seededrace,leakedlock,seededcycle,seededspin -locks -races -verify
 
+# End-to-end smoke of the analysis service: start a real tfserve, prove the
+# -server CLIs round-trip byte-identical reports against local runs, check
+# the dedup/cache headers over raw HTTP, and drain it with SIGTERM.
+serve-smoke:
+	scripts/serve_smoke.sh
+
 # Run the key analyzer benchmarks (replay + trace decode) and record the
 # perf trajectory in BENCH_analyzer.json: a JSON array with per-row ns/op,
 # MB/s, allocs/op, the replay serial-vs-parallel speedup, and the v3
@@ -75,4 +82,4 @@ bench-decode:
 bench-guard:
 	scripts/bench_guard.sh
 
-check: build vet test test-race lint staticcheck tfcheck tfstatic staticlock
+check: build vet test test-race lint staticcheck tfcheck tfstatic staticlock serve-smoke

@@ -13,14 +13,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/url"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"threadfuser/internal/core"
+	"threadfuser/internal/serve"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/warp"
 )
@@ -43,6 +47,8 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "replay worker count (0 = all cores, 1 = serial; results are identical)")
 		useCache  = flag.Bool("cache", false, "serve identical (trace, options) analyses from the on-disk report cache")
 		cacheDir  = flag.String("cache-dir", "", "report cache directory (implies -cache; default $XDG_CACHE_HOME/threadfuser)")
+		server    = flag.String("server", "", "analyze via a running tfserve instance at this URL instead of locally")
+		tenant    = flag.String("tenant", "", "tenant identity sent with -server requests")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: tfanalyze -trace file.tft [flags]\n\nflags:\n")
@@ -58,6 +64,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tfanalyze: -trace is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *server != "" {
+		// Server mode streams the file as-is: the service decodes, dedups
+		// against identical in-flight uploads, and replays. Local-only
+		// transforms have no server-side equivalent.
+		if *exclude != "" || *only != "" || *dump >= 0 || *sweep {
+			fatal(fmt.Errorf("-server mode does not support -exclude, -only, -dump or -sweep"))
+		}
+		f, err := os.Open(*path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		q := url.Values{"warp": {strconv.Itoa(*warpSize)}, "formation": {*formation}}
+		if *locks {
+			q.Set("locks", "true")
+		}
+		c := serve.Client{BaseURL: *server, Tenant: *tenant}
+		rep, err := c.Analyze(context.Background(), f, q)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		printReport(rep, *nfuncs, *warps, *branches)
+		return
 	}
 
 	// Indexed (v3) traces decode thread-parallel; v1/v2 fall back to the

@@ -22,9 +22,12 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -33,6 +36,7 @@ import (
 	"threadfuser/internal/check"
 	"threadfuser/internal/core"
 	"threadfuser/internal/ir"
+	"threadfuser/internal/serve"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/warp"
 	"threadfuser/internal/workloads"
@@ -55,6 +59,8 @@ func main() {
 		quiet      = flag.Bool("q", false, "print only failing inputs")
 		useCache   = flag.Bool("cache", false, "serve already-verified (trace, options) replays from the on-disk report cache")
 		cacheDir   = flag.String("cache-dir", "", "report cache directory (implies -cache; default $XDG_CACHE_HOME/threadfuser)")
+		server     = flag.String("server", "", "check via a running tfserve instance at this URL instead of locally")
+		tenant     = flag.String("tenant", "", "tenant identity sent with -server requests")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: tfcheck [flags] [trace.tft ...]\n")
@@ -139,6 +145,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *server != "" && *runs > 0 {
+		usageError("-server mode does not support -gen (shrinking needs the local engine)")
+	}
+
 	failed := false
 	var reports []*check.Report
 	for _, in := range inputs {
@@ -148,11 +158,39 @@ func main() {
 			failed = true
 			continue
 		}
-		inOpts := opts
-		inOpts.Prog = prog
-		rep, err := check.Run(in.name, tr, inOpts)
-		if err != nil {
-			usageError("%v", err)
+		var rep *check.Report
+		if *server != "" {
+			// The static-oracle invariants skip server-side, exactly as for
+			// .tft file inputs locally (uploads carry no IR).
+			q := url.Values{
+				"warps":      {*warpsFlag},
+				"parallel":   {*parFlag},
+				"formations": {*formations},
+				"name":       {in.name},
+			}
+			if *propNames != "" {
+				q.Set("props", *propNames)
+			}
+			var buf bytes.Buffer
+			if err := trace.EncodeIndexed(&buf, tr); err != nil {
+				fmt.Fprintf(os.Stderr, "tfcheck: %s: %v\n", in.name, err)
+				failed = true
+				continue
+			}
+			c := serve.Client{BaseURL: *server, Tenant: *tenant}
+			rep, err = c.Check(context.Background(), &buf, q)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tfcheck: %s: %v\n", in.name, err)
+				failed = true
+				continue
+			}
+		} else {
+			inOpts := opts
+			inOpts.Prog = prog
+			rep, err = check.Run(in.name, tr, inOpts)
+			if err != nil {
+				usageError("%v", err)
+			}
 		}
 		reports = append(reports, rep)
 	}

@@ -18,16 +18,21 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/url"
 	"os"
+	"strconv"
 	"strings"
 
 	"threadfuser/internal/analysis"
 	"threadfuser/internal/core"
 	"threadfuser/internal/ir"
 	"threadfuser/internal/pool"
+	"threadfuser/internal/serve"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/warp"
 	"threadfuser/internal/workloads"
@@ -48,6 +53,8 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "worker count (0 = all cores, 1 = serial; findings are identical)")
 		useCache  = flag.Bool("cache", false, "serve identical (trace, options) replay reports from the on-disk report cache")
 		cacheDir  = flag.String("cache-dir", "", "report cache directory (implies -cache; default $XDG_CACHE_HOME/threadfuser)")
+		server    = flag.String("server", "", "lint via a running tfserve instance at this URL instead of locally")
+		tenant    = flag.String("tenant", "", "tenant identity sent with -server requests")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: tflint [flags] [trace.tft ...]\n")
@@ -132,29 +139,53 @@ func main() {
 		os.Exit(2)
 	}
 
-	// One session shares memoized trace preparation across inputs that reuse
-	// a trace; each input's lint runs independently on the pool.
-	sess := core.NewSession()
 	reports := make([]*analysis.Report, len(inputs))
 	errs := make([]error, len(inputs))
-	g := pool.New(*parallel)
-	for i := range inputs {
-		i := i
-		g.Go(func() error {
-			tr, prog, err := inputs[i].load()
+	if *server != "" {
+		// Server mode uploads each input's trace stream; the static oracle
+		// passes skip, exactly as for .tft file inputs locally (the server
+		// has no IR for an uploaded trace).
+		q := url.Values{"warp": {strconv.Itoa(*warpSize)}, "formation": {*formation}}
+		if *passNames != "" {
+			q.Set("passes", *passNames)
+		}
+		c := serve.Client{BaseURL: *server, Tenant: *tenant}
+		for i := range inputs {
+			tr, _, err := inputs[i].load()
 			if err != nil {
 				errs[i] = err
-				return nil
+				continue
 			}
-			inOpts := opts
-			inOpts.Prog = prog
-			reports[i], errs[i] = analysis.RunSession(sess, tr, inOpts)
-			return nil
-		})
-	}
-	if err := g.Wait(); err != nil {
-		fmt.Fprintln(os.Stderr, "tflint:", err)
-		os.Exit(1)
+			var buf bytes.Buffer
+			if err := trace.EncodeIndexed(&buf, tr); err != nil {
+				errs[i] = err
+				continue
+			}
+			reports[i], errs[i] = c.Lint(context.Background(), &buf, q)
+		}
+	} else {
+		// One session shares memoized trace preparation across inputs that
+		// reuse a trace; each input's lint runs independently on the pool.
+		sess := core.NewSession()
+		g := pool.New(*parallel)
+		for i := range inputs {
+			i := i
+			g.Go(func() error {
+				tr, prog, err := inputs[i].load()
+				if err != nil {
+					errs[i] = err
+					return nil
+				}
+				inOpts := opts
+				inOpts.Prog = prog
+				reports[i], errs[i] = analysis.RunSession(sess, tr, inOpts)
+				return nil
+			})
+		}
+		if err := g.Wait(); err != nil {
+			fmt.Fprintln(os.Stderr, "tflint:", err)
+			os.Exit(1)
+		}
 	}
 
 	failed := false

@@ -32,15 +32,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/url"
 	"os"
+	"strconv"
 	"strings"
 
 	"threadfuser/internal/analysis"
 	"threadfuser/internal/opt"
+	"threadfuser/internal/serve"
 	"threadfuser/internal/staticlock"
 	"threadfuser/internal/staticsimt"
 	"threadfuser/internal/workloads"
@@ -60,6 +64,8 @@ func main() {
 		locks   = flag.Bool("locks", false, "static concurrency oracle: lock-order graph, cycle candidates, divergent-region acquires")
 		races   = flag.Bool("races", false, "static concurrency oracle: race-candidate address classes and their locksets")
 		verify  = flag.Bool("verify", false, "trace the workload and cross-check static predictions against dynamic replay (O1 only)")
+		server  = flag.String("server", "", "analyze via a running tfserve instance at this URL instead of locally")
+		tenant  = flag.String("tenant", "", "tenant identity sent with -server requests")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: tfstatic [flags] -workload name[,name...] | -all\n")
@@ -82,6 +88,12 @@ func main() {
 		os.Exit(2)
 	}
 	lockMode := *locks || *races || *verify
+	if *server != "" && *verify {
+		// The cross-check replays a freshly traced workload; the service only
+		// serves the static oracles.
+		fmt.Fprintln(os.Stderr, "tfstatic: -server mode does not support -verify")
+		os.Exit(2)
+	}
 	if *verify && lvl != opt.O1 {
 		// The cross-check compares static IR positions against traced ones;
 		// tracing always runs the instantiated (O1) program.
@@ -111,35 +123,74 @@ func main() {
 	var results []*staticsimt.Result
 	var lockResults []*staticlock.Result
 	for _, w := range list {
-		inst, err := w.Instantiate(workloads.Config{Threads: *threads, Seed: *seed})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tfstatic: %s: %v\n", w.Name, err)
-			failed = true
-			continue
-		}
-		prog := inst.Prog
-		if lvl != opt.O1 {
-			prog = opt.Apply(prog, lvl)
+		var (
+			res     *staticsimt.Result
+			lockRes *staticlock.Result
+		)
+		if *server != "" {
+			// Server mode: the service instantiates and analyzes the bundled
+			// workload itself; only the parameters travel.
+			// seed and threads travel unconditionally: the service's own
+			// defaults differ from this CLI's.
+			q := url.Values{
+				"workload": {w.Name},
+				"opt":      {*level},
+				"threads":  {strconv.Itoa(*threads)},
+				"seed":     {strconv.FormatInt(*seed, 10)},
+			}
+			if lockMode {
+				q.Set("mode", "locks")
+			}
+			if *budget != 0 {
+				q.Set("budget", strconv.Itoa(*budget))
+			}
+			c := serve.Client{BaseURL: *server, Tenant: *tenant}
+			rep, err := c.Static(context.Background(), q)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tfstatic: %s: %v\n", w.Name, err)
+				failed = true
+				continue
+			}
+			res, lockRes = rep.SIMT, rep.Locks
+			if (lockMode && lockRes == nil) || (!lockMode && res == nil) {
+				fmt.Fprintf(os.Stderr, "tfstatic: %s: server response missing the requested report\n", w.Name)
+				failed = true
+				continue
+			}
+		} else {
+			inst, err := w.Instantiate(workloads.Config{Threads: *threads, Seed: *seed})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tfstatic: %s: %v\n", w.Name, err)
+				failed = true
+				continue
+			}
+			prog := inst.Prog
+			if lvl != opt.O1 {
+				prog = opt.Apply(prog, lvl)
+			}
+			if lockMode {
+				lockRes = staticlock.Analyze(prog)
+				if *verify && !verifyWorkload(inst, w.Name) {
+					failed = true
+				}
+			} else {
+				res = staticsimt.Analyze(prog, staticsimt.Options{MeldBudget: *budget})
+			}
 		}
 
 		if lockMode {
-			res := staticlock.Analyze(prog)
 			switch {
 			case *asJSON:
-				lockResults = append(lockResults, res)
+				lockResults = append(lockResults, lockRes)
 			case *quiet:
 				fmt.Printf("%-28s %3d acquire(s) (%d divergent), %d cycle candidate(s), %d race candidate(s)\n",
-					w.Name, res.Acquires, res.DivergentAcquires, res.CycleCandidates, res.RaceCandidates)
+					w.Name, lockRes.Acquires, lockRes.DivergentAcquires, lockRes.CycleCandidates, lockRes.RaceCandidates)
 			default:
-				renderConcurrency(os.Stdout, res, *locks || *verify, *races || *verify, *verbose)
-			}
-			if *verify && !verifyWorkload(inst, w.Name) {
-				failed = true
+				renderConcurrency(os.Stdout, lockRes, *locks || *verify, *races || *verify, *verbose)
 			}
 			continue
 		}
 
-		res := staticsimt.Analyze(prog, staticsimt.Options{MeldBudget: *budget})
 		switch {
 		case *asJSON:
 			results = append(results, res)

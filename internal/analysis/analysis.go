@@ -15,6 +15,7 @@
 package analysis
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -170,6 +171,10 @@ type Options struct {
 	// passes request are served from it when present and stored after
 	// computation. Findings are unaffected — only replay time is.
 	Cache *core.Cache
+	// Context, if non-nil, cancels the replays the passes request; the
+	// analysis service threads request timeouts through it. Findings of a
+	// run that completes are unaffected.
+	Context context.Context
 }
 
 // Context is the shared state passes run against.
@@ -213,6 +218,7 @@ func (c *Context) Report(emulateLocks bool) (*core.Report, error) {
 		opts.Formation = c.Opts.Formation
 		opts.Parallelism = c.Opts.Parallelism
 		opts.EmulateLocks = emulateLocks
+		opts.Context = c.Opts.Context
 		c.reports[idx], c.repErr[idx] = c.sess.Analyze(c.Trace, opts)
 		c.repDone[idx] = true
 	}

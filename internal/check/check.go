@@ -16,6 +16,7 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -57,6 +58,10 @@ type Options struct {
 	// already analyzed in an earlier run skip replay. Ignored when Analyze
 	// is overridden (fault-injected analyzers must actually run).
 	Cache *core.Cache
+	// Context, if non-nil, cancels the matrix's replays; the analysis
+	// service threads request timeouts through it. A canceled cell surfaces
+	// as that cell's analysis error, not a partial verdict.
+	Context context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -268,6 +273,16 @@ func Run(name string, tr *trace.Trace, opts Options) (*Report, error) {
 			sess.SetCache(opts.Cache)
 		}
 		analyze = sess.Analyze
+	}
+	if opts.Context != nil {
+		// Inject cancellation at the single point every matrix cell passes
+		// through, so no cell-construction site needs to know about it.
+		inner := analyze
+		cctx := opts.Context
+		analyze = func(tr *trace.Trace, o core.Options) (*core.Report, error) {
+			o.Context = cctx
+			return inner(tr, o)
+		}
 	}
 	c := &ctx{
 		name:    name,

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -42,6 +43,12 @@ type Options struct {
 	// core (runtime.GOMAXPROCS); 1 forces serial replay. Parallel and
 	// serial replay produce bit-identical Reports.
 	Parallelism int
+	// Context, if non-nil, cancels an in-progress analysis: the replay loop
+	// polls it and aborts with an error wrapping the context's error. The
+	// analysis service uses this to thread request timeouts and client
+	// disconnects down into replay. Like Parallelism, Context is excluded
+	// from cache keys — it can stop an analysis, never change its result.
+	Context context.Context
 }
 
 // Defaults returns the paper's default configuration: warp size 32,
@@ -187,6 +194,7 @@ func analyzeWith(t *trace.Trace, p *prep, warps []warp.Warp, opts Options) (*Rep
 		LockReconvergence: opts.LockReconvergence,
 		Listener:          opts.Listener,
 		Parallelism:       opts.Parallelism,
+		Context:           opts.Context,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: replay: %w", err)
@@ -198,6 +206,9 @@ func analyzeWith(t *trace.Trace, p *prep, warps []warp.Warp, opts Options) (*Rep
 func Analyze(t *trace.Trace, opts Options) (*Report, error) {
 	if opts.WarpSize == 0 {
 		return nil, fmt.Errorf("core: WarpSize must be set (use core.Defaults)")
+	}
+	if opts.Context != nil && opts.Context.Err() != nil {
+		return nil, fmt.Errorf("core: analysis canceled: %w", opts.Context.Err())
 	}
 	p, err := prepare(t)
 	if err != nil {

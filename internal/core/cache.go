@@ -10,6 +10,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"threadfuser/internal/trace"
 )
@@ -27,8 +32,19 @@ import (
 // schema-mismatched entry is treated as a miss and recomputed — corruption
 // never surfaces as an error. A Cache is safe for concurrent use, including
 // by multiple processes sharing one directory.
+//
+// A size cap (SetMaxBytes) turns the cache into an LRU: every store evicts
+// least-recently-used entries until the directory fits, and a hit refreshes
+// its entry's recency, so a long-running service's cache stays bounded while
+// its hot set stays resident. Recency is the entry file's mtime — crude, but
+// it survives process restarts and is shared correctly between processes.
 type Cache struct {
-	dir string
+	dir      string
+	maxBytes atomic.Int64
+	// evictMu serializes eviction scans so concurrent stores don't race to
+	// delete the same entries (deleting an already-deleted file is harmless,
+	// but N concurrent directory scans are wasted work).
+	evictMu sync.Mutex
 }
 
 // cacheSchema versions the on-disk entry layout AND the semantics of the
@@ -51,6 +67,16 @@ func NewCache(dir string) *Cache {
 
 // Dir returns the cache's root directory.
 func (c *Cache) Dir() string { return c.dir }
+
+// SetMaxBytes caps the cache's on-disk size. After every store, entries are
+// evicted in least-recently-used order (oldest mtime first; a get refreshes
+// its entry's mtime) until the directory's entry bytes fit under n. A
+// non-positive n removes the cap. Eviction is best-effort like everything
+// else here: a removal that fails is skipped, and a reader that loses the
+// race to an evicted entry simply misses and recomputes.
+func (c *Cache) SetMaxBytes(n int64) {
+	c.maxBytes.Store(n)
+}
 
 // DefaultCacheDir is the per-user default cache location the CLI front-ends
 // share (-cache with no -cache-dir).
@@ -209,6 +235,13 @@ func (c *Cache) get(key string) (*Report, bool) {
 	if json.Unmarshal(b, &e) != nil || e.Schema != cacheSchema || e.Report == nil {
 		return nil, false
 	}
+	// Under a size cap, a hit refreshes the entry's recency so the LRU
+	// eviction order tracks use, not just insertion. Best-effort: a
+	// read-only directory merely loses recency tracking.
+	if c.maxBytes.Load() > 0 {
+		now := time.Now()
+		os.Chtimes(c.path(key), now, now)
+	}
 	// Rebuild the lazily-built name index eagerly so a cached report is
 	// indistinguishable (reflect.DeepEqual) from a freshly computed one —
 	// the verification engine compares reports across matrix cells.
@@ -240,6 +273,65 @@ func (c *Cache) put(key string, r *Report) {
 	}
 	if err := os.Rename(f.Name(), c.path(key)); err != nil {
 		os.Remove(f.Name())
+		return
+	}
+	c.evict()
+}
+
+// evict enforces the size cap, removing least-recently-used entries until
+// the directory's entry bytes fit. Only entry files (key-named .json) are
+// considered; in-flight put-*.tmp files and anything else sharing the
+// directory are left alone.
+func (c *Cache) evict() {
+	max := c.maxBytes.Load()
+	if max <= 0 {
+		return
+	}
+	c.evictMu.Lock()
+	defer c.evictMu.Unlock()
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	type entry struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var (
+		entries []entry
+		total   int64
+	)
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, "put-") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		entries = append(entries, entry{name: name, size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+	}
+	if total <= max {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].name < entries[j].name
+	})
+	for _, e := range entries {
+		if total <= max {
+			break
+		}
+		// A failed removal (or one lost to a concurrent evictor) still
+		// counts against the running total: the loop is bounded either way,
+		// and the next store rescans from truth.
+		os.Remove(filepath.Join(c.dir, e.name))
+		total -= e.size
 	}
 }
 

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestAnalyzeCanceledBeforeStart: a context that is already done fails the
+// analysis immediately with an errors.Is-matchable context error.
+func TestAnalyzeCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := Defaults()
+	opts.Context = ctx
+	if _, err := Analyze(cacheTestTrace(), opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Analyze error = %v, want context.Canceled", err)
+	}
+	if _, err := NewSession().Analyze(cacheTestTrace(), opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Session.Analyze error = %v, want context.Canceled", err)
+	}
+}
+
+// TestAnalyzeCanceledMidReplay: cancellation raised once replay has begun
+// (via the replay hook, which runs just before the SIMT loop) aborts the
+// replay through the loop's periodic context poll.
+func TestAnalyzeCanceledMidReplay(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	restore := SetReplayTestHook(cancel)
+	defer restore()
+	opts := Defaults()
+	opts.Context = ctx
+	_, err := Analyze(cacheTestTrace(), opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Analyze error = %v, want context.Canceled", err)
+	}
+}
+
+// TestAnalyzeCanceledParallelReplay: the parallel replay path polls the
+// context too.
+func TestAnalyzeCanceledParallelReplay(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	restore := SetReplayTestHook(cancel)
+	defer restore()
+	opts := Defaults()
+	opts.Context = ctx
+	opts.Parallelism = 4
+	opts.WarpSize = 1 // two single-thread warps, so the pool path engages
+	_, err := Analyze(cacheTestTrace(), opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Analyze error = %v, want context.Canceled", err)
+	}
+}
+
+// TestContextDoesNotAffectCacheKey: Context, like Parallelism, is a control
+// knob — the same trace and semantic options must produce the same key with
+// and without one.
+func TestContextDoesNotAffectCacheKey(t *testing.T) {
+	tr := cacheTestTrace()
+	a := Defaults()
+	b := Defaults()
+	b.Context = context.Background()
+	ka, err := CacheKey(tr, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := CacheKey(tr, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatalf("cache key differs with Context set: %s vs %s", ka[:12], kb[:12])
+	}
+}

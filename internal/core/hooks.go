@@ -1,0 +1,39 @@
+package core
+
+import (
+	"encoding/hex"
+
+	"threadfuser/internal/trace"
+)
+
+// SetReplayTestHook installs f to be called on every replay that actually
+// runs (a cache hit never fires it) and returns a function restoring the
+// previous hook. Tests outside this package — the cache's zero-replay-on-hit
+// proof, the service's exactly-once singleflight proof — use it to count or
+// gate replays. It is not synchronized with in-flight analyses: install it
+// before starting work and restore it after the work has drained.
+func SetReplayTestHook(f func()) (restore func()) {
+	prev := testHookReplay
+	testHookReplay = f
+	return func() { testHookReplay = prev }
+}
+
+// TraceDigest returns the hex-encoded content digest of a trace — the trace
+// half of the report-cache key. It hashes decoded rows, not container bytes,
+// so the same trace digests identically whichever .tft version (or in-memory
+// construction) it arrived through. The analysis service keys singleflight
+// deduplication of in-flight work on it.
+func TraceDigest(t *trace.Trace) (string, error) {
+	sum, err := traceDigest(t)
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// CacheKey returns the full content-addressed key AnalyzeCached files a
+// (trace, options) analysis under: the trace digest mixed with the schema
+// tag and the semantic options (Parallelism, Listener, and Context excluded).
+func CacheKey(t *trace.Trace, opts Options) (string, error) {
+	return cacheKey(t, opts)
+}

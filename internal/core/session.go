@@ -81,6 +81,9 @@ func (s *Session) Analyze(t *trace.Trace, opts Options) (*Report, error) {
 	if opts.WarpSize == 0 {
 		return nil, fmt.Errorf("core: WarpSize must be set (use core.Defaults)")
 	}
+	if opts.Context != nil && opts.Context.Err() != nil {
+		return nil, fmt.Errorf("core: analysis canceled: %w", opts.Context.Err())
+	}
 	s.mu.Lock()
 	c := s.cache
 	s.mu.Unlock()

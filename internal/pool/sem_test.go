@@ -1,0 +1,58 @@
+package pool
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSemTryAcquire(t *testing.T) {
+	s := NewSem(2)
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("fresh semaphore refused acquire")
+	}
+	if s.TryAcquire() {
+		t.Fatal("acquired beyond capacity")
+	}
+	if got := s.InUse(); got != 2 {
+		t.Fatalf("InUse = %d, want 2", got)
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+}
+
+func TestSemAcquireContext(t *testing.T) {
+	s := NewSem(1)
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Acquire on full sem = %v, want DeadlineExceeded", err)
+	}
+	s.Release()
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire after release = %v", err)
+	}
+}
+
+func TestSemClampsCapacity(t *testing.T) {
+	if got := NewSem(0).Cap(); got != 1 {
+		t.Fatalf("NewSem(0).Cap() = %d, want 1", got)
+	}
+	if got := NewSem(-3).Cap(); got != 1 {
+		t.Fatalf("NewSem(-3).Cap() = %d, want 1", got)
+	}
+}
+
+func TestSemReleasePanicsWhenEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release on empty sem did not panic")
+		}
+	}()
+	NewSem(1).Release()
+}

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// post issues one analyze upload and returns the response (body fully
+// read into resp-independent storage via the second return).
+func post(t *testing.T, client *http.Client, url string, tenant string, tft []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("POST", url, bytes.NewReader(tft))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestQueueSheddingNeverBlocks: with the engine wedged and the admission
+// queue full, the next request is shed immediately with 429 + Retry-After —
+// the accept loop must answer while every admitted request is still stuck.
+func TestQueueSheddingNeverBlocks(t *testing.T) {
+	release, _ := gateReplays(t)
+	srv, ts := newTestServer(t, Config{
+		MaxConcurrent: 1,
+		QueueDepth:    2,
+		TenantBudget:  8,
+		RetryAfter:    3 * time.Second,
+	})
+	tft := tftBytes(t, testTrace(), false)
+
+	// Two admitted requests: one wedged mid-replay, one waiting for the
+	// engine slot. Distinct warp sizes so they are distinct flights.
+	type result struct {
+		status int
+	}
+	done := make(chan result, 2)
+	for _, q := range []string{"warp=4", "warp=8"} {
+		go func(q string) {
+			resp, _ := post(t, ts.Client(), ts.URL+"/v1/analyze?"+q, "", tft)
+			done <- result{resp.StatusCode}
+		}(q)
+	}
+	waitFor(t, func() bool { return srv.QueueInFlight() == 2 }, "both requests admitted")
+
+	// The queue is full: this request must be rejected, and fast. The
+	// deadline bounds how long "never blocks" may take — far below the
+	// wedged replay's (infinite) duration.
+	start := time.Now()
+	resp, body := post(t, ts.Client(), ts.URL+"/v1/analyze?warp=16", "", tft)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("shedding took %v; the accept loop blocked behind wedged work", elapsed)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated queue returned %d (%s), want 429", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want %q", ra, "3")
+	}
+	if got := srv.Snapshot().ShedQueue; got != 1 {
+		t.Fatalf("shed_queue stat = %d, want 1", got)
+	}
+
+	release()
+	for i := 0; i < 2; i++ {
+		if r := <-done; r.status != 200 {
+			t.Fatalf("admitted request finished with %d, want 200", r.status)
+		}
+	}
+	if q := srv.QueueInFlight(); q != 0 {
+		t.Fatalf("queue holds %d slots after drain", q)
+	}
+}
+
+// TestTenantIsolation: one tenant exhausting its budget is shed without
+// consuming shared queue room, and other tenants proceed untouched.
+func TestTenantIsolation(t *testing.T) {
+	release, _ := gateReplays(t)
+	srv, ts := newTestServer(t, Config{
+		MaxConcurrent: 1,
+		QueueDepth:    4,
+		TenantBudget:  1,
+	})
+	tft := tftBytes(t, testTrace(), false)
+
+	// alice's first request wedges mid-replay, filling her budget of 1.
+	aliceDone := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, ts.Client(), ts.URL+"/v1/analyze?warp=4", "alice", tft)
+		aliceDone <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return srv.TenantInFlight("alice") == 1 }, "alice's first request admitted")
+
+	// alice's second request: shed on her budget, not on the queue.
+	resp, body := post(t, ts.Client(), ts.URL+"/v1/analyze?warp=8", "alice", tft)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget tenant got %d (%s), want 429", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("alice")) {
+		t.Fatalf("shed response does not name the tenant: %s", body)
+	}
+	st := srv.Snapshot()
+	if st.ShedTenant != 1 || st.ShedQueue != 0 {
+		t.Fatalf("shed_tenant=%d shed_queue=%d, want 1/0 (budget shed must not touch the queue)", st.ShedTenant, st.ShedQueue)
+	}
+	// Queue room is intact for bob: admitted (waiting on the engine), not shed.
+	bobDone := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, ts.Client(), ts.URL+"/v1/analyze?warp=8", "bob", tft)
+		bobDone <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return srv.TenantInFlight("bob") == 1 }, "bob admitted alongside wedged alice")
+
+	release()
+	if s := <-aliceDone; s != 200 {
+		t.Fatalf("alice's wedged request finished %d, want 200", s)
+	}
+	if s := <-bobDone; s != 200 {
+		t.Fatalf("bob's request finished %d, want 200", s)
+	}
+	if a, b := srv.TenantInFlight("alice"), srv.TenantInFlight("bob"); a != 0 || b != 0 {
+		t.Fatalf("tenant budgets alice=%d bob=%d after completion, want 0/0", a, b)
+	}
+}
+
+// TestRequestTimeout: a request whose deadline expires mid-replay returns
+// 504 and cancels the abandoned computation.
+func TestRequestTimeout(t *testing.T) {
+	release, _ := gateReplays(t)
+	srv, ts := newTestServer(t, Config{
+		MaxConcurrent:  1,
+		RequestTimeout: 50 * time.Millisecond,
+	})
+	tft := tftBytes(t, testTrace(), false)
+	resp, body := post(t, ts.Client(), ts.URL+"/v1/analyze?warp=4", "", tft)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out request returned %d (%s), want 504", resp.StatusCode, body)
+	}
+	if got := srv.Snapshot().Timeouts; got == 0 {
+		t.Fatal("timeout stat not incremented")
+	}
+	release()
+	// The abandoned flight's context was canceled when its last waiter
+	// left; once the gate opens its replay aborts and resources drain.
+	waitFor(t, func() bool {
+		return srv.QueueInFlight() == 0 && srv.engine.InUse() == 0
+	}, "abandoned computation to cancel and release its slots")
+}
+
+// TestDrain: Drain stops admission (503 + Retry-After), waits for wedged
+// in-flight work, and only returns once the last request finishes.
+func TestDrain(t *testing.T) {
+	release, _ := gateReplays(t)
+	srv, ts := newTestServer(t, Config{MaxConcurrent: 2})
+	tft := tftBytes(t, testTrace(), false)
+
+	inflightDone := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, ts.Client(), ts.URL+"/v1/analyze?warp=4", "", tft)
+		inflightDone <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return srv.QueueInFlight() == 1 }, "request admitted")
+
+	drainErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainErr <- srv.Drain(ctx)
+	}()
+	waitFor(t, srv.Draining, "drain to start")
+
+	// New work is refused while draining.
+	resp, _ := post(t, ts.Client(), ts.URL+"/v1/analyze?warp=8", "", tft)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain got %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 during drain carries no Retry-After")
+	}
+	hc, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc.Body.Close()
+	if hc.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain got %d, want 503", hc.StatusCode)
+	}
+
+	// Drain must still be waiting on the wedged request.
+	select {
+	case err := <-drainErr:
+		t.Fatalf("Drain returned (%v) with a request still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	release()
+	if s := <-inflightDone; s != 200 {
+		t.Fatalf("in-flight request finished %d during drain, want 200", s)
+	}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if q := srv.QueueInFlight(); q != 0 {
+		t.Fatalf("queue holds %d slots after drain", q)
+	}
+}
+
+// TestDrainDeadline: a drain whose context expires with work still wedged
+// reports the interruption instead of hanging.
+func TestDrainDeadline(t *testing.T) {
+	release, _ := gateReplays(t)
+	srv, ts := newTestServer(t, Config{MaxConcurrent: 1})
+	tft := tftBytes(t, testTrace(), false)
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, ts.Client(), ts.URL+"/v1/analyze?warp=4", "", tft)
+		done <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return srv.QueueInFlight() == 1 }, "request admitted")
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(ctx); err == nil {
+		t.Fatal("Drain returned nil with a wedged request in flight")
+	}
+	release()
+	if s := <-done; s != 200 {
+		t.Fatalf("wedged request finished %d, want 200", s)
+	}
+}

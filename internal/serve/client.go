@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"threadfuser/internal/analysis"
+	"threadfuser/internal/check"
+	"threadfuser/internal/core"
+)
+
+// Client is a tfserve HTTP client: the CLIs' -server mode speaks through
+// it, and the concurrency suite uses it to drive test servers.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8787".
+	BaseURL string
+	// Tenant, if set, is sent as the X-Tf-Tenant identity.
+	Tenant string
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+// RemoteError is a non-2xx response from the service, carrying the
+// server's decoded error message.
+type RemoteError struct {
+	Status  int
+	Message string
+	// RetryAfter echoes the Retry-After header on shedding responses
+	// (seconds; 0 when absent).
+	RetryAfter int
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.Status, e.Message)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response into out.
+func (c *Client) do(ctx context.Context, method, path string, q url.Values, body io.Reader, out any) error {
+	u := strings.TrimRight(c.BaseURL, "/") + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("reading server response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		re := &RemoteError{Status: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+		var msg struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &msg) == nil && msg.Error != "" {
+			re.Message = msg.Error
+		}
+		fmt.Sscanf(resp.Header.Get("Retry-After"), "%d", &re.RetryAfter)
+		return re
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("decoding server response: %w", err)
+	}
+	return nil
+}
+
+// Analyze uploads a .tft stream to POST /v1/analyze. Recognized params:
+// warp, formation, locks.
+func (c *Client) Analyze(ctx context.Context, tft io.Reader, q url.Values) (*core.Report, error) {
+	var rep core.Report
+	if err := c.do(ctx, http.MethodPost, "/v1/analyze", q, tft, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Lint uploads a .tft stream to POST /v1/lint. Recognized params: warp,
+// formation, min, passes.
+func (c *Client) Lint(ctx context.Context, tft io.Reader, q url.Values) (*analysis.Report, error) {
+	var rep analysis.Report
+	if err := c.do(ctx, http.MethodPost, "/v1/lint", q, tft, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Check uploads a .tft stream to POST /v1/check. Recognized params: warps,
+// parallel, formations, props, name.
+func (c *Client) Check(ctx context.Context, tft io.Reader, q url.Values) (*check.Report, error) {
+	var rep check.Report
+	if err := c.do(ctx, http.MethodPost, "/v1/check", q, tft, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Static requests GET /v1/static for a bundled workload. Recognized
+// params: workload, mode, opt, threads, seed, budget.
+func (c *Client) Static(ctx context.Context, q url.Values) (*StaticReport, error) {
+	var rep StaticReport
+	if err := c.do(ctx, http.MethodGet, "/v1/static", q, nil, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Stats fetches GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var st Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Health probes GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, nil)
+}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// uploadCases are the malformed .tft shapes an internet-facing upload
+// handler must survive: each must produce a 4xx JSON error — never a panic,
+// never a 5xx, and never a leaked admission or tenant slot.
+func uploadCases(t *testing.T) map[string][]byte {
+	t.Helper()
+	v2 := tftBytes(t, testTrace(), false)
+	v3 := tftBytes(t, testTrace(), true)
+	return map[string][]byte{
+		"empty body":         {},
+		"garbage":            []byte("this is not a trace format"),
+		"magic only":         v2[:4],
+		"v2 cut mid-stream":  v2[:len(v2)/2],
+		"v3 cut mid-trailer": v3[:len(v3)-6],
+		"v3 cut mid-footer":  v3[:len(v3)-20],
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	c := append([]byte(nil), b...)
+	if i < len(c) {
+		c[i] ^= 0xff
+	}
+	return c
+}
+
+// assertNoLeak verifies every budget returned to zero after requests
+// completed.
+func assertNoLeak(t *testing.T, srv *Server, when string) {
+	t.Helper()
+	if q := srv.QueueInFlight(); q != 0 {
+		t.Errorf("%s: admission queue holds %d slots", when, q)
+	}
+	if n := srv.TenantInFlight(DefaultTenant); n != 0 {
+		t.Errorf("%s: tenant budget holds %d slots", when, n)
+	}
+	if n := srv.engine.InUse(); n != 0 {
+		t.Errorf("%s: engine holds %d slots", when, n)
+	}
+}
+
+// TestMalformedUploadsRejectedWithoutLeaks drives every malformed shape at
+// every trace-upload endpoint.
+func TestMalformedUploadsRejectedWithoutLeaks(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxConcurrent: 2})
+	endpoints := []string{"/v1/analyze", "/v1/lint", "/v1/check"}
+	for name, data := range uploadCases(t) {
+		for _, ep := range endpoints {
+			resp, err := ts.Client().Post(ts.URL+ep, "application/octet-stream", bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, ep, err)
+			}
+			var body bytes.Buffer
+			body.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode < 400 || resp.StatusCode >= 500 {
+				t.Errorf("%s %s: status %d (%s), want 4xx", name, ep, resp.StatusCode, body.String())
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("%s %s: error content-type %q", name, ep, ct)
+			}
+			if !strings.Contains(body.String(), `"error"`) {
+				t.Errorf("%s %s: error body carries no error field: %s", name, ep, body.String())
+			}
+			assertNoLeak(t, srv, name+" "+ep)
+		}
+	}
+}
+
+// TestUploadContentLengthMismatch: a body shorter than its declared
+// Content-Length is a truncated upload — 400, not a hang or a 5xx. Driven
+// through ServeHTTP directly since a real client would refuse to send it.
+func TestUploadContentLengthMismatch(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 2})
+	data := tftBytes(t, testTrace(), true)
+	req := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(data))
+	req.ContentLength = int64(len(data)) + 100
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("short body under long Content-Length: status %d (%s), want 400", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), "truncated") {
+		t.Fatalf("error does not name the truncation: %s", w.Body)
+	}
+	assertNoLeak(t, srv, "content-length mismatch")
+}
+
+// TestUploadTooLarge: bodies over the configured cap get 413 and leak
+// nothing.
+func TestUploadTooLarge(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxConcurrent: 2, MaxUploadBytes: 1024})
+	big := make([]byte, 64<<10)
+	resp, err := ts.Client().Post(ts.URL+"/v1/analyze", "application/octet-stream", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload: status %d (%s), want 413", resp.StatusCode, body.String())
+	}
+	assertNoLeak(t, srv, "oversized upload")
+}
+
+// FuzzUpload hammers the analyze upload handler with arbitrary bytes. The
+// invariants are the handler's whole contract: no panic, no 5xx, and every
+// admission/tenant/engine slot returned.
+func FuzzUpload(f *testing.F) {
+	v2 := tftBytes(f, testTrace(), false)
+	v3 := tftBytes(f, testTrace(), true)
+	f.Add([]byte{})
+	f.Add([]byte("not a trace"))
+	f.Add(v2)
+	f.Add(v3)
+	f.Add(v2[:len(v2)/2])
+	f.Add(v3[:len(v3)-6])  // cut mid-trailer
+	f.Add(v3[:len(v3)-20]) // cut mid-footer
+	f.Add(flipByte(v3, len(v3)-10))
+
+	srv := New(Config{
+		MaxConcurrent:  2,
+		MaxUploadBytes: 1 << 20,
+		RequestTimeout: 30 * time.Second,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req := httptest.NewRequest("POST", "/v1/analyze?warp=4", bytes.NewReader(data))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code >= 500 {
+			t.Fatalf("upload of %d bytes produced status %d: %s", len(data), w.Code, w.Body)
+		}
+		assertNoLeak(t, srv, "after fuzz upload")
+	})
+}

@@ -1,6 +1,7 @@
 package simt
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -41,6 +42,15 @@ type Options struct {
 	// produces bit-identical Results to the serial one: every metric is a
 	// per-warp or commutative uint64 sum, merged deterministically.
 	Parallelism int
+
+	// Context, if non-nil, cancels an in-progress replay: the loop polls it
+	// at every warp boundary and every few thousand SIMT-stack steps inside
+	// a warp, so even a single enormous warp aborts promptly. The returned
+	// error wraps the context's error (errors.Is-matchable against
+	// context.Canceled / DeadlineExceeded). Like Parallelism and Listener,
+	// Context is a control knob, not a semantic one: it can only stop a
+	// replay, never change the metrics of one that completes.
+	Context context.Context
 
 	// disableRunBatch turns off same-block run batching in the replay inner
 	// loop, forcing one group-formation step per block execution. Only the
@@ -306,6 +316,9 @@ func Replay(t *trace.Trace, graphs map[uint32]*cfg.DCFG, pdoms map[uint32]*ipdom
 		accs[0] = acc
 		wr := newWarpReplay(graphs, pdoms, opts, acc)
 		for wi := range warps {
+			if err := cancelErr(opts.Context); err != nil {
+				return nil, err
+			}
 			if err := safeReplay(wr, wi, warps[wi], &res.Warps[wi]); err != nil {
 				return nil, err
 			}
@@ -325,6 +338,10 @@ func Replay(t *trace.Trace, graphs map[uint32]*cfg.DCFG, pdoms map[uint32]*ipdom
 				errWarp[k] = -1
 				wr := newWarpReplay(graphs, pdoms, opts, acc)
 				for wi := k; wi < len(warps); wi += nw {
+					if err := cancelErr(opts.Context); err != nil {
+						errWarp[k], errs[k] = wi, err
+						return
+					}
 					if err := safeReplay(wr, wi, warps[wi], &res.Warps[wi]); err != nil {
 						errWarp[k], errs[k] = wi, err
 						return
@@ -452,6 +469,14 @@ func (wr *warpReplay) run() error {
 	}
 
 	for steps := uint64(0); len(wr.stack) > 0; steps++ {
+		// Poll cancellation every 4096 steps: cheap enough to vanish in the
+		// loop (one masked branch), frequent enough that a request abort or
+		// deadline stops even a single warp with millions of records.
+		if steps&4095 == 0 {
+			if err := cancelErr(wr.opts.Context); err != nil {
+				return err
+			}
+		}
 		if steps > maxSteps {
 			var desc string
 			for i := range wr.stack {
@@ -501,6 +526,18 @@ func (wr *warpReplay) run() error {
 
 func (wr *warpReplay) pop() {
 	wr.stack = wr.stack[:len(wr.stack)-1]
+}
+
+// cancelErr translates a done context into a replay error; a nil context
+// never cancels.
+func cancelErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("simt: replay canceled: %w", err)
+	}
+	return nil
 }
 
 // allAtOrPast reports whether every group has reached the entry's

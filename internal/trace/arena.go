@@ -304,6 +304,14 @@ func decodeArena(data []byte) (*Trace, *Arena, error) {
 }
 
 func decodeArenaInto(data []byte, a *Arena) (*Trace, *Arena, error) {
+	return decodeArenaStream(data, a, false)
+}
+
+// decodeArenaStream is the shared decode body. In strict mode the input
+// must be fully accounted for: either the index footer validates, or the
+// bare stream ends exactly at the last byte — leftover bytes (a truncated
+// footer or trailer) are an error instead of being silently ignored.
+func decodeArenaStream(data []byte, a *Arena, strict bool) (*Trace, *Arena, error) {
 	if a == nil {
 		a = &Arena{}
 	}
@@ -338,8 +346,32 @@ func decodeArenaInto(data []byte, a *Arena) (*Trace, *Arena, error) {
 	if d.err != nil {
 		return nil, nil, fmt.Errorf("trace: decode: %w", d.err)
 	}
+	if strict && d.off != len(data) {
+		return nil, nil, fmt.Errorf("trace: decode: %d trailing bytes after the last thread section (truncated or damaged index?)", len(data)-d.off)
+	}
 	a.fixup(0, len(a.Records))
 	return a.Trace(h.Program, h.Entry, h.Funcs), a, nil
+}
+
+// DecodeStrict decodes an untrusted upload, refusing inputs the lenient
+// readers would quietly truncate. A v3 container whose footer or trailer
+// was cut off still decodes under Decode/DecodeParallel — every record
+// precedes the index, so the lenient path sees a complete stream and
+// ignores the damaged tail. For ingestion that leniency masks data loss:
+// the uploader meant to send an index, so unaccounted-for trailing bytes
+// mean the transfer was damaged. Inputs with a valid index decode through
+// DecodeParallel at the given parallelism; bare v1/v2 streams must end
+// exactly at the last thread section.
+func DecodeStrict(ra io.ReaderAt, size int64, parallelism int) (*Trace, error) {
+	data, err := readAllAt(ra, size)
+	if err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if _, err := NewReader(bytes.NewReader(data), size); err == nil {
+		return DecodeParallel(bytes.NewReader(data), size, parallelism)
+	}
+	t, _, err := decodeArenaStream(data, nil, true)
+	return t, err
 }
 
 // decodeArenaIndexed decodes a v3 input through its index footer into a:

@@ -268,19 +268,29 @@ func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
 
 // OpenFile opens the named .tft file as an indexed Reader. The caller must
 // Close it. A file without a usable index fails with ErrNoIndex.
-func OpenFile(path string) (*Reader, error) {
+//
+// Every error return closes the file: long-running servers call this once
+// per request on untrusted uploads, so an early return that held the handle
+// would leak a descriptor per malformed input. The single deferred cleanup
+// (instead of per-return Close calls) makes that invariant structural —
+// any future early return is covered automatically; the leak-check test
+// pins it.
+func OpenFile(path string) (r *Reader, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
+	defer func() {
+		if err != nil {
+			f.Close()
+		}
+	}()
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
 		return nil, err
 	}
-	r, err := NewReader(f, st.Size())
+	r, err = NewReader(f, st.Size())
 	if err != nil {
-		f.Close()
 		return nil, err
 	}
 	r.closer = f
