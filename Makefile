@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race bench bench-decode bench-guard check lint staticcheck tfcheck tfstatic staticlock serve-smoke
+.PHONY: build vet test test-race bench bench-decode bench-guard check lint staticcheck tfcheck tfstatic staticlock staticmem serve-smoke
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,14 @@ staticlock:
 	$(GO) run ./cmd/tfstatic -all -locks -q
 	$(GO) run ./cmd/tfstatic -workload seededrace,leakedlock,seededcycle,seededspin -locks -races -verify
 
+# Static memory oracle smoke: per-site stride classes and transaction bounds
+# over the whole catalog, plus the dynamic replay cross-check on a coalesced
+# and an uncoalesced workload (exits nonzero if any replay execution exceeds
+# a static bound or contradicts a segment claim).
+staticmem:
+	$(GO) run ./cmd/tfstatic -all -mem -q
+	$(GO) run ./cmd/tfstatic -workload vectoradd,uncoalesced -mem -verify
+
 # End-to-end smoke of the analysis service: start a real tfserve, prove the
 # -server CLIs round-trip byte-identical reports against local runs, check
 # the dedup/cache headers over raw HTTP, and drain it with SIGTERM.
@@ -82,4 +90,4 @@ bench-decode:
 bench-guard:
 	scripts/bench_guard.sh
 
-check: build vet test test-race lint staticcheck tfcheck tfstatic staticlock serve-smoke
+check: build vet test test-race lint staticcheck tfcheck tfstatic staticlock staticmem serve-smoke

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"threadfuser/internal/core"
+	"threadfuser/internal/serve"
+	"threadfuser/internal/trace"
+	"threadfuser/internal/workloads"
+)
+
+// writeWorkloadTrace traces a bundled workload to a .tft file and returns
+// its path.
+func writeWorkloadTrace(t *testing.T, dir, name string) string {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := w.Instantiate(workloads.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := inst.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name+".tft")
+	if err := trace.WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// diffVia renders the full tfdiff output for two trace files through one
+// analysis route (local, cached, or server).
+func diffVia(t *testing.T, aPath, bPath string, opts core.Options, cache *core.Cache, server string) []byte {
+	t.Helper()
+	a, err := analyzeFile(aPath, opts, cache, server, "difftest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := analyzeFile(bPath, opts, cache, server, "difftest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	writeDiff(&buf, a, b)
+	return buf.Bytes()
+}
+
+// TestCacheAndServerMatchLocal is the wiring contract for the -cache and
+// -server flags: a cold cache run, a warm cache run, and a tfserve-backed run
+// must all render byte-identical output to a plain local analysis.
+func TestCacheAndServerMatchLocal(t *testing.T) {
+	dir := t.TempDir()
+	aPath := writeWorkloadTrace(t, dir, "usuite.hdsearch.mid")
+	bPath := writeWorkloadTrace(t, dir, "usuite.hdsearch.mid.fixed")
+	opts := core.Defaults()
+	opts.WarpSize = 32
+
+	local := diffVia(t, aPath, bPath, opts, nil, "")
+
+	cache := core.NewCache(filepath.Join(dir, "cache"))
+	cold := diffVia(t, aPath, bPath, opts, cache, "")
+	warm := diffVia(t, aPath, bPath, opts, cache, "")
+	if !bytes.Equal(local, cold) {
+		t.Errorf("cold-cache output differs from local:\n%s\nvs\n%s", cold, local)
+	}
+	if !bytes.Equal(local, warm) {
+		t.Errorf("warm-cache output differs from local:\n%s\nvs\n%s", warm, local)
+	}
+
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			t.Errorf("draining test server: %v", err)
+		}
+		ts.Close()
+	}()
+	remote := diffVia(t, aPath, bPath, opts, nil, ts.URL)
+	if !bytes.Equal(local, remote) {
+		t.Errorf("server output differs from local:\n%s\nvs\n%s", remote, local)
+	}
+
+	// Lock emulation must travel to the server too.
+	lopts := opts
+	lopts.EmulateLocks = true
+	localLocks := diffVia(t, aPath, bPath, lopts, nil, "")
+	remoteLocks := diffVia(t, aPath, bPath, lopts, nil, ts.URL)
+	if !bytes.Equal(localLocks, remoteLocks) {
+		t.Errorf("server -locks output differs from local:\n%s\nvs\n%s", remoteLocks, localLocks)
+	}
+}

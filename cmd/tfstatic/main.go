@@ -15,12 +15,19 @@
 // against the dynamic lockset and lock-order passes, exiting nonzero if any
 // soundness-class finding survives.
 //
+// With -mem it runs the static memory oracle of internal/staticmem: every
+// load/store site classified by per-lane tid-stride (broadcast, coalesced,
+// strided, scattered) with its static transactions-per-warp bound and segment
+// claim. -verify cross-checks those bounds against the per-site histograms a
+// dynamic replay aggregates.
+//
 // Usage:
 //
 //	tfstatic -workload vectoradd
 //	tfstatic -workload other.pigz -opt O3 -v
 //	tfstatic -workload seededspin -locks
 //	tfstatic -workload seededcycle -races -verify
+//	tfstatic -workload uncoalesced -mem -verify
 //	tfstatic -all -json
 //
 // The exit status is 2 for usage errors, 1 if any workload fails to load or
@@ -46,6 +53,7 @@ import (
 	"threadfuser/internal/opt"
 	"threadfuser/internal/serve"
 	"threadfuser/internal/staticlock"
+	"threadfuser/internal/staticmem"
 	"threadfuser/internal/staticsimt"
 	"threadfuser/internal/workloads"
 )
@@ -63,6 +71,7 @@ func main() {
 		quiet   = flag.Bool("q", false, "one summary line per workload")
 		locks   = flag.Bool("locks", false, "static concurrency oracle: lock-order graph, cycle candidates, divergent-region acquires")
 		races   = flag.Bool("races", false, "static concurrency oracle: race-candidate address classes and their locksets")
+		mem     = flag.Bool("mem", false, "static memory oracle: per-site stride classes, transaction bounds, segment claims")
 		verify  = flag.Bool("verify", false, "trace the workload and cross-check static predictions against dynamic replay (O1 only)")
 		server  = flag.String("server", "", "analyze via a running tfserve instance at this URL instead of locally")
 		tenant  = flag.String("tenant", "", "tenant identity sent with -server requests")
@@ -87,7 +96,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tfstatic: -v and -q are mutually exclusive")
 		os.Exit(2)
 	}
-	lockMode := *locks || *races || *verify
+	if *mem && (*locks || *races) {
+		fmt.Fprintln(os.Stderr, "tfstatic: -mem and -locks/-races are mutually exclusive")
+		os.Exit(2)
+	}
+	memMode := *mem
+	lockMode := *locks || *races || (*verify && !memMode)
 	if *server != "" && *verify {
 		// The cross-check replays a freshly traced workload; the service only
 		// serves the static oracles.
@@ -122,10 +136,12 @@ func main() {
 	failed := false
 	var results []*staticsimt.Result
 	var lockResults []*staticlock.Result
+	var memResults []*staticmem.Result
 	for _, w := range list {
 		var (
 			res     *staticsimt.Result
 			lockRes *staticlock.Result
+			memRes  *staticmem.Result
 		)
 		if *server != "" {
 			// Server mode: the service instantiates and analyzes the bundled
@@ -141,6 +157,9 @@ func main() {
 			if lockMode {
 				q.Set("mode", "locks")
 			}
+			if memMode {
+				q.Set("mode", "mem")
+			}
 			if *budget != 0 {
 				q.Set("budget", strconv.Itoa(*budget))
 			}
@@ -151,8 +170,8 @@ func main() {
 				failed = true
 				continue
 			}
-			res, lockRes = rep.SIMT, rep.Locks
-			if (lockMode && lockRes == nil) || (!lockMode && res == nil) {
+			res, lockRes, memRes = rep.SIMT, rep.Locks, rep.Mem
+			if (lockMode && lockRes == nil) || (memMode && memRes == nil) || (!lockMode && !memMode && res == nil) {
 				fmt.Fprintf(os.Stderr, "tfstatic: %s: server response missing the requested report\n", w.Name)
 				failed = true
 				continue
@@ -168,14 +187,35 @@ func main() {
 			if lvl != opt.O1 {
 				prog = opt.Apply(prog, lvl)
 			}
-			if lockMode {
-				lockRes = staticlock.Analyze(prog)
-				if *verify && !verifyWorkload(inst, w.Name) {
+			switch {
+			case memMode:
+				memRes = staticmem.Analyze(prog)
+				if *verify && !verifyWorkload(inst, w.Name, "staticmem",
+					"verified against dynamic replay: every per-site transaction bound and segment claim held") {
 					failed = true
 				}
-			} else {
+			case lockMode:
+				lockRes = staticlock.Analyze(prog)
+				if *verify && !verifyWorkload(inst, w.Name, "staticlock",
+					"verified against dynamic replay: every dynamic race and lock-order cycle statically covered") {
+					failed = true
+				}
+			default:
 				res = staticsimt.Analyze(prog, staticsimt.Options{MeldBudget: *budget})
 			}
+		}
+
+		if memMode {
+			switch {
+			case *asJSON:
+				memResults = append(memResults, memRes)
+			case *quiet:
+				fmt.Printf("%-28s %3d mem site(s): %d broadcast, %d coalesced, %d strided, %d scattered, %d meld veto(es)\n",
+					w.Name, len(memRes.Sites), memRes.Broadcast, memRes.Coalesced, memRes.Strided, memRes.Scattered, memRes.MeldsRejectedMem)
+			default:
+				memRes.Render(os.Stdout, *verbose)
+			}
+			continue
 		}
 
 		if lockMode {
@@ -205,9 +245,12 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		var err error
-		if lockMode {
+		switch {
+		case memMode:
+			err = enc.Encode(memResults)
+		case lockMode:
 			err = enc.Encode(lockResults)
-		} else {
+		default:
 			err = enc.Encode(results)
 		}
 		if err != nil {
@@ -274,16 +317,16 @@ func renderConcurrency(w io.Writer, res *staticlock.Result, showLocks, showRaces
 	}
 }
 
-// verifyWorkload traces one workload instance and runs the staticlock
+// verifyWorkload traces one workload instance and runs the named static
 // cross-check pass over it; it reports the pass' findings and returns false
 // when any soundness-class (error-severity) finding survives.
-func verifyWorkload(inst *workloads.Instance, name string) bool {
+func verifyWorkload(inst *workloads.Instance, name, pass, okMsg string) bool {
 	tr, err := inst.Trace()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tfstatic: %s: trace: %v\n", name, err)
 		return false
 	}
-	rep, err := analysis.Run(tr, analysis.Options{Prog: inst.Prog, Passes: []string{"staticlock"}})
+	rep, err := analysis.Run(tr, analysis.Options{Prog: inst.Prog, Passes: []string{pass}})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tfstatic: %s: verify: %v\n", name, err)
 		return false
@@ -299,7 +342,7 @@ func verifyWorkload(inst *workloads.Instance, name string) bool {
 		fmt.Fprintf(os.Stderr, "tfstatic: %s: %d soundness finding(s) survived the dynamic cross-check\n", name, rep.Errors)
 		return false
 	}
-	fmt.Printf("  verified against dynamic replay: every dynamic race and lock-order cycle statically covered\n")
+	fmt.Printf("  %s\n", okMsg)
 	return true
 }
 

@@ -143,10 +143,10 @@ type Pass interface {
 // Passes returns the engine's passes in their fixed execution order. The
 // sanitizer always runs first: its error findings gate the structural
 // passes, which assume a well-formed trace. The static passes ("static",
-// "staticlock") additionally require Options.Prog and are skipped for
-// trace-only inputs.
+// "staticlock", "staticmem") additionally require Options.Prog and are
+// skipped for trace-only inputs.
 func Passes() []Pass {
-	return []Pass{sanitizePass{}, locksetPass{}, divergencePass{}, lockLintPass{}, deadlockPass{}, staticPass{}, staticLockPass{}}
+	return []Pass{sanitizePass{}, locksetPass{}, divergencePass{}, lockLintPass{}, deadlockPass{}, staticPass{}, staticLockPass{}, staticMemPass{}}
 }
 
 // Options configure a lint run.
@@ -365,7 +365,7 @@ func RunSession(sess *core.Session, t *trace.Trace, opts Options) (*Report, erro
 				if !selected[p.ID()] {
 					continue
 				}
-				if (p.ID() == "static" || p.ID() == "staticlock") && opts.Prog == nil {
+				if (p.ID() == "static" || p.ID() == "staticlock" || p.ID() == "staticmem") && opts.Prog == nil {
 					// Only surface the skip when the pass was asked for by
 					// name; an all-passes run over a trace-only input just
 					// omits it silently.

@@ -1,0 +1,63 @@
+package analysis_test
+
+import (
+	"bytes"
+	"testing"
+
+	"threadfuser/internal/analysis"
+	"threadfuser/internal/workloads"
+)
+
+// TestStaticMemSoundOnAllWorkloads is the golden static-vs-dynamic memory
+// agreement test: over every bundled workload the static memory oracle's
+// per-site transaction bounds and segment claims must dominate what the
+// replay observed (zero soundness findings), and the findings must be
+// byte-deterministic across runs.
+func TestStaticMemSoundOnAllWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		inst, err := w.Instantiate(workloads.Config{Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		tr, err := inst.Trace()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		var prev []byte
+		for round := 0; round < 2; round++ {
+			rep, err := analysis.Run(tr, analysis.Options{Prog: inst.Prog, Passes: []string{"staticmem"}})
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			if n := countPass(rep, "staticmem", analysis.SevError); n != 0 {
+				rep.Render(testWriter{t})
+				t.Fatalf("%s: static memory oracle reported %d soundness error(s)", w.Name, n)
+			}
+			if !hasMessage(rep, "staticmem", "static memory oracle:") {
+				t.Fatalf("%s: missing staticmem summary finding", w.Name)
+			}
+			var buf bytes.Buffer
+			rep.Render(&buf)
+			if round > 0 && !bytes.Equal(prev, buf.Bytes()) {
+				t.Fatalf("%s: staticmem findings not byte-deterministic", w.Name)
+			}
+			prev = buf.Bytes()
+		}
+	}
+}
+
+// TestStaticMemPassRejectsMismatchedProgram mirrors the other static pass
+// guards: a program that does not describe the traced binary must be refused
+// with a warning, not compared.
+func TestStaticMemPassRejectsMismatchedProgram(t *testing.T) {
+	_, tr := instanceFor(t, "vectoradd")
+	other, _ := instanceFor(t, "seededrace")
+	rep, err := analysis.Run(tr, analysis.Options{Prog: other.Prog, Passes: []string{"staticmem"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasMessage(rep, "staticmem", "does not match the trace symbol table") {
+		rep.Render(testWriter{t})
+		t.Fatal("mismatched program accepted for staticmem comparison")
+	}
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"fmt"
+
+	"threadfuser/internal/staticmem"
+	"threadfuser/internal/warp"
+)
+
+// staticMemPass cross-checks the static memory oracle (internal/staticmem)
+// against the per-site coalescing histograms the replay aggregates. Like the
+// other static passes it needs Options.Prog; trace-only inputs skip it. The
+// two disagreement directions carry opposite meanings:
+//
+//   - a site whose observed transactions exceed its static bound, or whose
+//     observed segment contradicts the static segment claim (a "stack" site
+//     touching the heap), is a soundness bug in the oracle (SevError —
+//     internal/check's "staticcoalesce" invariant enforces that this never
+//     happens);
+//   - a site classified scattered whose replay executions all stayed within
+//     the fully-coalesced envelope is a precision gap (SevInfo), the
+//     expected cost of a conservative dataflow.
+type staticMemPass struct{}
+
+func (staticMemPass) ID() string { return "staticmem" }
+func (staticMemPass) Desc() string {
+	return "static memory oracle vs dynamic replay: per-site transaction-bound soundness and scattered-prediction precision gaps"
+}
+
+func (staticMemPass) Run(ctx *Context) error {
+	prog := ctx.Opts.Prog
+	if prog == nil {
+		return nil // gated in RunSession; defensive
+	}
+	if mismatch := progTraceMismatch(prog, ctx.Trace); mismatch != "" {
+		f := finding("staticmem", SevWarning)
+		f.Message = fmt.Sprintf("attached program does not match the trace symbol table (%s); static comparison skipped", mismatch)
+		ctx.add(f)
+		return nil
+	}
+
+	sm := staticmem.Analyze(prog)
+	rep, err := ctx.Report(false)
+	if err != nil {
+		return err
+	}
+	contiguous := ctx.Opts.Formation == warp.RoundRobin
+
+	// Soundness direction: no replayed execution of a site may exceed its
+	// static transactions-per-warp bound, and segment claims must hold.
+	soundness := 0
+	executed := map[int]*struct{ maxTx uint64 }{} // static site -> worst observation
+	for i := range rep.MemSites {
+		d := &rep.MemSites[i]
+		si, ok := sm.SiteAt(d.FuncID, d.Block, d.Instr)
+		if !ok {
+			soundness++
+			f := finding("staticmem", SevError)
+			f.Function = d.Func
+			f.Block = int32(d.Block)
+			f.Message = fmt.Sprintf("oracle soundness bug: replay accessed memory at instr %d but the static site table has no entry", d.Instr)
+			ctx.add(f)
+			continue
+		}
+		s := &sm.Sites[si]
+		executed[si] = &struct{ maxTx uint64 }{d.MaxTx}
+		bound := s.TxBound(rep.WarpSize, contiguous)
+		if d.MaxTx > uint64(bound) {
+			soundness++
+			f := finding("staticmem", SevError)
+			f.Function = d.Func
+			f.Block = int32(d.Block)
+			f.Message = fmt.Sprintf("oracle soundness bug: site i%d classified %s (stride %+d, addr %s) is bounded at %d tx/warp%d but a replay execution needed %d",
+				d.Instr, s.Class, s.Stride, s.Shape, bound, rep.WarpSize, d.MaxTx)
+			f.Details = map[string]string{"class": s.Class, "shape": s.Shape}
+			ctx.add(f)
+		}
+		switch {
+		case s.Segment == staticmem.SegmentStack && d.HeapTx > 0:
+			soundness++
+			f := finding("staticmem", SevError)
+			f.Function = d.Func
+			f.Block = int32(d.Block)
+			f.Message = fmt.Sprintf("oracle soundness bug: site i%d claimed stack-segment (addr %s) but the replay observed %d heap transaction(s)",
+				d.Instr, s.Shape, d.HeapTx)
+			ctx.add(f)
+		case s.Segment == staticmem.SegmentOther && d.StackTx > 0:
+			soundness++
+			f := finding("staticmem", SevError)
+			f.Function = d.Func
+			f.Block = int32(d.Block)
+			f.Message = fmt.Sprintf("oracle soundness bug: site i%d claimed heap/global-segment (addr %s) but the replay observed %d stack transaction(s)",
+				d.Instr, s.Shape, d.StackTx)
+			ctx.add(f)
+		}
+	}
+
+	// Precision direction: scattered predictions the replay never confirmed —
+	// every observed execution stayed within what a fully-coalesced
+	// classification (stride == access size, no divergence widening) would
+	// have bounded.
+	gaps := 0
+	precision := func(msg string) {
+		gaps++
+		if gaps > maxPrecisionReports {
+			return
+		}
+		f := finding("staticmem", SevInfo)
+		f.Message = msg
+		ctx.add(f)
+	}
+	for si := range sm.Sites {
+		s := &sm.Sites[si]
+		obs, ran := executed[si]
+		if s.Class != staticmem.ClassScattered || s.Unreachable || !ran {
+			continue
+		}
+		hyp := *s
+		hyp.Class = staticmem.ClassCoalesced
+		hyp.StrideKnown = true
+		hyp.Stride = int64(s.Size)
+		hyp.Divergent = false
+		if obs.maxTx <= uint64(hyp.TxBound(rep.WarpSize, contiguous)) {
+			precision(fmt.Sprintf("precision gap: %s b%d i%d classified scattered (addr %s) but every replay execution stayed within the coalesced envelope (worst %d tx)",
+				s.FuncName, s.Block, s.Instr, s.Shape, obs.maxTx))
+		}
+	}
+	if gaps > maxPrecisionReports {
+		f := finding("staticmem", SevInfo)
+		f.Message = fmt.Sprintf("%d further precision gap(s) suppressed", gaps-maxPrecisionReports)
+		ctx.add(f)
+	}
+
+	f := finding("staticmem", SevInfo)
+	f.Message = fmt.Sprintf("static memory oracle: %d site(s): %d broadcast, %d coalesced, %d strided, %d scattered (%d divergent); %d meld(s) vetoed; %d executed dynamically, %d soundness violation(s), %d precision gap(s)",
+		len(sm.Sites), sm.Broadcast, sm.Coalesced, sm.Strided, sm.Scattered, sm.DivergentSites, sm.MeldsRejectedMem, len(rep.MemSites), soundness, gaps)
+	ctx.add(f)
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"threadfuser/internal/analysis"
 	"threadfuser/internal/coalesce"
 	"threadfuser/internal/staticlock"
+	"threadfuser/internal/staticmem"
 	"threadfuser/internal/staticsimt"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/warp"
@@ -393,6 +394,49 @@ var properties = []Property{
 					c.assert(cl, ok && sr.CycleCovering(classes),
 						"dynamic lock-order cycle over %d lock(s) has no covering static cycle candidate (classes %v)",
 						len(cy.Addrs), classes)
+				}
+			}
+		},
+	},
+	{
+		id:   "staticcoalesce",
+		desc: "no replayed memory site exceeds its static transactions-per-warp bound or contradicts its segment claim",
+		check: func(c *ctx) {
+			prog := c.opts.Prog
+			if prog == nil {
+				return // trace-only input: no IR, vacuously true
+			}
+			cell := Cell{WarpSize: c.opts.WarpSizes[0], Parallelism: 1, Formation: c.opts.Formations[0]}
+			if !progMatchesTrace(c, cell) {
+				return
+			}
+			sm := staticmem.Analyze(prog)
+			for _, cl := range c.baseCells() {
+				r, ok := c.mustReport(cl)
+				if !ok {
+					continue
+				}
+				contiguous := cl.Formation == warp.RoundRobin
+				for i := range r.MemSites {
+					d := &r.MemSites[i]
+					si, found := sm.SiteAt(d.FuncID, d.Block, d.Instr)
+					if !found {
+						c.check()
+						c.violatef(cl, "replay touched memory at %s.b%d i%d but the static site table has no entry",
+							d.Func, d.Block, d.Instr)
+						continue
+					}
+					s := &sm.Sites[si]
+					bound := uint64(s.TxBound(cl.WarpSize, contiguous))
+					c.assert(cl, d.MaxTx <= bound,
+						"site %s.b%d i%d classified %s (addr %s) is statically bounded at %d tx/warp but a replay execution needed %d",
+						d.Func, d.Block, d.Instr, s.Class, s.Shape, bound, d.MaxTx)
+					c.assert(cl, s.Segment != staticmem.SegmentStack || d.HeapTx == 0,
+						"site %s.b%d i%d claimed stack-segment (addr %s) but replay observed %d heap transaction(s)",
+						d.Func, d.Block, d.Instr, s.Shape, d.HeapTx)
+					c.assert(cl, s.Segment != staticmem.SegmentOther || d.StackTx == 0,
+						"site %s.b%d i%d claimed heap/global-segment (addr %s) but replay observed %d stack transaction(s)",
+						d.Func, d.Block, d.Instr, s.Shape, d.StackTx)
 				}
 			}
 		},

@@ -72,6 +72,107 @@ func TestSplitBySegment(t *testing.T) {
 	}
 }
 
+// TestUnalignedStraddles pins the worst-alignment sector math: a warp of
+// unaligned 8-byte lanes pays one extra sector over the aligned case, exactly
+// the +1 in the static oracle's maxSectors bound.
+func TestUnalignedStraddles(t *testing.T) {
+	// 32 contiguous 8-byte lanes starting 4 bytes before a sector boundary:
+	// the 256-byte extent [28, 284) touches sectors 0..8 — nine transactions,
+	// one more than the aligned eight.
+	var unaligned, aligned []Access
+	for lane := 0; lane < 32; lane++ {
+		unaligned = append(unaligned, Access{Addr: 28 + uint64(8*lane), Size: 8})
+		aligned = append(aligned, Access{Addr: 32 + uint64(8*lane), Size: 8})
+	}
+	if got := Count(aligned); got != 8 {
+		t.Errorf("aligned stride-8 warp = %d transactions, want 8", got)
+	}
+	if got := Count(unaligned); got != 9 {
+		t.Errorf("unaligned stride-8 warp = %d transactions, want 9", got)
+	}
+	// Every lane straddling independently: scattered 8-byte accesses each
+	// ending 4 bytes past a sector boundary cost two sectors apiece.
+	var scattered []Access
+	for lane := 0; lane < 16; lane++ {
+		scattered = append(scattered, Access{Addr: uint64(4096*lane) + TransactionSize - 4, Size: 8})
+	}
+	if got := Count(scattered); got != 32 {
+		t.Errorf("scattered straddling lanes = %d transactions, want 32", got)
+	}
+	// A 1-byte access never straddles; size 2 at the last byte of a sector
+	// does. Both Bounds and Count must agree at the boundary.
+	for _, c := range []struct {
+		acc  Access
+		want int
+	}{
+		{Access{Addr: TransactionSize - 1, Size: 1}, 1},
+		{Access{Addr: TransactionSize - 1, Size: 2}, 2},
+		{Access{Addr: TransactionSize - 2, Size: 2}, 1},
+	} {
+		if got := Count([]Access{c.acc}); got != c.want {
+			t.Errorf("Count({%#x, %d}) = %d, want %d", c.acc.Addr, c.acc.Size, got, c.want)
+		}
+		if lo, hi := Bounds([]Access{c.acc}); lo != c.want || hi != c.want {
+			t.Errorf("Bounds({%#x, %d}) = [%d, %d], want [%d, %d]", c.acc.Addr, c.acc.Size, lo, hi, c.want, c.want)
+		}
+	}
+}
+
+// TestProbeSetCap documents Count's fixed 136-entry probe set: any real warp
+// needs at most 64 lanes × 2 sectors = 128 distinct sectors, so the cap is
+// unreachable in replay, but a synthetic set beyond it must saturate at the
+// cap rather than overflow or miscount.
+func TestProbeSetCap(t *testing.T) {
+	var accs []Access
+	for i := 0; i < 200; i++ {
+		accs = append(accs, Access{Addr: uint64(i) * 4096, Size: 4}) // one distinct sector each
+	}
+	if got := Count(accs); got != 136 {
+		t.Errorf("200 distinct sectors = %d transactions, want the 136-entry cap", got)
+	}
+	// At and just below the cap the count stays exact.
+	if got := Count(accs[:136]); got != 136 {
+		t.Errorf("136 distinct sectors = %d transactions, want 136", got)
+	}
+	if got := Count(accs[:135]); got != 135 {
+		t.Errorf("135 distinct sectors = %d transactions, want 135", got)
+	}
+	// Duplicates beyond the cap don't re-saturate: the set dedups first.
+	dups := append(append([]Access{}, accs[:100]...), accs[:100]...)
+	if got := Count(dups); got != 100 {
+		t.Errorf("100 distinct sectors duplicated = %d transactions, want 100", got)
+	}
+}
+
+// TestScratchSplitReuse: one Scratch serving many Split calls — the replay
+// inner-loop pattern — must give the same answers as fresh package-level
+// calls, including after a large call shrinks back to a small one.
+func TestScratchSplitReuse(t *testing.T) {
+	var big []Access
+	for lane := 0; lane < 64; lane++ {
+		big = append(big, Access{Addr: vm.HeapBase + uint64(4096*lane), Size: 8})
+		big = append(big, Access{Addr: vm.StackTop(lane) - 8, Size: 8})
+	}
+	sets := [][]Access{
+		big,
+		{{Addr: vm.HeapBase, Size: 8}},
+		nil,
+		{{Addr: vm.StackTop(3) - 16, Size: 4}, {Addr: vm.GlobalBase, Size: 4}},
+		big[:10],
+	}
+	var s Scratch
+	for round := 0; round < 2; round++ {
+		for i, accs := range sets {
+			wantStack, wantHeap := Split(accs)
+			gotStack, gotHeap := s.Split(accs)
+			if gotStack != wantStack || gotHeap != wantHeap {
+				t.Errorf("round %d set %d: Scratch.Split = (%d, %d), fresh Split = (%d, %d)",
+					round, i, gotStack, gotHeap, wantStack, wantHeap)
+			}
+		}
+	}
+}
+
 // Properties: the transaction count is bounded below by the footprint bound
 // (total bytes / 32, rounded up, when accesses are disjoint) and above by
 // sectors-per-access summed; it is invariant under permutation; and it is

@@ -80,6 +80,29 @@ type BranchReport struct {
 	LostSlots          uint64
 }
 
+// MemSiteReport is one executed memory instruction's observed coalescing
+// profile: which static site it is (both the function name, for display, and
+// the raw ids the static memory oracle keys by) and the per-site histogram
+// replay aggregated over every warp-level execution.
+type MemSiteReport struct {
+	Func   string
+	FuncID uint32
+	Block  uint32
+	Instr  uint16
+	// Execs counts warp-level executions that accessed memory here.
+	Execs uint64
+	// StackTx / HeapTx total the 32-byte transactions by segment;
+	// MaxStackTx / MaxHeapTx / MaxTx record the worst single execution.
+	StackTx    uint64
+	HeapTx     uint64
+	MaxStackTx uint64
+	MaxHeapTx  uint64
+	MaxTx      uint64
+	// Hist buckets executions by total transactions:
+	// 1, 2, 3, 4, 5-8, 9-16, 17-32, 33+.
+	Hist [8]uint64
+}
+
 // FuncReport is one row of the per-function breakdown (paper figure 7).
 type FuncReport struct {
 	Name string
@@ -152,6 +175,11 @@ type Report struct {
 
 	// Branches lists divergence sites sorted by idled lanes.
 	Branches []BranchReport
+
+	// MemSites lists every executed memory instruction's observed coalescing
+	// profile, in program order (function id, block, instruction) — the
+	// dynamic half of the static-vs-dynamic memory cross-check.
+	MemSites []MemSiteReport
 
 	// funcIndex maps function names to PerFunction rows for O(1) lookup.
 	// It is rebuilt lazily when absent (e.g. after JSON decoding).
@@ -284,6 +312,33 @@ func buildReport(t *trace.Trace, res *simt.Result, nwarps int) *Report {
 		}
 		r.Branches = append(r.Branches, br)
 	}
+	r.MemSites = make([]MemSiteReport, 0, len(res.MemSites))
+	for key, ms := range res.MemSites {
+		r.MemSites = append(r.MemSites, MemSiteReport{
+			Func:   t.FuncName(key.Func),
+			FuncID: key.Func,
+			Block:  key.Block,
+			Instr:  key.Instr,
+			Execs:  ms.Execs,
+
+			StackTx:    ms.StackTx,
+			HeapTx:     ms.HeapTx,
+			MaxStackTx: ms.MaxStackTx,
+			MaxHeapTx:  ms.MaxHeapTx,
+			MaxTx:      ms.MaxTx,
+			Hist:       ms.Hist,
+		})
+	}
+	sort.Slice(r.MemSites, func(i, j int) bool {
+		a, b := &r.MemSites[i], &r.MemSites[j]
+		if a.FuncID != b.FuncID {
+			return a.FuncID < b.FuncID
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		return a.Instr < b.Instr
+	})
 	sort.Slice(r.Branches, func(i, j int) bool {
 		if r.Branches[i].LanesOff != r.Branches[j].LanesOff {
 			return r.Branches[i].LanesOff > r.Branches[j].LanesOff

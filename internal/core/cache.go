@@ -50,7 +50,7 @@ type Cache struct {
 // cacheSchema versions the on-disk entry layout AND the semantics of the
 // cached computation. Bump it whenever Report gains fields or replay
 // semantics change, so stale entries self-invalidate.
-const cacheSchema = 2
+const cacheSchema = 3 // 3: Report gained per-site memory histograms (MemSites)
 
 // cacheEntry is the stored JSON envelope.
 type cacheEntry struct {

@@ -109,6 +109,10 @@ const (
 	// ReasonScratch: the renamed temporaries would exhaust the scratch
 	// register file.
 	ReasonScratch Reason = "scratch"
+	// ReasonMemCoalesce: a memory oracle (ExamineMeld's MeldMemCheck) judged
+	// that flattening would break a coalesced access pattern — the melded
+	// straight-line code would issue both arms' memory traffic on every lane.
+	ReasonMemCoalesce Reason = "mem-coalesce"
 )
 
 // DiamondReport describes one examined if-conversion candidate: a block
@@ -139,6 +143,41 @@ type DiamondReport struct {
 // not otherwise. It never mutates the program.
 func Examine(f *ir.Function, b *ir.Block, budget int, stores bool) (DiamondReport, bool) {
 	return examineDiamond(f, b, budget, stores)
+}
+
+// MeldMemCheck judges whether flattening a candidate is legal from a memory
+// oracle's point of view. It receives the real arm blocks of the candidate —
+// for a hammock only thenSide is set, for an inverted hammock only elseSide,
+// for a full diamond both — never the join block. Returning false vetoes the
+// meld (ReasonMemCoalesce).
+type MeldMemCheck func(thenSide, elseSide *ir.Block) bool
+
+// ExamineMeld is Examine with an additional memory-legality input: after the
+// structural checks, mem (if non-nil) is consulted with the candidate's arm
+// blocks, and a veto appends ReasonMemCoalesce and clears Convertible. Which
+// blocks are arms depends on the candidate's kind, so the dispatch lives here
+// rather than in callers: passing Target/Fall blindly would hand a hammock's
+// join block to the oracle as if it were an arm.
+func ExamineMeld(f *ir.Function, b *ir.Block, budget int, stores bool, mem MeldMemCheck) (DiamondReport, bool) {
+	rep, ok := examineDiamond(f, b, budget, stores)
+	if !ok || mem == nil {
+		return rep, ok
+	}
+	term := b.Terminator()
+	var thenSide, elseSide *ir.Block
+	switch rep.Kind {
+	case "hammock":
+		thenSide = f.Blocks[term.Target]
+	case "inverted-hammock":
+		elseSide = f.Blocks[term.Fall]
+	default:
+		thenSide, elseSide = f.Blocks[term.Target], f.Blocks[term.Fall]
+	}
+	if !mem(thenSide, elseSide) {
+		rep.Reasons = dedupeReasons(append(rep.Reasons, ReasonMemCoalesce))
+		rep.Convertible = false
+	}
+	return rep, true
 }
 
 // maxScratch is how many distinct renamed destinations the scratch file

@@ -17,6 +17,7 @@ import (
 	"threadfuser/internal/core"
 	"threadfuser/internal/opt"
 	"threadfuser/internal/staticlock"
+	"threadfuser/internal/staticmem"
 	"threadfuser/internal/staticsimt"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/warp"
@@ -294,13 +295,14 @@ type StaticReport struct {
 	Opt      string             `json:"opt"`
 	SIMT     *staticsimt.Result `json:"simt,omitempty"`
 	Locks    *staticlock.Result `json:"locks,omitempty"`
+	Mem      *staticmem.Result  `json:"mem,omitempty"`
 }
 
 // handleStatic serves GET /v1/static?workload=NAME: static analyses need
 // the program's IR, which trace uploads don't carry, so this endpoint runs
 // over the bundled workloads by name. Parameters: workload (required; see
-// /v1/static with none for the list), mode (simt|locks, default simt), opt
-// (O0..O3, default O1), threads, seed, budget.
+// /v1/static with none for the list), mode (simt|locks|mem, default simt),
+// opt (O0..O3, default O1), threads, seed, budget.
 func (s *Server) handleStatic(w http.ResponseWriter, r *http.Request) {
 	s.stats.requests.Add(1)
 	release, ok := s.admit(w, r)
@@ -331,9 +333,9 @@ func (s *Server) handleStatic(w http.ResponseWriter, r *http.Request) {
 	if mode == "" {
 		mode = "simt"
 	}
-	if mode != "simt" && mode != "locks" {
+	if mode != "simt" && mode != "locks" && mode != "mem" {
 		s.stats.clientErrors.Add(1)
-		s.fail(w, http.StatusBadRequest, "parameter mode: %q (want simt or locks)", mode)
+		s.fail(w, http.StatusBadRequest, "parameter mode: %q (want simt, locks or mem)", mode)
 		return
 	}
 	level := q.Get("opt")
@@ -379,9 +381,12 @@ func (s *Server) handleStatic(w http.ResponseWriter, r *http.Request) {
 				prog = opt.Apply(prog, lvl)
 			}
 			resp := &StaticReport{Workload: wl.Name, Opt: lvl.String()}
-			if mode == "locks" {
+			switch mode {
+			case "locks":
 				resp.Locks = staticlock.Analyze(prog)
-			} else {
+			case "mem":
+				resp.Mem = staticmem.Analyze(prog)
+			default:
 				sopts := staticsimt.Options{}
 				if budget > 0 {
 					sopts.MeldBudget = budget

@@ -29,6 +29,13 @@ type MemCharger struct {
 	idx           []uint16
 	loads, stores []coalesce.Access
 	scratch       coalesce.Scratch
+
+	// Site, when non-nil, observes each per-instruction coalescing outcome:
+	// the instruction index within the block just charged and its combined
+	// load+store transaction counts per segment. The replay engine hooks the
+	// per-site histograms through it; when nil (the lockstep hardware oracle,
+	// throwaway chargers) the accounting path is unchanged.
+	Site func(instr uint16, stackTx, heapTx int)
 }
 
 // Charge coalesces one lockstep block execution's memory accesses. recs
@@ -98,6 +105,9 @@ func (mc *MemCharger) Charge(wm *WarpMetrics, fm *FuncMetrics, recs []*trace.Rec
 			fm.MemInstrs++
 			fm.HeapTx += uint64(lh + sh)
 			fm.StackTx += uint64(ls + ss)
+		}
+		if mc.Site != nil {
+			mc.Site(idx, ls+ss, lh+sh)
 		}
 	}
 }

@@ -86,6 +86,99 @@ func (w *WarpMetrics) Efficiency(warpSize int) float64 {
 	return float64(w.ThreadInstrs) / (float64(w.Lockstep) * float64(warpSize))
 }
 
+// MemSiteKey identifies one static memory instruction: the function and
+// block that own it plus the instruction index within the block — the same
+// coordinates the static memory oracle (internal/staticmem) classifies, so
+// predicted and observed coalescing line up site by site.
+type MemSiteKey struct {
+	Func  uint32
+	Block uint32
+	Instr uint16
+}
+
+// MemSiteStats accumulates the observed coalescing behaviour of one memory
+// instruction across all of its warp-level executions: per-segment
+// transaction totals, the worst single execution, and a histogram of
+// transactions-per-execution. Every field is a commutative sum or max, so
+// worker-local stats merge to bit-identical totals regardless of how warps
+// were partitioned.
+type MemSiteStats struct {
+	// Execs counts warp-level executions where an active lane accessed
+	// memory through this instruction.
+	Execs uint64
+	// StackTx / HeapTx total the 32-byte transactions by segment (heap
+	// includes global, matching coalesce.Split's partition).
+	StackTx uint64
+	HeapTx  uint64
+	// MaxStackTx / MaxHeapTx / MaxTx record the worst single execution —
+	// what the static per-site transaction bound must dominate.
+	MaxStackTx uint64
+	MaxHeapTx  uint64
+	MaxTx      uint64
+	// Hist buckets executions by total transaction count:
+	// 1, 2, 3, 4, 5-8, 9-16, 17-32, 33+.
+	Hist [8]uint64
+}
+
+// note records one warp-level execution's per-segment transaction counts.
+func (m *MemSiteStats) note(stackTx, heapTx int) {
+	m.Execs++
+	s, h := uint64(stackTx), uint64(heapTx)
+	m.StackTx += s
+	m.HeapTx += h
+	if s > m.MaxStackTx {
+		m.MaxStackTx = s
+	}
+	if h > m.MaxHeapTx {
+		m.MaxHeapTx = h
+	}
+	t := s + h
+	if t > m.MaxTx {
+		m.MaxTx = t
+	}
+	if t == 0 {
+		// Zero-size accesses (possible only in hand-edited traces) span no
+		// sector; there is no bucket for them.
+		return
+	}
+	m.Hist[histBucket(t)]++
+}
+
+func histBucket(t uint64) int {
+	switch {
+	case t <= 4:
+		return int(t - 1)
+	case t <= 8:
+		return 4
+	case t <= 16:
+		return 5
+	case t <= 32:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// merge folds other into m. All fields are sums or maxes, so merging is
+// commutative and associative.
+func (m *MemSiteStats) merge(o *MemSiteStats) {
+	m.Execs += o.Execs
+	m.StackTx += o.StackTx
+	m.HeapTx += o.HeapTx
+	if o.MaxStackTx > m.MaxStackTx {
+		m.MaxStackTx = o.MaxStackTx
+	}
+	if o.MaxHeapTx > m.MaxHeapTx {
+		m.MaxHeapTx = o.MaxHeapTx
+	}
+	if o.MaxTx > m.MaxTx {
+		m.MaxTx = o.MaxTx
+	}
+	for i := range m.Hist {
+		m.Hist[i] += o.Hist[i]
+	}
+}
+
 // BranchKey identifies a divergence site: the basic block whose terminator
 // split the warp.
 type BranchKey struct {
@@ -132,6 +225,10 @@ type Result struct {
 	Funcs    map[uint32]*FuncMetrics
 	// Branches maps divergence sites to their statistics.
 	Branches map[BranchKey]*BranchStats
+	// MemSites maps every executed memory instruction to its observed
+	// per-site coalescing histogram — the dynamic twin of the static memory
+	// oracle's per-site classification.
+	MemSites map[MemSiteKey]*MemSiteStats
 
 	// SkippedIO / SkippedSpin total the untraced instructions consumed
 	// during replay (paper figure 8).

@@ -167,7 +167,10 @@ type accumulator struct {
 	branches []BranchStats
 	// extra catches branch sites outside the symbol-table layout, which
 	// only unvalidated traces can produce.
-	extra            map[BranchKey]*BranchStats
+	extra map[BranchKey]*BranchStats
+	// memSites holds this worker's per-site coalescing histograms; like all
+	// other fields they are commutative sums/maxes, merged after all warps.
+	memSites         map[MemSiteKey]*MemSiteStats
 	skipIO, skipSpin uint64
 }
 
@@ -206,6 +209,20 @@ func (a *accumulator) branchStats(fn, block uint32) *BranchStats {
 		a.extra[key] = bs
 	}
 	return bs
+}
+
+// memSite returns the accumulator slot for one memory instruction.
+func (a *accumulator) memSite(fn, block uint32, instr uint16) *MemSiteStats {
+	if a.memSites == nil {
+		a.memSites = map[MemSiteKey]*MemSiteStats{}
+	}
+	key := MemSiteKey{Func: fn, Block: block, Instr: instr}
+	ms := a.memSites[key]
+	if ms == nil {
+		ms = &MemSiteStats{}
+		a.memSites[key] = ms
+	}
+	return ms
 }
 
 // mergeInto folds the accumulator into a Result. Only touched functions and
@@ -250,6 +267,14 @@ func (a *accumulator) mergeInto(res *Result) {
 			mergeBranch(res, key, src)
 		}
 	}
+	for key, src := range a.memSites {
+		dst := res.MemSites[key]
+		if dst == nil {
+			dst = &MemSiteStats{}
+			res.MemSites[key] = dst
+		}
+		dst.merge(src)
+	}
 }
 
 func mergeBranch(res *Result, key BranchKey, src *BranchStats) {
@@ -291,6 +316,7 @@ func Replay(t *trace.Trace, graphs map[uint32]*cfg.DCFG, pdoms map[uint32]*ipdom
 		Warps:    make([]WarpMetrics, len(warps)),
 		Funcs:    make(map[uint32]*FuncMetrics),
 		Branches: make(map[BranchKey]*BranchStats),
+		MemSites: make(map[MemSiteKey]*MemSiteStats),
 	}
 	lay := newBranchLayout(t)
 	nw := opts.workers(len(warps))
@@ -417,16 +443,30 @@ type warpReplay struct {
 	threadBuf []int
 	mem       MemCharger
 	exec      BlockExec
+	// curFn/curBlock name the block execBlock is currently charging, so the
+	// MemCharger.Site sink can attribute per-instruction outcomes without a
+	// per-block closure.
+	curFn, curBlock uint32
 }
 
 func newWarpReplay(graphs map[uint32]*cfg.DCFG, pdoms map[uint32]*ipdom.PostDom, opts Options, acc *accumulator) *warpReplay {
-	return &warpReplay{
+	wr := &warpReplay{
 		graphs: graphs,
 		pdoms:  pdoms,
 		opts:   opts,
 		acc:    acc,
 		stack:  make([]entry, 0, 16),
 	}
+	// One bound-method value per worker; the per-block hot path only writes
+	// curFn/curBlock.
+	wr.mem.Site = wr.noteSite
+	return wr
+}
+
+// noteSite is the MemCharger.Site sink: it attributes one per-instruction
+// coalescing outcome to the block execBlock is charging.
+func (wr *warpReplay) noteSite(instr uint16, stackTx, heapTx int) {
+	wr.acc.memSite(wr.curFn, wr.curBlock, instr).note(stackTx, heapTx)
 }
 
 // replayWarp runs one warp to completion, writing its per-warp metrics into
@@ -789,6 +829,7 @@ func (wr *warpReplay) execBlock(e *entry, pos position, mask uint64) error {
 		bs.RegionThreadInstrs += recs[0].N * uint64(len(lanes))
 	}
 
+	wr.curFn, wr.curBlock = pos.fn, pos.block
 	wr.mem.Charge(wr.wm, fm, recs)
 
 	if wr.opts.Listener != nil {

@@ -1,0 +1,391 @@
+// Package staticmem is ThreadFuser's static memory oracle: an
+// interprocedural analysis over the IR that predicts, before any trace
+// exists, the coalescing behaviour the dynamic replay measures with the
+// 32-byte-sector model (internal/coalesce, paper section III). It completes
+// the static trilogy: staticsimt predicts branch divergence, staticlock
+// predicts concurrency facts, and this package predicts memory divergence.
+//
+// The analysis reuses staticlock's symbolic linear-address machinery — the
+// converged interprocedural `c + Σcoeff·root` states over arg/tid/sp roots —
+// so the memory and lock oracles can never disagree about what an address
+// expression is. Every load/store site is classified by its effective
+// per-lane tid-stride k = tidCoeff + spCoeff·vm.StackSize (the entry stack
+// pointer itself strides by StackSize per thread):
+//
+//	broadcast   k == 0                 every lane reads the same address
+//	coalesced   0 < |k| ≤ access size  lanes touch adjacent/overlapping bytes
+//	strided     |k| > access size      lanes touch disjoint strided words
+//	scattered   address not linear     loads, joins of unequal paths, unknown
+//
+// From the classification the coalesce sector math is evaluated
+// symbolically into a per-site static transactions-per-warp bound
+// (Site.TxBound): a warp of W contiguous tids accessing base+k·tid spans at
+// most |k|·(W−1)+size bytes, hence maxSectors of that extent, and never more
+// than W·maxSectors(size) however the lanes scatter. Sites reachable with a
+// split warp (staticsimt influence regions and divergent-context functions)
+// are widened to the scatter bound — an active-mask-dependent address can
+// lose the contiguity argument even when each path's expression is linear.
+//
+// The contract mirrors the other two oracles: the static view
+// over-approximates the dynamic one. No replayed warp execution of a site
+// may exceed its static bound (internal/check's "staticcoalesce" invariant),
+// and a site claimed stack-segment must never observe heap transactions
+// (internal/analysis' "staticmem" pass cross-checks both against the per-site
+// histograms the replay aggregates); static scattered classifications that
+// replay observes fully coalesced are the precision gap. See DESIGN.md §15.
+package staticmem
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"threadfuser/internal/coalesce"
+	"threadfuser/internal/ir"
+	"threadfuser/internal/opt"
+	"threadfuser/internal/staticlock"
+	"threadfuser/internal/staticsimt"
+	"threadfuser/internal/vm"
+)
+
+// Stride classes, from tightest to loosest.
+const (
+	ClassBroadcast = "broadcast"
+	ClassCoalesced = "coalesced"
+	ClassStrided   = "strided"
+	ClassScattered = "scattered"
+)
+
+// Static segment claims.
+const (
+	SegmentStack   = "stack"   // sp-rooted: every access lands in a thread stack
+	SegmentOther   = "other"   // precise, not sp-rooted: heap/global under shared-world
+	SegmentUnknown = "unknown" // imprecise address: no segment claim
+)
+
+// Site is one static load/store instruction with its converged symbolic
+// address classification. Sites appear in program order (function id, block
+// id, instruction index), one entry per memory operand, aligned with the
+// dynamic per-site histograms keyed the same way.
+type Site struct {
+	Func     uint32 `json:"func"`
+	FuncName string `json:"func_name"`
+	Block    uint32 `json:"block"`
+	Instr    uint16 `json:"instr"`
+	Load     bool   `json:"load,omitempty"`
+	Store    bool   `json:"store,omitempty"`
+	Size     uint8  `json:"size"`
+	// Shape is the canonical symbolic address ("arg0+8*tid+16", "?" when
+	// unknown), staticlock's identity rendering.
+	Shape string `json:"shape"`
+	// Class is the stride classification: broadcast, coalesced, strided or
+	// scattered.
+	Class string `json:"class"`
+	// Stride is the effective per-lane stride in bytes (tid coefficient plus
+	// sp coefficient times vm.StackSize), valid when StrideKnown.
+	StrideKnown bool  `json:"stride_known,omitempty"`
+	Stride      int64 `json:"stride,omitempty"`
+	// Segment is the static segment claim: stack, other, or unknown.
+	Segment string `json:"segment"`
+	// Divergent marks sites reachable with a split warp: inside a divergent
+	// branch's influence region, or anywhere in a function callable under
+	// divergent control. Their warp-span bound is widened to the scatter
+	// bound.
+	Divergent bool `json:"divergent,omitempty"`
+	// Unreachable marks sites in phantom functions or unreached blocks; they
+	// carry the worst-case bound.
+	Unreachable bool `json:"unreachable,omitempty"`
+	// Warp32Bound is TxBound(32, true), the headline transactions-per-warp
+	// bound at the paper's warp width, precomputed for display and JSON.
+	Warp32Bound int `json:"warp32_bound"`
+}
+
+// maxSectors returns the worst-alignment number of TransactionSize-byte
+// sectors one contiguous l-byte extent can span: ceil((l-1)/32)+1, the
+// symbolic evaluation of coalesce.Count's first/last-sector arithmetic.
+func maxSectors(l int64) int {
+	if l <= 0 {
+		return 0
+	}
+	return int((l+coalesce.TransactionSize-2)/coalesce.TransactionSize) + 1
+}
+
+// TxBound returns the static transactions-per-warp bound for the site: the
+// most 32-byte transactions any single warp-level execution of this
+// instruction can require at the given warp width, summed over the site's
+// load and store directions (an RMW charges both, exactly as the dynamic
+// MemCharger does). contiguous states that warp lanes hold consecutive
+// thread ids (round-robin formation); other formations scatter a linear
+// stride across the address space, so only the per-lane bound holds. The
+// bound is subset-closed: any active-mask subset of a warp touches a subset
+// of the full warp's extent, so it holds under divergence and lock
+// serialization too.
+func (s *Site) TxBound(warpSize int, contiguous bool) int {
+	dirs := 0
+	if s.Load {
+		dirs++
+	}
+	if s.Store {
+		dirs++
+	}
+	return dirs * s.dirBound(warpSize, contiguous)
+}
+
+func (s *Site) dirBound(warpSize int, contiguous bool) int {
+	lane := warpSize * maxSectors(int64(s.Size))
+	switch s.Class {
+	case ClassBroadcast:
+		// Every lane issues the same address: one access's worth of sectors
+		// regardless of the active mask or formation.
+		return maxSectors(int64(s.Size))
+	case ClassCoalesced, ClassStrided:
+		if !contiguous || s.Divergent {
+			return lane
+		}
+		k := s.Stride
+		if k < 0 {
+			k = -k
+		}
+		span := maxSectors(k*int64(warpSize-1) + int64(s.Size))
+		if span < lane {
+			return span
+		}
+		return lane
+	default:
+		return lane
+	}
+}
+
+// Result is the static memory oracle's projection for one program.
+type Result struct {
+	Program string `json:"program"`
+	Sites   []Site `json:"sites,omitempty"`
+
+	// Summary totals over reachable sites.
+	Broadcast int `json:"broadcast"`
+	Coalesced int `json:"coalesced"`
+	Strided   int `json:"strided"`
+	Scattered int `json:"scattered"`
+	// DivergentSites counts sites reachable with a split warp.
+	DivergentSites int `json:"divergent_sites,omitempty"`
+	// UnreachableSites counts placeholder entries for unreached code.
+	UnreachableSites int `json:"unreachable_sites,omitempty"`
+	// MeldsRejectedMem counts DARM meld candidates this oracle vetoed in the
+	// staticsimt matcher because an arm holds a broadcast or coalesced site
+	// that melding would force onto every lane.
+	MeldsRejectedMem int `json:"melds_rejected_mem,omitempty"`
+
+	idx map[siteKey]int
+}
+
+type siteKey struct {
+	fn    uint32
+	block uint32
+	instr uint16
+}
+
+// SiteAt returns the index of the memory site at (fn, block, instr) and
+// whether one exists.
+func (r *Result) SiteAt(fn, block uint32, instr uint16) (int, bool) {
+	i, ok := r.idx[siteKey{fn, block, instr}]
+	return i, ok
+}
+
+// Analyze runs the static memory oracle over a program: the shared symbolic
+// address fixpoint, one classification replay per reached block, then the
+// SIMT uniformity oracle — with this oracle plugged into its meld matcher as
+// the memory-legality input — for divergence widening. The program must be
+// valid (ir.Validate); workloads and opt transforms only produce valid
+// programs.
+func Analyze(p *ir.Program) *Result {
+	sym := staticlock.AnalyzeSymbolic(p)
+	r := &Result{Program: p.Name, idx: map[siteKey]int{}}
+
+	// Classify every memory operand over the converged block-entry states.
+	// Unreached blocks still get (worst-case) entries so the site table stays
+	// aligned with the dynamic histogram keying, mirroring staticlock's
+	// Sites-table convention.
+	byBlock := map[siteKey][]int{} // (fn, block, 0) -> site indices, for the meld check
+	for fi, f := range p.Funcs {
+		fid := uint32(f.ID)
+		phantom := sym.Phantom(fi)
+		for bi, b := range f.Blocks {
+			bid := uint32(b.ID)
+			reached := sym.BlockReached(fi, bi)
+			st := sym.BlockState(fi, bi)
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if m, load, store := in.MemOperand(); load || store {
+					s := Site{
+						Func: fid, FuncName: f.Name, Block: bid, Instr: uint16(ii),
+						Load: load, Store: store, Size: m.Size,
+						Shape: staticlock.TopShape, Class: ClassScattered, Segment: SegmentUnknown,
+						Unreachable: phantom || !reached,
+					}
+					if reached {
+						classify(&s, st.Addr(m), m.Size)
+					}
+					key := siteKey{fid, bid, uint16(ii)}
+					r.idx[key] = len(r.Sites)
+					bk := siteKey{fid, bid, 0}
+					byBlock[bk] = append(byBlock[bk], len(r.Sites))
+					r.Sites = append(r.Sites, s)
+				}
+				if reached {
+					st.Step(in)
+				}
+			}
+		}
+	}
+
+	// Run the SIMT oracle with this analysis as the meld matcher's
+	// memory-legality input: melding is vetoed when an arm holds a broadcast
+	// or coalesced site, since the flattened code would issue that arm's
+	// accesses on every lane of every traversal.
+	meldMem := func(fn uint32) opt.MeldMemCheck {
+		return func(thenSide, elseSide *ir.Block) bool {
+			for _, arm := range [2]*ir.Block{thenSide, elseSide} {
+				if arm == nil {
+					continue
+				}
+				for _, si := range byBlock[siteKey{fn, uint32(arm.ID), 0}] {
+					switch r.Sites[si].Class {
+					case ClassBroadcast, ClassCoalesced:
+						return false
+					}
+				}
+			}
+			return true
+		}
+	}
+	ssr := staticsimt.Analyze(p, staticsimt.Options{MeldMem: meldMem})
+	r.MeldsRejectedMem = ssr.MeldsRejectedMem
+
+	// Divergence widening: any site inside an influence region or in a
+	// divergent-context function may execute with a split warp.
+	for fi := range ssr.Funcs {
+		fr := &ssr.Funcs[fi]
+		if fr.DivergentContext {
+			for i := range r.Sites {
+				if r.Sites[i].Func == fr.ID {
+					r.Sites[i].Divergent = true
+				}
+			}
+			continue
+		}
+		for _, bid := range fr.Influenced {
+			for _, si := range byBlock[siteKey{fr.ID, bid, 0}] {
+				r.Sites[si].Divergent = true
+			}
+		}
+	}
+
+	// Totals and headline bounds (after widening: Warp32Bound depends on
+	// Divergent).
+	for i := range r.Sites {
+		s := &r.Sites[i]
+		s.Warp32Bound = s.TxBound(32, true)
+		if s.Unreachable {
+			r.UnreachableSites++
+			continue
+		}
+		if s.Divergent {
+			r.DivergentSites++
+		}
+		switch s.Class {
+		case ClassBroadcast:
+			r.Broadcast++
+		case ClassCoalesced:
+			r.Coalesced++
+		case ClassStrided:
+			r.Strided++
+		default:
+			r.Scattered++
+		}
+	}
+	sortSites(r)
+	return r
+}
+
+// classify fills the stride class and segment claim of one reachable site
+// from its symbolic effective address.
+func classify(s *Site, a staticlock.SymAddr, size uint8) {
+	s.Shape = a.Shape()
+	if !a.Precise() {
+		s.Class = ClassScattered
+		s.Segment = SegmentUnknown
+		return
+	}
+	// The entry stack pointer is StackBase+(tid+1)·StackSize, so sp
+	// contributes StackSize per thread on top of any explicit tid term.
+	k := a.TIDCoeff() + a.SPCoeff()*int64(vm.StackSize)
+	s.StrideKnown = true
+	s.Stride = k
+	ak := k
+	if ak < 0 {
+		ak = -ak
+	}
+	switch {
+	case k == 0:
+		s.Class = ClassBroadcast
+	case ak <= int64(size):
+		s.Class = ClassCoalesced
+	default:
+		s.Class = ClassStrided
+	}
+	if a.SPRooted() {
+		s.Segment = SegmentStack
+	} else {
+		s.Segment = SegmentOther
+	}
+}
+
+// sortSites imposes the deterministic program order (the construction order
+// already is program order; the sort makes the invariant explicit and keeps
+// JSON byte-stable under any future construction change).
+func sortSites(r *Result) {
+	sort.SliceStable(r.Sites, func(i, j int) bool {
+		a, b := &r.Sites[i], &r.Sites[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		return a.Instr < b.Instr
+	})
+	for i := range r.Sites {
+		s := &r.Sites[i]
+		r.idx[siteKey{s.Func, s.Block, s.Instr}] = i
+	}
+}
+
+// Render writes the human-readable report. Verbose lists every site; the
+// default lists only strided and scattered sites (the memory-divergence
+// hotspots) plus meld vetoes.
+func (r *Result) Render(w io.Writer, verbose bool) {
+	fmt.Fprintf(w, "%s: %d mem site(s): %d broadcast, %d coalesced, %d strided, %d scattered (%d divergent, %d unreachable)\n",
+		r.Program, len(r.Sites), r.Broadcast, r.Coalesced, r.Strided, r.Scattered, r.DivergentSites, r.UnreachableSites)
+	if r.MeldsRejectedMem > 0 {
+		fmt.Fprintf(w, "  %d meld candidate(s) vetoed: melding would break a coalesced arm\n", r.MeldsRejectedMem)
+	}
+	for i := range r.Sites {
+		s := &r.Sites[i]
+		if s.Unreachable {
+			continue
+		}
+		if !verbose && s.Class != ClassStrided && s.Class != ClassScattered {
+			continue
+		}
+		stride := "?"
+		if s.StrideKnown {
+			stride = fmt.Sprintf("%+d", s.Stride)
+		}
+		div := ""
+		if s.Divergent {
+			div = " divergent"
+		}
+		fmt.Fprintf(w, "  %s b%d i%d: %-9s stride %s size %d seg %s addr %s ≤%d tx/warp32%s\n",
+			s.FuncName, s.Block, s.Instr, s.Class, stride, s.Size, s.Segment, s.Shape, s.Warp32Bound, div)
+	}
+}

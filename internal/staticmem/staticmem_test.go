@@ -1,0 +1,237 @@
+package staticmem
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"threadfuser/internal/ir"
+	"threadfuser/internal/staticsimt"
+	"threadfuser/internal/vm"
+	"threadfuser/internal/workloads"
+)
+
+// TestClassification checks the stride classes, segment claims and warp-32
+// bounds over one straight-line function exercising every class.
+func TestClassification(t *testing.T) {
+	pb := ir.NewBuilder("classify")
+	f := pb.NewFunc("main")
+	pb.SetEntry(f)
+	b0 := f.NewBlock("entry")
+	b0.Mov(ir.Mem(ir.R(0), 0, 8), ir.Imm(1))                     // i0: store arg0           -> broadcast
+	b0.Mov(ir.Rg(ir.R(3)), ir.MemIdx(ir.R(0), ir.TID, 8, 0, 8))  // i1: load arg0+8*tid      -> coalesced
+	b0.Mov(ir.Rg(ir.R(1)), ir.Rg(ir.TID))                        // i2
+	b0.Shl(ir.Rg(ir.R(1)), ir.Imm(3))                            // i3: r1 = 8*tid
+	b0.Mov(ir.MemIdx(ir.R(0), ir.R(1), 8, 0, 8), ir.Rg(ir.R(3))) // i4: store arg0+64*tid    -> strided
+	b0.Mov(ir.Mem(ir.SP, -8, 8), ir.Imm(7))                      // i5: store sp-8           -> strided (implicit sp stride), stack
+	b0.Mov(ir.Rg(ir.R(2)), ir.Mem(ir.R(0), 0, 8))                // i6: load arg0            -> broadcast; r2 becomes unknown
+	b0.Mov(ir.Mem(ir.R(2), 0, 8), ir.Imm(1))                     // i7: store through a load -> scattered
+	b0.Add(ir.Mem(ir.R(0), 16, 4), ir.Imm(1))                    // i8: RMW arg0+16          -> broadcast, both directions
+	b0.Ret()
+	r := Analyze(pb.MustBuild())
+
+	if len(r.Sites) != 7 {
+		t.Fatalf("sites = %d, want 7", len(r.Sites))
+	}
+	want := []struct {
+		instr   uint16
+		class   string
+		stride  int64
+		known   bool
+		segment string
+		bound   int
+	}{
+		{0, ClassBroadcast, 0, true, SegmentOther, 2},
+		{1, ClassCoalesced, 8, true, SegmentOther, 9}, // maxSectors(8*31+8) = 9
+		{4, ClassStrided, 64, true, SegmentOther, 64}, // span >= lane bound 32*2
+		{5, ClassStrided, int64(vm.StackSize), true, SegmentStack, 64},
+		{6, ClassBroadcast, 0, true, SegmentOther, 2},
+		{7, ClassScattered, 0, false, SegmentUnknown, 64},
+		{8, ClassBroadcast, 0, true, SegmentOther, 4}, // RMW: load + store directions
+	}
+	for _, w := range want {
+		si, ok := r.SiteAt(0, 0, w.instr)
+		if !ok {
+			t.Fatalf("i%d: no site", w.instr)
+		}
+		s := &r.Sites[si]
+		if s.Class != w.class || s.StrideKnown != w.known || (w.known && s.Stride != w.stride) ||
+			s.Segment != w.segment || s.Warp32Bound != w.bound {
+			t.Errorf("i%d = {class %s stride %d/%v seg %s bound %d}, want {%s %d/%v %s %d}",
+				w.instr, s.Class, s.Stride, s.StrideKnown, s.Segment, s.Warp32Bound,
+				w.class, w.stride, w.known, w.segment, w.bound)
+		}
+	}
+	if s := &r.Sites[r.mustSite(t, 8)]; !s.Load || !s.Store {
+		t.Errorf("RMW site load/store = %v/%v, want true/true", s.Load, s.Store)
+	}
+	if r.Broadcast != 3 || r.Coalesced != 1 || r.Strided != 2 || r.Scattered != 1 {
+		t.Errorf("totals = %d/%d/%d/%d, want 3/1/2/1", r.Broadcast, r.Coalesced, r.Strided, r.Scattered)
+	}
+}
+
+func (r *Result) mustSite(t *testing.T, instr uint16) int {
+	t.Helper()
+	si, ok := r.SiteAt(0, 0, instr)
+	if !ok {
+		t.Fatalf("i%d: no site", instr)
+	}
+	return si
+}
+
+// TestTxBound checks the symbolic sector math directly, including the
+// formation and divergence widenings.
+func TestTxBound(t *testing.T) {
+	cases := []struct {
+		name       string
+		s          Site
+		warp       int
+		contiguous bool
+		want       int
+	}{
+		{"broadcast8", Site{Load: true, Size: 8, Class: ClassBroadcast}, 32, true, 2},
+		{"broadcast1", Site{Load: true, Size: 1, Class: ClassBroadcast}, 32, true, 1},
+		{"broadcast divergent stays tight", Site{Load: true, Size: 8, Class: ClassBroadcast, Divergent: true}, 32, true, 2},
+		{"coalesced8", Site{Load: true, Size: 8, Class: ClassCoalesced, StrideKnown: true, Stride: 8}, 32, true, 9},
+		{"coalesced negative stride", Site{Load: true, Size: 8, Class: ClassCoalesced, StrideKnown: true, Stride: -8}, 32, true, 9},
+		{"coalesced width1", Site{Load: true, Size: 8, Class: ClassCoalesced, StrideKnown: true, Stride: 8}, 1, true, 2},
+		{"coalesced divergent widens", Site{Load: true, Size: 8, Class: ClassCoalesced, StrideKnown: true, Stride: 8, Divergent: true}, 32, true, 64},
+		{"coalesced scattered formation", Site{Load: true, Size: 8, Class: ClassCoalesced, StrideKnown: true, Stride: 8}, 32, false, 64},
+		{"strided64", Site{Store: true, Size: 8, Class: ClassStrided, StrideKnown: true, Stride: 64}, 4, true, 8}, // maxSectors(64*3+8)=8 == lane
+		{"scattered", Site{Load: true, Size: 4, Class: ClassScattered}, 32, true, 64},
+		{"rmw doubles", Site{Load: true, Store: true, Size: 4, Class: ClassBroadcast}, 32, true, 4},
+	}
+	for _, c := range cases {
+		if got := c.s.TxBound(c.warp, c.contiguous); got != c.want {
+			t.Errorf("%s: TxBound(%d, %v) = %d, want %d", c.name, c.warp, c.contiguous, got, c.want)
+		}
+	}
+}
+
+// meldProg builds a tid-divergent diamond whose isomorphic arms each hold one
+// store addressed by mkAddr(base register).
+func meldProg(name string, mkAddr func(base ir.Reg) ir.Operand) *ir.Program {
+	pb := ir.NewBuilder(name)
+	f := pb.NewFunc("main")
+	pb.SetEntry(f)
+	entry := f.NewBlock("entry")
+	then := f.NewBlock("then")
+	els := f.NewBlock("else")
+	join := f.NewBlock("join")
+	entry.Cmp(ir.Rg(ir.TID), ir.Imm(2))
+	entry.Jcc(ir.CondLT, then, els)
+	then.Mov(mkAddr(ir.R(1)), ir.Imm(3))
+	then.Jmp(join)
+	els.Mov(mkAddr(ir.R(2)), ir.Imm(3))
+	els.Jmp(join)
+	join.Ret()
+	return pb.MustBuild()
+}
+
+// TestMeldVeto: an isomorphic-arms meld candidate whose arm holds a broadcast
+// store must be vetoed (melding would issue the access on every lane), while
+// strided arms stay meldable.
+func TestMeldVeto(t *testing.T) {
+	veto := meldProg("meld-veto", func(base ir.Reg) ir.Operand {
+		return ir.Mem(base, 0, 8) // argN: broadcast
+	})
+	// Without the oracle the candidate melds.
+	if r := staticsimt.Analyze(veto, staticsimt.Options{}); r.Meldable != 1 {
+		t.Fatalf("baseline meldable = %d, want 1", r.Meldable)
+	}
+	r := Analyze(veto)
+	if r.MeldsRejectedMem != 1 {
+		t.Fatalf("melds rejected = %d, want 1", r.MeldsRejectedMem)
+	}
+
+	ok := meldProg("meld-ok", func(base ir.Reg) ir.Operand {
+		return ir.MemIdx(base, ir.TID, 8, 0, 4) // stride 8 > size 4: strided
+	})
+	r = Analyze(ok)
+	if r.MeldsRejectedMem != 0 {
+		t.Fatalf("strided arms rejected %d meld(s), want 0", r.MeldsRejectedMem)
+	}
+}
+
+// TestDivergentWidening: sites inside a divergent branch's influence region
+// are widened to the per-lane bound.
+func TestDivergentWidening(t *testing.T) {
+	pb := ir.NewBuilder("widen")
+	f := pb.NewFunc("main")
+	pb.SetEntry(f)
+	entry := f.NewBlock("entry")
+	then := f.NewBlock("then")
+	join := f.NewBlock("join")
+	entry.Cmp(ir.Rg(ir.TID), ir.Imm(2))
+	entry.Jcc(ir.CondLT, then, join)
+	then.Mov(ir.MemIdx(ir.R(0), ir.TID, 8, 0, 8), ir.Imm(1)) // coalesced, but under divergence
+	then.Jmp(join)
+	join.Ret()
+	r := Analyze(pb.MustBuild())
+	si, ok := r.SiteAt(0, 1, 0)
+	if !ok {
+		t.Fatal("arm store not profiled")
+	}
+	s := &r.Sites[si]
+	if !s.Divergent || s.Class != ClassCoalesced {
+		t.Fatalf("site = {class %s divergent %v}, want coalesced+divergent", s.Class, s.Divergent)
+	}
+	if s.Warp32Bound != 64 { // widened to 32 lanes * maxSectors(8)
+		t.Fatalf("warp32 bound = %d, want 64", s.Warp32Bound)
+	}
+	if r.DivergentSites != 1 {
+		t.Fatalf("divergent sites = %d, want 1", r.DivergentSites)
+	}
+}
+
+// TestUnreachablePlaceholders: phantom-function sites keep worst-case entries
+// so the table stays aligned with dynamic keying.
+func TestUnreachablePlaceholders(t *testing.T) {
+	pb := ir.NewBuilder("phantom")
+	mainF := pb.NewFunc("main")
+	deadF := pb.NewFunc("dead")
+	pb.SetEntry(mainF)
+	mainF.NewBlock("entry").Ret()
+	d0 := deadF.NewBlock("entry")
+	d0.Mov(ir.Mem(ir.R(0), 0, 8), ir.Imm(1))
+	d0.Ret()
+	r := Analyze(pb.MustBuild())
+	si, ok := r.SiteAt(1, 0, 0)
+	if !ok {
+		t.Fatal("phantom site missing from the table")
+	}
+	s := &r.Sites[si]
+	if !s.Unreachable || s.Class != ClassScattered || s.Segment != SegmentUnknown {
+		t.Fatalf("phantom site = %+v, want unreachable scattered/unknown", s)
+	}
+	if r.UnreachableSites != 1 || r.Scattered != 0 {
+		t.Fatalf("totals: unreachable %d scattered %d, want 1/0", r.UnreachableSites, r.Scattered)
+	}
+}
+
+// TestDeterminism: rendered and JSON output must be byte-identical across
+// repeated analyses of every built-in workload — the tfstatic -mem -json
+// encode path runs through exactly this marshalling.
+func TestDeterminism(t *testing.T) {
+	for _, w := range workloads.All() {
+		inst, err := w.Instantiate(workloads.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		var prev []byte
+		for round := 0; round < 2; round++ {
+			r := Analyze(inst.Prog)
+			var buf bytes.Buffer
+			r.Render(&buf, true)
+			js, err := json.Marshal(r)
+			if err != nil {
+				t.Fatalf("%s: marshal: %v", w.Name, err)
+			}
+			cur := append(buf.Bytes(), js...)
+			if round > 0 && !bytes.Equal(prev, cur) {
+				t.Fatalf("%s: non-deterministic output across runs", w.Name)
+			}
+			prev = cur
+		}
+	}
+}

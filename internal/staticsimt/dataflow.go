@@ -104,6 +104,9 @@ type analysis struct {
 	// frame slot — slot tracking shuts off program-wide.
 	stackEscapes bool
 	changed      bool
+	// meldsRejectedMem counts meld candidates vetoed by Options.MeldMem
+	// during result construction.
+	meldsRejectedMem int
 }
 
 func newAnalysis(p *ir.Program, opts Options) *analysis {

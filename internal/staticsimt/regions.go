@@ -10,6 +10,7 @@ import (
 // memory-address uniformity counts.
 func (a *analysis) result() *Result {
 	r := &Result{Program: a.prog.Name, StackEscapes: a.stackEscapes}
+	a.meldsRejectedMem = 0
 	divCtx := a.divergentContexts()
 	for _, fs := range a.fns {
 		fr := FuncResult{ID: uint32(fs.f.ID), Name: fs.f.Name, Unreachable: fs.phantom}
@@ -66,6 +67,7 @@ func (a *analysis) result() *Result {
 		r.Meldable += len(fr.Melds)
 		r.Funcs = append(r.Funcs, fr)
 	}
+	r.MeldsRejectedMem = a.meldsRejectedMem
 	sortResult(r)
 	return r
 }
@@ -192,9 +194,17 @@ func (a *analysis) meldAt(fs *funcState, b *ir.Block) (Meld, bool) {
 	if tb.ID == b.ID || eb.ID == b.ID {
 		return Meld{}, false
 	}
+	var mem opt.MeldMemCheck
+	if a.opts.MeldMem != nil {
+		mem = a.opts.MeldMem(uint32(fs.f.ID))
+	}
 	tt, et := tb.Terminator(), eb.Terminator()
 	if tt.Op == ir.OpJmp && et.Op == ir.OpJmp && tt.Target == et.Target &&
 		tt.Target != tb.ID && tt.Target != eb.ID && isomorphicArms(tb, eb) {
+		if mem != nil && !mem(tb, eb) {
+			a.meldsRejectedMem++
+			return Meld{}, false
+		}
 		n := tb.NumInstrs() - 1
 		m := eb.NumInstrs() - 1
 		return Meld{
@@ -207,14 +217,26 @@ func (a *analysis) meldAt(fs *funcState, b *ir.Block) (Meld, bool) {
 			SavedIssues: min(n, m),
 		}, true
 	}
-	rep, ok := opt.Examine(fs.f, b, a.opts.MeldBudget, true)
+	rep, ok := opt.ExamineMeld(fs.f, b, a.opts.MeldBudget, true, mem)
 	if !ok || rep.Convertible {
 		return Meld{}, false
 	}
+	// Keep only budget-pure rejections; a memory veto among otherwise
+	// budget-only reasons means the candidate would have been reported (or
+	// even flattened at a larger budget) but the oracle forbids it.
+	memVeto := false
 	for _, reason := range rep.Reasons {
-		if reason != opt.ReasonBudget {
+		switch reason {
+		case opt.ReasonBudget:
+		case opt.ReasonMemCoalesce:
+			memVeto = true
+		default:
 			return Meld{}, false
 		}
+	}
+	if memVeto {
+		a.meldsRejectedMem++
+		return Meld{}, false
 	}
 	return Meld{
 		Block:       uint32(b.ID),

@@ -125,6 +125,13 @@ type Options struct {
 	// optimizer already flattens this" from "if-convertible beyond budget"
 	// in meld findings. 0 uses opt's O3 budget.
 	MeldBudget int
+	// MeldMem, when non-nil, supplies a per-function memory-legality check
+	// for the meld matcher: candidates whose arms the returned
+	// opt.MeldMemCheck vetoes are dropped from Melds and counted in
+	// Result.MeldsRejectedMem. This is how the static memory oracle
+	// (internal/staticmem) keeps DARM-style melding from flattening a
+	// diamond whose arms are individually coalesced.
+	MeldMem func(fn uint32) opt.MeldMemCheck
 }
 
 // Branch is the classification of one multi-way terminator (jcc, switch, or
@@ -211,6 +218,9 @@ type Result struct {
 	UniformBranches   int `json:"uniform_branches"`
 	DivergentBranches int `json:"divergent_branches"`
 	Meldable          int `json:"meldable"`
+	// MeldsRejectedMem counts meld candidates the Options.MeldMem oracle
+	// vetoed (zero when no oracle was supplied).
+	MeldsRejectedMem int `json:"melds_rejected_mem,omitempty"`
 	// StackEscapes reports that some stack address was stored to memory,
 	// which disables stack-slot tracking program-wide.
 	StackEscapes bool `json:"stack_escapes,omitempty"`

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"threadfuser/internal/analysis"
+	"threadfuser/internal/core"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/vm"
 	"threadfuser/internal/workloads"
@@ -81,12 +82,89 @@ func lockSeedTrace() *trace.Trace {
 	return t
 }
 
+// stridedSeedTrace is a valid four-thread trace whose heap addresses stride
+// by thread id — the shape the per-site coalescing histograms (and the static
+// memory oracle's dynamic cross-check) aggregate. Each thread replays the
+// same block three times: one load site stays tid-contiguous (coalescing into
+// few transactions) while one store site scatters by 4 KiB per lane, so the
+// same static site observes different per-execution transaction counts and
+// fills distinct histogram buckets. Mutations of its encodings explore the
+// warp-memory decode and accounting paths with realistic strided traffic.
+func stridedSeedTrace() *trace.Trace {
+	t := &trace.Trace{
+		Program: "strideseed",
+		Funcs: []trace.FuncInfo{
+			{Name: "stride", Blocks: []trace.BlockInfo{{NInstr: 4}}},
+		},
+	}
+	for tid := 0; tid < 4; tid++ {
+		th := &trace.ThreadTrace{TID: tid}
+		th.Records = append(th.Records, trace.Record{Kind: trace.KindCall, Callee: 0})
+		for iter := 0; iter < 3; iter++ {
+			th.Records = append(th.Records, trace.Record{
+				Kind: trace.KindBBL, Func: 0, Block: 0, N: 4,
+				Mem: []trace.MemAccess{
+					{Instr: 1, Addr: vm.HeapBase + 8*uint64(tid) + 64*uint64(iter), Size: 8},
+					{Instr: 2, Addr: vm.HeapBase + 4096*uint64(tid) + 32*uint64(iter), Size: 8, Store: true},
+				},
+			})
+		}
+		th.Records = append(th.Records, trace.Record{Kind: trace.KindRet})
+		t.Threads = append(t.Threads, th)
+	}
+	return t
+}
+
+// TestStridedSeedExercisesSiteHistograms pins what stridedSeedTrace is for:
+// the unmutated seed must be valid (the clean side of the sanitizer
+// contract), and replaying it must aggregate per-site transaction histograms
+// — repeated executions of the coalesced load landing in the 1-transaction
+// bucket, the scattered store in the one-per-lane bucket.
+func TestStridedSeedExercisesSiteHistograms(t *testing.T) {
+	tr := stridedSeedTrace()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("seed trace invalid: %v", err)
+	}
+	rep, err := analysis.Run(tr, analysis.Options{WarpSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("sanitizer reported %d error(s) on the valid seed", rep.Errors)
+	}
+	opts := core.Defaults()
+	opts.WarpSize = 4
+	crep, err := core.Analyze(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crep.MemSites) != 2 {
+		t.Fatalf("replay aggregated %d memory sites, want 2", len(crep.MemSites))
+	}
+	for _, s := range crep.MemSites {
+		switch s.Instr {
+		case 1: // coalesced load: 4 lanes × 8 bytes, 32-byte aligned
+			if s.Execs != 3 || s.MaxTx != 1 || s.Hist[0] != 3 {
+				t.Errorf("load site = execs %d maxTx %d hist %v, want 3 executions all in the 1-tx bucket",
+					s.Execs, s.MaxTx, s.Hist)
+			}
+		case 2: // scattered store: one 4 KiB-distant sector per lane
+			if s.Execs != 3 || s.MaxTx != 4 || s.Hist[3] != 3 {
+				t.Errorf("store site = execs %d maxTx %d hist %v, want 3 executions all in the 4-tx bucket",
+					s.Execs, s.MaxTx, s.Hist)
+			}
+		default:
+			t.Errorf("unexpected site at instr %d", s.Instr)
+		}
+	}
+}
+
 // FuzzDecode asserts the contract the tflint sanitizer depends on: arbitrary
 // bytes never panic or exhaust memory in the decoder, and any trace the
 // decoder does accept is either valid or diagnosed by the sanitize pass —
 // never silently consumed by the structural passes.
 func FuzzDecode(f *testing.F) {
-	for _, seed := range []*trace.Trace{fuzzSeedTrace(), lockSeedTrace()} {
+	for _, seed := range []*trace.Trace{fuzzSeedTrace(), lockSeedTrace(), stridedSeedTrace()} {
 		var v1, v2, v3 bytes.Buffer
 		if err := trace.Encode(&v1, seed); err != nil {
 			f.Fatal(err)
@@ -177,7 +255,7 @@ func arenaEdgeSeedTraces() []*trace.Trace {
 // two small built-in workloads (one memory-heavy, one lock-heavy), in both
 // codec versions.
 func roundTripCorpus(f *testing.F) [][]byte {
-	traces := []*trace.Trace{fuzzSeedTrace(), lockSeedTrace()}
+	traces := []*trace.Trace{fuzzSeedTrace(), lockSeedTrace(), stridedSeedTrace()}
 	traces = append(traces, arenaEdgeSeedTraces()...)
 	for _, name := range []string{"vectoradd", "seededrace"} {
 		w, err := workloads.ByName(name)

@@ -35,6 +35,7 @@ import (
 	"threadfuser/internal/gpusim"
 	"threadfuser/internal/simtrace"
 	"threadfuser/internal/staticlock"
+	"threadfuser/internal/staticmem"
 	"threadfuser/internal/staticsimt"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/warp"
@@ -248,6 +249,26 @@ func StaticLockWorkload(w *workloads.Workload, o Options) (*StaticLockReport, er
 		return nil, err
 	}
 	return staticlock.Analyze(inst.Prog), nil
+}
+
+// StaticMemReport is the static memory oracle's projection for one program:
+// every load/store site classified by per-lane tid-stride (broadcast,
+// coalesced, strided, scattered) with its static transactions-per-warp bound
+// and segment claim (see internal/staticmem).
+type StaticMemReport = staticmem.Result
+
+// StaticMemWorkload runs the static memory oracle over a bundled workload's
+// IR. No trace is collected — the oracle over-approximates the replay's
+// 32-byte-sector coalescing: no warp execution of a site ever exceeds its
+// static transaction bound (the "staticcoalesce" check invariant), and
+// scattered classifications the replay observes coalesced are the precision
+// gap.
+func StaticMemWorkload(w *workloads.Workload, o Options) (*StaticMemReport, error) {
+	inst, err := w.Instantiate(workloads.Config{Seed: o.Seed, Threads: o.Threads})
+	if err != nil {
+		return nil, err
+	}
+	return staticmem.Analyze(inst.Prog), nil
 }
 
 // CheckReport is the verification engine's outcome for one trace: the
