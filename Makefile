@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race bench bench-decode bench-guard check lint staticcheck tfcheck tfstatic staticlock staticmem serve-smoke
+.PHONY: build vet test test-race bench bench-decode bench-replay bench-guard check lint staticcheck tfcheck tfstatic staticlock staticmem serve-smoke
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,11 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages the parallel analyzer pipeline touches: the
-# per-warp replay workers, the session cache, the experiment cell pools, the
-# sweep/pool plumbing they are built on, and the tfserve concurrency suite
-# (admission shedding, singleflight dedup, tenant budgets, drain).
+# per-warp replay workers (including the fusion A/B equivalence suite in
+# internal/simt and the streaming-ingest suite in internal/core), the session
+# cache, the experiment cell pools, the sweep/pool plumbing they are built
+# on, and the tfserve concurrency suite (admission shedding, singleflight
+# dedup, tenant budgets, drain).
 test-race:
 	$(GO) test -race ./internal/simt/... ./internal/core/... ./internal/report/... ./internal/pool/... ./internal/gpusim/... ./internal/serve/...
 
@@ -83,10 +85,17 @@ bench:
 bench-decode:
 	$(GO) test -run '^$$' -bench 'BenchmarkDecodeV(1Serial|2Serial|3Serial|3Parallel)$$' -benchmem -count=1 .
 
-# One-iteration decode benchmarks checked against the committed allocs/op
-# ceilings in scripts/bench_baseline.json; fails if decode allocation
-# regresses (the CI guard against losing the arena decoder's near-zero
-# per-record allocation).
+# Just the SIMT replay benchmarks (serial, parallel, allocs), without the
+# make-check gate or the JSON artifact — a quick loop for replay hot-path
+# work (pair with tfanalyze -cpuprofile for the flame graph).
+bench-replay:
+	$(GO) test -run '^$$' -bench 'BenchmarkReplay(Serial|Parallel|Allocs)$$' -benchmem -count=1 .
+
+# Decode and replay benchmarks checked against the committed limits in
+# scripts/bench_baseline.json: allocs/op ceilings (exact at any benchtime;
+# catches losing the arena decoder's or fused replay's near-zero per-record
+# allocation) and replay MB/s floors (regime check with >2x headroom;
+# catches falling back to the pre-fusion per-record replay).
 bench-guard:
 	scripts/bench_guard.sh
 

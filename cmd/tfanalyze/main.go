@@ -15,6 +15,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/url"
@@ -24,10 +25,15 @@ import (
 	"strings"
 
 	"threadfuser/internal/core"
+	"threadfuser/internal/prof"
 	"threadfuser/internal/serve"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/warp"
 )
+
+// stopProfiles finishes any active -cpuprofile/-memprofile collection; fatal
+// calls it so error exits still flush profiles.
+var stopProfiles = func() {}
 
 func main() {
 	var (
@@ -49,6 +55,9 @@ func main() {
 		cacheDir  = flag.String("cache-dir", "", "report cache directory (implies -cache; default $XDG_CACHE_HOME/threadfuser)")
 		server    = flag.String("server", "", "analyze via a running tfserve instance at this URL instead of locally")
 		tenant    = flag.String("tenant", "", "tenant identity sent with -server requests")
+		noFusion  = flag.Bool("no-fusion", false, "disable the lockstep-fusion replay fast path (A/B verification; results are identical)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: tfanalyze -trace file.tft [flags]\n\nflags:\n")
@@ -65,6 +74,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stop, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+	defer stop()
 
 	if *server != "" {
 		// Server mode streams the file as-is: the service decodes, dedups
@@ -99,11 +114,31 @@ func main() {
 		return
 	}
 
-	// Indexed (v3) traces decode thread-parallel; v1/v2 fall back to the
-	// sequential decoder transparently.
-	tr, err := trace.ReadFileParallel(*path, *parallel)
-	if err != nil {
-		fatal(err)
+	// Indexed (v3) traces take the streaming ingest path: section decode,
+	// validation, and replay-column building ride the same worker pass, with
+	// DCFG construction chasing them, so replay starts the moment the last
+	// section lands. Trace-rewriting flags (-exclude/-only/-dump) and
+	// unindexed v1/v2 files need the whole trace in hand first and fall back
+	// to the batch decoder.
+	var (
+		tr *trace.Trace
+		rd *trace.Reader
+	)
+	if *exclude == "" && *only == "" && *dump < 0 {
+		r, oerr := trace.OpenFile(*path)
+		switch {
+		case oerr == nil:
+			rd = r
+			defer r.Close()
+		case !errors.Is(oerr, trace.ErrNoIndex):
+			fatal(oerr)
+		}
+	}
+	if rd == nil {
+		tr, err = trace.ReadFileParallel(*path, *parallel)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	cache := core.OpenFlagCache(*useCache, *cacheDir)
 	if *exclude != "" {
@@ -128,6 +163,7 @@ func main() {
 	opts.WarpSize = *warpSize
 	opts.EmulateLocks = *locks
 	opts.Parallelism = *parallel
+	opts.DisableLockstepFusion = *noFusion
 	switch *formation {
 	case "round-robin":
 		opts.Formation = warp.RoundRobin
@@ -141,9 +177,14 @@ func main() {
 
 	if *sweep {
 		// A session validates the trace and builds DCFG+IPDOM once for all
-		// five warp-width points.
+		// five warp-width points; an indexed file streams into it.
 		sess := core.NewSession()
 		sess.SetCache(cache)
+		if rd != nil {
+			if tr, err = sess.Ingest(rd, *parallel); err != nil {
+				fatal(err)
+			}
+		}
 		fmt.Printf("%-10s %s\n", "warp size", "SIMT efficiency")
 		for _, ws := range []int{4, 8, 16, 32, 64} {
 			o := opts
@@ -156,7 +197,12 @@ func main() {
 		}
 		return
 	}
-	rep, _, err := core.AnalyzeCached(cache, tr, opts)
+	var rep *core.Report
+	if rd != nil {
+		rep, _, err = core.AnalyzeStreamCached(cache, rd, opts)
+	} else {
+		rep, _, err = core.AnalyzeCached(cache, tr, opts)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -245,6 +291,7 @@ func printReport(rep *core.Report, nfuncs int, perWarp bool, nbranches int) {
 }
 
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "tfanalyze:", err)
 	os.Exit(1)
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"threadfuser/internal/core"
+	"threadfuser/internal/prof"
 	"threadfuser/internal/report"
 )
 
@@ -88,6 +89,8 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker count for experiment cells and replay (0 = all cores, 1 = serial; results are identical)")
 		useCache = flag.Bool("cache", false, "serve identical (trace, options) analyses from the on-disk report cache")
 		cacheDir = flag.String("cache-dir", "", "report cache directory (implies -cache; default $XDG_CACHE_HOME/threadfuser)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -107,6 +110,13 @@ func main() {
 		return
 	}
 
+	stop, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tfreport:", err)
+		os.Exit(1)
+	}
+	defer stop()
+
 	scale := report.Scale{
 		Threads:  *threads,
 		Full:     *full,
@@ -122,6 +132,7 @@ func main() {
 		ran = true
 		out, err := e.run(scale)
 		if err != nil {
+			stop()
 			fmt.Fprintf(os.Stderr, "tfreport: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -47,6 +48,7 @@ func main() {
 		cacheDir     = flag.String("cache-dir", "", "cache directory (default: user cache dir/threadfuser)")
 		cacheMaxMB   = flag.Int64("cache-max-mb", 512, "cache size cap in MiB; LRU-evicted past it (0 = unbounded)")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight work on shutdown")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -78,6 +80,27 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The pprof endpoints live on their own listener, never the service one:
+	// profiles expose internals no tenant should reach, so the operator binds
+	// -debug-addr to localhost (or a firewalled port) and the main address
+	// stays clean. The debug server's lifetime is the process's — profiling a
+	// draining server is exactly the use case.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("tfserve: pprof on %s", *debugAddr)
+			ds := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+			if err := ds.ListenAndServe(); err != nil {
+				log.Printf("tfserve: pprof server: %v", err)
+			}
+		}()
 	}
 
 	errc := make(chan error, 1)

@@ -110,67 +110,103 @@ func (g *DCFG) sortEdges() {
 // Build constructs the merged per-function DCFGs for every function that
 // appears in the trace. The map is keyed by function id.
 func Build(t *trace.Trace) (map[uint32]*DCFG, error) {
-	graphs := make(map[uint32]*DCFG)
-	graphFor := func(fn uint32) *DCFG {
-		g := graphs[fn]
-		if g == nil {
-			g = newDCFG(fn, len(t.Funcs[fn].Blocks))
-			graphs[fn] = g
-		}
-		return g
-	}
-
-	// walk frame tracks the last executed block of one in-flight function
-	// invocation while scanning a thread's record stream.
-	type walkFrame struct {
-		fn   uint32
-		last int32 // -1 until the first block of the invocation executes
-	}
-
+	b := NewBuilder(t.Funcs)
 	for _, th := range t.Threads {
-		var stack []walkFrame
-		for i := range th.Records {
-			r := &th.Records[i]
-			switch r.Kind {
-			case trace.KindCall:
-				stack = append(stack, walkFrame{fn: r.Callee, last: -1})
-			case trace.KindBBL:
-				if len(stack) == 0 {
-					return nil, fmt.Errorf("cfg: thread %d record %d: block outside any function", th.TID, i)
-				}
-				top := &stack[len(stack)-1]
-				if top.fn != r.Func {
-					return nil, fmt.Errorf("cfg: thread %d record %d: block of f%d inside invocation of f%d",
-						th.TID, i, r.Func, top.fn)
-				}
-				g := graphFor(r.Func)
-				b := int32(r.Block)
-				if top.last < 0 {
-					g.observeEntry(b)
-				} else {
-					g.addEdge(top.last, b)
-				}
-				top.last = b
-			case trace.KindRet:
-				if len(stack) == 0 {
-					return nil, fmt.Errorf("cfg: thread %d record %d: return below entry", th.TID, i)
-				}
-				top := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				g := graphFor(top.fn)
-				if top.last >= 0 {
-					g.addEdge(top.last, g.ExitNode())
-				}
-			case trace.KindSkip:
-				// Skipped regions carry no control-flow information.
-			}
-		}
-		if len(stack) != 0 {
-			return nil, fmt.Errorf("cfg: thread %d: %d unterminated function invocations", th.TID, len(stack))
+		if err := b.AddThread(th); err != nil {
+			return nil, err
 		}
 	}
+	return b.Finish(), nil
+}
 
-	for _, g := range graphs {
+// walkFrame tracks the last executed block of one in-flight function
+// invocation while scanning a thread's record stream.
+type walkFrame struct {
+	fn   uint32
+	last int32 // -1 until the first block of the invocation executes
+}
+
+// Builder accumulates merged per-function DCFGs one thread at a time. It
+// exists for the streaming analyzer: threads can be walked as their sections
+// come off the decoder, in section order, while later sections are still
+// decoding — the graph construction then costs no wall-clock of its own.
+// Feeding threads in trace order makes the result identical to Build
+// (including which block Entry reports when threads disagree). A Builder is
+// not safe for concurrent use; one consumer walks, many decoders feed it.
+type Builder struct {
+	funcs  []trace.FuncInfo
+	graphs map[uint32]*DCFG
+	stack  []walkFrame // reused across AddThread calls
+}
+
+// NewBuilder returns a Builder resolving block counts against funcs, which
+// must be the symbol table of every trace whose threads are added.
+func NewBuilder(funcs []trace.FuncInfo) *Builder {
+	return &Builder{funcs: funcs, graphs: make(map[uint32]*DCFG)}
+}
+
+func (bl *Builder) graphFor(fn uint32) *DCFG {
+	g := bl.graphs[fn]
+	if g == nil {
+		g = newDCFG(fn, len(bl.funcs[fn].Blocks))
+		bl.graphs[fn] = g
+	}
+	return g
+}
+
+// AddThread merges one thread's observed control flow into the graphs.
+func (bl *Builder) AddThread(th *trace.ThreadTrace) error {
+	stack := bl.stack[:0]
+	for i := range th.Records {
+		r := &th.Records[i]
+		switch r.Kind {
+		case trace.KindCall:
+			stack = append(stack, walkFrame{fn: r.Callee, last: -1})
+		case trace.KindBBL:
+			if len(stack) == 0 {
+				bl.stack = stack
+				return fmt.Errorf("cfg: thread %d record %d: block outside any function", th.TID, i)
+			}
+			top := &stack[len(stack)-1]
+			if top.fn != r.Func {
+				bl.stack = stack
+				return fmt.Errorf("cfg: thread %d record %d: block of f%d inside invocation of f%d",
+					th.TID, i, r.Func, top.fn)
+			}
+			g := bl.graphFor(r.Func)
+			b := int32(r.Block)
+			if top.last < 0 {
+				g.observeEntry(b)
+			} else {
+				g.addEdge(top.last, b)
+			}
+			top.last = b
+		case trace.KindRet:
+			if len(stack) == 0 {
+				bl.stack = stack
+				return fmt.Errorf("cfg: thread %d record %d: return below entry", th.TID, i)
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			g := bl.graphFor(top.fn)
+			if top.last >= 0 {
+				g.addEdge(top.last, g.ExitNode())
+			}
+		case trace.KindSkip:
+			// Skipped regions carry no control-flow information.
+		}
+	}
+	bl.stack = stack[:0]
+	if len(stack) != 0 {
+		return fmt.Errorf("cfg: thread %d: %d unterminated function invocations", th.TID, len(stack))
+	}
+	return nil
+}
+
+// Finish seals and returns the merged graphs. The Builder must not be used
+// afterwards.
+func (bl *Builder) Finish() map[uint32]*DCFG {
+	for _, g := range bl.graphs {
 		// Robustness: any observed block with no successors (possible only
 		// with truncated traces) flows to the virtual exit so the
 		// post-dominator analysis stays well-defined.
@@ -181,5 +217,5 @@ func Build(t *trace.Trace) (map[uint32]*DCFG, error) {
 		}
 		g.sortEdges()
 	}
-	return graphs, nil
+	return bl.graphs
 }

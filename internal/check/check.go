@@ -83,12 +83,19 @@ type Cell struct {
 	Parallelism int
 	Formation   warp.Formation
 	Locks       bool
+	// NoFusion runs the cell with the lockstep-fusion fast path disabled —
+	// the per-block replay engine. The "fusion" property compares every base
+	// cell against its NoFusion twin.
+	NoFusion bool
 }
 
 func (c Cell) String() string {
 	s := fmt.Sprintf("warp=%d par=%d %s", c.WarpSize, c.Parallelism, c.Formation)
 	if c.Locks {
 		s += " locks"
+	}
+	if c.NoFusion {
+		s += " nofusion"
 	}
 	return s
 }
@@ -190,10 +197,11 @@ func (c *ctx) report(cl Cell) (*core.Report, error) {
 		return r, c.rerrs[cl]
 	}
 	opts := core.Options{
-		WarpSize:     cl.WarpSize,
-		Formation:    cl.Formation,
-		EmulateLocks: cl.Locks,
-		Parallelism:  cl.Parallelism,
+		WarpSize:              cl.WarpSize,
+		Formation:             cl.Formation,
+		EmulateLocks:          cl.Locks,
+		Parallelism:           cl.Parallelism,
+		DisableLockstepFusion: cl.NoFusion,
 	}
 	r, err := c.analyze(c.tr, opts)
 	c.reports[cl] = r

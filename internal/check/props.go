@@ -442,6 +442,31 @@ var properties = []Property{
 		},
 	},
 	{
+		id:   "fusion",
+		desc: "lockstep-fusion replay is bit-identical to the per-block engine in every cell",
+		check: func(c *ctx) {
+			// Deep equality of the whole Report — per-function rows, branch
+			// tables, lane histograms, per-site memory histograms — in every
+			// base cell implies the strictly stronger statement the catalog
+			// needs: no other invariant's verdict can depend on whether the
+			// fused fast path or the per-block engine produced the report.
+			for _, base := range c.baseCells() {
+				want, ok := c.mustReport(base)
+				if !ok {
+					continue
+				}
+				cell := base
+				cell.NoFusion = true
+				got, ok := c.mustReport(cell)
+				if !ok {
+					continue
+				}
+				c.assert(cell, reflect.DeepEqual(want, got),
+					"fused replay differs from the per-block engine")
+			}
+		},
+	},
+	{
 		id:   "formation",
 		desc: "every warp formation partitions the thread ids exactly once",
 		check: func(c *ctx) {

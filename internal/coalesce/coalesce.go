@@ -22,6 +22,17 @@ type Access struct {
 	Size uint8
 }
 
+// sectorCap bounds the linear-probe sector set: 64 lanes × at most 2
+// sectors per lane (an unaligned 8-byte access) plus slack. Count saturates
+// here, and the sorted fast path caps its exact total at the same value so
+// both paths agree on pathological inputs.
+const sectorCap = 136
+
+// SectorCap is the saturation bound on any single instruction's transaction
+// count, exported so replay's closed-form fused charge path can cap its
+// analytic sector counts at exactly the value Count and Walk.Tx saturate to.
+const SectorCap = sectorCap
+
 // Count returns the number of TransactionSize-byte transactions needed to
 // service the given accesses. The slice may be in any order and may contain
 // duplicate or overlapping ranges.
@@ -29,9 +40,23 @@ func Count(accs []Access) int {
 	if len(accs) == 0 {
 		return 0
 	}
+	// Replay hands accesses over in lane order, which for strided and
+	// uniform patterns means non-decreasing addresses: count those with one
+	// linear sector walk instead of the quadratic probe set.
+	var w Walk
+	sorted := true
+	for _, a := range accs {
+		if !w.Add(a) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return w.Tx()
+	}
 	// Warp sizes are small (≤64 lanes, ≤2 sectors per lane for unaligned
 	// 8-byte accesses), so a tiny linear-probe set beats a map allocation.
-	var sectors [136]uint64
+	var sectors [sectorCap]uint64
 	n := 0
 	add := func(s uint64) {
 		for i := 0; i < n; i++ {
@@ -52,6 +77,58 @@ func Count(accs []Access) int {
 		}
 	}
 	return n
+}
+
+// Walk incrementally counts the distinct TransactionSize-byte sectors of an
+// address-sorted access stream — the same quantity Count computes, exposed
+// as a streaming accumulator so the replay engine's fused fast path can
+// coalesce without first gathering accesses into a slice. The zero value is
+// an empty walk.
+//
+// The walk leans on one invariant: with non-decreasing start addresses, the
+// sectors an access adds are exactly those above the running high-water mark
+// (every sector below the mark inside the access's span was already covered
+// by the access that set the mark, whose own span started no later). maxEnd
+// holds the mark as an exclusive sector bound so the zero value — an empty
+// walk — needs no separate representation.
+type Walk struct {
+	prevAddr uint64
+	maxEnd   uint64
+	n        int
+}
+
+// Add feeds one access. It returns false when the stream leaves the
+// sorted-walk domain — a start address below its predecessor's, a zero
+// size, or span arithmetic that would wrap — in which case the walk's state
+// is meaningless and the caller must recount via the gather-and-Count path.
+// Add is kept small enough to inline into replay's per-access loops; an
+// empty walk is recognized by n == 0 (every accepted access adds at least
+// one sector).
+func (w *Walk) Add(a Access) bool {
+	last := a.Addr + uint64(a.Size) - 1
+	if a.Addr < w.prevAddr || a.Size == 0 || last < a.Addr {
+		return false
+	}
+	w.prevAddr = a.Addr
+	first := a.Addr / TransactionSize
+	last /= TransactionSize
+	if first < w.maxEnd {
+		first = w.maxEnd
+	}
+	if last >= first {
+		w.n += int(last - first + 1)
+		w.maxEnd = last + 1
+	}
+	return true
+}
+
+// Tx returns the transaction count so far, saturated at the same cap as
+// Count's probe set.
+func (w *Walk) Tx() int {
+	if w.n > sectorCap {
+		return sectorCap
+	}
+	return w.n
 }
 
 // sectors returns the number of TransactionSize-byte sectors one access
@@ -100,7 +177,27 @@ type Scratch struct {
 }
 
 // Split is like the package-level Split but reuses the Scratch's buffers.
+// When each segment's sub-stream of accesses arrives with non-decreasing
+// addresses (the shape replay's lane-ordered gathering produces for strided
+// and uniform patterns), the counts come from two streaming sector walks
+// with no partition copies at all; only unsorted streams pay for the
+// partition-and-probe path.
 func (s *Scratch) Split(accs []Access) (stackTx, heapTx int) {
+	var stackW, heapW Walk
+	sorted := true
+	for _, a := range accs {
+		w := &heapW
+		if vm.SegmentOf(a.Addr) == vm.SegStack {
+			w = &stackW
+		}
+		if !w.Add(a) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return stackW.Tx(), heapW.Tx()
+	}
 	stack, heap := s.stack[:0], s.heap[:0]
 	for _, a := range accs {
 		if vm.SegmentOf(a.Addr) == vm.SegStack {

@@ -49,6 +49,20 @@ type Options struct {
 	// disconnects down into replay. Like Parallelism, Context is excluded
 	// from cache keys — it can stop an analysis, never change its result.
 	Context context.Context
+
+	// UniformBranches, when non-nil, is the static oracle's uniform-region
+	// table (staticsimt.UniformBlocks) for the traced program, passed down to
+	// replay's lockstep-fusion fast path to shape fused-window proposals.
+	// Purely a performance hint — replay verifies every fused window against
+	// every active lane — so, like Parallelism, it is excluded from cache
+	// keys.
+	UniformBranches [][]bool
+
+	// DisableLockstepFusion forces the per-block replay engine. It is the
+	// A/B verification hook: the equivalence suite and tfcheck's "fusion"
+	// invariant analyze every workload both ways and assert identical
+	// Reports, which is also why the knob is excluded from cache keys.
+	DisableLockstepFusion bool
 }
 
 // Defaults returns the paper's default configuration: warp size 32,
@@ -204,6 +218,11 @@ func prepare(t *trace.Trace) (*prep, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building DCFG: %w", err)
 	}
+	// Build (and cache on the trace) the packed SoA columns replay's fused
+	// fast path walks, so repeated analyses of one trace — warp-size sweeps,
+	// formation studies — pay the one streaming pass once instead of per
+	// replay.
+	t.EnsureCols()
 	return &prep{graphs: graphs, pdoms: ipdom.ComputeAll(graphs)}, nil
 }
 
@@ -217,12 +236,14 @@ func analyzeWith(t *trace.Trace, p *prep, warps []warp.Warp, opts Options) (*Rep
 		testHookReplay()
 	}
 	res, err := simt.Replay(t, p.graphs, p.pdoms, warps, simt.Options{
-		WarpSize:          opts.WarpSize,
-		EmulateLocks:      opts.EmulateLocks,
-		LockReconvergence: opts.LockReconvergence,
-		Listener:          opts.Listener,
-		Parallelism:       opts.Parallelism,
-		Context:           opts.Context,
+		WarpSize:              opts.WarpSize,
+		EmulateLocks:          opts.EmulateLocks,
+		LockReconvergence:     opts.LockReconvergence,
+		Listener:              opts.Listener,
+		Parallelism:           opts.Parallelism,
+		Context:               opts.Context,
+		UniformBranches:       opts.UniformBranches,
+		DisableLockstepFusion: opts.DisableLockstepFusion,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: replay: %w", err)

@@ -111,6 +111,29 @@ func (s *Session) Analyze(t *trace.Trace, opts Options) (*Report, error) {
 	return r, err
 }
 
+// Ingest decodes an indexed trace through the streaming pipeline
+// (prepareStream: per-section decode, validation, and column building fused
+// in the decode workers, DCFG construction chasing them in trace order) and
+// seeds the session's preparation memo with the result. The returned trace
+// is what subsequent Analyze calls should be handed: sweeps over warp
+// widths, formations, and lock policies then start replaying immediately,
+// having paid the ingest exactly once — and never serially.
+func (s *Session) Ingest(r *trace.Reader, parallelism int) (*trace.Trace, error) {
+	t, p, err := prepareStream(r, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	e := s.preps[t]
+	if e == nil {
+		e = &prepEntry{}
+		s.preps[t] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.p = p })
+	return t, nil
+}
+
 // digest returns the trace's memoized content digest.
 func (s *Session) digest(t *trace.Trace) ([sha256.Size]byte, error) {
 	s.mu.Lock()

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"threadfuser/internal/trace"
+)
+
+// indexedReader round-trips a trace through the v3 container and opens an
+// indexed Reader over the bytes.
+func indexedReader(t *testing.T, tr *trace.Trace) *trace.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.EncodeIndexed(&buf, tr); err != nil {
+		t.Fatalf("encode indexed: %v", err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatalf("open indexed reader: %v", err)
+	}
+	return r
+}
+
+// TestAnalyzeStreamMatchesBatch is the streaming-ingest contract: the
+// pipelined decode→validate→cols→DCFG path must produce a Report deeply
+// equal to the batch Analyze of the same container bytes, at every
+// parallelism and with fusion both on and off.
+func TestAnalyzeStreamMatchesBatch(t *testing.T) {
+	for _, name := range []string{"rodinia.bfs", "other.pigz", "usuite.hdsearch.mid"} {
+		tr := traceWorkload(t, name, 64)
+		r := indexedReader(t, tr)
+		for _, par := range []int{1, 0} {
+			for _, nofuse := range []bool{false, true} {
+				t.Run(fmt.Sprintf("%s/par%d/nofuse=%v", name, par, nofuse), func(t *testing.T) {
+					opts := Defaults()
+					opts.Parallelism = par
+					opts.DisableLockstepFusion = nofuse
+					want, err := Analyze(tr, opts)
+					if err != nil {
+						t.Fatalf("batch analyze: %v", err)
+					}
+					got, err := AnalyzeStream(r, opts)
+					if err != nil {
+						t.Fatalf("stream analyze: %v", err)
+					}
+					if !reflect.DeepEqual(want, got) {
+						t.Errorf("streaming report differs from batch\nbatch:  %+v\nstream: %+v", want, got)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAnalyzeStreamCached checks the cached streaming path: a first call
+// misses and stores, a second call with identical content hits, and the hit
+// equals the miss bit for bit.
+func TestAnalyzeStreamCached(t *testing.T) {
+	tr := traceWorkload(t, "rodinia.bfs", 64)
+	r := indexedReader(t, tr)
+	c := NewCache(t.TempDir())
+	opts := Defaults()
+
+	first, hit, err := AnalyzeStreamCached(c, r, opts)
+	if err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	if hit {
+		t.Fatal("first call reported a cache hit on an empty cache")
+	}
+	second, hit, err := AnalyzeStreamCached(c, r, opts)
+	if err != nil {
+		t.Fatalf("second: %v", err)
+	}
+	if !hit {
+		t.Fatal("second call missed the cache")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("cache hit differs from the stored report")
+	}
+}
+
+// TestSessionIngestSeedsPreparation proves Ingest's memo seeding: a sweep
+// through the session after Ingest produces reports identical to batch
+// Analyze without re-preparing (observed via the replay test hook counting
+// exactly one replay per configuration).
+func TestSessionIngestSeedsPreparation(t *testing.T) {
+	tr := traceWorkload(t, "paropoly.nbody", 48)
+	r := indexedReader(t, tr)
+	sess := NewSession()
+	st, err := sess.Ingest(r, 0)
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	for _, warpSize := range []int{8, 16, 32} {
+		opts := Defaults()
+		opts.WarpSize = warpSize
+		want, err := Analyze(tr, opts)
+		if err != nil {
+			t.Fatalf("batch analyze w%d: %v", warpSize, err)
+		}
+		got, err := sess.Analyze(st, opts)
+		if err != nil {
+			t.Fatalf("session analyze w%d: %v", warpSize, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("w%d: post-ingest session report differs from batch Analyze", warpSize)
+		}
+	}
+}
+
+// TestAnalyzeStreamSurfacesSectionErrors feeds a container whose decoded
+// records fail validation and expects the streaming pipeline to reject it
+// like the batch path does.
+func TestAnalyzeStreamSurfacesSectionErrors(t *testing.T) {
+	tr := traceWorkload(t, "rodinia.bfs", 16)
+	// Corrupt one record's instruction count so ValidateThread fails.
+	bad := *tr
+	bad.Threads = append([]*trace.ThreadTrace(nil), tr.Threads...)
+	th := *bad.Threads[3]
+	th.Records = append([]trace.Record(nil), th.Records...)
+	for i := range th.Records {
+		if th.Records[i].Kind == trace.KindBBL {
+			th.Records[i].N += 7
+			break
+		}
+	}
+	bad.Threads[3] = &th
+	r := indexedReader(t, &bad)
+	if _, err := AnalyzeStream(r, Defaults()); err == nil {
+		t.Fatal("streaming analyze accepted a trace the batch validator rejects")
+	}
+}

@@ -8,7 +8,81 @@ package pool
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// MinParallelItems is the shared "not worth parallelizing" threshold: below
+// this many independent work items the fan-out overhead (goroutines,
+// per-worker state, cache traffic) exceeds what extra cores win back, so
+// callers should take their sequential path outright. Both the SIMT replay
+// worker pool (per warp) and the trace decoder (per thread section) resolve
+// their worker counts through Workers, which applies it.
+const MinParallelItems = 8
+
+// Workers resolves an effective worker count for `items` independent work
+// units under a requested limit: a limit ≤ 0 means one worker per core
+// (runtime.GOMAXPROCS(0), the convention shared with core.Options
+// .Parallelism), the count never exceeds the item count, and item counts
+// below MinParallelItems resolve to 1 — the sequential path.
+func Workers(limit, items int) int {
+	if items < MinParallelItems {
+		return 1
+	}
+	n := limit
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > items {
+		n = items
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ForEach runs fn(worker, item) for every item in [0, items), distributing
+// items over `workers` goroutines through an atomic claim counter — work
+// stealing, in contrast to Group's static submission order: a worker that
+// finishes its item early claims the next unclaimed one instead of idling,
+// so unevenly sized items cannot strand the pool behind one slow worker.
+// The worker index is stable per goroutine, letting callers keep per-worker
+// state (accumulators, scratch buffers) without locks. fn returning true
+// stops the whole loop: no further items are claimed by any worker, though
+// items already claimed still finish. ForEach returns when every claimed
+// item is done. With workers ≤ 1 it degenerates to a plain sequential loop.
+func ForEach(workers, items int, fn func(worker, item int) (stop bool)) {
+	if workers > items {
+		workers = items
+	}
+	if workers <= 1 {
+		for i := 0; i < items; i++ {
+			if fn(0, i) {
+				return
+			}
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= items {
+					return
+				}
+				if fn(k, i) {
+					next.Store(int64(items))
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+}
 
 // Group runs tasks concurrently, at most limit at a time, and retains the
 // first error. The zero value is not usable; call New.

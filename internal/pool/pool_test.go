@@ -2,6 +2,7 @@ package pool
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -66,5 +67,89 @@ func TestZeroLimitDefaultsToCores(t *testing.T) {
 	g.Go(func() error { done = true; return nil })
 	if err := g.Wait(); err != nil || !done {
 		t.Fatalf("Wait = %v, done = %v", err, done)
+	}
+}
+
+// TestWorkers pins the shared "not worth parallelizing" policy both the SIMT
+// replay pool (warps) and the indexed trace decoder (thread sections) resolve
+// through: below MinParallelItems the sequential path wins outright, a
+// non-positive limit means one worker per core, and the count never exceeds
+// the item count.
+func TestWorkers(t *testing.T) {
+	cores := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		name         string
+		limit, items int
+		want         int
+	}{
+		{"zero items", 4, 0, 1},
+		{"one item", 4, 1, 1},
+		{"below threshold", 4, MinParallelItems - 1, 1},
+		{"at threshold", 4, MinParallelItems, 4},
+		{"limit one stays serial", 1, 100, 1},
+		{"limit capped by items", 64, MinParallelItems, MinParallelItems},
+		{"default limit is cores", 0, 10 * cores, cores},
+		{"negative limit is cores", -3, 10 * cores, cores},
+		{"plenty of items", 4, 1000, 4},
+	}
+	for _, tc := range cases {
+		if got := Workers(tc.limit, tc.items); got != tc.want {
+			t.Errorf("%s: Workers(%d, %d) = %d, want %d", tc.name, tc.limit, tc.items, got, tc.want)
+		}
+	}
+}
+
+func TestForEachVisitsEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7} {
+		const items = 200
+		var visits [items]atomic.Int64
+		workerSeen := make(map[int]bool)
+		var mu sync.Mutex
+		ForEach(workers, items, func(w, i int) bool {
+			visits[i].Add(1)
+			mu.Lock()
+			workerSeen[w] = true
+			mu.Unlock()
+			return false
+		})
+		for i := range visits {
+			if n := visits[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: item %d visited %d times", workers, i, n)
+			}
+		}
+		max := workers
+		if max < 1 {
+			max = 1
+		}
+		if len(workerSeen) > max {
+			t.Fatalf("workers=%d: %d distinct worker ids", workers, len(workerSeen))
+		}
+		for w := range workerSeen {
+			if w < 0 || w >= max {
+				t.Fatalf("workers=%d: worker id %d out of range", workers, w)
+			}
+		}
+	}
+}
+
+func TestForEachStopsOnTrue(t *testing.T) {
+	// Serial path: stop after item 10, items 11+ never run.
+	var ran atomic.Int64
+	ForEach(1, 100, func(_, i int) bool {
+		ran.Add(1)
+		return i == 10
+	})
+	if ran.Load() != 11 {
+		t.Fatalf("serial ForEach ran %d items after stop at 10, want 11", ran.Load())
+	}
+	// Parallel path: no NEW items are claimed after a stop; already-claimed
+	// ones may finish, so the bound is ran <= stop-point + workers.
+	const workers = 4
+	ran.Store(0)
+	ForEach(workers, 10_000, func(_, i int) bool {
+		return ran.Add(1) >= 50
+	})
+	if n := ran.Load(); n < 50 || n > 50+workers {
+		t.Fatalf("parallel ForEach ran %d items, want within [50, %d]", n, 50+workers)
 	}
 }

@@ -1,0 +1,64 @@
+// Package prof wires the standard runtime profilers into the one-shot CLIs.
+// The replay fast path lives or dies by its inner-loop profile, so tfanalyze
+// and tfreport expose -cpuprofile/-memprofile directly: an engineer chasing a
+// throughput regression profiles the real tool on the real trace instead of
+// reconstructing the workload inside a micro-benchmark.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpu is non-empty and returns a stop
+// function that ends it and, when mem is non-empty, writes an allocation
+// profile. The stop function is idempotent, so callers can both defer it and
+// invoke it on early-exit error paths; profile-write failures are reported on
+// stderr rather than returned, because by then the tool's real work is done.
+func Start(cpu, mem string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: starting CPU profile: %w", err)
+		}
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: closing CPU profile:", err)
+			}
+		}
+		if mem != "" {
+			writeHeapProfile(mem)
+		}
+	}, nil
+}
+
+// writeHeapProfile snapshots live allocations after a GC, so the profile
+// reflects retained memory rather than whatever garbage the last replay
+// window left behind.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prof:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "prof: writing heap profile:", err)
+	}
+}

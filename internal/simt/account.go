@@ -3,6 +3,7 @@ package simt
 import (
 	"threadfuser/internal/coalesce"
 	"threadfuser/internal/trace"
+	"threadfuser/internal/vm"
 )
 
 // ChargeInstrs adds one lockstep execution of an n-instruction block with
@@ -25,10 +26,24 @@ func ChargeInstrs(wm *WarpMetrics, fm *FuncMetrics, n uint64, active int) {
 // blocks, keeping the replay inner loop allocation-free. The zero value is
 // ready to use; a MemCharger must not be shared between goroutines — each
 // replay worker owns one.
+// fusedMaxSites bounds the per-element instruction-slot array of the fused
+// charge path. Real blocks touch a handful of memory instructions; an
+// element with more falls back to the gather path.
+const fusedMaxSites = 6
+
+// siteAcc is one instruction slot of the fused charge path: four streaming
+// sector walks, one per (load/store × stack/heap) sub-stream, fed in lane
+// order — the same partition Charge's gather-then-Split computes.
+type siteAcc struct {
+	instr                                      uint16
+	loadStack, loadHeap, storeStack, storeHeap coalesce.Walk
+}
+
 type MemCharger struct {
 	idx           []uint16
 	loads, stores []coalesce.Access
 	scratch       coalesce.Scratch
+	sites         [fusedMaxSites]siteAcc
 
 	// Site, when non-nil, observes each per-instruction coalescing outcome:
 	// the instruction index within the block just charged and its combined
@@ -110,6 +125,299 @@ func (mc *MemCharger) Charge(wm *WarpMetrics, fm *FuncMetrics, recs []*trace.Rec
 			mc.Site(idx, ls+ss, lh+sh)
 		}
 	}
+}
+
+// fusedView bundles what the fused charge path needs to reach any active
+// lane's accesses for a window element without touching records: the
+// lane-indexed SoA columns of the warp's threads (offset prefix sums, flat
+// address and packed-meta columns — see trace.Cols) plus the window's active
+// lane list and each lane's cursor index at window start. Lane li's accesses
+// for window element k are the m-long runs of addr/meta starting at
+// off[lanes[li]][idxs[li]+k].
+type fusedView struct {
+	lanes []int
+	idxs  []int32
+	off   [][]uint32
+	addr  [][]uint64
+	meta  [][]uint32
+}
+
+// chargeFused coalesces one fused window element's memory accesses without
+// touching records at all: each lane's accesses come straight from its flat
+// columns at the offset its prefix-sum column gives for the element, every
+// lane's list being exactly m long (the fused verifier already proved the
+// lanes' control words — including the access-list length — identical). The
+// outcome is bit-identical to Charge — the same min(distinct sectors, cap)
+// counts over the same lane-ordered sub-streams — but only for shapes the
+// closed forms and streaming walks can handle. chargeFused returns false
+// (having charged nothing) when a sub-stream is not walkable (addresses
+// decrease, a zero size) or the element touches more than fusedMaxSites
+// distinct instructions; the caller must then gather the records and charge
+// via Charge.
+func (mc *MemCharger) chargeFused(wm *WarpMetrics, fm *FuncMetrics, v *fusedView, k, m, nl int) bool {
+	if mc.chargeUniform(wm, fm, v, k, m, nl) {
+		return true
+	}
+	return mc.chargeGeneral(wm, fm, v, k, m, nl)
+}
+
+// colAcc is one instruction column of the fused uniform charge path: the
+// shared packed (instruction, size, store) meta word plus the arithmetic
+// address progression being verified across lanes.
+type colAcc struct {
+	meta   uint32
+	a0     uint64 // lane 0's address
+	prev   uint64 // last verified lane's address
+	stride uint64 // constant lane-to-lane delta (set at lane 1)
+}
+
+// chargeUniform is chargeFused's hot path for the dominant SIMT access
+// shape: every lane issued the same access list (same strictly increasing
+// instruction sequence, same load/store kinds and sizes) and each list
+// position's addresses form a non-decreasing arithmetic progression across
+// lanes — base+TID*stride table walks and the per-thread stack mirror, which
+// is what warp-uniform regions produce. Each position then IS one
+// instruction's warp-wide sub-stream in ascending address order, and its
+// transaction count follows in closed form from (base, stride, size, lanes)
+// — no per-access sector walk at all. Metric writes happen only once every
+// lane has verified; any bail returns false with nothing charged, and the
+// caller re-coalesces through the general path.
+func (mc *MemCharger) chargeUniform(wm *WarpMetrics, fm *FuncMetrics, v *fusedView, k, m, nl int) bool {
+	if m > fusedMaxSites {
+		return false
+	}
+	l0 := v.lanes[0]
+	o0 := int(v.off[l0][int(v.idxs[0])+k])
+	meta0 := v.meta[l0][o0 : o0+m]
+	addr0 := v.addr[l0][o0 : o0+m]
+	var cols [fusedMaxSites]colAcc
+	if m == 1 {
+		// Single memory instruction — the dominant block shape. Keep the
+		// whole column in registers: no slot array traffic, one offset load
+		// and two column loads per lane.
+		mw := meta0[0]
+		if trace.MetaSize(mw) == 0 {
+			return false
+		}
+		a0 := addr0[0]
+		prev := a0
+		var stride uint64
+		for li := 1; li < nl; li++ {
+			l := v.lanes[li]
+			o := v.off[l][int(v.idxs[li])+k]
+			if v.meta[l][o] != mw {
+				return false
+			}
+			a := v.addr[l][o]
+			if li == 1 {
+				if a < prev {
+					return false
+				}
+				stride = a - prev
+			} else if a != prev+stride {
+				return false
+			}
+			prev = a
+		}
+		cols[0] = colAcc{meta: mw, a0: a0, prev: prev, stride: stride}
+	} else {
+		prev := -1
+		for j := 0; j < m; j++ {
+			mw := meta0[j]
+			// Strictly increasing instruction indices mean each instruction
+			// owns exactly one column (no split sub-streams) and the commit
+			// order below matches Charge's sorted order for free.
+			if int(trace.MetaInstr(mw)) <= prev || trace.MetaSize(mw) == 0 {
+				return false
+			}
+			prev = int(trace.MetaInstr(mw))
+			cols[j] = colAcc{meta: mw, a0: addr0[j], prev: addr0[j]}
+		}
+		// Lane 1 sets each column's stride; later lanes only verify it, so
+		// the per-lane loop below carries no lane-index branch.
+		if nl > 1 {
+			l := v.lanes[1]
+			o := int(v.off[l][int(v.idxs[1])+k])
+			meta := v.meta[l][o : o+m]
+			addr := v.addr[l][o : o+m]
+			for j := 0; j < m; j++ {
+				c := &cols[j]
+				if meta[j] != c.meta || addr[j] < c.prev {
+					return false
+				}
+				c.stride = addr[j] - c.prev
+				c.prev = addr[j]
+			}
+		}
+		for li := 2; li < nl; li++ {
+			l := v.lanes[li]
+			o := int(v.off[l][int(v.idxs[li])+k])
+			meta := v.meta[l][o : o+m]
+			addr := v.addr[l][o : o+m]
+			for j := 0; j < m; j++ {
+				c := &cols[j]
+				if meta[j] != c.meta || addr[j] != c.prev+c.stride {
+					return false
+				}
+				c.prev = addr[j]
+			}
+		}
+	}
+	for j := 0; j < m; j++ {
+		c := &cols[j]
+		z := uint64(trace.MetaSize(c.meta))
+		aN := c.prev
+		if aN+z-1 < aN || vm.SegmentOf(c.a0) != vm.SegmentOf(aN) {
+			// Wrapping span arithmetic, or a progression crossing a segment
+			// boundary (each access charges to its own segment there).
+			return false
+		}
+		first0 := c.a0 / coalesce.TransactionSize
+		last0 := (c.a0 + z - 1) / coalesce.TransactionSize
+		var count int
+		switch s := c.stride; {
+		case s <= z:
+			// Byte-contiguous or overlapping accesses union into one
+			// interval: the whole span's sectors.
+			count = int((aN+z-1)/coalesce.TransactionSize - first0 + 1)
+		case s%coalesce.TransactionSize == 0:
+			// Identical alignment every lane: spans are congruent, and they
+			// either chain sector-contiguously (telescoping to the whole
+			// span) or stay pairwise disjoint.
+			if s/coalesce.TransactionSize <= last0-first0 {
+				count = int((aN+z-1)/coalesce.TransactionSize - first0 + 1)
+			} else {
+				count = nl * int(last0-first0+1)
+			}
+		default:
+			// Mixed alignment: replay the sorted sector walk purely
+			// arithmetically — no loads, the addresses are a_0 + i*s.
+			count = int(last0 - first0 + 1)
+			prevLast := last0
+			a := c.a0
+			for i := 1; i < nl; i++ {
+				a += s
+				f, l := a/coalesce.TransactionSize, (a+z-1)/coalesce.TransactionSize
+				if f <= prevLast {
+					f = prevLast + 1
+				}
+				if l >= f {
+					count += int(l - f + 1)
+					prevLast = l
+				}
+			}
+		}
+		if count > coalesce.SectorCap {
+			count = coalesce.SectorCap
+		}
+		var st, ht int
+		if vm.SegmentOf(c.a0) == vm.SegStack {
+			st = count
+		} else {
+			ht = count
+		}
+		wm.MemInstrs++
+		if st > 0 {
+			wm.StackMemInstrs++
+			wm.StackTx += uint64(st)
+		}
+		if ht > 0 {
+			wm.HeapMemInstrs++
+			wm.HeapTx += uint64(ht)
+		}
+		if fm != nil {
+			fm.MemInstrs++
+			fm.HeapTx += uint64(ht)
+			fm.StackTx += uint64(st)
+		}
+		if mc.Site != nil {
+			mc.Site(trace.MetaInstr(c.meta), st, ht)
+		}
+	}
+	return true
+}
+
+// chargeGeneral is chargeFused's fallback for access lists that are not one
+// clean arithmetic progression per instruction (repeated or reordered
+// instruction indices, mixed sizes, scattered addresses): a
+// per-(instruction, load/store, segment) slot table of streaming walks, fed
+// in the same lane-major order Charge's gather produces.
+func (mc *MemCharger) chargeGeneral(wm *WarpMetrics, fm *FuncMetrics, v *fusedView, k, m, nl int) bool {
+	ns := 0
+	sites := &mc.sites
+	for li := 0; li < nl; li++ {
+		l := v.lanes[li]
+		o := int(v.off[l][int(v.idxs[li])+k])
+		meta := v.meta[l][o : o+m]
+		addr := v.addr[l][o : o+m]
+		for i := 0; i < m; i++ {
+			instr := trace.MetaInstr(meta[i])
+			var s *siteAcc
+			for i := 0; i < ns; i++ {
+				if sites[i].instr == instr {
+					s = &sites[i]
+					break
+				}
+			}
+			if s == nil {
+				if ns == len(sites) {
+					return false
+				}
+				s = &sites[ns]
+				*s = siteAcc{instr: instr}
+				ns++
+			}
+			var w *coalesce.Walk
+			if stack := vm.SegmentOf(addr[i]) == vm.SegStack; trace.MetaStore(meta[i]) {
+				if stack {
+					w = &s.storeStack
+				} else {
+					w = &s.storeHeap
+				}
+			} else if stack {
+				w = &s.loadStack
+			} else {
+				w = &s.loadHeap
+			}
+			if !w.Add(coalesce.Access{Addr: addr[i], Size: trace.MetaSize(meta[i])}) {
+				return false
+			}
+		}
+	}
+	if ns == 0 {
+		return true
+	}
+	// Charge slots in ascending instruction order, matching Charge's sorted
+	// index list (only the Site callback order is observable, but keeping the
+	// orders identical costs a couple of swaps on a tiny array).
+	for i := 1; i < ns; i++ {
+		for j := i; j > 0 && sites[j].instr < sites[j-1].instr; j-- {
+			sites[j], sites[j-1] = sites[j-1], sites[j]
+		}
+	}
+	for i := 0; i < ns; i++ {
+		s := &sites[i]
+		st := s.loadStack.Tx() + s.storeStack.Tx()
+		ht := s.loadHeap.Tx() + s.storeHeap.Tx()
+		wm.MemInstrs++
+		if st > 0 {
+			wm.StackMemInstrs++
+			wm.StackTx += uint64(st)
+		}
+		if ht > 0 {
+			wm.HeapMemInstrs++
+			wm.HeapTx += uint64(ht)
+		}
+		if fm != nil {
+			fm.MemInstrs++
+			fm.HeapTx += uint64(ht)
+			fm.StackTx += uint64(st)
+		}
+		if mc.Site != nil {
+			mc.Site(s.instr, st, ht)
+		}
+	}
+	return true
 }
 
 // ChargeMemory coalesces one lockstep block execution's memory accesses with

@@ -59,6 +59,13 @@ type cursor struct {
 	depth int32    // current call depth
 	funcs []uint32 // function stack (len == depth)
 
+	// peek memo: group formation re-peeks every active lane each SIMT-stack
+	// step, but only the lanes that just executed have moved. posOK is
+	// cleared by everything that consumes records (consumeBlock, consumeExit,
+	// drainTrailingSkips, advance, reset).
+	pos   position
+	posOK bool
+
 	// Skip counters accumulated as skip records are consumed.
 	skipIO   uint64
 	skipSpin uint64
@@ -76,12 +83,30 @@ func (c *cursor) reset(th *trace.ThreadTrace) {
 	c.idx = 0
 	c.depth = 0
 	c.funcs = c.funcs[:0]
+	c.posOK = false
 	c.skipIO = 0
 	c.skipSpin = 0
 }
 
+// advance consumes k records wholesale — the fused window's bulk cursor
+// move. The caller (execRunFused) guarantees all k records are basic blocks
+// at the current call depth, so depth and the skip counters are unaffected.
+func (c *cursor) advance(k int) {
+	c.idx += k
+	c.posOK = false
+}
+
 // peek returns the thread's next position without consuming anything.
 func (c *cursor) peek() position {
+	if c.posOK {
+		return c.pos
+	}
+	p := c.peekSlow()
+	c.pos, c.posOK = p, true
+	return p
+}
+
+func (c *cursor) peekSlow() position {
 	depth := c.depth
 	for i := c.idx; i < len(c.recs); i++ {
 		switch r := &c.recs[i]; r.Kind {
@@ -112,6 +137,7 @@ func (c *cursor) peek() position {
 // the next basic-block record, updating depth and skip counters, and returns
 // the record. It must only be called when peek().kind == posBlock.
 func (c *cursor) consumeBlock() *trace.Record {
+	c.posOK = false
 	for c.idx < len(c.recs) {
 		r := &c.recs[c.idx]
 		c.idx++
@@ -134,6 +160,7 @@ func (c *cursor) consumeBlock() *trace.Record {
 // the current function invocation. It must only be called when peek().kind
 // == posExit.
 func (c *cursor) consumeExit() {
+	c.posOK = false
 	for c.idx < len(c.recs) {
 		r := &c.recs[c.idx]
 		c.idx++
@@ -179,6 +206,7 @@ func (c *cursor) peekBlockRecord() *trace.Record {
 // drainTrailingSkips consumes skip records at the very end of the stream so
 // their counts are accounted even after the last block executes.
 func (c *cursor) drainTrailingSkips() {
+	c.posOK = false
 	for c.idx < len(c.recs) && c.recs[c.idx].Kind == trace.KindSkip {
 		c.addSkip(&c.recs[c.idx])
 		c.idx++

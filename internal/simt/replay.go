@@ -4,11 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
-	"runtime"
-	"sync"
 
 	"threadfuser/internal/cfg"
 	"threadfuser/internal/ipdom"
+	"threadfuser/internal/pool"
 	"threadfuser/internal/trace"
 	"threadfuser/internal/warp"
 )
@@ -52,28 +51,41 @@ type Options struct {
 	// replay, never change the metrics of one that completes.
 	Context context.Context
 
+	// UniformBranches, when non-nil, is the static oracle's exported
+	// uniform-region table (staticsimt.UniformBlocks): UniformBranches[fn]
+	// [block] reports that fn's block ends in a terminator the oracle proved
+	// can never split a warp. The lockstep-fusion fast path uses it to shape
+	// fused-window proposals — a window extends across a block boundary only
+	// through a terminator the table clears, so proposals end exactly where a
+	// split is statically possible. The table is a performance hint, never a
+	// semantic input: every proposed record is still verified against every
+	// active lane before fused execution, so a missing, partial, or even
+	// wrong table cannot change any metric. When nil, fusion runs in pure
+	// runtime-detection mode and extends through every agreeing boundary.
+	UniformBranches [][]bool
+
+	// DisableLockstepFusion turns off the lockstep-fusion fast path, forcing
+	// the per-block engine. It exists as the A/B verification hook: the
+	// equivalence suite and the check catalog's "fusion" invariant replay
+	// every workload both ways and assert bit-identical Results.
+	DisableLockstepFusion bool
+
 	// disableRunBatch turns off same-block run batching in the replay inner
 	// loop, forcing one group-formation step per block execution. Only the
-	// batched/stepped equivalence test sets it.
+	// batched/stepped equivalence test sets it. It implies
+	// DisableLockstepFusion: the fused window is a superset of run batching.
 	disableRunBatch bool
 }
 
-// workers resolves the effective worker count for a warp count.
+// workers resolves the effective worker count for a warp count. Warps are
+// the unit of parallel work, so the shared pool.Workers threshold decides
+// when a replay is worth fanning out at all; a Listener forces one worker
+// regardless (callbacks must arrive in warp order).
 func (o Options) workers(nwarps int) int {
 	if o.Listener != nil {
 		return 1
 	}
-	n := o.Parallelism
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
-	}
-	if n > nwarps {
-		n = nwarps
-	}
-	if n < 1 {
-		n = 1
-	}
-	return n
+	return pool.Workers(o.Parallelism, nwarps)
 }
 
 // LockReconvergence enumerates critical-section reconvergence policies.
@@ -172,6 +184,13 @@ type accumulator struct {
 	// other fields they are commutative sums/maxes, merged after all warps.
 	memSites         map[MemSiteKey]*MemSiteStats
 	skipIO, skipSpin uint64
+	// siteCache is a tiny direct-mapped cache in front of the memSites map:
+	// fused runs charge the same one or two memory instructions thousands of
+	// times in a row, and the map hash would otherwise dominate the charge.
+	siteCache [4]struct {
+		key MemSiteKey
+		ms  *MemSiteStats
+	}
 }
 
 func newAccumulator(t *trace.Trace, lay *branchLayout) *accumulator {
@@ -213,15 +232,20 @@ func (a *accumulator) branchStats(fn, block uint32) *BranchStats {
 
 // memSite returns the accumulator slot for one memory instruction.
 func (a *accumulator) memSite(fn, block uint32, instr uint16) *MemSiteStats {
+	key := MemSiteKey{Func: fn, Block: block, Instr: instr}
+	slot := &a.siteCache[instr&3]
+	if slot.ms != nil && slot.key == key {
+		return slot.ms
+	}
 	if a.memSites == nil {
 		a.memSites = map[MemSiteKey]*MemSiteStats{}
 	}
-	key := MemSiteKey{Func: fn, Block: block, Instr: instr}
 	ms := a.memSites[key]
 	if ms == nil {
 		ms = &MemSiteStats{}
 		a.memSites[key] = ms
 	}
+	slot.key, slot.ms = key, ms
 	return ms
 }
 
@@ -321,6 +345,18 @@ func Replay(t *trace.Trace, graphs map[uint32]*cfg.DCFG, pdoms map[uint32]*ipdom
 	lay := newBranchLayout(t)
 	nw := opts.workers(len(warps))
 
+	// The fusion fast path runs off the trace's packed SoA columns. Use the
+	// trace's cached view when a pipeline already built one (core's analyzer,
+	// the bench setup); otherwise derive it here — one streaming pass, shared
+	// read-only by all workers. A nil cols disables fusion outright.
+	var cols *trace.Cols
+	if !opts.DisableLockstepFusion && !opts.disableRunBatch && opts.Listener == nil {
+		cols = t.Cols
+		if cols == nil {
+			cols = trace.BuildCols(t)
+		}
+	}
+
 	// Replay internals panic on structurally impossible record streams (a
 	// block cursor landing on a return, a reconvergence stack underflow).
 	// Traces that reach this point passed trace.Validate, but that check is
@@ -340,7 +376,7 @@ func Replay(t *trace.Trace, graphs map[uint32]*cfg.DCFG, pdoms map[uint32]*ipdom
 	if nw == 1 {
 		acc := newAccumulator(t, lay)
 		accs[0] = acc
-		wr := newWarpReplay(graphs, pdoms, opts, acc)
+		wr := newWarpReplay(graphs, pdoms, opts, acc, cols)
 		for wi := range warps {
 			if err := cancelErr(opts.Context); err != nil {
 				return nil, err
@@ -350,34 +386,33 @@ func Replay(t *trace.Trace, graphs map[uint32]*cfg.DCFG, pdoms map[uint32]*ipdom
 			}
 		}
 	} else {
-		// Warps are dealt round-robin to workers: deterministic, and
-		// neighbouring (similarly sized) warps spread across the pool.
+		// Warps are claimed dynamically (work stealing): a worker that
+		// finishes a short warp takes the next unclaimed one instead of
+		// idling behind a statically dealt long one, so skewed warp sizes
+		// cannot flatten the parallel speedup. The claim order cannot leak
+		// into the result: each warp writes an exclusive Result slot, and
+		// every accumulator field is a commutative sum merged afterwards.
 		errWarp := make([]int, nw)
 		errs := make([]error, nw)
-		var wg sync.WaitGroup
+		wrs := make([]*warpReplay, nw)
 		for k := 0; k < nw; k++ {
-			wg.Add(1)
-			go func(k int) {
-				defer wg.Done()
-				acc := newAccumulator(t, lay)
-				accs[k] = acc
-				errWarp[k] = -1
-				wr := newWarpReplay(graphs, pdoms, opts, acc)
-				for wi := k; wi < len(warps); wi += nw {
-					if err := cancelErr(opts.Context); err != nil {
-						errWarp[k], errs[k] = wi, err
-						return
-					}
-					if err := safeReplay(wr, wi, warps[wi], &res.Warps[wi]); err != nil {
-						errWarp[k], errs[k] = wi, err
-						return
-					}
-				}
-			}(k)
+			accs[k] = newAccumulator(t, lay)
+			wrs[k] = newWarpReplay(graphs, pdoms, opts, accs[k], cols)
+			errWarp[k] = -1
 		}
-		wg.Wait()
-		// Surface the failure of the lowest-numbered warp, matching what
-		// the serial path would have reported first.
+		pool.ForEach(nw, len(warps), func(k, wi int) bool {
+			if err := cancelErr(opts.Context); err != nil {
+				errWarp[k], errs[k] = wi, err
+				return true
+			}
+			if err := safeReplay(wrs[k], wi, warps[wi], &res.Warps[wi]); err != nil {
+				errWarp[k], errs[k] = wi, err
+				return true
+			}
+			return false
+		})
+		// Surface the failure of the lowest-numbered warp that hit one,
+		// matching what the serial path would have reported first.
 		first := -1
 		for k := 0; k < nw; k++ {
 			if errs[k] != nil && (first == -1 || errWarp[k] < errWarp[first]) {
@@ -441,25 +476,38 @@ type warpReplay struct {
 	laneBuf   []int
 	recBuf    []*trace.Record
 	threadBuf []int
-	mem       MemCharger
-	exec      BlockExec
+	// Lane-indexed full SoA columns of the warp's threads, set once per warp
+	// (replayWarp); fused windows index them as col[lane][cursorIdx+k], so
+	// per-window setup writes only the plain-integer idxBuf — no
+	// pointer-bearing slice headers, no write barriers on the hot path.
+	warpCtl [][]uint64
+	idxBuf  []int32
+	fview   fusedView
+	cols    *trace.Cols
+	mem     MemCharger
+	exec    BlockExec
+	// fuse enables the lockstep-fusion fast path; resolved once per worker
+	// (off when a Listener needs per-block callbacks or the A/B hooks say so).
+	fuse bool
 	// curFn/curBlock name the block execBlock is currently charging, so the
 	// MemCharger.Site sink can attribute per-instruction outcomes without a
 	// per-block closure.
 	curFn, curBlock uint32
 }
 
-func newWarpReplay(graphs map[uint32]*cfg.DCFG, pdoms map[uint32]*ipdom.PostDom, opts Options, acc *accumulator) *warpReplay {
+func newWarpReplay(graphs map[uint32]*cfg.DCFG, pdoms map[uint32]*ipdom.PostDom, opts Options, acc *accumulator, cols *trace.Cols) *warpReplay {
 	wr := &warpReplay{
 		graphs: graphs,
 		pdoms:  pdoms,
 		opts:   opts,
 		acc:    acc,
+		cols:   cols,
 		stack:  make([]entry, 0, 16),
 	}
 	// One bound-method value per worker; the per-block hot path only writes
 	// curFn/curBlock.
 	wr.mem.Site = wr.noteSite
+	wr.fuse = cols != nil
 	return wr
 }
 
@@ -483,6 +531,20 @@ func (wr *warpReplay) replayWarp(t *trace.Trace, wi int, w warp.Warp, wm *WarpMe
 	}
 	for i, tid := range w {
 		wr.cursors[i].reset(t.Threads[tid])
+	}
+	if wr.fuse {
+		wctl := wr.warpCtl[:0]
+		woff := wr.fview.off[:0]
+		waddr := wr.fview.addr[:0]
+		wmeta := wr.fview.meta[:0]
+		for _, tid := range w {
+			wctl = append(wctl, wr.cols.Ctl[tid])
+			woff = append(woff, wr.cols.MemOff[tid])
+			waddr = append(waddr, wr.cols.MemAddr[tid])
+			wmeta = append(wmeta, wr.cols.MemMeta[tid])
+		}
+		wr.warpCtl = wctl
+		wr.fview.off, wr.fview.addr, wr.fview.meta = woff, waddr, wmeta
 	}
 	wr.done = 0
 	wr.stack = wr.stack[:0]
@@ -543,13 +605,29 @@ func (wr *warpReplay) run() error {
 		}
 		if len(groups) == 1 {
 			g := groups[0]
+			// Converged warps spend most of their time in runs of agreeing
+			// block records (loops): the fused path executes the whole run as
+			// verified windows with scaled accounting, subsuming the stepped
+			// execGroup entirely. It consumes nothing when the next element
+			// is not provably fusible — a skip/call prefix before the block
+			// record, a lock operation, the entry's reconvergence position —
+			// and the stepped execGroup then takes exactly one step.
+			if g.pos.kind == posBlock && wr.fuse {
+				n, err := wr.execRunFused(e, g.pos, g.mask)
+				if err != nil {
+					return err
+				}
+				if n > 0 {
+					continue
+				}
+			}
 			if err := wr.execGroup(e, g.pos, g.mask); err != nil {
 				return err
 			}
-			// Converged warps spend most of their time re-executing the same
-			// block (loops): batch the rest of the run without re-forming
-			// groups each iteration.
-			if g.pos.kind == posBlock && !wr.opts.disableRunBatch {
+			// Batch the rest of the run without re-forming groups each
+			// iteration; with fusion on, the fused window above already did,
+			// so the stepped execRun remains as the listener/A-B path.
+			if g.pos.kind == posBlock && !wr.opts.disableRunBatch && !wr.fuse {
 				if err := wr.execRun(e, g.pos, g.mask); err != nil {
 					return err
 				}
@@ -799,6 +877,216 @@ func (wr *warpReplay) sameBlockRunNext(pos position, mask uint64) bool {
 		}
 	}
 	return true
+}
+
+// maxWindow bounds how many records one execRunFused call consumes, keeping
+// the cancellation poll (every 4096 main-loop steps) reasonably prompt even
+// for million-record converged phases; the main loop re-enters the fused
+// path immediately, so the cap costs one group formation per maxWindow
+// records.
+const maxWindow = 8192
+
+// uniformAt reports whether the static table clears fn's block for window
+// extension (its terminator can never split a warp).
+func uniformAt(uni [][]bool, fn, block uint32) bool {
+	return int(fn) < len(uni) && int(block) < len(uni[fn]) && uni[fn][block]
+}
+
+// execRunFused executes the tail of a converged run as a fused window off
+// the trace's packed SoA columns, in three passes. Pass 1 scans lane 0's
+// control column for the longest window proposal the stepped loop would
+// provably run as single full-mask groups: KindBBL words at constant call
+// depth, no lock operations when locks are emulated, never the entry's
+// reconvergence position, and (with a static table) no extension across a
+// terminator the oracle did not prove warp-uniform. Pass 2 trims the
+// proposal to the lanes' actual agreement: each other lane's control column
+// is compared to lane 0's as two contiguous arrays — one 8-byte compare per
+// element covering kind, function, block, size, lock presence, and
+// access-list length at once — shrinking the window to the first
+// disagreement. Pass 3 charges the surviving elements, re-reading lane 0's
+// (now cache-hot) words: run-length-scaled instruction accounting (flushed
+// when the (func, block, size) run breaks) and closed-form memory
+// coalescing over the flat access columns. The stepped loop resumes at the
+// first rejected element.
+//
+// Exactness does not rest on the static table: an element executes fused
+// only after every active lane's control word was checked to be the same
+// lock-free block execution, which is precisely the condition under which
+// one more stepped iteration would re-form this single group and execute it
+// (see execRun for why no pop condition can fire mid-run at constant depth).
+// The UniformBranches table only shapes lane 0's proposal: with a table,
+// windows stop at statically divergence-capable terminators, so fusion never
+// speculates past a point where a warp split is possible; without one,
+// windows extend through every same-function boundary and per-lane
+// verification alone trims them. Control words marked CtlInvalid (packed
+// field overflow) break the window like any disagreement, handing the
+// element to the stepped engine, which reads full records.
+func (wr *warpReplay) execRunFused(e *entry, pos position, mask uint64) (int, error) {
+	// At the entry's reconvergence position the stepped loop either pops or
+	// — under a mustExec entry that has not yet executed — must take a
+	// stepped step with its serialization checks; never fuse it.
+	if e.hasRPC && e.rpc == pos {
+		return 0, nil
+	}
+	lanes := wr.laneBuf[:0]
+	for m := mask; m != 0; m &= m - 1 {
+		lanes = append(lanes, bits.TrailingZeros64(m))
+	}
+	wr.laneBuf = lanes
+	active := len(lanes)
+	idxs := wr.idxBuf[:0]
+	maxK := maxWindow
+	for _, l := range lanes {
+		c := &wr.cursors[l]
+		idxs = append(idxs, int32(c.idx))
+		if rem := len(c.recs) - c.idx; rem < maxK {
+			maxK = rem
+		}
+	}
+	wr.idxBuf = idxs
+	wr.fview.lanes, wr.fview.idxs = lanes, idxs
+	ctls := wr.warpCtl
+	ctl0 := ctls[lanes[0]][idxs[0]:]
+	uni := wr.opts.UniformBranches
+	// KindBBL packs to zero kind bits, so one mask test rejects every
+	// non-block kind, invalid words, and (when emulating) lock carriers.
+	reject := trace.CtlInvalid | trace.CtlKindMask
+	if wr.opts.EmulateLocks {
+		reject |= trace.CtlLocksBit
+	}
+	depth := pos.depth
+	curBlock := pos.block // block of the latest proposed element
+	curKey := trace.PackFnBlock(pos.fn, pos.block)
+	fnKey := curKey & trace.CtlFuncMask
+	// rpcKey is the entry's reconvergence position as a masked (fn, block)
+	// key when it could appear inside this window, else a value no valid
+	// word's key can equal.
+	rpcKey := ^uint64(0)
+	if e.hasRPC && e.rpc.kind == posBlock && e.rpc.depth == depth {
+		rpcKey = trace.PackFnBlock(e.rpc.fn, e.rpc.block)
+	}
+
+	// Pass 1: lane 0's proposal.
+	n := 0
+	for ; n < maxK; n++ {
+		c0 := ctl0[n]
+		if c0&reject != 0 {
+			break
+		}
+		key := c0 & trace.CtlFnBlockMask
+		if key != curKey {
+			// Interprocedural boundaries always end a window (well-formed
+			// traces mark them with call/return records anyway); block
+			// boundaries pass when the oracle cleared the terminator, or
+			// unconditionally in runtime-detection mode (no table).
+			if key&trace.CtlFuncMask != fnKey ||
+				(uni != nil && !uniformAt(uni, pos.fn, curBlock)) {
+				break
+			}
+		}
+		// Never take the entry's reconvergence position into the window: the
+		// stepped loop pops there instead of executing.
+		if key == rpcKey {
+			break
+		}
+		if key != curKey {
+			curKey = key
+			curBlock = trace.CtlBlock(key)
+		}
+	}
+	// Pass 2: trim to the lanes' agreement — contiguous pairwise column
+	// compares, shrinking n to the earliest disagreement.
+	for li := 1; li < active && n > 0; li++ {
+		col := ctls[lanes[li]]
+		base := int(idxs[li])
+		lane := col[base : base+n]
+		for j := 0; j < len(lane); j++ {
+			if lane[j] != ctl0[j] {
+				n = j
+				break
+			}
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+
+	// Pass 3: charge the survivors. Scaled instruction charging accumulates
+	// per run of identical (func, block, size) elements — one masked control
+	// word — and flushes on run breaks, hoisting the per-function,
+	// entry-block, and branch-region lookups out of the loop.
+	wm := wr.wm
+	var fm *FuncMetrics
+	var runKey, runCnt uint64
+	for k := 0; k < n; k++ {
+		c0 := ctl0[k]
+		if rk := c0 & trace.CtlRunMask; rk != runKey || runCnt == 0 {
+			wr.flushRunKey(e, runKey, runCnt, active)
+			runKey, runCnt = rk, 0
+			// The window never leaves pos's function; only the block changes.
+			wr.curFn, wr.curBlock = pos.fn, trace.CtlBlock(c0)
+		}
+		runCnt++
+		if m := int(c0 >> trace.CtlMemShift & 7); m != 0 {
+			if fm == nil {
+				fm = wr.acc.funcMetrics(pos.fn)
+			}
+			if m == trace.CtlMemOverflow || !wr.mem.chargeFused(wm, fm, &wr.fview, k, m, active) {
+				// Oversized or non-walkable access lists: gather the lanes'
+				// records and charge through the stepped engine's path.
+				recs := wr.recBuf[:0]
+				for _, l := range lanes {
+					c := &wr.cursors[l]
+					recs = append(recs, &c.recs[c.idx+k])
+				}
+				wr.recBuf = recs
+				wr.mem.Charge(wm, fm, recs)
+			}
+		}
+	}
+	wr.flushRunKey(e, runKey, runCnt, active)
+	for _, l := range lanes {
+		wr.cursors[l].advance(n)
+	}
+	e.last, e.hasLast = position{kind: posBlock, fn: pos.fn, block: trace.CtlBlock(ctl0[n-1]), depth: depth}, true
+	return n, nil
+}
+
+// flushRunKey decodes one run's packed (func, block, N) identity and charges
+// it; a zero count is a no-op.
+func (wr *warpReplay) flushRunKey(e *entry, key, cnt uint64, active int) {
+	if cnt == 0 {
+		return
+	}
+	wr.flushRun(e, trace.CtlFunc(key), trace.CtlBlock(key), key&trace.CtlNMask, cnt, active)
+}
+
+// flushRun charges one run of cnt identical lockstep executions of an
+// n-instruction block by active lanes — ChargeInstrs, entry-block
+// invocation counting, and branch-region accounting scaled by the run
+// length. A zero cnt is a no-op.
+func (wr *warpReplay) flushRun(e *entry, fn, block uint32, n, cnt uint64, active int) {
+	if cnt == 0 {
+		return
+	}
+	total := n * cnt
+	wm := wr.wm
+	wm.Lockstep += total
+	wm.ThreadInstrs += total * uint64(active)
+	if active >= 0 && active <= MaxWarpSize {
+		wm.LaneHistogram[active] += total
+	}
+	fm := wr.acc.funcMetrics(fn)
+	fm.Lockstep += total
+	fm.ThreadInstrs += total * uint64(active)
+	if g := wr.graphs[fn]; g != nil && int32(block) == g.Entry() {
+		fm.Invocations += cnt
+	}
+	if e.hasBranch {
+		bs := wr.acc.branchStats(e.brFn, e.brBlock)
+		bs.RegionLockstep += total
+		bs.RegionThreadInstrs += total * uint64(active)
+	}
 }
 
 // execBlock performs the lockstep execution of one basic block: advances

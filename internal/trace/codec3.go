@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 
 	"threadfuser/internal/pool"
 )
@@ -395,12 +394,6 @@ func (it *ThreadIter) Next() (*ThreadTrace, error) {
 	return th, err
 }
 
-// minParallelDecodeThreads is the section count below which DecodeParallel
-// always takes the sequential path: with only a handful of sections the
-// fan-out overhead (goroutines, per-worker cache traffic) exceeds what the
-// extra cores win back.
-const minParallelDecodeThreads = 8
-
 // DecodeParallel decodes a trace from ra, fanning per-thread section decodes
 // out over a bounded worker pool (parallelism 0 = one worker per core, 1 =
 // serial). The input is read into memory once; the index footer's per-thread
@@ -410,12 +403,14 @@ const minParallelDecodeThreads = 8
 // same bytes as serial. Assembly is deterministic: threads land at their
 // index position, so the result is identical to Decode at every parallelism.
 //
-// The sequential path is taken outright when it would win: an effective
-// worker count of one (parallelism 1, or GOMAXPROCS=1 with parallelism 0)
-// or fewer sections than minParallelDecodeThreads. Inputs without a usable
-// index (v1/v2 files, corrupt footers) degrade to the sequential
-// whole-stream decode rather than erroring, as does an index whose counts
-// turn out to disagree with the stream — only the stream is trusted.
+// The sequential path is taken outright when it would win: pool.Workers —
+// the same resolver the SIMT replay pool uses per warp — resolves the
+// section count and parallelism limit to one worker (parallelism 1,
+// GOMAXPROCS=1 with parallelism 0, or fewer sections than
+// pool.MinParallelItems). Inputs without a usable index (v1/v2 files,
+// corrupt footers) degrade to the sequential whole-stream decode rather
+// than erroring, as does an index whose counts turn out to disagree with
+// the stream — only the stream is trusted.
 func DecodeParallel(ra io.ReaderAt, size int64, parallelism int) (*Trace, error) {
 	data, err := readAllAt(ra, size)
 	if err != nil {
@@ -428,11 +423,8 @@ func DecodeParallel(ra io.ReaderAt, size int64, parallelism int) (*Trace, error)
 		}
 		return nil, err
 	}
-	workers := parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers <= 1 || r.NumThreads() < minParallelDecodeThreads {
+	workers := pool.Workers(parallelism, r.NumThreads())
+	if workers <= 1 {
 		return DecodeBytes(data)
 	}
 	t, err := decodeArenaParallel(data, r, workers)

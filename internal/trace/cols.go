@@ -1,0 +1,206 @@
+package trace
+
+import "math"
+
+// This file defines the replay-oriented SoA ("structure of arrays") view of
+// a trace. The SIMT replay engine's lockstep-fusion fast path verifies, for
+// every window element, that all active lanes carry the same upcoming block
+// execution — a comparison that only involves a record's control fields
+// (kind, function, block, instruction count, lock presence, access-list
+// length), never its slice contents. Packing exactly those fields into one
+// uint64 per record turns that per-lane check into a single 8-byte compare
+// and cuts the verification loop's memory traffic by an order of magnitude
+// versus touching ~72-byte Record structs. A parallel prefix-sum column over
+// each thread's flattened access list lets the fused memory-charge path
+// reach lane accesses without loading Record slice headers at all.
+//
+// Control-word layout (low to high):
+//
+//	bits  0..19  N        instruction count (20 bits)
+//	bits 20..38  Block    basic-block id (19 bits)
+//	bits 39..56  Func     function id (18 bits)
+//	bits 57..58  Kind     record kind (KindBBL == 0)
+//	bit  59      locks    record carries at least one lock operation
+//	bits 60..62  mem      access-list length, saturated at CtlMemOverflow
+//	bit  63      invalid  some field overflowed its width; never fuse
+//
+// Records whose fields do not fit are marked CtlInvalid, which the fused
+// path treats exactly like any other window breaker: the stepped engine —
+// which reads the full Record — handles them, so packing width limits are a
+// performance cliff, never a correctness one.
+const (
+	ctlNBits     = 20
+	ctlBlockBits = 19
+	ctlFuncBits  = 18
+
+	// CtlNMask extracts a control word's instruction count.
+	CtlNMask = 1<<ctlNBits - 1
+	// CtlBlockShift positions the block id field.
+	CtlBlockShift = ctlNBits
+	// CtlFuncShift positions the function id field.
+	CtlFuncShift = ctlNBits + ctlBlockBits
+	// CtlKindShift positions the record kind field.
+	CtlKindShift = ctlNBits + ctlBlockBits + ctlFuncBits
+	// CtlKindMask isolates the kind field; a KindBBL record contributes zero
+	// bits here, so `ctl & CtlKindMask != 0` reads "not a block record".
+	CtlKindMask = uint64(3) << CtlKindShift
+	// CtlLocksBit is set when the record carries lock operations.
+	CtlLocksBit = uint64(1) << 59
+	// CtlMemShift positions the access-list length field.
+	CtlMemShift = 60
+	// CtlMemOverflow is the saturated access-list length: the real list is
+	// this long or longer and must be read from the Record.
+	CtlMemOverflow = 7
+	// CtlInvalid marks a record whose fields overflow the packed widths.
+	CtlInvalid = uint64(1) << 63
+
+	// CtlFnBlockMask isolates the (function, block) fields — a window's
+	// position identity at constant call depth.
+	CtlFnBlockMask = uint64(1<<(ctlBlockBits+ctlFuncBits)-1) << CtlBlockShift
+	// CtlFuncMask isolates the function field alone.
+	CtlFuncMask = uint64(1<<ctlFuncBits-1) << CtlFuncShift
+	// CtlRunMask isolates (function, block, N) — the identity of one scaled
+	// accounting run inside a fused window.
+	CtlRunMask = CtlFnBlockMask | CtlNMask
+)
+
+// PackFnBlock packs a (function, block) pair the way control words hold it,
+// for masked comparison against `ctl & CtlFnBlockMask`. Ids that overflow
+// their field widths spill into higher bits, so the comparison simply fails
+// — which is correct, because any record actually carrying such ids was
+// marked CtlInvalid at build time.
+func PackFnBlock(fn, block uint32) uint64 {
+	return uint64(fn)<<CtlFuncShift | uint64(block)<<CtlBlockShift
+}
+
+// CtlFunc extracts the function id of a valid control word.
+func CtlFunc(ctl uint64) uint32 {
+	return uint32(ctl >> CtlFuncShift & (1<<ctlFuncBits - 1))
+}
+
+// CtlBlock extracts the block id of a valid control word.
+func CtlBlock(ctl uint64) uint32 {
+	return uint32(ctl >> CtlBlockShift & (1<<ctlBlockBits - 1))
+}
+
+// PackMemMeta packs the non-address fields of one memory access into the
+// MemMeta column word: instruction index, size, and the store bit. Equality
+// of two meta words is exactly field-wise equality of everything but Addr,
+// which is the per-access check the fused charge path performs per lane.
+func PackMemMeta(a *MemAccess) uint32 {
+	w := uint32(a.Instr)<<16 | uint32(a.Size)<<8
+	if a.Store {
+		w |= 1
+	}
+	return w
+}
+
+// MetaInstr extracts the instruction index of a MemMeta word.
+func MetaInstr(meta uint32) uint16 { return uint16(meta >> 16) }
+
+// MetaSize extracts the access size of a MemMeta word.
+func MetaSize(meta uint32) uint8 { return uint8(meta >> 8) }
+
+// MetaStore extracts the store bit of a MemMeta word.
+func MetaStore(meta uint32) bool { return meta&1 != 0 }
+
+// Cols is the packed SoA view of a trace's threads: one control word per
+// record, plus each thread's memory accesses flattened into per-field
+// columns (addresses and packed meta words separately — the fused charge
+// path compares meta across lanes with one 4-byte load and never touches
+// padding) with a prefix-sum offset table. All outer slices are indexed by
+// the thread's position in Trace.Threads; Ctl[i] is parallel to
+// Threads[i].Records, MemOff[i] has one extra trailing entry so record j's
+// accesses are MemAddr[i][MemOff[i][j]:MemOff[i][j+1]] (and the same range
+// of MemMeta[i]). A Cols is a derived, read-only view: it must be rebuilt if
+// the underlying records change.
+type Cols struct {
+	Ctl     [][]uint64
+	MemOff  [][]uint32
+	MemAddr [][]uint64
+	MemMeta [][]uint32
+}
+
+// BuildCols derives the packed column view of a trace. One streaming pass
+// per thread; the result is safe for concurrent readers.
+func BuildCols(t *Trace) *Cols {
+	c := NewCols(len(t.Threads))
+	for i, th := range t.Threads {
+		c.SetThread(i, th)
+	}
+	return c
+}
+
+// NewCols returns an empty column view with room for n threads, for callers
+// that fill thread slots out of order via SetThread — the streaming analyzer
+// builds each section's columns inside the decode worker that just produced
+// it, while the section is still cache-hot.
+func NewCols(n int) *Cols {
+	return &Cols{
+		Ctl:     make([][]uint64, n),
+		MemOff:  make([][]uint32, n),
+		MemAddr: make([][]uint64, n),
+		MemMeta: make([][]uint32, n),
+	}
+}
+
+// SetThread derives and installs thread i's packed columns. Distinct slots
+// may be filled concurrently; the view is safe for readers once every slot a
+// reader touches has been set.
+func (c *Cols) SetThread(i int, th *ThreadTrace) {
+	c.Ctl[i], c.MemOff[i], c.MemAddr[i], c.MemMeta[i] = buildThreadCols(th)
+}
+
+func buildThreadCols(th *ThreadTrace) ([]uint64, []uint32, []uint64, []uint32) {
+	n := len(th.Records)
+	ctl := make([]uint64, n)
+	off := make([]uint32, n+1)
+	total := 0
+	for j := range th.Records {
+		total += len(th.Records[j].Mem)
+	}
+	if total > math.MaxUint32 {
+		// Offsets would not fit; leave the thread entirely unfusable.
+		for j := range ctl {
+			ctl[j] = CtlInvalid
+		}
+		return ctl, off, nil, nil
+	}
+	addr := make([]uint64, 0, total)
+	meta := make([]uint32, 0, total)
+	for j := range th.Records {
+		r := &th.Records[j]
+		off[j] = uint32(len(addr))
+		for i := range r.Mem {
+			addr = append(addr, r.Mem[i].Addr)
+			meta = append(meta, PackMemMeta(&r.Mem[i]))
+		}
+		if r.N > CtlNMask || r.Block >= 1<<ctlBlockBits || r.Func >= 1<<ctlFuncBits || r.Kind > KindSkip {
+			ctl[j] = CtlInvalid
+			continue
+		}
+		w := r.N | uint64(r.Block)<<CtlBlockShift | uint64(r.Func)<<CtlFuncShift | uint64(r.Kind)<<CtlKindShift
+		if len(r.Locks) > 0 {
+			w |= CtlLocksBit
+		}
+		if ml := len(r.Mem); ml >= CtlMemOverflow {
+			w |= CtlMemOverflow << CtlMemShift
+		} else {
+			w |= uint64(ml) << CtlMemShift
+		}
+		ctl[j] = w
+	}
+	off[n] = uint32(len(addr))
+	return ctl, off, addr, meta
+}
+
+// EnsureCols returns the trace's packed column view, building and caching it
+// on first use. Not safe for concurrent first calls; pipelines build the
+// view once (analyzer setup, bench setup) before fanning out replay workers,
+// which then share it read-only.
+func (t *Trace) EnsureCols() *Cols {
+	if t.Cols == nil {
+		t.Cols = BuildCols(t)
+	}
+	return t.Cols
+}

@@ -71,8 +71,8 @@ func (s SkipKind) String() string {
 // Instr within its basic block. A read-modify-write x86 instruction emits
 // two accesses with the same index.
 type MemAccess struct {
-	Instr uint16 // instruction index within the block
 	Addr  uint64
+	Instr uint16 // instruction index within the block
 	Size  uint8
 	Store bool
 }
@@ -93,10 +93,10 @@ type LockOp struct {
 //   - KindRet: no fields.
 //   - KindSkip: N instructions of SkipKind were executed untraced.
 type Record struct {
-	Kind     Kind
+	N        uint64
 	Func     uint32
 	Block    uint32
-	N        uint64
+	Kind     Kind
 	SkipKind SkipKind
 	Callee   uint32
 	Mem      []MemAccess
@@ -152,6 +152,11 @@ type Trace struct {
 	Entry   uint32 // entry function id of the traced workload
 	Funcs   []FuncInfo
 	Threads []*ThreadTrace
+
+	// Cols caches the packed SoA view replay's fusion fast path walks (see
+	// cols.go). It is derived state — never serialized, never compared —
+	// populated by EnsureCols and invalidated by mutating Records.
+	Cols *Cols `json:"-"`
 }
 
 // FuncName returns the symbol-table name for a function id.
@@ -187,53 +192,64 @@ func (t *Trace) TotalSkipped() (io, spin uint64) {
 // nesting is balanced, and memory/lock instruction indices are in range.
 func (t *Trace) Validate() error {
 	for _, th := range t.Threads {
-		depth := 0
-		for i := range th.Records {
-			r := &th.Records[i]
-			switch r.Kind {
-			case KindBBL:
-				if int(r.Func) >= len(t.Funcs) {
-					return fmt.Errorf("trace: thread %d record %d: func %d out of range", th.TID, i, r.Func)
-				}
-				blocks := t.Funcs[r.Func].Blocks
-				if int(r.Block) >= len(blocks) {
-					return fmt.Errorf("trace: thread %d record %d: block %d out of range in %s",
-						th.TID, i, r.Block, t.Funcs[r.Func].Name)
-				}
-				if want := uint64(blocks[r.Block].NInstr); r.N != want {
-					return fmt.Errorf("trace: thread %d record %d: %s block %d has %d instrs, static table says %d",
-						th.TID, i, t.Funcs[r.Func].Name, r.Block, r.N, want)
-				}
-				for _, m := range r.Mem {
-					if uint64(m.Instr) >= r.N {
-						return fmt.Errorf("trace: thread %d record %d: mem access at instr %d >= block size %d",
-							th.TID, i, m.Instr, r.N)
-					}
-				}
-				for _, l := range r.Locks {
-					if uint64(l.Instr) >= r.N {
-						return fmt.Errorf("trace: thread %d record %d: lock op at instr %d >= block size %d",
-							th.TID, i, l.Instr, r.N)
-					}
-				}
-			case KindCall:
-				if int(r.Callee) >= len(t.Funcs) {
-					return fmt.Errorf("trace: thread %d record %d: callee %d out of range", th.TID, i, r.Callee)
-				}
-				depth++
-			case KindRet:
-				depth--
-				if depth < 0 {
-					return fmt.Errorf("trace: thread %d record %d: return below entry", th.TID, i)
-				}
-			case KindSkip:
-			default:
-				return fmt.Errorf("trace: thread %d record %d: unknown kind %d", th.TID, i, r.Kind)
+		if err := t.ValidateThread(th); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateThread checks one thread's records against the trace's symbol
+// table. Threads validate independently, which is what lets the streaming
+// analyzer pipeline validation into the per-section decode workers instead
+// of paying a separate whole-trace pass.
+func (t *Trace) ValidateThread(th *ThreadTrace) error {
+	depth := 0
+	for i := range th.Records {
+		r := &th.Records[i]
+		switch r.Kind {
+		case KindBBL:
+			if int(r.Func) >= len(t.Funcs) {
+				return fmt.Errorf("trace: thread %d record %d: func %d out of range", th.TID, i, r.Func)
 			}
+			blocks := t.Funcs[r.Func].Blocks
+			if int(r.Block) >= len(blocks) {
+				return fmt.Errorf("trace: thread %d record %d: block %d out of range in %s",
+					th.TID, i, r.Block, t.Funcs[r.Func].Name)
+			}
+			if want := uint64(blocks[r.Block].NInstr); r.N != want {
+				return fmt.Errorf("trace: thread %d record %d: %s block %d has %d instrs, static table says %d",
+					th.TID, i, t.Funcs[r.Func].Name, r.Block, r.N, want)
+			}
+			for _, m := range r.Mem {
+				if uint64(m.Instr) >= r.N {
+					return fmt.Errorf("trace: thread %d record %d: mem access at instr %d >= block size %d",
+						th.TID, i, m.Instr, r.N)
+				}
+			}
+			for _, l := range r.Locks {
+				if uint64(l.Instr) >= r.N {
+					return fmt.Errorf("trace: thread %d record %d: lock op at instr %d >= block size %d",
+						th.TID, i, l.Instr, r.N)
+				}
+			}
+		case KindCall:
+			if int(r.Callee) >= len(t.Funcs) {
+				return fmt.Errorf("trace: thread %d record %d: callee %d out of range", th.TID, i, r.Callee)
+			}
+			depth++
+		case KindRet:
+			depth--
+			if depth < 0 {
+				return fmt.Errorf("trace: thread %d record %d: return below entry", th.TID, i)
+			}
+		case KindSkip:
+		default:
+			return fmt.Errorf("trace: thread %d record %d: unknown kind %d", th.TID, i, r.Kind)
 		}
-		if depth != 0 {
-			return fmt.Errorf("trace: thread %d: unbalanced call depth %d at end of stream", th.TID, depth)
-		}
+	}
+	if depth != 0 {
+		return fmt.Errorf("trace: thread %d: unbalanced call depth %d at end of stream", th.TID, depth)
 	}
 	return nil
 }
